@@ -1,0 +1,64 @@
+//! Controller-path overhead: regulator step, Kalman update, full
+//! control-cycle computation (paper §V-A1: < 10 ms per cycle, we expect
+//! microseconds).
+
+use asgov_bench::synthetic_profile;
+use asgov_control::{AdaptiveIntegrator, KalmanFilter};
+use asgov_core::EnergyOptimizer;
+use asgov_profiler::{Config, ProfileEntry, ProfileTable};
+use asgov_soc::{BwIndex, FreqIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn table_of(n: usize) -> ProfileTable {
+    let (speedups, powers) = synthetic_profile(n);
+    ProfileTable {
+        app: "bench".into(),
+        base_gips: 0.129,
+        entries: (0..n)
+            .map(|i| ProfileEntry {
+                config: Config {
+                    freq: FreqIndex(i % 18),
+                    bw: BwIndex(i % 13),
+                    gpu: None,
+                },
+                speedup: speedups[i],
+                power_w: powers[i],
+                measured: true,
+            })
+            .collect(),
+    }
+}
+
+fn bench_regulator(c: &mut Criterion) {
+    c.bench_function("integrator_step", |b| {
+        let mut reg = AdaptiveIntegrator::new(1.0, 1.0, 3.0);
+        b.iter(|| reg.step(black_box(0.25), black_box(0.2), black_box(0.129)))
+    });
+    c.bench_function("kalman_update", |b| {
+        let mut kf = KalmanFilter::new(0.129, 0.01, 1e-5, 1e-3);
+        b.iter(|| kf.update(black_box(0.25), black_box(2.0)))
+    });
+}
+
+fn bench_control_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_cycle_compute");
+    for n in [117, 234] {
+        let table = table_of(n);
+        let optimizer = EnergyOptimizer::new(&table);
+        let mut reg = AdaptiveIntegrator::new(1.5, optimizer.min_speedup(), optimizer.max_speedup());
+        let mut kf = KalmanFilter::new(0.129, 0.01, 1e-5, 1e-3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                // One full cycle of computation: Kalman, integrator, LP.
+                let est = kf.update(black_box(0.25), black_box(2.0));
+                let s = reg.step(black_box(0.26), black_box(0.25), est.value.max(1e-9));
+                optimizer.solve(s, 2.0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regulator, bench_control_cycle);
+criterion_main!(benches);

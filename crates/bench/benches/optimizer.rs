@@ -1,0 +1,62 @@
+//! Energy-optimizer overhead (paper §V-A1: regulator + optimizer
+//! together < 10 ms per 2 s control cycle).
+
+use asgov_bench::synthetic_profile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_two_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_point_optimize");
+    // 18 = one bandwidth row; 117 = the paper's interpolated table
+    // (9 freqs × 13 bandwidths); 234 = the exhaustive 18 × 13 grid.
+    for n in [18, 117, 234, 468] {
+        let (speedups, powers) = synthetic_profile(n);
+        let target = 2.0;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                asgov_linprog::two_point::optimize(
+                    black_box(&speedups),
+                    black_box(&powers),
+                    black_box(target),
+                    2.0,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_solve");
+    for n in [18, 117, 234] {
+        let (speedups, powers) = synthetic_profile(n);
+        let a = vec![speedups.clone(), vec![1.0; n]];
+        let b_vec = vec![2.0 * 2.0, 2.0];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| asgov_linprog::simplex::solve(black_box(&a), black_box(&b_vec), black_box(&powers)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_descend");
+    for n in [18, 117, 234] {
+        let (speedups, powers) = synthetic_profile(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                asgov_linprog::gradient::descend(
+                    black_box(&speedups),
+                    black_box(&powers),
+                    black_box(2.0),
+                    2.0,
+                    n / 2,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_point, bench_simplex, bench_gradient);
+criterion_main!(benches);

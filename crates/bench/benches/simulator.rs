@@ -1,0 +1,48 @@
+//! Device-simulator throughput: ticks per second with different policy
+//! stacks (gates how fast the experiment suite can regenerate the
+//! paper's tables).
+
+use asgov_governors::{CpubwHwmon, Interactive};
+use asgov_soc::{Device, DeviceConfig, Policy, Workload};
+use asgov_workloads::{apps, BackgroundLoad};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_bare_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("bare_device_1000_ticks", |b| {
+        let mut device = Device::new(DeviceConfig::nexus6());
+        let mut app = apps::angrybirds(BackgroundLoad::baseline(1));
+        b.iter(|| {
+            for _ in 0..1000 {
+                let now = device.now_ms();
+                let demand = app.demand(now);
+                let out = device.tick(black_box(&demand));
+                app.deliver(now, out.executed);
+            }
+        })
+    });
+    group.bench_function("device_with_governors_1000_ticks", |b| {
+        let mut device = Device::new(DeviceConfig::nexus6());
+        let mut cpu = Interactive::default();
+        let mut bw = CpubwHwmon::default();
+        cpu.start(&mut device);
+        bw.start(&mut device);
+        let mut app = apps::angrybirds(BackgroundLoad::baseline(1));
+        b.iter(|| {
+            for _ in 0..1000 {
+                let now = device.now_ms();
+                let demand = app.demand(now);
+                let out = device.tick(black_box(&demand));
+                app.deliver(now, out.executed);
+                cpu.tick(&mut device);
+                bw.tick(&mut device);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bare_ticks);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! # asgov-bench — Criterion micro-benchmarks
+//!
+//! Verifies the paper's §V-A1 overhead claims on this implementation:
+//! the performance regulator and the energy optimizer together must
+//! execute in well under 10 ms per control cycle even for the full
+//! 18 × 13 = 234-configuration table, and the device simulator must be
+//! fast enough to regenerate every experiment.
+//!
+//! Benchmarks (see `benches/`):
+//!
+//! - `optimizer` — the O(N²) two-configuration search vs N, plus the
+//!   general simplex solver for comparison.
+//! - `controller` — regulator step, Kalman update, and a full control
+//!   cycle (measure → regulate → optimize → schedule).
+//! - `simulator` — device ticks per second with and without governors.
+
+/// Build a synthetic profile of `n` configurations with plausible
+/// speedup/power curves (for benchmarking the optimizer at any N).
+pub fn synthetic_profile(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n > 0);
+    let mut speedups = Vec::with_capacity(n);
+    let mut powers = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = i as f64 / (n - 1).max(1) as f64;
+        // Concave speedup, superlinear power — typical DVFS shape.
+        speedups.push(1.0 + 2.2 * x.powf(0.7));
+        powers.push(1.5 + 2.5 * x.powf(1.4));
+    }
+    (speedups, powers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_profile_is_monotone() {
+        let (s, p) = synthetic_profile(234);
+        assert_eq!(s.len(), 234);
+        assert!(s.windows(2).all(|w| w[1] >= w[0]));
+        assert!(p.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn synthetic_profile_solvable() {
+        let (s, p) = synthetic_profile(50);
+        let sched = asgov_linprog::two_point::optimize(&s, &p, 2.0, 2.0).unwrap();
+        assert!((sched.expected_speedup(&s) - 2.0).abs() < 1e-9);
+    }
+}

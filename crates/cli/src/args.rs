@@ -1,0 +1,330 @@
+//! Minimal hand-rolled argument parsing (the workspace deliberately
+//! carries no CLI dependency).
+
+use std::fmt;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+asgov — application-specific performance-aware energy optimization
+
+USAGE:
+  asgov list-apps
+  asgov profile  --app <NAME> [--out <FILE>] [--stride <N>] [--runs <N>]
+                 [--window-s <N>] [--load BL|NL|HL] [--cpu-only | --gpu]
+  asgov baseline --app <NAME> [--duration-s <N>] [--load BL|NL|HL]
+  asgov control  --app <NAME> --profile <FILE> [--target <GIPS>]
+                 [--duration-s <N>] [--load BL|NL|HL] [--cpu-only]
+  asgov compare  --app <NAME> [--duration-s <N>] [--load BL|NL|HL] [--quick]
+
+COMMANDS:
+  list-apps   List the built-in application models
+  profile     Offline-profile an application (paper Stage 1); writes a
+              TSV table to --out (default: <app>.profile.tsv)
+  baseline    Measure the default-governor run (R_def, P_def, E_def)
+  control     Run the online controller from a saved profile (Stage 2)
+  compare     Profile + baseline + controller, print the Table III row";
+
+/// Parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `asgov list-apps`
+    ListApps,
+    /// `asgov profile`
+    Profile {
+        app: String,
+        out: Option<String>,
+        stride: usize,
+        runs: usize,
+        window_s: u64,
+        load: String,
+        cpu_only: bool,
+        gpu: bool,
+    },
+    /// `asgov baseline`
+    Baseline {
+        app: String,
+        duration_s: u64,
+        load: String,
+    },
+    /// `asgov control`
+    Control {
+        app: String,
+        profile: String,
+        target: Option<f64>,
+        duration_s: u64,
+        load: String,
+        cpu_only: bool,
+    },
+    /// `asgov compare`
+    Compare {
+        app: String,
+        duration_s: u64,
+        load: String,
+        quick: bool,
+    },
+}
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+struct Flags<'a> {
+    argv: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(argv: &'a [String]) -> Self {
+        Self {
+            used: vec![false; argv.len()],
+            argv,
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<&'a str>, ParseError> {
+        for i in 0..self.argv.len() {
+            if self.argv[i] == name {
+                self.used[i] = true;
+                let v = self
+                    .argv
+                    .get(i + 1)
+                    .ok_or_else(|| err(format!("{name} needs a value")))?;
+                self.used[i + 1] = true;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn flag(&mut self, name: &str) -> bool {
+        for i in 0..self.argv.len() {
+            if self.argv[i] == name {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn finish(self) -> Result<(), ParseError> {
+        for (i, used) in self.used.iter().enumerate() {
+            if !used {
+                return Err(err(format!("unrecognized argument {:?}", self.argv[i])));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, ParseError> {
+    v.parse()
+        .map_err(|_| err(format!("{name}: cannot parse {v:?}")))
+}
+
+fn parse_load(v: Option<&str>) -> Result<String, ParseError> {
+    let v = v.unwrap_or("BL").to_uppercase();
+    match v.as_str() {
+        "BL" | "NL" | "HL" => Ok(v),
+        other => Err(err(format!("--load must be BL, NL or HL, got {other:?}"))),
+    }
+}
+
+/// Parse an argv (without the binary name) into a [`Command`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unknown subcommands, missing required
+/// flags, unparsable values or stray arguments.
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = argv.first() else {
+        return Err(err("missing subcommand"));
+    };
+    let rest = &argv[1..];
+    let mut f = Flags::new(rest);
+    let cmd = match sub.as_str() {
+        "list-apps" => Command::ListApps,
+        "profile" => {
+            let app = f.value("--app")?.ok_or_else(|| err("--app is required"))?;
+            let out = f.value("--out")?.map(str::to_string);
+            let stride = match f.value("--stride")? {
+                Some(v) => parse_num("--stride", v)?,
+                None => 2,
+            };
+            let runs = match f.value("--runs")? {
+                Some(v) => parse_num("--runs", v)?,
+                None => 3,
+            };
+            let window_s = match f.value("--window-s")? {
+                Some(v) => parse_num("--window-s", v)?,
+                None => 30,
+            };
+            let load = parse_load(f.value("--load")?)?;
+            let cpu_only = f.flag("--cpu-only");
+            let gpu = f.flag("--gpu");
+            if cpu_only && gpu {
+                return Err(err("--cpu-only and --gpu are mutually exclusive"));
+            }
+            Command::Profile {
+                app: app.to_string(),
+                out,
+                stride,
+                runs,
+                window_s,
+                load,
+                cpu_only,
+                gpu,
+            }
+        }
+        "baseline" => Command::Baseline {
+            app: f
+                .value("--app")?
+                .ok_or_else(|| err("--app is required"))?
+                .to_string(),
+            duration_s: match f.value("--duration-s")? {
+                Some(v) => parse_num("--duration-s", v)?,
+                None => 60,
+            },
+            load: parse_load(f.value("--load")?)?,
+        },
+        "control" => Command::Control {
+            app: f
+                .value("--app")?
+                .ok_or_else(|| err("--app is required"))?
+                .to_string(),
+            profile: f
+                .value("--profile")?
+                .ok_or_else(|| err("--profile is required"))?
+                .to_string(),
+            target: match f.value("--target")? {
+                Some(v) => Some(parse_num("--target", v)?),
+                None => None,
+            },
+            duration_s: match f.value("--duration-s")? {
+                Some(v) => parse_num("--duration-s", v)?,
+                None => 60,
+            },
+            load: parse_load(f.value("--load")?)?,
+            cpu_only: f.flag("--cpu-only"),
+        },
+        "compare" => Command::Compare {
+            app: f
+                .value("--app")?
+                .ok_or_else(|| err("--app is required"))?
+                .to_string(),
+            duration_s: match f.value("--duration-s")? {
+                Some(v) => parse_num("--duration-s", v)?,
+                None => 60,
+            },
+            load: parse_load(f.value("--load")?)?,
+            quick: f.flag("--quick"),
+        },
+        other => return Err(err(format!("unknown subcommand {other:?}"))),
+    };
+    f.finish()?;
+    Ok(cmd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_list_apps() {
+        assert_eq!(parse(&v(&["list-apps"])).unwrap(), Command::ListApps);
+    }
+
+    #[test]
+    fn parses_profile_with_defaults() {
+        let cmd = parse(&v(&["profile", "--app", "AngryBirds"])).unwrap();
+        match cmd {
+            Command::Profile {
+                app,
+                stride,
+                runs,
+                window_s,
+                load,
+                cpu_only,
+                gpu,
+                out,
+            } => {
+                assert_eq!(app, "AngryBirds");
+                assert_eq!((stride, runs, window_s), (2, 3, 30));
+                assert_eq!(load, "BL");
+                assert!(!cpu_only && !gpu);
+                assert!(out.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_conflicting_axes() {
+        let e = parse(&v(&["profile", "--app", "X", "--cpu-only", "--gpu"])).unwrap_err();
+        assert!(e.0.contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let e = parse(&v(&["baseline", "--app", "X", "--frobnicate"])).unwrap_err();
+        assert!(e.0.contains("unrecognized"));
+    }
+
+    #[test]
+    fn rejects_bad_load() {
+        let e = parse(&v(&["baseline", "--app", "X", "--load", "XXL"])).unwrap_err();
+        assert!(e.0.contains("--load"));
+    }
+
+    #[test]
+    fn parses_control() {
+        let cmd = parse(&v(&[
+            "control",
+            "--app",
+            "Spotify",
+            "--profile",
+            "p.tsv",
+            "--target",
+            "0.12",
+            "--cpu-only",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Control {
+                app,
+                profile,
+                target,
+                cpu_only,
+                ..
+            } => {
+                assert_eq!(app, "Spotify");
+                assert_eq!(profile, "p.tsv");
+                assert_eq!(target, Some(0.12));
+                assert!(cpu_only);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        assert!(parse(&v(&["control", "--app", "X"])).is_err());
+        assert!(parse(&v(&["profile"])).is_err());
+        assert!(parse(&v(&[])).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Command implementations.
+
+use crate::args::Command;
+use asgov_core::{ControlMode, ControllerBuilder};
+use asgov_governors::{AdrenoTz, CpubwHwmon};
+use asgov_profiler::{
+    measure_default, profile_app, profile_app_cpu_only, profile_app_with_gpu, ProfileOptions,
+    ProfileTable,
+};
+use asgov_soc::{sim, Device, DeviceConfig, Policy, Workload as _};
+use asgov_workloads::{apps, BackgroundLoad, LoadLevel, PhasedApp};
+use std::error::Error;
+
+type Result<T> = std::result::Result<T, Box<dyn Error>>;
+
+const APP_NAMES: [&str; 7] = [
+    "VidCon",
+    "MobileBench",
+    "AngryBirds",
+    "WeChat",
+    "MXPlayer",
+    "Spotify",
+    "eBook",
+];
+
+fn load_level(label: &str) -> LoadLevel {
+    match label {
+        "NL" => LoadLevel::None,
+        "HL" => LoadLevel::Heavy,
+        _ => LoadLevel::Baseline,
+    }
+}
+
+fn make_app(name: &str, load: &str) -> Result<PhasedApp> {
+    let bg = BackgroundLoad::with_level(load_level(load), 1);
+    let app = match name {
+        "VidCon" => apps::vidcon(bg),
+        "MobileBench" => apps::mobilebench(bg),
+        "AngryBirds" => apps::angrybirds(bg),
+        "WeChat" => apps::wechat(bg),
+        "MXPlayer" => apps::mxplayer(bg),
+        "Spotify" => apps::spotify(bg),
+        "eBook" => apps::ebook(bg),
+        other => {
+            return Err(format!(
+                "unknown application {other:?}; see `asgov list-apps`"
+            )
+            .into())
+        }
+    };
+    Ok(app)
+}
+
+/// Execute a parsed command.
+///
+/// # Errors
+///
+/// I/O failures, unknown applications, or malformed profile files.
+pub fn run(cmd: Command) -> Result<()> {
+    match cmd {
+        Command::ListApps => {
+            println!("built-in application models (see asgov-workloads):");
+            for name in APP_NAMES {
+                println!("  {name}");
+            }
+            Ok(())
+        }
+        Command::Profile {
+            app,
+            out,
+            stride,
+            runs,
+            window_s,
+            load,
+            cpu_only,
+            gpu,
+        } => {
+            let dev_cfg = DeviceConfig::nexus6();
+            let mut a = make_app(&app, &load)?;
+            let opts = ProfileOptions {
+                runs_per_config: runs,
+                run_ms: window_s * 1000,
+                freq_stride: stride,
+                interpolate: true,
+            };
+            eprintln!("profiling {app} under {load} load...");
+            let table = if cpu_only {
+                profile_app_cpu_only(&dev_cfg, &mut a, &opts)
+            } else if gpu {
+                profile_app_with_gpu(&dev_cfg, &mut a, &opts)
+            } else {
+                profile_app(&dev_cfg, &mut a, &opts)
+            };
+            println!("{}", table.render(&dev_cfg.table));
+            let path = out.unwrap_or_else(|| format!("{app}.profile.tsv"));
+            std::fs::write(&path, table.to_tsv())?;
+            eprintln!("wrote {} configurations to {path}", table.len());
+            Ok(())
+        }
+        Command::Baseline {
+            app,
+            duration_s,
+            load,
+        } => {
+            let dev_cfg = DeviceConfig::nexus6();
+            let mut a = make_app(&app, &load)?;
+            let m = measure_default(&dev_cfg, &mut a, 3, duration_s * 1000);
+            println!(
+                "{app} under interactive + cpubw_hwmon + msm-adreno-tz ({load}):"
+            );
+            println!("  R_def = {:.4} GIPS", m.gips);
+            println!("  P_def = {:.3} W", m.power_w);
+            println!("  T_def = {:.1} s", m.duration_ms / 1000.0);
+            println!("  E_def = {:.1} J", m.energy_j);
+            Ok(())
+        }
+        Command::Control {
+            app,
+            profile,
+            target,
+            duration_s,
+            load,
+            cpu_only,
+        } => {
+            let dev_cfg = DeviceConfig::nexus6();
+            let mut a = make_app(&app, &load)?;
+            let text = std::fs::read_to_string(&profile)?;
+            let table = ProfileTable::from_tsv(&text)?;
+            if table.app != app {
+                eprintln!(
+                    "warning: profile is for {:?}, controlling {app:?}",
+                    table.app
+                );
+            }
+            let target = match target {
+                Some(t) => t,
+                None => {
+                    eprintln!("no --target; measuring the default-governor baseline...");
+                    measure_default(&dev_cfg, &mut a, 1, duration_s * 1000).gips
+                }
+            };
+
+            let mode = if cpu_only {
+                ControlMode::CpuOnly
+            } else {
+                ControlMode::Coordinated
+            };
+            let mut controller = ControllerBuilder::new(table)
+                .target_gips(target)
+                .mode(mode)
+                .keep_log(true)
+                .build();
+            let mut bw = CpubwHwmon::default();
+            let mut gpu_gov = AdrenoTz::default();
+            let mut device = Device::new(dev_cfg);
+            a.reset();
+            let mut policies: Vec<&mut dyn Policy> = Vec::new();
+            if cpu_only {
+                policies.push(&mut bw);
+            }
+            policies.push(&mut gpu_gov);
+            policies.push(&mut controller);
+            let report = sim::run(&mut device, &mut a, &mut policies, duration_s * 1000);
+
+            println!("{app} under the asgov controller (target {target:.4} GIPS, {load}):");
+            println!("  achieved = {:.4} GIPS", report.avg_gips);
+            println!("  power    = {:.3} W", report.avg_power_w);
+            println!("  energy   = {:.1} J over {:.1} s", report.energy_j, report.duration_s());
+            println!(
+                "  base-speed estimate = {:.4} GIPS, {} control cycles, {} actuation failures",
+                controller.base_estimate(),
+                controller.cycle_log().len(),
+                controller.actuation_failures()
+            );
+            Ok(())
+        }
+        Command::Compare {
+            app,
+            duration_s,
+            load,
+            quick,
+        } => {
+            let dev_cfg = DeviceConfig::nexus6();
+            let mut a = make_app(&app, &load)?;
+            let opts = if quick {
+                ProfileOptions {
+                    runs_per_config: 1,
+                    run_ms: 6_000,
+                    freq_stride: 2,
+                    interpolate: true,
+                }
+            } else {
+                ProfileOptions::default()
+            };
+            let runs = if quick { 1 } else { 3 };
+            eprintln!("profiling {app}...");
+            let table = profile_app(&dev_cfg, &mut a, &opts);
+            eprintln!("measuring the default governors...");
+            let default = measure_default(&dev_cfg, &mut a, runs, duration_s * 1000);
+
+            let mut controller = ControllerBuilder::new(table)
+                .target_gips(default.gips)
+                .build();
+            let mut gpu_gov = AdrenoTz::default();
+            let mut device = Device::new(dev_cfg);
+            a.reset();
+            eprintln!("running the controller...");
+            let report = sim::run(
+                &mut device,
+                &mut a,
+                &mut [&mut gpu_gov, &mut controller],
+                duration_s * 1000,
+            );
+
+            let savings = (default.energy_j - report.energy_j) / default.energy_j * 100.0;
+            let perf = (report.avg_gips - default.gips) / default.gips * 100.0;
+            println!("{app} ({load}, {duration_s} s):");
+            println!(
+                "  default:    {:.4} GIPS  {:.3} W  {:.1} J",
+                default.gips, default.power_w, default.energy_j
+            );
+            println!(
+                "  controller: {:.4} GIPS  {:.3} W  {:.1} J",
+                report.avg_gips, report.avg_power_w, report.energy_j
+            );
+            println!("  => {savings:+.1}% energy at {perf:+.1}% performance");
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! `asgov` — command-line interface to the energy-optimization toolkit.
+//!
+//! ```text
+//! asgov list-apps
+//! asgov profile  --app AngryBirds [--out profile.tsv] [--stride 2] [--runs 3] [--cpu-only | --gpu]
+//! asgov baseline --app AngryBirds [--duration-s 60]
+//! asgov control  --app AngryBirds --profile profile.tsv [--target GIPS] [--duration-s 60] [--cpu-only]
+//! asgov compare  --app AngryBirds [--duration-s 60] [--load BL|NL|HL]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

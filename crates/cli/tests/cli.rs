@@ -1,0 +1,98 @@
+//! End-to-end CLI tests: drive the parsed commands through the real
+//! pipeline with a temp directory for the profile artifacts.
+
+use std::process::Command;
+
+fn asgov() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_asgov"))
+}
+
+#[test]
+fn list_apps_names_all_models() {
+    let out = asgov().arg("list-apps").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for app in ["VidCon", "MobileBench", "AngryBirds", "WeChat", "MXPlayer", "Spotify", "eBook"]
+    {
+        assert!(text.contains(app), "missing {app} in:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = asgov().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn unknown_app_fails_cleanly() {
+    let out = asgov()
+        .args(["baseline", "--app", "DoesNotExist", "--duration-s", "1"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown application"));
+}
+
+#[test]
+fn profile_then_control_round_trip() {
+    let dir = std::env::temp_dir().join("asgov_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let profile_path = dir.join("spotify.tsv");
+
+    let out = asgov()
+        .args([
+            "profile",
+            "--app",
+            "Spotify",
+            "--runs",
+            "1",
+            "--window-s",
+            "4",
+            "--stride",
+            "4",
+            "--out",
+            profile_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run profile");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(profile_path.exists());
+
+    let out = asgov()
+        .args([
+            "control",
+            "--app",
+            "Spotify",
+            "--profile",
+            profile_path.to_str().unwrap(),
+            "--target",
+            "0.11",
+            "--duration-s",
+            "10",
+        ])
+        .output()
+        .expect("run control");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("achieved"));
+    assert!(text.contains("0 actuation failures"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn baseline_reports_the_four_quantities() {
+    let out = asgov()
+        .args(["baseline", "--app", "Spotify", "--duration-s", "5"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for q in ["R_def", "P_def", "T_def", "E_def"] {
+        assert!(text.contains(q), "missing {q}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Exponentially-weighted moving average.
+
+/// Exponentially-weighted moving average with smoothing factor
+/// `alpha ∈ (0, 1]` (higher = more responsive).
+///
+/// Used by the baseline governors to smooth CPU-load and memory-traffic
+/// signals, and available for smoothing PMU readings.
+///
+/// # Example
+///
+/// ```
+/// use asgov_control::Ewma;
+///
+/// let mut avg = Ewma::new(0.5);
+/// avg.push(1.0);
+/// avg.push(3.0);
+/// assert_eq!(avg.value(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an EWMA with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, value: None }
+    }
+
+    /// Push a sample; the first sample initializes the average exactly.
+    /// Returns the updated average.
+    pub fn push(&mut self, sample: f64) -> f64 {
+        let v = match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average (0 until the first sample).
+    pub fn value(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+
+    /// Has at least one sample been pushed?
+    pub fn is_initialized(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes_exactly() {
+        let mut e = Ewma::new(0.1);
+        assert!(!e.is_initialized());
+        assert_eq!(e.push(5.0), 5.0);
+        assert!(e.is_initialized());
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.push(3.0);
+        }
+        assert!((e.value() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_tracks_instantly() {
+        let mut e = Ewma::new(1.0);
+        e.push(1.0);
+        e.push(9.0);
+        assert_eq!(e.value(), 9.0);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut e = Ewma::new(0.5);
+        e.push(4.0);
+        e.reset();
+        assert!(!e.is_initialized());
+        assert_eq!(e.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+}

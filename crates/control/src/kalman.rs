@@ -1,0 +1,196 @@
+//! Scalar Kalman filter for online base-speed estimation (paper
+//! §III-B3, following POET [Imes et al., RTAS'15]).
+
+/// Output of one filter update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KalmanEstimate {
+    /// Posterior state estimate (the base speed `b_n`).
+    pub value: f64,
+    /// Posterior error variance.
+    pub variance: f64,
+    /// Kalman gain used for this update.
+    pub gain: f64,
+}
+
+/// Scalar Kalman filter with a random-walk process model and a
+/// time-varying measurement coefficient.
+///
+/// The application's base speed `b` (its speed at the lowest system
+/// configuration) drifts slowly as the application moves through
+/// phases; the controller observes only the *scaled* performance
+/// `y_n = s_{n−1} · b_n + v_n`, where `s_{n−1}` is the speedup it
+/// applied during the last cycle. The filter is therefore driven with
+/// `h = s_{n−1}` on each update:
+///
+/// ```text
+/// predict:  b⁻ = b,            p⁻ = p + q
+/// gain:     k  = p⁻·h / (h²·p⁻ + r)
+/// update:   b  = b⁻ + k·(y − h·b⁻),   p = (1 − k·h)·p⁻
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use asgov_control::KalmanFilter;
+///
+/// let mut kf = KalmanFilter::new(0.5, 1.0, 1e-4, 1e-2);
+/// // True base speed 0.129 GIPS (AngryBirds), controller applied s=2.0.
+/// for _ in 0..200 {
+///     kf.update(2.0 * 0.129, 2.0);
+/// }
+/// assert!((kf.value() - 0.129).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KalmanFilter {
+    value: f64,
+    variance: f64,
+    process_var: f64,
+    measurement_var: f64,
+}
+
+impl KalmanFilter {
+    /// Create a filter with initial estimate `initial`, initial error
+    /// variance `variance`, process-noise variance `process_var` (how
+    /// fast the base speed is allowed to drift) and measurement-noise
+    /// variance `measurement_var` (PMU reading noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variance is negative or `measurement_var` is zero.
+    pub fn new(initial: f64, variance: f64, process_var: f64, measurement_var: f64) -> Self {
+        assert!(variance >= 0.0, "initial variance must be non-negative");
+        assert!(process_var >= 0.0, "process variance must be non-negative");
+        assert!(
+            measurement_var > 0.0,
+            "measurement variance must be positive"
+        );
+        Self {
+            value: initial,
+            variance,
+            process_var,
+            measurement_var,
+        }
+    }
+
+    /// Current state estimate.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Current error variance.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Incorporate measurement `y = h · b + v`. Returns the posterior
+    /// estimate. A measurement with `h ≤ 0` is ignored (the prediction
+    /// step still runs) since it carries no information about `b`.
+    pub fn update(&mut self, y: f64, h: f64) -> KalmanEstimate {
+        // Predict.
+        let prior_var = self.variance + self.process_var;
+        if h <= 0.0 {
+            self.variance = prior_var;
+            return KalmanEstimate {
+                value: self.value,
+                variance: prior_var,
+                gain: 0.0,
+            };
+        }
+        // Update.
+        let gain = prior_var * h / (h * h * prior_var + self.measurement_var);
+        self.value += gain * (y - h * self.value);
+        self.variance = (1.0 - gain * h) * prior_var;
+        KalmanEstimate {
+            value: self.value,
+            variance: self.variance,
+            gain,
+        }
+    }
+
+    /// Re-seed the filter (used on detected phase changes).
+    pub fn reset(&mut self, value: f64, variance: f64) {
+        assert!(variance >= 0.0);
+        self.value = value;
+        self.variance = variance;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_true_base_speed() {
+        let mut kf = KalmanFilter::new(1.0, 1.0, 1e-5, 1e-3);
+        let b_true = 0.471; // VidCon base speed from the paper
+        for _ in 0..500 {
+            kf.update(3.0 * b_true, 3.0);
+        }
+        assert!((kf.value() - b_true).abs() < 1e-3);
+        assert!(kf.variance() < 1e-3);
+    }
+
+    #[test]
+    fn tracks_drifting_base_speed() {
+        let mut kf = KalmanFilter::new(0.2, 0.1, 1e-4, 1e-3);
+        let mut b = 0.2;
+        for i in 0..2000 {
+            if i >= 1000 {
+                b = 0.4; // phase change
+            }
+            kf.update(2.0 * b, 2.0);
+        }
+        assert!(
+            (kf.value() - 0.4).abs() < 0.02,
+            "filter should re-track after a phase change, got {}",
+            kf.value()
+        );
+    }
+
+    #[test]
+    fn noisy_measurements_average_out() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut kf = KalmanFilter::new(0.5, 1.0, 1e-6, 1e-2);
+        let b_true = 0.129;
+        for _ in 0..3000 {
+            let noise: f64 = rng.gen_range(-0.05..0.05);
+            kf.update(1.5 * b_true + noise, 1.5);
+        }
+        assert!((kf.value() - b_true).abs() < 0.01);
+    }
+
+    #[test]
+    fn variance_shrinks_with_information() {
+        let mut kf = KalmanFilter::new(1.0, 1.0, 0.0, 1e-2);
+        let v0 = kf.variance();
+        kf.update(0.5, 1.0);
+        assert!(kf.variance() < v0);
+    }
+
+    #[test]
+    fn zero_h_measurement_is_ignored_but_variance_grows() {
+        let mut kf = KalmanFilter::new(0.3, 0.1, 1e-3, 1e-2);
+        let before = kf.value();
+        let est = kf.update(5.0, 0.0);
+        assert_eq!(est.value, before);
+        assert_eq!(est.gain, 0.0);
+        assert!(kf.variance() > 0.1, "process noise accumulates");
+    }
+
+    #[test]
+    fn reset_reseeds() {
+        let mut kf = KalmanFilter::new(1.0, 1.0, 1e-4, 1e-2);
+        kf.update(0.2, 1.0);
+        kf.reset(0.7, 0.5);
+        assert_eq!(kf.value(), 0.7);
+        assert_eq!(kf.variance(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement variance")]
+    fn zero_measurement_variance_rejected() {
+        let _ = KalmanFilter::new(0.0, 1.0, 1e-4, 0.0);
+    }
+}

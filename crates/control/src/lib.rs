@@ -1,0 +1,35 @@
+//! # asgov-control — control-theory building blocks
+//!
+//! The substrate for the paper's online controller (Section III-B):
+//!
+//! - [`AdaptiveIntegrator`] — the adaptive-gain integral performance
+//!   regulator `s_n = s_{n-1} + e_{n-1} / b_{n-1}` (paper Eqn. 3), whose
+//!   gain adapts through the base-speed estimate `b`.
+//! - [`KalmanFilter`] — the scalar Kalman filter that continuously
+//!   estimates the application *base speed* `b_n` from measurements
+//!   `y_n = s_{n-1} · b_n + v` (paper §III-B3, following POET).
+//! - [`Ewma`] — exponentially-weighted moving average, used for signal
+//!   smoothing by the baseline governors.
+//! - [`PidController`] — a classical fixed-gain PID, provided as a
+//!   comparison baseline for the adaptive integrator.
+//! - [`PhaseDetector`] — a variance-based application phase-change
+//!   detector (paper §V-B discusses rapidly varying phases as the hard
+//!   case; this hook lets the controller re-seed its estimator).
+//!
+//! All types are plain `f64` state machines with no allocation, suitable
+//! for per-control-cycle invocation at negligible overhead.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ewma;
+mod integrator;
+mod kalman;
+mod phase;
+mod pid;
+
+pub use ewma::Ewma;
+pub use integrator::AdaptiveIntegrator;
+pub use kalman::{KalmanEstimate, KalmanFilter};
+pub use phase::{PhaseDetector, PhaseEvent};
+pub use pid::PidController;

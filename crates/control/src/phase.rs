@@ -1,0 +1,160 @@
+//! Application phase-change detection.
+//!
+//! Section V-B of the paper identifies applications with multiple,
+//! rapidly varying phases (e.g. the MobileBench browser benchmark) as
+//! the hard case for the controller, and points to phase monitoring
+//! (Isci et al., MICRO'06) as a remedy. [`PhaseDetector`] is that
+//! remedy's hook: it watches the performance signal with two windowed
+//! means and flags a phase change when they diverge, letting the
+//! controller re-seed its Kalman filter instead of slewing slowly.
+
+/// Event emitted by the detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhaseEvent {
+    /// The signal is statistically consistent with the current phase.
+    Stable,
+    /// A phase change was detected; the payload is the new short-window
+    /// mean, a good re-seed value for estimators.
+    Changed(f64),
+}
+
+/// Two-window mean-shift phase detector.
+///
+/// Keeps a short window (recent behaviour) and a long window (current
+/// phase) of the signal. When the short-window mean departs from the
+/// long-window mean by more than `threshold` (relative), a
+/// [`PhaseEvent::Changed`] is emitted and the long window is re-seeded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDetector {
+    short: Vec<f64>,
+    long: Vec<f64>,
+    short_len: usize,
+    long_len: usize,
+    threshold: f64,
+}
+
+impl PhaseDetector {
+    /// Create a detector with window lengths `short_len < long_len` and
+    /// relative mean-shift `threshold` (e.g. `0.25` for 25 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `short_len` is zero, `short_len >= long_len`, or the
+    /// threshold is not positive.
+    pub fn new(short_len: usize, long_len: usize, threshold: f64) -> Self {
+        assert!(short_len > 0, "short window must be non-empty");
+        assert!(short_len < long_len, "short window must be shorter");
+        assert!(threshold > 0.0, "threshold must be positive");
+        Self {
+            short: Vec::with_capacity(short_len),
+            long: Vec::with_capacity(long_len),
+            short_len,
+            long_len,
+            threshold,
+        }
+    }
+
+    fn mean(values: &[f64]) -> f64 {
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    /// Push a sample of the performance signal; returns whether a phase
+    /// change is detected at this sample.
+    pub fn push(&mut self, sample: f64) -> PhaseEvent {
+        push_window(&mut self.short, self.short_len, sample);
+        push_window(&mut self.long, self.long_len, sample);
+        if self.short.len() < self.short_len || self.long.len() < self.long_len {
+            return PhaseEvent::Stable;
+        }
+        let short_mean = Self::mean(&self.short);
+        let long_mean = Self::mean(&self.long);
+        let scale = long_mean.abs().max(f64::EPSILON);
+        if (short_mean - long_mean).abs() / scale > self.threshold {
+            // Re-seed the long window with the new phase.
+            self.long.clear();
+            self.long.extend_from_slice(&self.short);
+            PhaseEvent::Changed(short_mean)
+        } else {
+            PhaseEvent::Stable
+        }
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.short.clear();
+        self.long.clear();
+    }
+}
+
+fn push_window(window: &mut Vec<f64>, cap: usize, sample: f64) {
+    if window.len() == cap {
+        window.remove(0);
+    }
+    window.push(sample);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_signal_never_fires() {
+        let mut d = PhaseDetector::new(4, 16, 0.25);
+        for i in 0..200 {
+            let s = 1.0 + 0.01 * ((i % 3) as f64); // tiny jitter
+            assert_eq!(d.push(s), PhaseEvent::Stable);
+        }
+    }
+
+    #[test]
+    fn detects_step_change() {
+        let mut d = PhaseDetector::new(4, 16, 0.25);
+        for _ in 0..32 {
+            d.push(1.0);
+        }
+        let mut fired = None;
+        for i in 0..16 {
+            if let PhaseEvent::Changed(m) = d.push(2.0) {
+                fired = Some((i, m));
+                break;
+            }
+        }
+        let (latency, mean) = fired.expect("step change must be detected");
+        assert!(latency < 8, "detection latency {latency} too high");
+        assert!(mean >= 1.5, "re-seed mean {mean} reflects the new phase");
+    }
+
+    #[test]
+    fn quiet_after_reseed() {
+        let mut d = PhaseDetector::new(4, 16, 0.25);
+        for _ in 0..32 {
+            d.push(1.0);
+        }
+        // Step, then let it settle.
+        let mut changes = 0;
+        for _ in 0..64 {
+            if matches!(d.push(2.0), PhaseEvent::Changed(_)) {
+                changes += 1;
+            }
+        }
+        assert_eq!(changes, 1, "a single step yields a single event");
+    }
+
+    #[test]
+    fn warmup_period_is_quiet() {
+        let mut d = PhaseDetector::new(2, 8, 0.1);
+        for i in 0..7 {
+            assert_eq!(d.push(i as f64), PhaseEvent::Stable, "warm-up sample {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn rejects_bad_windows() {
+        let _ = PhaseDetector::new(8, 8, 0.1);
+    }
+}

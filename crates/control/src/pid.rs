@@ -1,0 +1,138 @@
+//! Classical fixed-gain PID controller (comparison baseline).
+
+/// A fixed-gain PID controller.
+///
+/// The paper argues for an *adaptive-gain* integral controller
+/// ([`crate::AdaptiveIntegrator`]) because applications have base speeds
+/// differing by an order of magnitude (AngryBirds 0.129 GIPS vs VidCon
+/// 0.471 GIPS) and fixed gains tuned for one application misbehave on
+/// another. This PID exists so ablation benchmarks can demonstrate that
+/// trade-off.
+///
+/// # Example
+///
+/// ```
+/// use asgov_control::PidController;
+///
+/// let mut pid = PidController::new(0.5, 0.2, 0.0, (0.0, 10.0));
+/// // Plant: y follows u directly.
+/// let mut y = 0.0;
+/// for _ in 0..200 {
+///     let u = pid.step(1.0, y, 1.0);
+///     y = u;
+/// }
+/// assert!((y - 1.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PidController {
+    kp: f64,
+    ki: f64,
+    kd: f64,
+    integral: f64,
+    last_error: Option<f64>,
+    output_range: (f64, f64),
+}
+
+impl PidController {
+    /// Create a PID with gains `kp`, `ki`, `kd` and output clamped to
+    /// `output_range` (anti-windup: the integral term is frozen while
+    /// the output saturates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output range is inverted.
+    pub fn new(kp: f64, ki: f64, kd: f64, output_range: (f64, f64)) -> Self {
+        assert!(output_range.0 <= output_range.1, "inverted output range");
+        Self {
+            kp,
+            ki,
+            kd,
+            integral: 0.0,
+            last_error: None,
+            output_range,
+        }
+    }
+
+    /// Advance one cycle of duration `dt`: returns the control output
+    /// for tracking `target` given measurement `measured`.
+    pub fn step(&mut self, target: f64, measured: f64, dt: f64) -> f64 {
+        let error = target - measured;
+        let derivative = match self.last_error {
+            Some(prev) if dt > 0.0 => (error - prev) / dt,
+            _ => 0.0,
+        };
+        self.last_error = Some(error);
+
+        let candidate_integral = self.integral + error * dt;
+        let unclamped =
+            self.kp * error + self.ki * candidate_integral + self.kd * derivative;
+        let output = unclamped.clamp(self.output_range.0, self.output_range.1);
+        // Anti-windup: only commit the integral if not saturating, or if
+        // the error drives the output back inside the range.
+        if (unclamped - output).abs() < f64::EPSILON
+            || (unclamped > output && error < 0.0)
+            || (unclamped < output && error > 0.0)
+        {
+            self.integral = candidate_integral;
+        }
+        output
+    }
+
+    /// Reset the controller state.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drives_error_to_zero_on_unit_plant() {
+        let mut pid = PidController::new(0.4, 0.4, 0.0, (-100.0, 100.0));
+        let mut y = 0.0;
+        for _ in 0..500 {
+            y = pid.step(2.0, y, 1.0);
+        }
+        assert!((y - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn output_respects_clamp() {
+        let mut pid = PidController::new(10.0, 0.0, 0.0, (0.0, 1.0));
+        let u = pid.step(100.0, 0.0, 1.0);
+        assert_eq!(u, 1.0);
+        let u = pid.step(-100.0, 0.0, 1.0);
+        assert_eq!(u, 0.0);
+    }
+
+    #[test]
+    fn anti_windup_recovers_quickly() {
+        let mut pid = PidController::new(0.0, 1.0, 0.0, (0.0, 1.0));
+        // Saturate upward for a long time.
+        for _ in 0..1000 {
+            pid.step(10.0, 0.0, 1.0);
+        }
+        // Now target is below: should unwind within a few cycles, not 1000.
+        let mut cycles = 0;
+        loop {
+            let u = pid.step(0.0, 1.0, 1.0);
+            cycles += 1;
+            if u < 0.5 {
+                break;
+            }
+            assert!(cycles < 20, "integral wound up despite anti-windup");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = PidController::new(1.0, 1.0, 1.0, (-10.0, 10.0));
+        pid.step(1.0, 0.0, 1.0);
+        pid.reset();
+        let u = pid.step(0.0, 0.0, 1.0);
+        assert_eq!(u, 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the control-theory substrate: convergence,
+//! stability and clamping of the regulator and estimator under random
+//! plants and noise.
+
+use asgov_control::{AdaptiveIntegrator, Ewma, KalmanFilter, PhaseDetector, PhaseEvent};
+use proptest::prelude::*;
+
+proptest! {
+    /// The adaptive integrator converges to the required speedup for any
+    /// reachable target on a linear plant, regardless of the initial
+    /// state and base speed.
+    #[test]
+    fn integrator_converges(
+        b in 0.05f64..2.0,
+        target_frac in 0.05f64..0.95,
+        initial in 1.0f64..10.0,
+    ) {
+        let (min_s, max_s) = (1.0, 10.0);
+        let target = (min_s + target_frac * (max_s - min_s)) * b;
+        let mut reg = AdaptiveIntegrator::new(initial, min_s, max_s);
+        for _ in 0..200 {
+            let y = reg.speedup() * b;
+            reg.step(target, y, b);
+        }
+        prop_assert!(
+            (reg.speedup() * b - target).abs() < 1e-6 * target.max(1.0),
+            "speedup {} for target {target} at base {b}",
+            reg.speedup()
+        );
+    }
+
+    /// The integrator's output is always within its clamp range, no
+    /// matter how wild the measurements are.
+    #[test]
+    fn integrator_always_clamped(
+        measurements in prop::collection::vec(-10.0f64..10.0, 1..100),
+        target in -5.0f64..5.0,
+        b in 0.001f64..10.0,
+    ) {
+        let mut reg = AdaptiveIntegrator::new(1.0, 1.0, 3.0);
+        for y in measurements {
+            let s = reg.step(target, y, b);
+            prop_assert!((1.0..=3.0).contains(&s));
+        }
+    }
+
+    /// The Kalman filter converges to the true base speed under
+    /// persistent excitation, for any positive h sequence.
+    #[test]
+    fn kalman_converges(
+        b_true in 0.05f64..2.0,
+        h in 0.5f64..5.0,
+        seed in 0.0f64..1.0,
+    ) {
+        let mut kf = KalmanFilter::new(b_true * (0.2 + 1.6 * seed), 1.0, 1e-6, 1e-3);
+        for _ in 0..500 {
+            kf.update(h * b_true, h);
+        }
+        prop_assert!(
+            (kf.value() - b_true).abs() < 0.01 * b_true.max(0.1),
+            "estimate {} vs true {b_true}",
+            kf.value()
+        );
+    }
+
+    /// The filter's variance never becomes negative or NaN.
+    #[test]
+    fn kalman_variance_well_formed(
+        updates in prop::collection::vec((0.0f64..5.0, 0.0f64..5.0), 1..200),
+    ) {
+        let mut kf = KalmanFilter::new(0.5, 1.0, 1e-4, 1e-2);
+        for (y, h) in updates {
+            kf.update(y, h);
+            prop_assert!(kf.variance() >= 0.0);
+            prop_assert!(kf.variance().is_finite());
+            prop_assert!(kf.value().is_finite());
+        }
+    }
+
+    /// EWMA output is always inside the convex hull of its inputs.
+    #[test]
+    fn ewma_stays_in_hull(
+        alpha in 0.01f64..1.0,
+        samples in prop::collection::vec(-100.0f64..100.0, 1..100),
+    ) {
+        let mut e = Ewma::new(alpha);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &s in &samples {
+            let v = e.push(s);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    /// The phase detector never fires on a constant signal.
+    #[test]
+    fn phase_detector_quiet_on_constant(
+        value in 0.01f64..100.0,
+        n in 20usize..200,
+    ) {
+        let mut d = PhaseDetector::new(4, 16, 0.2);
+        for _ in 0..n {
+            prop_assert_eq!(d.push(value), PhaseEvent::Stable);
+        }
+    }
+
+    /// The phase detector always fires on a sufficiently large step.
+    #[test]
+    fn phase_detector_fires_on_big_step(base in 1.0f64..10.0, factor in 2.0f64..5.0) {
+        let mut d = PhaseDetector::new(4, 16, 0.25);
+        for _ in 0..32 {
+            d.push(base);
+        }
+        let mut fired = false;
+        for _ in 0..16 {
+            if matches!(d.push(base * factor), PhaseEvent::Changed(_)) {
+                fired = true;
+                break;
+            }
+        }
+        prop_assert!(fired, "step {base} -> {} missed", base * factor);
+    }
+}

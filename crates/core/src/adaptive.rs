@@ -1,0 +1,201 @@
+//! Load-adaptive control (paper §V-C, future work): track the runtime
+//! background load and regenerate the profile table from a
+//! [`LoadModel`] instead of re-profiling.
+
+use crate::controller::EnergyController;
+use crate::optimizer::EnergyOptimizer;
+use asgov_profiler::{LoadModel, LoadSignature};
+use asgov_soc::{Device, Policy};
+
+impl EnergyController {
+    /// Replace the profile table driving the optimizer (used by
+    /// [`LoadAdaptiveController`]; also available to applications that
+    /// re-profile on their own). The regulator's clamp range follows
+    /// the new table.
+    pub fn swap_profile(&mut self, table: &asgov_profiler::ProfileTable) {
+        let optimizer = EnergyOptimizer::new(table);
+        let min_s = optimizer.min_speedup().max(1e-9);
+        let max_s = (optimizer.max_speedup() * 0.995).max(min_s);
+        self.set_speedup_range(min_s, max_s);
+        self.set_optimizer(optimizer);
+    }
+}
+
+/// Wraps an [`EnergyController`] with a [`LoadModel`]: every
+/// `refresh_cycles` control cycles it samples the device's
+/// background-load accounting, generates the profile predicted for that
+/// load, and swaps it into the controller.
+#[derive(Debug)]
+pub struct LoadAdaptiveController {
+    inner: EnergyController,
+    model: LoadModel,
+    refresh_ms: u64,
+    next_refresh_ms: u64,
+    last_bg_util_ms: f64,
+    last_bg_traffic_mb: f64,
+    last_sample_ms: u64,
+    swaps: u64,
+}
+
+impl LoadAdaptiveController {
+    /// Wrap `controller`, refreshing the profile from `model` every
+    /// `refresh_ms` (e.g. 10 000 ms — load drifts slowly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refresh_ms` is zero.
+    pub fn new(controller: EnergyController, model: LoadModel, refresh_ms: u64) -> Self {
+        assert!(refresh_ms > 0, "refresh period must be positive");
+        Self {
+            inner: controller,
+            model,
+            refresh_ms,
+            next_refresh_ms: 0,
+            last_bg_util_ms: 0.0,
+            last_bg_traffic_mb: 0.0,
+            last_sample_ms: 0,
+            swaps: 0,
+        }
+    }
+
+    /// The wrapped controller.
+    pub fn inner(&self) -> &EnergyController {
+        &self.inner
+    }
+
+    /// How many times the profile has been regenerated.
+    pub fn profile_swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    fn measure_signature(&mut self, device: &Device) -> Option<LoadSignature> {
+        let now = device.now_ms();
+        let dt_ms = now.saturating_sub(self.last_sample_ms) as f64;
+        if dt_ms <= 0.0 {
+            return None;
+        }
+        let util = (device.bg_util_ms() - self.last_bg_util_ms) / dt_ms;
+        let traffic =
+            (device.bg_traffic_mb() - self.last_bg_traffic_mb) / (dt_ms * 1e-3);
+        self.last_sample_ms = now;
+        self.last_bg_util_ms = device.bg_util_ms();
+        self.last_bg_traffic_mb = device.bg_traffic_mb();
+        Some(LoadSignature {
+            cpu_util: util.clamp(0.0, 1.0),
+            traffic_mbps: traffic.max(0.0),
+        })
+    }
+}
+
+impl Policy for LoadAdaptiveController {
+    fn name(&self) -> &str {
+        "asgov-load-adaptive"
+    }
+
+    fn start(&mut self, device: &mut Device) {
+        self.last_sample_ms = device.now_ms();
+        self.last_bg_util_ms = device.bg_util_ms();
+        self.last_bg_traffic_mb = device.bg_traffic_mb();
+        self.next_refresh_ms = device.now_ms() + self.refresh_ms;
+        self.inner.start(device);
+    }
+
+    fn tick(&mut self, device: &mut Device) {
+        if device.now_ms() >= self.next_refresh_ms {
+            self.next_refresh_ms = device.now_ms() + self.refresh_ms;
+            if let Some(sig) = self.measure_signature(device) {
+                let table = self.model.table_for(&sig);
+                self.inner.swap_profile(&table);
+                self.swaps += 1;
+            }
+        }
+        self.inner.tick(device);
+    }
+
+    fn finish(&mut self, device: &mut Device) {
+        self.inner.finish(device);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerBuilder;
+    use asgov_profiler::{profile_app, ProfileOptions};
+    use asgov_soc::{sim, DeviceConfig, Workload as _};
+    use asgov_workloads::{apps, BackgroundLoad, LoadLevel};
+
+    fn quick() -> ProfileOptions {
+        ProfileOptions {
+            runs_per_config: 1,
+            run_ms: 6_000,
+            freq_stride: 4,
+            interpolate: true,
+        }
+    }
+
+    #[test]
+    fn adaptive_controller_swaps_profiles_under_heavy_load() {
+        let dev_cfg = DeviceConfig::nexus6();
+        // Anchor profiles at NL and HL.
+        let mut nl_app = apps::wechat(BackgroundLoad::none(1));
+        let nl_profile = profile_app(&dev_cfg, &mut nl_app, &quick());
+        let mut hl_app = apps::wechat(BackgroundLoad::heavy(1));
+        let hl_profile = profile_app(&dev_cfg, &mut hl_app, &quick());
+        let model = LoadModel::new(vec![
+            (
+                LoadSignature {
+                    cpu_util: 0.008,
+                    traffic_mbps: 4.0,
+                },
+                nl_profile.clone(),
+            ),
+            (
+                LoadSignature {
+                    cpu_util: 0.16,
+                    traffic_mbps: 180.0,
+                },
+                hl_profile,
+            ),
+        ])
+        .unwrap();
+
+        let base = ControllerBuilder::new(nl_profile).target_gips(0.7).build();
+        let mut adaptive = LoadAdaptiveController::new(base, model, 8_000);
+
+        // Run under heavy load: the wrapper must regenerate the profile.
+        let mut app = apps::wechat(BackgroundLoad::with_level(LoadLevel::Heavy, 1));
+        let mut device = asgov_soc::Device::new(dev_cfg);
+        app.reset();
+        let report = sim::run(&mut device, &mut app, &mut [&mut adaptive], 30_000);
+        assert!(adaptive.profile_swaps() >= 2, "profile should refresh");
+        assert!(report.avg_gips > 0.5, "call keeps running");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_refresh_rejected() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::spotify(BackgroundLoad::none(1));
+        let p = profile_app(&dev_cfg, &mut app, &quick());
+        let model = LoadModel::new(vec![
+            (
+                LoadSignature {
+                    cpu_util: 0.0,
+                    traffic_mbps: 0.0,
+                },
+                p.clone(),
+            ),
+            (
+                LoadSignature {
+                    cpu_util: 0.2,
+                    traffic_mbps: 100.0,
+                },
+                p.clone(),
+            ),
+        ])
+        .unwrap();
+        let base = ControllerBuilder::new(p).build();
+        let _ = LoadAdaptiveController::new(base, model, 0);
+    }
+}

@@ -1,0 +1,563 @@
+//! The online controller (paper Fig. 2) as an [`asgov_soc::Policy`].
+
+use crate::optimizer::EnergyOptimizer;
+use crate::regulator::PerformanceRegulator;
+use crate::scheduler::ConfigScheduler;
+use asgov_control::{PhaseDetector, PhaseEvent};
+use asgov_profiler::{Config, ProfileTable};
+use asgov_soc::{sysfs, Device, PerfReader, Policy};
+
+/// Which optimizer the controller runs each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizerStrategy {
+    /// The paper's linear program (exact, at-most-two configurations).
+    #[default]
+    LinearProgram,
+    /// CoScale-style greedy local search (paper §VI comparison): a
+    /// single configuration found by neighbour descent from the last
+    /// applied point.
+    Gradient,
+}
+
+/// Which configuration axes the controller actuates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMode {
+    /// Coordinated control of CPU frequency *and* memory bandwidth (the
+    /// paper's main contribution).
+    Coordinated,
+    /// CPU frequency only; memory bandwidth stays with the default
+    /// `cpubw_hwmon` governor (the §V-D ablation, which consumes ~53 %
+    /// more of the saved energy on average).
+    CpuOnly,
+}
+
+/// One control cycle's diagnostic record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlCycleLog {
+    /// Cycle end time, ms.
+    pub t_ms: u64,
+    /// Measured performance `y_n`, GIPS.
+    pub measured_gips: f64,
+    /// Kalman base-speed estimate `b_n`, GIPS.
+    pub base_estimate: f64,
+    /// Required speedup `s_{n+1}` computed by the regulator.
+    pub required_speedup: f64,
+    /// Chosen lower configuration `c_l`.
+    pub lower: Config,
+    /// Chosen upper configuration `c_h`.
+    pub upper: Config,
+    /// Dwell in `c_l`, seconds (after rounding).
+    pub tau_lower_s: f64,
+}
+
+/// Builder for [`EnergyController`].
+#[derive(Debug, Clone)]
+pub struct ControllerBuilder {
+    profile: ProfileTable,
+    target_gips: Option<f64>,
+    period_ms: u64,
+    perf_period_ms: u64,
+    perf_noise_rel: f64,
+    min_dwell_ms: u64,
+    mode: ControlMode,
+    keep_log: bool,
+    seed: u64,
+    target_margin: f64,
+    gain: f64,
+    phase_detection: bool,
+    strategy: OptimizerStrategy,
+}
+
+impl ControllerBuilder {
+    /// Start building a controller around an offline profile.
+    pub fn new(profile: ProfileTable) -> Self {
+        Self {
+            profile,
+            target_gips: None,
+            period_ms: 2_000,
+            perf_period_ms: 1_000,
+            perf_noise_rel: 0.02,
+            min_dwell_ms: 200,
+            mode: ControlMode::Coordinated,
+            keep_log: false,
+            seed: 0xc0,
+            target_margin: 0.01,
+            gain: 0.45,
+            phase_detection: false,
+            strategy: OptimizerStrategy::default(),
+        }
+    }
+
+    /// Set the performance target `r` in GIPS (typically the measured
+    /// default-governor performance `R_def`). Without it the controller
+    /// targets the middle of the profile's speedup range.
+    pub fn target_gips(mut self, gips: f64) -> Self {
+        self.target_gips = Some(gips);
+        self
+    }
+
+    /// Control cycle duration 𝕋, ms (paper: 2000).
+    pub fn period_ms(mut self, ms: u64) -> Self {
+        self.period_ms = ms.max(200);
+        self
+    }
+
+    /// `perf` sampling period, ms (paper: 1000; minimum 100).
+    pub fn perf_period_ms(mut self, ms: u64) -> Self {
+        self.perf_period_ms = ms;
+        self
+    }
+
+    /// Relative PMU measurement noise (σ).
+    pub fn perf_noise_rel(mut self, rel: f64) -> Self {
+        self.perf_noise_rel = rel;
+        self
+    }
+
+    /// Minimum dwell per configuration, ms (paper: 200).
+    pub fn min_dwell_ms(mut self, ms: u64) -> Self {
+        self.min_dwell_ms = ms;
+        self
+    }
+
+    /// Select coordinated or CPU-only control.
+    pub fn mode(mut self, mode: ControlMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Keep a per-cycle diagnostic log (see
+    /// [`EnergyController::cycle_log`]).
+    pub fn keep_log(mut self, keep: bool) -> Self {
+        self.keep_log = keep;
+        self
+    }
+
+    /// Seed for the perf reader's measurement noise.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Tolerance band on the performance target: the controller tracks
+    /// `(1 − margin) · r`. "Maintaining the target" in the presence of
+    /// PMU measurement noise needs a small slack, otherwise the noise
+    /// pins the regulator against the profile's most expensive corner.
+    /// Default 1 %, matching the paper's "worst case performance loss
+    /// of < 1 %".
+    pub fn target_margin(mut self, margin: f64) -> Self {
+        self.target_margin = margin.clamp(0.0, 0.5);
+        self
+    }
+
+    /// Integrator gain (see `AdaptiveIntegrator::with_gain`); default
+    /// 0.45 for noise immunity at the 2 s cycle.
+    pub fn gain(mut self, gain: f64) -> Self {
+        self.gain = gain;
+        self
+    }
+
+    /// Enable application-phase detection (paper §V-B): a two-window
+    /// mean-shift detector watches the normalized performance signal
+    /// and re-seeds the Kalman base-speed estimator on abrupt phase
+    /// changes, instead of letting it slew slowly.
+    pub fn phase_detection(mut self, enable: bool) -> Self {
+        self.phase_detection = enable;
+        self
+    }
+
+    /// Select the per-cycle optimizer (default: the paper's LP).
+    pub fn optimizer_strategy(mut self, strategy: OptimizerStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Build the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile table is empty.
+    pub fn build(self) -> EnergyController {
+        let optimizer = EnergyOptimizer::new(&self.profile);
+        let min_s = optimizer.min_speedup().max(1e-9);
+        // Clamp marginally inside the table's maximum: a target within
+        // measurement noise of the absolute maximum would otherwise pin
+        // the controller to the most expensive corner configuration.
+        let max_s = (optimizer.max_speedup() * 0.995).max(min_s);
+        let target = self
+            .target_gips
+            .unwrap_or(self.profile.base_gips * 0.5 * (min_s + max_s))
+            * (1.0 - self.target_margin);
+        let regulator = PerformanceRegulator::with_gain(
+            self.profile.base_gips.max(1e-6),
+            min_s,
+            max_s,
+            self.gain,
+        );
+        let scheduler =
+            ConfigScheduler::new(self.min_dwell_ms, self.mode == ControlMode::CpuOnly);
+        EnergyController {
+            optimizer,
+            regulator,
+            scheduler,
+            perf: PerfReader::new(self.perf_period_ms, self.perf_noise_rel, self.seed),
+            target_gips: target,
+            period_ms: self.period_ms,
+            mode: self.mode,
+            cycle_end_ms: 0,
+            readings: Vec::new(),
+            log: Vec::new(),
+            keep_log: self.keep_log,
+            last_measured: 0.0,
+            phase_detector: if self.phase_detection {
+                Some(PhaseDetector::new(3, 12, 0.3))
+            } else {
+                None
+            },
+            phase_changes: 0,
+            strategy: self.strategy,
+            last_lower_index: 0,
+        }
+    }
+}
+
+/// The paper's online controller: measure → regulate → optimize →
+/// schedule, every 𝕋 = 2 s. See the crate docs for the loop diagram.
+#[derive(Debug, Clone)]
+pub struct EnergyController {
+    optimizer: EnergyOptimizer,
+    regulator: PerformanceRegulator,
+    scheduler: ConfigScheduler,
+    perf: PerfReader,
+    target_gips: f64,
+    period_ms: u64,
+    mode: ControlMode,
+    cycle_end_ms: u64,
+    readings: Vec<f64>,
+    log: Vec<ControlCycleLog>,
+    keep_log: bool,
+    last_measured: f64,
+    phase_detector: Option<PhaseDetector>,
+    phase_changes: u64,
+    strategy: OptimizerStrategy,
+    last_lower_index: usize,
+}
+
+impl EnergyController {
+    /// The performance target `r`, GIPS.
+    pub fn target_gips(&self) -> f64 {
+        self.target_gips
+    }
+
+    /// The control mode.
+    pub fn mode(&self) -> ControlMode {
+        self.mode
+    }
+
+    /// The current base-speed estimate `b_n`.
+    pub fn base_estimate(&self) -> f64 {
+        self.regulator.base_speed()
+    }
+
+    /// Per-cycle diagnostics (empty unless built with `keep_log(true)`).
+    pub fn cycle_log(&self) -> &[ControlCycleLog] {
+        &self.log
+    }
+
+    /// Number of sysfs actuation failures (should stay zero).
+    pub fn actuation_failures(&self) -> u64 {
+        self.scheduler.writes_failed()
+    }
+
+    /// Number of application-phase changes detected (always 0 unless
+    /// built with [`ControllerBuilder::phase_detection`]).
+    pub fn phase_changes(&self) -> u64 {
+        self.phase_changes
+    }
+
+    pub(crate) fn set_optimizer(&mut self, optimizer: EnergyOptimizer) {
+        self.optimizer = optimizer;
+    }
+
+    pub(crate) fn set_speedup_range(&mut self, min_s: f64, max_s: f64) {
+        self.regulator.set_range(min_s, max_s);
+    }
+
+    fn run_cycle(&mut self, device: &mut Device) {
+        // 1. Measurement y_n: average of this cycle's perf readings.
+        let y = if self.readings.is_empty() {
+            self.last_measured
+        } else {
+            self.readings.iter().sum::<f64>() / self.readings.len() as f64
+        };
+        self.readings.clear();
+        self.last_measured = y;
+
+        // 1b. Phase detection (paper §V-B): on an abrupt change in the
+        //     base-speed signal, re-seed the Kalman filter with the new
+        //     phase's estimate instead of slewing toward it.
+        let applied = self.scheduler.applied_speedup();
+        if let Some(detector) = &mut self.phase_detector {
+            let normalized = y / applied.max(1e-9); // implied base speed
+            if let PhaseEvent::Changed(new_base) = detector.push(normalized) {
+                self.regulator.reseed(new_base.max(1e-6));
+                self.phase_changes += 1;
+            }
+        }
+
+        // 2. Regulate.
+        let s_next = self.regulator.step(self.target_gips, y, applied);
+
+        // 3. Optimize. (Inputs are validated; solve only fails on
+        //    non-finite targets, which the clamped regulator precludes.)
+        let period_s = self.period_ms as f64 * 1e-3;
+        let plan = match self.strategy {
+            OptimizerStrategy::LinearProgram => self.optimizer.solve(s_next, period_s),
+            OptimizerStrategy::Gradient => {
+                self.optimizer
+                    .solve_gradient(s_next, period_s, self.last_lower_index)
+            }
+        };
+        let Some(plan) = plan else {
+            return;
+        };
+        self.last_lower_index = self.optimizer.index_of(plan.lower).unwrap_or(0);
+
+        // 4. Schedule.
+        self.scheduler.install(device, &plan, self.period_ms);
+
+        if self.keep_log {
+            self.log.push(ControlCycleLog {
+                t_ms: device.now_ms(),
+                measured_gips: y,
+                base_estimate: self.regulator.base_speed(),
+                required_speedup: s_next,
+                lower: plan.lower,
+                upper: plan.upper,
+                tau_lower_s: plan.tau_lower,
+            });
+        }
+    }
+}
+
+impl Policy for EnergyController {
+    fn name(&self) -> &str {
+        match self.mode {
+            ControlMode::Coordinated => "asgov",
+            ControlMode::CpuOnly => "asgov-cpu-only",
+        }
+    }
+
+    fn start(&mut self, device: &mut Device) {
+        // Take over the subsystems exactly as the paper does: select the
+        // `userspace` governors through sysfs, then actuate via
+        // `scaling_setspeed` / `userspace/set_freq`.
+        let _ = device.sysfs_write(&format!("{}/scaling_governor", sysfs::CPUFREQ), "userspace");
+        if self.mode == ControlMode::Coordinated {
+            let _ = device.sysfs_write(&format!("{}/governor", sysfs::DEVFREQ), "userspace");
+        }
+        if self.optimizer.controls_gpu() {
+            let _ = device.sysfs_write(&format!("{}/governor", sysfs::KGSL), "userspace");
+        }
+        self.perf.enable(device);
+        self.cycle_end_ms = device.now_ms() + self.period_ms;
+        self.readings.clear();
+
+        // Initial plan: aim the profile at the target directly using the
+        // profiled base speed, and sync the integrator so the first
+        // feedback cycle continues from there instead of dipping to the
+        // lowest configuration.
+        let s0 = self.target_gips / self.regulator.base_speed().max(1e-9);
+        self.regulator.set_speedup(s0);
+        if let Some(plan) = self.optimizer.solve(s0, self.period_ms as f64 * 1e-3) {
+            self.scheduler.install(device, &plan, self.period_ms);
+        }
+    }
+
+    fn tick(&mut self, device: &mut Device) {
+        if let Some(reading) = self.perf.poll(device) {
+            self.readings.push(reading.gips);
+        }
+        self.scheduler.tick(device);
+        if device.now_ms() >= self.cycle_end_ms {
+            self.run_cycle(device);
+            self.cycle_end_ms = device.now_ms() + self.period_ms;
+        }
+    }
+
+    fn finish(&mut self, device: &mut Device) {
+        self.perf.disable(device);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgov_profiler::{measure_default, profile_app, ProfileOptions};
+    use asgov_soc::{sim, DeviceConfig, Workload as _};
+    use asgov_workloads::{apps, BackgroundLoad};
+
+    fn fast_opts() -> ProfileOptions {
+        ProfileOptions {
+            runs_per_config: 1,
+            run_ms: 5_000,
+            freq_stride: 2,
+            interpolate: true,
+        }
+    }
+
+    #[test]
+    fn controller_meets_target_for_steady_app() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::wechat(BackgroundLoad::baseline(1));
+        let profile = profile_app(&dev_cfg, &mut app, &fast_opts());
+        let default = measure_default(&dev_cfg, &mut app, 1, 40_000);
+
+        let mut controller = ControllerBuilder::new(profile)
+            .target_gips(default.gips)
+            .keep_log(true)
+            .build();
+        let mut device = Device::new(dev_cfg);
+        app.reset();
+        let report = sim::run(&mut device, &mut app, &mut [&mut controller], 40_000);
+
+        let perf_delta = (report.avg_gips - default.gips) / default.gips;
+        assert!(
+            perf_delta > -0.05,
+            "performance loss {perf_delta:.3} exceeds 5% (target {}, got {})",
+            default.gips,
+            report.avg_gips
+        );
+        assert_eq!(controller.actuation_failures(), 0);
+        assert!(!controller.cycle_log().is_empty());
+    }
+
+    #[test]
+    fn controller_saves_energy_vs_default_for_game() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::angrybirds(BackgroundLoad::baseline(1));
+        let profile = profile_app(&dev_cfg, &mut app, &fast_opts());
+        let default = measure_default(&dev_cfg, &mut app, 1, 60_000);
+
+        let mut controller = ControllerBuilder::new(profile)
+            .target_gips(default.gips)
+            .build();
+        let mut device = Device::new(dev_cfg);
+        app.reset();
+        let report = sim::run(&mut device, &mut app, &mut [&mut controller], 60_000);
+
+        let savings = (default.energy_j - report.energy_j) / default.energy_j;
+        assert!(
+            savings > 0.0,
+            "controller should save energy: default {} J, controller {} J",
+            default.energy_j,
+            report.energy_j
+        );
+    }
+
+    #[test]
+    fn base_estimate_converges_toward_profiled_base() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::mxplayer(BackgroundLoad::baseline(1));
+        let profile = profile_app(&dev_cfg, &mut app, &fast_opts());
+        let profiled_base = profile.base_gips;
+
+        let mut controller = ControllerBuilder::new(profile)
+            .target_gips(0.3)
+            .build();
+        let mut device = Device::new(dev_cfg);
+        app.reset();
+        sim::run(&mut device, &mut app, &mut [&mut controller], 30_000);
+        let est = controller.base_estimate();
+        assert!(
+            est > 0.3 * profiled_base && est < 3.0 * profiled_base,
+            "estimate {est} wandered far from profiled base {profiled_base}"
+        );
+    }
+
+    #[test]
+    fn cpu_only_mode_does_not_actuate_bandwidth() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::spotify(BackgroundLoad::baseline(1));
+        let profile = profile_app(&dev_cfg, &mut app, &fast_opts());
+
+        let mut controller = ControllerBuilder::new(profile)
+            .target_gips(0.1)
+            .mode(ControlMode::CpuOnly)
+            .build();
+        let mut bw_gov = asgov_governors::CpubwHwmon::default();
+        let mut device = Device::new(dev_cfg);
+        app.reset();
+        sim::run(
+            &mut device,
+            &mut app,
+            &mut [&mut bw_gov, &mut controller],
+            20_000,
+        );
+        assert_eq!(device.bw_governor(), "cpubw_hwmon");
+        assert_eq!(device.cpu_governor(), "userspace");
+        assert_eq!(controller.actuation_failures(), 0);
+    }
+
+    #[test]
+    fn gradient_strategy_controls_too() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::wechat(BackgroundLoad::baseline(1));
+        let profile = profile_app(&dev_cfg, &mut app, &fast_opts());
+        let default = measure_default(&dev_cfg, &mut app, 1, 30_000);
+
+        let mut controller = ControllerBuilder::new(profile)
+            .target_gips(default.gips)
+            .optimizer_strategy(crate::OptimizerStrategy::Gradient)
+            .build();
+        let mut device = Device::new(dev_cfg);
+        app.reset();
+        let report = sim::run(&mut device, &mut app, &mut [&mut controller], 30_000);
+        let perf = (report.avg_gips - default.gips) / default.gips;
+        assert!(
+            perf > -0.08,
+            "gradient strategy should still roughly hold the target, got {:.1}%",
+            perf * 100.0
+        );
+        assert_eq!(controller.actuation_failures(), 0);
+    }
+
+    #[test]
+    fn target_margin_shifts_the_setpoint() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::spotify(BackgroundLoad::baseline(1));
+        let profile = profile_app(&dev_cfg, &mut app, &fast_opts());
+        let tight = ControllerBuilder::new(profile.clone())
+            .target_gips(0.2)
+            .target_margin(0.0)
+            .build();
+        let slack = ControllerBuilder::new(profile)
+            .target_gips(0.2)
+            .target_margin(0.10)
+            .build();
+        assert!((tight.target_gips() - 0.2).abs() < 1e-12);
+        assert!((slack.target_gips() - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_defaults_are_the_papers() {
+        let profile = {
+            let dev_cfg = DeviceConfig::nexus6();
+            let mut app = apps::spotify(BackgroundLoad::baseline(1));
+            profile_app(
+                &dev_cfg,
+                &mut app,
+                &ProfileOptions {
+                    runs_per_config: 1,
+                    run_ms: 2_000,
+                    freq_stride: 4,
+                    interpolate: false,
+                },
+            )
+        };
+        let c = ControllerBuilder::new(profile).build();
+        assert_eq!(c.period_ms, 2_000);
+        assert_eq!(c.perf.period_ms(), 1_000);
+        assert_eq!(c.mode(), ControlMode::Coordinated);
+    }
+}

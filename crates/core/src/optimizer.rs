@@ -1,0 +1,222 @@
+//! The energy optimizer: the LP of paper Eqns. 4–7 over a profile table.
+
+use asgov_linprog::{gradient, two_point};
+use asgov_profiler::{Config, ProfileTable};
+
+/// Minimum-energy configuration selection over an offline profile.
+///
+/// Caches the speedup (𝕊) and power (ℙ) vectors of the profile table and
+/// answers "which ≤ 2 configurations, for how long each, deliver average
+/// speedup `s_n` over the next 𝕋 seconds at minimum energy".
+///
+/// # Example
+///
+/// ```
+/// # use asgov_core::EnergyOptimizer;
+/// # use asgov_profiler::{Config, ProfileEntry, ProfileTable};
+/// # use asgov_soc::{BwIndex, FreqIndex};
+/// # let entry = |f, s, p| ProfileEntry {
+/// #     config: Config::new(FreqIndex(f), BwIndex(0)),
+/// #     speedup: s, power_w: p, measured: true,
+/// # };
+/// let table = ProfileTable {
+///     app: "demo".into(),
+///     base_gips: 0.2,
+///     entries: vec![entry(0, 1.0, 1.5), entry(4, 1.8, 2.2), entry(9, 2.6, 3.4)],
+/// };
+/// let optimizer = EnergyOptimizer::new(&table);
+/// let plan = optimizer.solve(2.0, 2.0).expect("finite target");
+/// // At most two configurations, bracketing the target speedup.
+/// assert!(plan.speedup_lower <= 2.0 && plan.speedup_upper >= 2.0);
+/// assert!((plan.tau_lower + plan.tau_upper - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyOptimizer {
+    speedups: Vec<f64>,
+    powers: Vec<f64>,
+    configs: Vec<Config>,
+}
+
+/// A solved control input `u_n`: two dwell intervals (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// Configuration applied first (speedup ≤ target).
+    pub lower: Config,
+    /// Configuration applied second (speedup ≥ target).
+    pub upper: Config,
+    /// Dwell in `lower`, seconds.
+    pub tau_lower: f64,
+    /// Dwell in `upper`, seconds.
+    pub tau_upper: f64,
+    /// Profiled speedup of `lower`.
+    pub speedup_lower: f64,
+    /// Profiled speedup of `upper`.
+    pub speedup_upper: f64,
+    /// Average speedup the plan delivers.
+    pub speedup: f64,
+    /// Predicted energy over the cycle, joules.
+    pub energy_j: f64,
+}
+
+impl EnergyOptimizer {
+    /// Build an optimizer from a profile table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn new(table: &ProfileTable) -> Self {
+        assert!(!table.is_empty(), "profile table must not be empty");
+        Self {
+            speedups: table.speedups(),
+            powers: table.powers(),
+            configs: (0..table.len()).map(|i| table.config(i)).collect(),
+        }
+    }
+
+    /// Number of configurations (N).
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Is the table empty? (Never true — construction requires rows.)
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Smallest available speedup.
+    pub fn min_speedup(&self) -> f64 {
+        self.speedups.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether any configuration in the table pins the GPU axis.
+    pub fn controls_gpu(&self) -> bool {
+        self.configs.iter().any(|c| c.gpu.is_some())
+    }
+
+    /// Largest available speedup.
+    pub fn max_speedup(&self) -> f64 {
+        self.speedups
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Solve for the minimum-energy plan delivering `target_speedup`
+    /// over `period_s` seconds. Returns `None` only for non-finite or
+    /// non-positive inputs.
+    pub fn solve(&self, target_speedup: f64, period_s: f64) -> Option<Plan> {
+        let sched = two_point::optimize(&self.speedups, &self.powers, target_speedup, period_s)?;
+        Some(self.plan_from(sched))
+    }
+
+    /// Solve with the CoScale-style greedy search instead of the LP
+    /// (paper §VI comparison): a single configuration, found by local
+    /// descent from `start` (e.g. the previously applied index).
+    pub fn solve_gradient(
+        &self,
+        target_speedup: f64,
+        period_s: f64,
+        start: usize,
+    ) -> Option<Plan> {
+        let sched = gradient::descend(
+            &self.speedups,
+            &self.powers,
+            target_speedup,
+            period_s,
+            start.min(self.configs.len().saturating_sub(1)),
+        )?;
+        Some(self.plan_from(sched))
+    }
+
+    /// Index of the configuration equal to `config`, if present.
+    pub fn index_of(&self, config: Config) -> Option<usize> {
+        self.configs.iter().position(|&c| c == config)
+    }
+
+    fn plan_from(&self, sched: asgov_linprog::Schedule) -> Plan {
+        Plan {
+            lower: self.configs[sched.lower],
+            upper: self.configs[sched.upper],
+            tau_lower: sched.tau_lower,
+            tau_upper: sched.tau_upper,
+            speedup_lower: self.speedups[sched.lower],
+            speedup_upper: self.speedups[sched.upper],
+            speedup: sched.expected_speedup(&self.speedups),
+            energy_j: sched.energy_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgov_profiler::ProfileEntry;
+    use asgov_soc::{BwIndex, FreqIndex};
+
+    fn table() -> ProfileTable {
+        let mk = |f: usize, b: usize, s: f64, p: f64| ProfileEntry {
+            config: Config {
+                freq: FreqIndex(f),
+                bw: BwIndex(b),
+                    gpu: None,
+                },
+            speedup: s,
+            power_w: p,
+            measured: true,
+        };
+        ProfileTable {
+            app: "test".into(),
+            base_gips: 0.2,
+            entries: vec![
+                mk(0, 0, 1.0, 1.5),
+                mk(2, 0, 1.6, 1.9),
+                mk(4, 0, 2.1, 2.4),
+                mk(4, 12, 2.6, 3.0),
+                mk(8, 12, 3.4, 4.2),
+            ],
+        }
+    }
+
+    #[test]
+    fn plan_brackets_and_fills_period() {
+        let opt = EnergyOptimizer::new(&table());
+        let plan = opt.solve(2.0, 2.0).unwrap();
+        assert!((plan.tau_lower + plan.tau_upper - 2.0).abs() < 1e-9);
+        assert!((plan.speedup - 2.0).abs() < 1e-9);
+        assert!(plan.energy_j > 0.0);
+    }
+
+    #[test]
+    fn extremes_clamp() {
+        let opt = EnergyOptimizer::new(&table());
+        assert_eq!(opt.min_speedup(), 1.0);
+        assert_eq!(opt.max_speedup(), 3.4);
+        let low = opt.solve(0.2, 2.0).unwrap();
+        assert_eq!(low.lower, low.upper);
+        assert_eq!(low.lower.freq, FreqIndex(0));
+        let high = opt.solve(99.0, 2.0).unwrap();
+        assert_eq!(high.upper.freq, FreqIndex(8));
+    }
+
+    #[test]
+    fn energy_increases_with_target() {
+        let opt = EnergyOptimizer::new(&table());
+        let mut prev = 0.0;
+        for t in [1.0, 1.5, 2.0, 2.5, 3.0, 3.4] {
+            let e = opt.solve(t, 2.0).unwrap().energy_j;
+            assert!(e >= prev - 1e-9, "energy not monotone at target {t}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_table_rejected() {
+        let t = ProfileTable {
+            app: "x".into(),
+            base_gips: 1.0,
+            entries: vec![],
+        };
+        let _ = EnergyOptimizer::new(&t);
+    }
+}

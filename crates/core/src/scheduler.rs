@@ -1,0 +1,262 @@
+//! The scheduler S (paper Fig. 2): applies the optimizer's plan to the
+//! device through sysfs, honouring a minimum dwell time.
+//!
+//! The paper's implementation never keeps the CPUs at a frequency for
+//! less than 200 ms, so a plan's `τ_l` is rounded to that granularity;
+//! plans whose lower dwell rounds to zero collapse to the upper
+//! configuration (and vice versa). Not to be confused with the OS task
+//! scheduler.
+
+use crate::optimizer::Plan;
+use asgov_profiler::Config;
+use asgov_soc::{sysfs, Device};
+
+/// Applies `(c_l, τ_l) → (c_h, τ_h)` plans at tick granularity.
+#[derive(Debug, Clone)]
+pub struct ConfigScheduler {
+    min_dwell_ms: u64,
+    cpu_only: bool,
+    switch_at_ms: Option<u64>,
+    pending_upper: Option<Config>,
+    applied_speedup: f64,
+    writes_failed: u64,
+}
+
+impl ConfigScheduler {
+    /// Create a scheduler with the given minimum dwell (paper: 200 ms).
+    /// In `cpu_only` mode only the CPU frequency is actuated; the memory
+    /// bandwidth is left to whatever devfreq governor is active (the
+    /// §V-D ablation).
+    pub fn new(min_dwell_ms: u64, cpu_only: bool) -> Self {
+        Self {
+            min_dwell_ms: min_dwell_ms.max(1),
+            cpu_only,
+            switch_at_ms: None,
+            pending_upper: None,
+            applied_speedup: 1.0,
+            writes_failed: 0,
+        }
+    }
+
+    /// Whether this scheduler actuates only the CPU axis.
+    pub fn is_cpu_only(&self) -> bool {
+        self.cpu_only
+    }
+
+    /// The average speedup the *rounded* schedule actually applies over
+    /// the cycle (the Kalman filter's measurement coefficient).
+    pub fn applied_speedup(&self) -> f64 {
+        self.applied_speedup
+    }
+
+    /// Count of sysfs writes that failed (diagnostics; should be zero
+    /// once the `userspace` governors are active).
+    pub fn writes_failed(&self) -> u64 {
+        self.writes_failed
+    }
+
+    /// Install a plan for the control cycle of `period_ms` starting now.
+    /// Applies the first configuration immediately and arms the switch
+    /// point, with `τ_l` rounded to the minimum dwell.
+    pub fn install(&mut self, device: &mut Device, plan: &Plan, period_ms: u64) {
+        let tau_l_ms = (plan.tau_lower * 1000.0).round() as u64;
+        // Round to the dwell grid.
+        let dwell = self.min_dwell_ms;
+        let rounded = ((tau_l_ms + dwell / 2) / dwell) * dwell;
+        let tau_l_ms = rounded.min(period_ms);
+
+        if tau_l_ms == 0 {
+            self.apply(device, plan.upper);
+            self.switch_at_ms = None;
+            self.pending_upper = None;
+            self.applied_speedup = plan.speedup_upper;
+        } else if tau_l_ms >= period_ms {
+            self.apply(device, plan.lower);
+            self.switch_at_ms = None;
+            self.pending_upper = None;
+            self.applied_speedup = plan.speedup_lower;
+        } else {
+            self.apply(device, plan.lower);
+            self.switch_at_ms = Some(device.now_ms() + tau_l_ms);
+            self.pending_upper = Some(plan.upper);
+            let f = tau_l_ms as f64 / period_ms as f64;
+            self.applied_speedup = f * plan.speedup_lower + (1.0 - f) * plan.speedup_upper;
+        }
+    }
+
+    /// Per-tick: perform the armed switch when its time comes.
+    pub fn tick(&mut self, device: &mut Device) {
+        if let (Some(t), Some(cfg)) = (self.switch_at_ms, self.pending_upper) {
+            if device.now_ms() >= t {
+                self.apply(device, cfg);
+                self.switch_at_ms = None;
+                self.pending_upper = None;
+            }
+        }
+    }
+
+    /// Write one configuration through sysfs (the paper's controller is
+    /// a user-space agent; it has no kernel driver path).
+    fn apply(&mut self, device: &mut Device, config: Config) {
+        let khz = device.table().freq(config.freq).khz();
+        if device
+            .sysfs_write(&format!("{}/scaling_setspeed", sysfs::CPUFREQ), &khz.to_string())
+            .is_err()
+        {
+            self.writes_failed += 1;
+        }
+        if !self.cpu_only {
+            let mbps = device.table().bw(config.bw).0.round() as u64;
+            if device
+                .sysfs_write(
+                    &format!("{}/userspace/set_freq", sysfs::DEVFREQ),
+                    &mbps.to_string(),
+                )
+                .is_err()
+            {
+                self.writes_failed += 1;
+            }
+        }
+        if let Some(g) = config.gpu {
+            let hz = (device.gpu().freq_ghz(g) * 1e9).round() as u64;
+            if device
+                .sysfs_write(&format!("{}/gpuclk", sysfs::KGSL), &hz.to_string())
+                .is_err()
+            {
+                self.writes_failed += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgov_soc::{BwIndex, Demand, DeviceConfig, FreqIndex};
+
+    fn plan(l: (usize, usize), u: (usize, usize), tau_l: f64, tau_u: f64) -> Plan {
+        Plan {
+            lower: Config {
+                freq: FreqIndex(l.0),
+                bw: BwIndex(l.1),
+                    gpu: None,
+                },
+            upper: Config {
+                freq: FreqIndex(u.0),
+                bw: BwIndex(u.1),
+                    gpu: None,
+                },
+            tau_lower: tau_l,
+            tau_upper: tau_u,
+            speedup_lower: 1.0,
+            speedup_upper: 2.0,
+            speedup: (tau_l * 1.0 + tau_u * 2.0) / (tau_l + tau_u).max(1e-9),
+            energy_j: 1.0,
+        }
+    }
+
+    fn userspace_device() -> Device {
+        let mut d = Device::new(DeviceConfig::nexus6());
+        d.set_cpu_governor("userspace");
+        d.set_bw_governor("userspace");
+        d
+    }
+
+    #[test]
+    fn applies_lower_then_switches_to_upper() {
+        let mut dev = userspace_device();
+        let mut sched = ConfigScheduler::new(200, false);
+        sched.install(&mut dev, &plan((2, 1), (8, 5), 1.2, 0.8), 2000);
+        assert_eq!(dev.freq(), FreqIndex(2));
+        assert_eq!(dev.bw(), BwIndex(1));
+        let idle = Demand::idle();
+        for _ in 0..1199 {
+            dev.tick(&idle);
+            sched.tick(&mut dev);
+        }
+        assert_eq!(dev.freq(), FreqIndex(2), "still in lower dwell");
+        for _ in 0..2 {
+            dev.tick(&idle);
+            sched.tick(&mut dev);
+        }
+        assert_eq!(dev.freq(), FreqIndex(8), "switched after τ_l");
+        assert_eq!(dev.bw(), BwIndex(5));
+        assert_eq!(sched.writes_failed(), 0);
+    }
+
+    #[test]
+    fn rounds_tiny_lower_dwell_away() {
+        let mut dev = userspace_device();
+        let mut sched = ConfigScheduler::new(200, false);
+        sched.install(&mut dev, &plan((2, 1), (8, 5), 0.05, 1.95), 2000);
+        // 50 ms rounds to 0 under a 200 ms dwell: straight to upper.
+        assert_eq!(dev.freq(), FreqIndex(8));
+        assert_eq!(sched.applied_speedup(), 2.0);
+    }
+
+    #[test]
+    fn rounds_tiny_upper_dwell_away() {
+        let mut dev = userspace_device();
+        let mut sched = ConfigScheduler::new(200, false);
+        sched.install(&mut dev, &plan((2, 1), (8, 5), 1.93, 0.07), 2000);
+        assert_eq!(dev.freq(), FreqIndex(2));
+        assert_eq!(sched.applied_speedup(), 1.0);
+        let idle = Demand::idle();
+        for _ in 0..2100 {
+            dev.tick(&idle);
+            sched.tick(&mut dev);
+        }
+        assert_eq!(dev.freq(), FreqIndex(2), "never switches");
+    }
+
+    #[test]
+    fn applied_speedup_reflects_rounding() {
+        let mut dev = userspace_device();
+        let mut sched = ConfigScheduler::new(200, false);
+        // τ_l = 0.93 s rounds to 1.0 s → applied = 0.5·1 + 0.5·2 = 1.5.
+        sched.install(&mut dev, &plan((2, 1), (8, 5), 0.93, 1.07), 2000);
+        assert!((sched.applied_speedup() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_only_leaves_bandwidth_alone() {
+        let mut dev = userspace_device();
+        dev.set_bw_governor("cpubw_hwmon"); // default bw governor stays
+        dev.set_mem_bw(BwIndex(7));
+        let mut sched = ConfigScheduler::new(200, true);
+        sched.install(&mut dev, &plan((2, 1), (8, 5), 2.0, 0.0), 2000);
+        assert_eq!(dev.freq(), FreqIndex(2));
+        assert_eq!(dev.bw(), BwIndex(7), "bandwidth untouched in cpu-only");
+        assert_eq!(sched.writes_failed(), 0);
+    }
+
+    #[test]
+    fn applies_the_gpu_axis_when_present() {
+        let mut dev = userspace_device();
+        dev.set_gpu_governor("userspace");
+        let mut sched = ConfigScheduler::new(200, false);
+        let mut p = plan((2, 1), (8, 5), 2.0, 0.0);
+        p.lower.gpu = Some(asgov_soc::GpuFreqIndex(3));
+        sched.install(&mut dev, &p, 2000);
+        assert_eq!(dev.gpu().freq(), asgov_soc::GpuFreqIndex(3));
+        assert_eq!(sched.writes_failed(), 0);
+    }
+
+    #[test]
+    fn gpu_write_fails_without_userspace_gpu_governor() {
+        let mut dev = userspace_device(); // GPU still on msm-adreno-tz
+        let mut sched = ConfigScheduler::new(200, false);
+        let mut p = plan((2, 1), (8, 5), 2.0, 0.0);
+        p.lower.gpu = Some(asgov_soc::GpuFreqIndex(3));
+        sched.install(&mut dev, &p, 2000);
+        assert!(sched.writes_failed() > 0, "kgsl write must be rejected");
+    }
+
+    #[test]
+    fn failed_writes_are_counted_not_fatal() {
+        let mut dev = Device::new(DeviceConfig::nexus6()); // interactive active
+        let mut sched = ConfigScheduler::new(200, false);
+        sched.install(&mut dev, &plan((2, 1), (8, 5), 2.0, 0.0), 2000);
+        assert!(sched.writes_failed() > 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Table III — energy savings and performance of the coordinated
+//! controller vs the default governors, six applications.
+
+use asgov_experiments::harness::{compare, ExperimentOptions};
+use asgov_experiments::render::pct;
+use asgov_experiments::stats::Summary;
+use asgov_soc::DeviceConfig;
+use asgov_workloads::{paper_apps, BackgroundLoad};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let dev_cfg = DeviceConfig::nexus6();
+    let opts = if quick {
+        ExperimentOptions::quick()
+    } else {
+        ExperimentOptions::default()
+    };
+    println!("=== Table III: controller vs default governors (baseline load) ===\n");
+    println!(
+        "{:<18} {:>12} {:>8} {:>16}   (paper: perf, energy)",
+        "Application", "Performance", "Energy", "ctrl W (mean±std)"
+    );
+    let paper = [("-0.4%", "25.3%"), ("+4.1%", "15.3%"), ("+0.6%", "14.9%"),
+                 ("-0.4%", "27.2%"), ("0.0%", "4.2%"), ("+9.3%", "31.6%")];
+    for (i, mut app) in paper_apps(BackgroundLoad::baseline(1)).into_iter().enumerate() {
+        let c = compare(&dev_cfg, &mut app, &opts);
+        let powers: Vec<f64> = c.controller.reports.iter().map(|r| r.avg_power_w).collect();
+        println!(
+            "{:<18} {:>12} {:>8} {:>16}   ({:>6}, {:>6})",
+            c.app,
+            pct(c.performance_delta_pct()),
+            pct(c.energy_savings_pct()),
+            Summary::of(&powers).display(3),
+            paper[i].0,
+            paper[i].1,
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Table V — the CPU-only DVFS ablation: the controller actuates only
+//! the CPU frequency while `cpubw_hwmon` keeps the bandwidth.
+
+use asgov_core::ControlMode;
+use asgov_experiments::harness::{compare, ExperimentOptions};
+use asgov_experiments::render::pct;
+use asgov_soc::DeviceConfig;
+use asgov_workloads::{paper_apps, BackgroundLoad};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut opts = if quick {
+        ExperimentOptions::quick()
+    } else {
+        ExperimentOptions::default()
+    };
+
+    println!("=== Table V: CPU-only DVFS controller vs default (paper §V-D) ===\n");
+    println!(
+        "{:<18} {:>12} {:>10} {:>14}   (paper: perf, energy)",
+        "Application", "Performance", "Energy", "coord. energy"
+    );
+    let paper = [("+2.8%", "13.1%"), ("-2.9%", "7.6%"), ("-2.6%", "9.6%"),
+                 ("+4.7%", "22.3%"), ("0.0%", "0.4%"), ("+3.3%", "33.3%")];
+    let mut cpu_only_sum = 0.0;
+    let mut coord_sum = 0.0;
+    let mut counted = 0;
+    for (i, mut app) in paper_apps(BackgroundLoad::baseline(1)).into_iter().enumerate() {
+        opts.mode = ControlMode::CpuOnly;
+        let cpu_only = compare(&dev_cfg, &mut app, &opts);
+        opts.mode = ControlMode::Coordinated;
+        let coord = compare(&dev_cfg, &mut app, &opts);
+        println!(
+            "{:<18} {:>12} {:>10} {:>14}   ({:>6}, {:>6})",
+            cpu_only.app,
+            pct(cpu_only.performance_delta_pct()),
+            pct(cpu_only.energy_savings_pct()),
+            pct(coord.energy_savings_pct()),
+            paper[i].0,
+            paper[i].1,
+        );
+        // The paper excludes MX Player ("practically does not save
+        // energy") from the average.
+        if app.spec().name != "MXPlayer" {
+            cpu_only_sum += cpu_only.energy_savings_pct();
+            coord_sum += coord.energy_savings_pct();
+            counted += 1;
+        }
+    }
+    let (c, k) = (coord_sum / counted as f64, cpu_only_sum / counted as f64);
+    println!(
+        "\nAverage savings (excl. MXPlayer): coordinated {:.1}%, cpu-only {:.1}%",
+        c, k
+    );
+    if k > 0.0 {
+        println!(
+            "Energy-consumption increase of CPU-only vs coordinated: {:.0}% (paper: 53%)",
+            (c - k) / k.max(1e-9) * 100.0
+        );
+    }
+}

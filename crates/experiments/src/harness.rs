@@ -1,0 +1,169 @@
+//! Shared experiment harness: profile an app, measure the default
+//! baseline, run the controller, and compare — the procedure behind
+//! Tables III, IV and V.
+
+use asgov_core::{ControlMode, ControllerBuilder, EnergyController};
+use asgov_governors::{AdrenoTz, CpubwHwmon};
+use asgov_profiler::{measure_default, measure_fixed, profile_app, DefaultMeasurement,
+    ProfileOptions, ProfileTable};
+use asgov_soc::sim::RunReport;
+use asgov_soc::{DeviceConfig, Policy};
+use asgov_workloads::{AppKind, PhasedApp};
+
+/// Outcome of one app's default-vs-controller comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Application name.
+    pub app: String,
+    /// The offline profile used.
+    pub profile: ProfileTable,
+    /// Default-governor baseline (averaged runs).
+    pub default: DefaultMeasurement,
+    /// Controller runs (averaged).
+    pub controller: DefaultMeasurement,
+    /// Whether the figure of merit is execution time (batch) or GIPS.
+    pub deadline_based: bool,
+}
+
+impl Comparison {
+    /// Performance difference in percent, positive = controller better.
+    /// Deadline-critical apps (VidCon, MobileBench, MX Player in the
+    /// paper) compare execution time; the rest compare GIPS.
+    pub fn performance_delta_pct(&self) -> f64 {
+        if self.deadline_based {
+            // Shorter is better.
+            (self.default.duration_ms - self.controller.duration_ms) / self.default.duration_ms
+                * 100.0
+        } else {
+            (self.controller.gips - self.default.gips) / self.default.gips * 100.0
+        }
+    }
+
+    /// Energy savings in percent, positive = controller saves energy.
+    pub fn energy_savings_pct(&self) -> f64 {
+        (self.default.energy_j - self.controller.energy_j) / self.default.energy_j * 100.0
+    }
+}
+
+/// Experiment-wide options.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Offline profiling options.
+    pub profile: ProfileOptions,
+    /// Runs averaged per measurement (paper: 3).
+    pub runs: usize,
+    /// Override of the app's test duration, ms.
+    pub duration_ms: Option<u64>,
+    /// Controller mode.
+    pub mode: ControlMode,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self {
+            profile: ProfileOptions::default(),
+            runs: 3,
+            duration_ms: None,
+            mode: ControlMode::Coordinated,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// A faster variant for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            profile: ProfileOptions {
+                runs_per_config: 1,
+                run_ms: 5_000,
+                freq_stride: 2,
+                interpolate: true,
+            },
+            runs: 1,
+            duration_ms: Some(60_000),
+            mode: ControlMode::Coordinated,
+        }
+    }
+}
+
+/// Build the controller policy stack for the given mode.
+///
+/// Deadline-critical (batch) applications get a zero target margin: for
+/// them the figure of merit is completion time, and any slack directly
+/// lengthens the run.
+fn controller_stack(
+    profile: &ProfileTable,
+    target_gips: f64,
+    mode: ControlMode,
+    deadline_based: bool,
+    run: usize,
+) -> Vec<Box<dyn Policy>> {
+    let controller: EnergyController = ControllerBuilder::new(profile.clone())
+        .target_gips(target_gips)
+        .target_margin(if deadline_based { 0.0 } else { 0.01 })
+        .mode(mode)
+        .seed(0xc0de + run as u64)
+        .build();
+    // The stock GPU governor runs in every configuration (the GPU is
+    // not part of the paper's controlled configuration).
+    match mode {
+        ControlMode::Coordinated => vec![
+            Box::new(AdrenoTz::default()) as Box<dyn Policy>,
+            Box::new(controller),
+        ],
+        ControlMode::CpuOnly => vec![
+            Box::new(CpubwHwmon::default()) as Box<dyn Policy>,
+            Box::new(AdrenoTz::default()),
+            Box::new(controller),
+        ],
+    }
+}
+
+/// Profile `app`, measure the default baseline and the controller, and
+/// return the comparison. This is one row of Table III (or V with
+/// `mode = CpuOnly`).
+pub fn compare(dev_cfg: &DeviceConfig, app: &mut PhasedApp, opts: &ExperimentOptions) -> Comparison {
+    let duration = opts.duration_ms.unwrap_or(app.spec().test_duration_ms);
+    let deadline_based = matches!(app.spec().kind, AppKind::Batch { .. });
+
+    let profile = profile_app_for_mode(dev_cfg, app, opts);
+    let default = measure_default(dev_cfg, app, opts.runs, duration);
+    let target = default.gips;
+
+    let profile_for_ctrl = profile.clone();
+    let mode = opts.mode;
+    let mut run_idx = 0;
+    let controller = measure_fixed(dev_cfg, app, opts.runs, duration, || {
+        run_idx += 1;
+        controller_stack(&profile_for_ctrl, target, mode, deadline_based, run_idx)
+    });
+
+    Comparison {
+        app: app.spec().name.to_string(),
+        profile,
+        default,
+        controller,
+        deadline_based,
+    }
+}
+
+/// Profile the app as appropriate for the controller mode: coordinated
+/// control profiles the (frequency, bandwidth) grid; CPU-only control
+/// re-profiles with the bandwidth under `cpubw_hwmon` (paper §V-D).
+pub fn profile_app_for_mode(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    opts: &ExperimentOptions,
+) -> ProfileTable {
+    match opts.mode {
+        ControlMode::Coordinated => profile_app(dev_cfg, app, &opts.profile),
+        ControlMode::CpuOnly => asgov_profiler::profile_app_cpu_only(dev_cfg, app, &opts.profile),
+    }
+}
+
+/// Run an app under the default governors only, returning the report
+/// (for histogram figures).
+pub fn default_run(dev_cfg: &DeviceConfig, app: &mut PhasedApp, duration_ms: u64) -> RunReport {
+    let m = measure_default(dev_cfg, app, 1, duration_ms);
+    m.reports.into_iter().next().expect("one run requested")
+}

@@ -1,0 +1,21 @@
+//! # asgov-experiments — regenerating the paper's tables and figures
+//!
+//! A shared harness ([`harness`]) plus one binary per artifact:
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table1` | Table I — sample AngryBirds profile table |
+//! | `table2` | Table II — the frequency/bandwidth ladders |
+//! | `table3` | Table III — energy savings & performance, 6 apps |
+//! | `table4` | Table IV — BL / NL / HL background loads |
+//! | `table5` | Table V — CPU-only DVFS ablation |
+//! | `fig1`   | Fig. 1 — eBook CPU-frequency histogram (default) |
+//! | `fig3`   | Fig. 3 — two-configuration optimization example |
+//! | `fig4`   | Fig. 4 — per-app CPU-frequency histograms |
+//! | `fig5`   | Fig. 5 — per-app memory-bandwidth histograms |
+//!
+//! Run e.g. `cargo run --release -p asgov-experiments --bin table3`.
+
+pub mod harness;
+pub mod render;
+pub mod stats;

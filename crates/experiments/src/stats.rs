@@ -1,0 +1,90 @@
+//! Small statistics helpers for multi-run experiment reporting.
+//!
+//! The paper averages three runs per number; these helpers add the
+//! spread so readers can judge which differences are real.
+
+/// Mean and sample standard deviation of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub std: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a series.
+    pub fn of(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Self {
+                mean: 0.0,
+                std: 0.0,
+                n: 0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std = if n < 2 {
+            0.0
+        } else {
+            let var =
+                values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            var.sqrt()
+        };
+        Self { mean, std, n }
+    }
+
+    /// Format as `mean ± std`.
+    pub fn display(&self, decimals: usize) -> String {
+        format!("{:.*} ± {:.*}", decimals, self.mean, decimals, self.std)
+    }
+
+    /// A crude significance check: do two summaries differ by more than
+    /// the sum of their standard errors? (Not a t-test; a reading aid.)
+    pub fn clearly_differs_from(&self, other: &Summary) -> bool {
+        if self.n < 2 || other.n < 2 {
+            return false;
+        }
+        let se = self.std / (self.n as f64).sqrt() + other.std / (other.n as f64).sqrt();
+        (self.mean - other.mean).abs() > se
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.138).abs() < 0.01);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn degenerate_series() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let one = Summary::of(&[3.0]);
+        assert_eq!(one.mean, 3.0);
+        assert_eq!(one.std, 0.0);
+    }
+
+    #[test]
+    fn display_rounds() {
+        let s = Summary::of(&[1.0, 2.0]);
+        assert_eq!(s.display(1), "1.5 ± 0.7");
+    }
+
+    #[test]
+    fn difference_check() {
+        let a = Summary::of(&[10.0, 10.1, 9.9]);
+        let b = Summary::of(&[12.0, 12.1, 11.9]);
+        assert!(a.clearly_differs_from(&b));
+        let c = Summary::of(&[10.0, 12.0, 8.0]);
+        assert!(!a.clearly_differs_from(&c));
+        assert!(!a.clearly_differs_from(&Summary::of(&[5.0])));
+    }
+}

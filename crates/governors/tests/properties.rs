@@ -1,0 +1,138 @@
+//! Property-based tests of the governors: ladder safety, selection
+//! semantics and load responsiveness under randomized workloads.
+
+use asgov_governors::{
+    AdrenoTz, Conservative, CpubwHwmon, Interactive, MarCse, MpDecision, Ondemand, Schedutil,
+};
+use asgov_soc::{Demand, Device, DeviceConfig, Policy};
+use proptest::prelude::*;
+
+fn quiet() -> DeviceConfig {
+    let mut cfg = DeviceConfig::nexus6();
+    cfg.monitor_noise_w = 0.0;
+    cfg
+}
+
+fn random_demand() -> impl Strategy<Value = Demand> {
+    (
+        0.3f64..2.0,  // ipc0
+        0.05f64..3.0, // bpi
+        0.0f64..4.0,  // desired gips
+        0.3f64..4.0,  // cores
+        0.0f64..0.5,  // gpu work
+    )
+        .prop_map(|(ipc0, bpi, want, cores, gpu)| Demand {
+            ipc0,
+            bytes_per_instr: bpi,
+            desired_gips: Some(want),
+            active_cores: cores,
+            gpu_work: gpu,
+            ..Demand::default()
+        })
+}
+
+/// Run a CPU governor against a random demand sequence; the chosen
+/// frequency must always stay on the ladder and the run must finish.
+fn drive_cpu_governor(gov: &mut dyn Policy, demands: &[Demand]) {
+    let mut dev = Device::new(quiet());
+    gov.start(&mut dev);
+    for d in demands {
+        // Hold each random demand for a stretch so sampling governors
+        // actually observe it.
+        for _ in 0..40 {
+            dev.tick(d);
+            gov.tick(&mut dev);
+            assert!(dev.freq().0 < dev.table().num_freqs());
+            assert!(dev.bw().0 < dev.table().num_bws());
+        }
+    }
+    gov.finish(&mut dev);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interactive_is_ladder_safe(demands in prop::collection::vec(random_demand(), 1..12)) {
+        drive_cpu_governor(&mut Interactive::default(), &demands);
+    }
+
+    #[test]
+    fn ondemand_is_ladder_safe(demands in prop::collection::vec(random_demand(), 1..12)) {
+        drive_cpu_governor(&mut Ondemand::default(), &demands);
+    }
+
+    #[test]
+    fn conservative_is_ladder_safe(demands in prop::collection::vec(random_demand(), 1..12)) {
+        drive_cpu_governor(&mut Conservative::default(), &demands);
+    }
+
+    #[test]
+    fn schedutil_is_ladder_safe(demands in prop::collection::vec(random_demand(), 1..12)) {
+        drive_cpu_governor(&mut Schedutil::default(), &demands);
+    }
+
+    #[test]
+    fn marcse_is_ladder_safe(demands in prop::collection::vec(random_demand(), 1..12)) {
+        drive_cpu_governor(&mut MarCse::default(), &demands);
+    }
+
+    #[test]
+    fn full_stock_stack_is_safe(demands in prop::collection::vec(random_demand(), 1..10)) {
+        let mut dev = Device::new(quiet());
+        let mut cpu = Interactive::default();
+        let mut bw = CpubwHwmon::default();
+        let mut gpu = AdrenoTz::default();
+        let mut mp = MpDecision::default();
+        for p in [&mut cpu as &mut dyn Policy, &mut bw, &mut gpu, &mut mp] {
+            p.start(&mut dev);
+        }
+        for d in &demands {
+            for _ in 0..60 {
+                dev.tick(d);
+                cpu.tick(&mut dev);
+                bw.tick(&mut dev);
+                gpu.tick(&mut dev);
+                mp.tick(&mut dev);
+                prop_assert!((1.0..=4.0).contains(&dev.online_cores()));
+                prop_assert!(dev.monitor().energy_j().is_finite());
+            }
+        }
+    }
+
+    /// Higher sustained demand never yields a *lower* settled frequency
+    /// under `interactive` (monotone response).
+    #[test]
+    fn interactive_response_is_monotone(lo in 0.05f64..0.5, extra in 0.3f64..2.0) {
+        let settle = |rate: f64| {
+            let mut dev = Device::new(quiet());
+            let mut gov = Interactive::default();
+            gov.start(&mut dev);
+            let d = Demand {
+                ipc0: 1.5,
+                bytes_per_instr: 0.2,
+                desired_gips: Some(rate),
+                active_cores: 2.0,
+                ..Demand::default()
+            };
+            for _ in 0..4_000 {
+                dev.tick(&d);
+                gov.tick(&mut dev);
+            }
+            // Average frequency index over the last second.
+            dev.reset_stats();
+            for _ in 0..1_000 {
+                dev.tick(&d);
+                gov.tick(&mut dev);
+            }
+            let hist = dev.stats().freq_histogram();
+            hist.iter().enumerate().map(|(i, f)| i as f64 * f).sum::<f64>()
+        };
+        let f_lo = settle(lo);
+        let f_hi = settle(lo + extra);
+        prop_assert!(
+            f_hi >= f_lo - 1.0,
+            "heavier load settled clearly lower: {f_lo:.2} -> {f_hi:.2}"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # asgov-linprog — linear programming for the energy optimizer
+//!
+//! The paper's energy optimizer (Eqns. 4–7) is the linear program
+//!
+//! ```text
+//! min   uᵀ · ℙ                    (energy over the next cycle)
+//! s.t.  𝕊ᵀ · u = s_n · T          (performance constraint)
+//!       𝟙ᵀ · u = T                (time fills the cycle exactly)
+//!       0 ≼ u ≼ T
+//! ```
+//!
+//! whose optimum provably uses **at most two** system configurations
+//! `c_l, c_h` bracketing the required speedup. This crate provides both:
+//!
+//! - [`simplex`] — a general dense two-phase simplex solver (the
+//!   substrate; also used to *verify* the specialized solver in tests),
+//! - [`two_point`] — the specialized `O(N²)` pair-search solver the
+//!   paper's controller runs online,
+//! - [`gradient`] — a CoScale-style greedy local search (paper §VI's
+//!   point of comparison), provided to quantify why the paper prefers
+//!   the exact LP.
+//!
+//! # Example
+//!
+//! ```
+//! use asgov_linprog::two_point::{optimize, Schedule};
+//!
+//! let speedups = [1.0, 1.8, 2.5];
+//! let powers = [1.6, 2.2, 3.1];
+//! let sched = optimize(&speedups, &powers, 2.0, 2.0).unwrap();
+//! // Bracket the target speedup 2.0 between configs 1 (s=1.8) and 2 (s=2.5).
+//! assert_eq!((sched.lower, sched.upper), (1, 2));
+//! let achieved = (sched.tau_lower * 1.8 + sched.tau_upper * 2.5) / 2.0;
+//! assert!((achieved - 2.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gradient;
+pub mod simplex;
+pub mod two_point;
+
+pub use gradient::descend;
+pub use simplex::{solve, LpError, LpSolution};
+pub use two_point::{optimize, Schedule};

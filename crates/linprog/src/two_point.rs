@@ -1,0 +1,263 @@
+//! The specialized two-configuration energy optimizer (paper Fig. 3).
+//!
+//! The LP of Eqns. 4–7 has two equality constraints, so its basic optimal
+//! solutions have at most two nonzero `τ` values: the optimizer picks at
+//! most two configurations `c_l, c_h` with `𝕊(l) ≤ s_n < 𝕊(h)` and time
+//! shares `τ_l + τ_h = T`. This module implements the `O(N²)` pair
+//! search the paper's controller runs online (N ≤ a few hundred, so this
+//! is microseconds — see `asgov-bench`).
+
+/// The optimizer's output: run configuration `lower` for `tau_lower`
+/// seconds, then configuration `upper` for `tau_upper` seconds.
+///
+/// `lower == upper` (with `tau_upper == 0`) when a single configuration
+/// meets the target exactly or the target is outside the achievable
+/// speedup range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Schedule {
+    /// Index of the configuration with speedup ≤ target.
+    pub lower: usize,
+    /// Index of the configuration with speedup ≥ target.
+    pub upper: usize,
+    /// Time to spend in `lower`, seconds.
+    pub tau_lower: f64,
+    /// Time to spend in `upper`, seconds.
+    pub tau_upper: f64,
+    /// Expected energy over the cycle, joules (`τ_l·P_l + τ_h·P_h`).
+    pub energy_j: f64,
+}
+
+impl Schedule {
+    /// Expected average speedup delivered by this schedule.
+    pub fn expected_speedup(&self, speedups: &[f64]) -> f64 {
+        let total = self.tau_lower + self.tau_upper;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.tau_lower * speedups[self.lower] + self.tau_upper * speedups[self.upper]) / total
+    }
+}
+
+/// Find the minimum-energy schedule delivering average speedup
+/// `target_speedup` over a control cycle of `period_s` seconds.
+///
+/// `speedups[i]` and `powers[i]` are the profiled speedup and average
+/// power of configuration `i` (paper Table I). Returns `None` when the
+/// inputs are empty, have mismatched lengths, or contain non-finite or
+/// non-positive periods.
+///
+/// Targets below the lowest achievable speedup clamp to the
+/// minimum-power configuration among those with the lowest speedup;
+/// targets above the highest clamp to the maximum-speedup configuration
+/// (minimum power among near-ties) — matching the regulator's clamping.
+///
+/// Profiled speedups carry measurement noise, so configurations whose
+/// speedups differ by less than `PLATEAU_TOL` (0.5 % relative) are
+/// treated as performance-equivalent when clamping at the extremes:
+/// among them, the cheapest one wins. Without this, a saturated
+/// application (GIPS flat across most of the table) would be parked on
+/// whichever config happened to measure epsilon-fastest — often a
+/// needlessly expensive one.
+pub fn optimize(
+    speedups: &[f64],
+    powers: &[f64],
+    target_speedup: f64,
+    period_s: f64,
+) -> Option<Schedule> {
+    let n = speedups.len();
+    if n == 0
+        || powers.len() != n
+        || !period_s.is_finite()
+        || period_s <= 0.0
+        || !target_speedup.is_finite()
+        || speedups.iter().chain(powers.iter()).any(|v| !v.is_finite())
+    {
+        return None;
+    }
+
+    // Clamp out-of-range targets to a single configuration, treating
+    // near-equal speedups as a plateau and picking the cheapest member.
+    let (min_i, max_i) = extreme_speedup_indices(speedups, powers);
+    if target_speedup <= speedups[min_i] * (1.0 + PLATEAU_TOL) {
+        let cutoff = speedups[min_i] * (1.0 + PLATEAU_TOL);
+        let cheapest = (0..n)
+            .filter(|&i| speedups[i] <= cutoff)
+            .min_by(|&a, &b| powers[a].total_cmp(&powers[b]))
+            .unwrap_or(min_i);
+        // Only clamp if the target really is at/below the bottom band —
+        // a target in the interior must go to the pair search.
+        if target_speedup <= speedups[cheapest].max(speedups[min_i]) {
+            return Some(single(cheapest, powers, period_s));
+        }
+    }
+    if target_speedup >= speedups[max_i] * (1.0 - PLATEAU_TOL) {
+        let cutoff = speedups[max_i] * (1.0 - PLATEAU_TOL);
+        let cheapest = (0..n)
+            .filter(|&i| speedups[i] >= cutoff)
+            .min_by(|&a, &b| powers[a].total_cmp(&powers[b]))
+            .unwrap_or(max_i);
+        return Some(single(cheapest, powers, period_s));
+    }
+
+    // O(N²) pair search. For each bracketing pair compute the unique
+    // time split and its energy; keep the cheapest.
+    let mut best: Option<Schedule> = None;
+    for l in 0..n {
+        if speedups[l] > target_speedup {
+            continue;
+        }
+        for h in 0..n {
+            if speedups[h] < target_speedup || h == l {
+                continue;
+            }
+            let span = speedups[h] - speedups[l];
+            if span <= 0.0 {
+                continue;
+            }
+            let tau_h = period_s * (target_speedup - speedups[l]) / span;
+            let tau_l = period_s - tau_h;
+            let energy = tau_l * powers[l] + tau_h * powers[h];
+            if best.as_ref().is_none_or(|b| energy < b.energy_j) {
+                best = Some(Schedule {
+                    lower: l,
+                    upper: h,
+                    tau_lower: tau_l,
+                    tau_upper: tau_h,
+                    energy_j: energy,
+                });
+            }
+        }
+    }
+    // An exact-match configuration may beat every strict pair.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        if (speedups[i] - target_speedup).abs() < 1e-12 {
+            let cand = single(i, powers, period_s);
+            if best.as_ref().is_none_or(|b| cand.energy_j <= b.energy_j) {
+                best = Some(cand);
+            }
+        }
+    }
+    best
+}
+
+/// Relative speedup tolerance below which two configurations count as
+/// performance-equivalent at the extremes of the table.
+pub const PLATEAU_TOL: f64 = 0.005;
+
+fn single(i: usize, powers: &[f64], period_s: f64) -> Schedule {
+    Schedule {
+        lower: i,
+        upper: i,
+        tau_lower: period_s,
+        tau_upper: 0.0,
+        energy_j: period_s * powers[i],
+    }
+}
+
+/// Indices of the lowest- and highest-speedup configurations, breaking
+/// ties by lower power.
+fn extreme_speedup_indices(speedups: &[f64], powers: &[f64]) -> (usize, usize) {
+    let mut min_i = 0;
+    let mut max_i = 0;
+    for i in 1..speedups.len() {
+        if speedups[i] < speedups[min_i]
+            || (speedups[i] == speedups[min_i] && powers[i] < powers[min_i])
+        {
+            min_i = i;
+        }
+        if speedups[i] > speedups[max_i]
+            || (speedups[i] == speedups[max_i] && powers[i] < powers[max_i])
+        {
+            max_i = i;
+        }
+    }
+    (min_i, max_i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: f64 = 2.0;
+
+    #[test]
+    fn brackets_the_target() {
+        let s = [1.0, 1.5, 2.0, 3.0];
+        let p = [1.0, 1.4, 2.0, 3.5];
+        let sched = optimize(&s, &p, 1.75, T).unwrap();
+        assert!(s[sched.lower] <= 1.75 && s[sched.upper] >= 1.75);
+        assert!((sched.tau_lower + sched.tau_upper - T).abs() < 1e-12);
+        assert!((sched.expected_speedup(&s) - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_cheapest_bracket_not_nearest() {
+        // Config 1 is power-inefficient; mixing 0 and 2 is cheaper than
+        // any schedule through 1.
+        let s = [1.0, 1.5, 2.0];
+        let p = [1.0, 5.0, 2.0];
+        let sched = optimize(&s, &p, 1.5, T).unwrap();
+        assert_eq!((sched.lower, sched.upper), (0, 2));
+        // energy = 1·1.0 + 1·2.0 = 3.0 < 2·5.0.
+        assert!((sched.energy_j - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_match_uses_single_config() {
+        let s = [1.0, 2.0, 3.0];
+        let p = [1.0, 1.5, 4.0];
+        let sched = optimize(&s, &p, 2.0, T).unwrap();
+        assert_eq!(sched.lower, sched.upper);
+        assert_eq!(sched.lower, 1);
+        assert!((sched.energy_j - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_below_and_above_range() {
+        let s = [1.0, 2.0];
+        let p = [1.0, 2.0];
+        let below = optimize(&s, &p, 0.5, T).unwrap();
+        assert_eq!((below.lower, below.upper), (0, 0));
+        let above = optimize(&s, &p, 9.0, T).unwrap();
+        assert_eq!((above.lower, above.upper), (1, 1));
+        assert!((above.energy_j - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(optimize(&[], &[], 1.0, T).is_none());
+        assert!(optimize(&[1.0], &[1.0, 2.0], 1.0, T).is_none());
+        assert!(optimize(&[1.0], &[1.0], 1.0, 0.0).is_none());
+        assert!(optimize(&[1.0], &[1.0], 1.0, -1.0).is_none());
+        assert!(optimize(&[f64::NAN], &[1.0], 1.0, T).is_none());
+        assert!(optimize(&[1.0], &[1.0], f64::INFINITY, T).is_none());
+    }
+
+    #[test]
+    fn unsorted_tables_are_fine() {
+        let s = [3.0, 1.0, 2.0];
+        let p = [4.0, 1.0, 2.0];
+        let sched = optimize(&s, &p, 1.5, T).unwrap();
+        assert!((sched.expected_speedup(&s) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_simplex_on_a_real_shape() {
+        // Cross-check against the general solver.
+        let s = [1.0, 1.3, 1.9, 2.4, 3.1, 3.8];
+        let p = [1.5, 1.7, 2.4, 2.9, 3.8, 5.0];
+        let target = 2.0;
+        let sched = optimize(&s, &p, target, T).unwrap();
+
+        let a = vec![s.to_vec(), vec![1.0; s.len()]];
+        let b = vec![target * T, T];
+        let lp = crate::simplex::solve(&a, &b, &p).unwrap();
+        assert!(
+            (sched.energy_j - lp.objective).abs() < 1e-6,
+            "two-point {} vs simplex {}",
+            sched.energy_j,
+            lp.objective
+        );
+    }
+}

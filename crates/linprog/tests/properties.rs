@@ -1,0 +1,134 @@
+//! Property-based tests of the LP substrate: the specialized
+//! two-configuration solver must agree with the general simplex solver
+//! on every well-formed instance, and its schedules must satisfy the
+//! paper's constraints exactly.
+
+use asgov_linprog::{simplex, two_point};
+use proptest::prelude::*;
+
+/// Strategy: a random profile table of 2–40 configurations with
+/// positive speedups and powers, plus a target inside the achievable
+/// speedup range.
+fn instance() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, f64)> {
+    (2usize..40)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(0.5f64..5.0, n),
+                prop::collection::vec(0.5f64..6.0, n),
+                0.0f64..1.0,
+            )
+        })
+        .prop_map(|(speedups, powers, t)| {
+            let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let target = lo + t * (hi - lo);
+            (speedups, powers, target)
+        })
+}
+
+proptest! {
+    /// The schedule always fills the control period exactly and never
+    /// uses negative dwell times.
+    #[test]
+    fn schedule_fills_period((speedups, powers, target) in instance()) {
+        let period = 2.0;
+        let sched = two_point::optimize(&speedups, &powers, target, period)
+            .expect("well-formed instance must be solvable");
+        prop_assert!(sched.tau_lower >= -1e-12);
+        prop_assert!(sched.tau_upper >= -1e-12);
+        prop_assert!((sched.tau_lower + sched.tau_upper - period).abs() < 1e-9);
+    }
+
+    /// The delivered speedup matches the target (up to the plateau
+    /// tolerance clamping at the extremes).
+    #[test]
+    fn schedule_meets_target((speedups, powers, target) in instance()) {
+        let sched = two_point::optimize(&speedups, &powers, target, 2.0).unwrap();
+        let achieved = sched.expected_speedup(&speedups);
+        let hi = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Interior targets are met exactly; extreme targets clamp within
+        // the plateau tolerance.
+        let tol = (hi - lo).max(1.0) * two_point::PLATEAU_TOL + 1e-9;
+        prop_assert!(
+            (achieved - target).abs() <= tol.max(hi * two_point::PLATEAU_TOL),
+            "target {target}, achieved {achieved}"
+        );
+    }
+
+    /// The chosen pair brackets the target: 𝕊(l) ≤ s ≤ 𝕊(h) (within the
+    /// plateau tolerance at the extremes).
+    #[test]
+    fn schedule_brackets_target((speedups, powers, target) in instance()) {
+        let sched = two_point::optimize(&speedups, &powers, target, 2.0).unwrap();
+        let hi = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let slack = hi * two_point::PLATEAU_TOL + 1e-9;
+        prop_assert!(speedups[sched.lower] <= target + slack);
+        prop_assert!(speedups[sched.upper] >= target - slack);
+    }
+
+    /// The specialized solver is optimal: it never does worse than the
+    /// general simplex solver on the same LP (and never better, either,
+    /// apart from plateau-tolerance clamping).
+    #[test]
+    fn two_point_matches_simplex((speedups, powers, target) in instance()) {
+        let period = 2.0;
+        let sched = two_point::optimize(&speedups, &powers, target, period).unwrap();
+
+        let a = vec![speedups.clone(), vec![1.0; speedups.len()]];
+        let b = vec![target * period, period];
+        let lp = simplex::solve(&a, &b, &powers).expect("interior target is feasible");
+
+        // Clamped (plateau) schedules may deliver a slightly different
+        // speedup; compare only when the schedule met the target exactly.
+        let achieved = sched.expected_speedup(&speedups);
+        if (achieved - target).abs() < 1e-9 {
+            prop_assert!(
+                (sched.energy_j - lp.objective).abs() < 1e-6 * lp.objective.max(1.0),
+                "two-point {} vs simplex {}",
+                sched.energy_j,
+                lp.objective
+            );
+        }
+    }
+
+    /// Simplex solutions satisfy their constraints.
+    #[test]
+    fn simplex_feasible((speedups, powers, target) in instance()) {
+        let period = 2.0;
+        let a = vec![speedups.clone(), vec![1.0; speedups.len()]];
+        let b = vec![target * period, period];
+        let lp = simplex::solve(&a, &b, &powers).unwrap();
+        let perf: f64 = lp.x.iter().zip(&speedups).map(|(u, s)| u * s).sum();
+        let time: f64 = lp.x.iter().sum();
+        prop_assert!(lp.x.iter().all(|&u| u >= -1e-9));
+        prop_assert!((perf - target * period).abs() < 1e-6);
+        prop_assert!((time - period).abs() < 1e-6);
+    }
+
+    /// Energy is monotone in the target: asking for more speedup never
+    /// costs less (on monotone-power tables).
+    #[test]
+    fn energy_monotone_in_target(n in 3usize..20, seed in 0u64..1000) {
+        // Build a monotone (speedup, power) table deterministically.
+        let mut speedups = Vec::new();
+        let mut powers = Vec::new();
+        for i in 0..n {
+            let x = i as f64 / (n - 1) as f64;
+            let wiggle = ((seed as f64 * 0.37 + i as f64) .sin() + 1.0) * 0.05;
+            speedups.push(1.0 + 2.0 * x + wiggle * 0.1);
+            powers.push(1.0 + 3.0 * x * x + wiggle);
+        }
+        speedups.sort_by(f64::total_cmp);
+        powers.sort_by(f64::total_cmp);
+        let lo = speedups[0];
+        let hi = speedups[n - 1];
+        let mut prev = 0.0;
+        for k in 0..10 {
+            let target = lo + (hi - lo) * k as f64 / 9.0;
+            let e = two_point::optimize(&speedups, &powers, target, 2.0).unwrap().energy_j;
+            prop_assert!(e >= prev - 1e-9, "energy regressed at target {target}");
+            prev = e;
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! The offline profiling procedure (paper §III-A).
+
+use crate::table::{Config, ProfileEntry, ProfileTable};
+use asgov_governors::{AdrenoTz, CpubwHwmon};
+use asgov_soc::Workload;
+use asgov_soc::{sim, Device, DeviceConfig, FreqIndex, GpuFreqIndex, Policy};
+use asgov_workloads::PhasedApp;
+
+/// Knobs of the profiling procedure. The defaults mirror the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileOptions {
+    /// Runs averaged per configuration (paper: 3).
+    pub runs_per_config: usize,
+    /// Measurement window per run for rate-based applications, ms.
+    /// Batch applications run to completion instead.
+    pub run_ms: u64,
+    /// Profile every `freq_stride`-th frequency (paper: alternate
+    /// frequencies → 2).
+    pub freq_stride: usize,
+    /// Fill the intermediate bandwidths of each profiled frequency by
+    /// linear interpolation between the lowest and highest bandwidth
+    /// (paper behaviour). When `false` the table keeps only measured
+    /// points.
+    pub interpolate: bool,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        Self {
+            runs_per_config: 3,
+            run_ms: 30_000,
+            freq_stride: 2,
+            interpolate: true,
+        }
+    }
+}
+
+/// Measure GIPS and power at one pinned configuration, averaged over
+/// `runs` fresh runs.
+fn measure_config(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    config: Config,
+    runs: usize,
+    run_ms: u64,
+) -> (f64, f64) {
+    let mut gips_sum = 0.0;
+    let mut power_sum = 0.0;
+    for run in 0..runs {
+        let mut device = Device::new(dev_cfg.clone().with_seed(dev_cfg.seed ^ (run as u64 + 1)));
+        // The paper measures performance with `perf` at a 1 s period in
+        // every run — profiling included — so its 4 % load and 15 mW
+        // power overhead are present here just as they are online.
+        device.set_tool_overhead(0.04, 0.015);
+        device.set_cpu_governor("userspace");
+        device.set_bw_governor("userspace");
+        device.set_cpu_freq(config.freq);
+        device.set_mem_bw(config.bw);
+        // The GPU stays under its stock governor throughout (the paper
+        // does not include it in the controlled configuration).
+        let mut gpu_gov = AdrenoTz::default();
+        let mut policies: [&mut dyn Policy; 1] = [&mut gpu_gov];
+        app.reset();
+        let report = sim::run(&mut device, app, &mut policies, run_ms);
+        gips_sum += report.avg_gips;
+        power_sum += report.avg_power_w;
+    }
+    (gips_sum / runs as f64, power_sum / runs as f64)
+}
+
+/// Profile an application offline (paper §III-A): measure its base
+/// speed at the SoC's lowest configuration, then speedup and power for
+/// every `freq_stride`-th frequency inside the application's usable
+/// range, at the lowest and highest memory bandwidth, interpolating the
+/// intermediate bandwidths linearly.
+///
+/// The returned table is sorted by (frequency, bandwidth) and its
+/// speedups are normalized to the measured base speed.
+///
+/// # Panics
+///
+/// Panics if `opts.runs_per_config` or `opts.freq_stride` is zero.
+pub fn profile_app(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    opts: &ProfileOptions,
+) -> ProfileTable {
+    assert!(opts.runs_per_config > 0, "need at least one run");
+    assert!(opts.freq_stride > 0, "stride must be positive");
+
+    let table = dev_cfg.table.clone();
+    let (lo_f, hi_f) = app.spec().profile_freq_range;
+    let hi_f = hi_f.min(table.num_freqs() - 1);
+    let bw_lo = table.min_bw();
+    let bw_hi = table.max_bw();
+
+    // Base speed: the lowest configuration of the SoC, regardless of the
+    // app's usable profile range (it anchors the speedup scale).
+    let base_cfg = Config {
+        freq: table.min_freq(),
+        bw: table.min_bw(),
+                    gpu: None,
+                };
+    let (base_gips, base_power) =
+        measure_config(dev_cfg, app, base_cfg, opts.runs_per_config, opts.run_ms);
+    let base_gips = base_gips.max(1e-6);
+
+    let mut entries = Vec::new();
+    let mut f = lo_f;
+    while f <= hi_f {
+        let freq = FreqIndex(f);
+        let lo = Config { freq, bw: bw_lo,
+                    gpu: None,
+                };
+        let hi = Config { freq, bw: bw_hi,
+                    gpu: None,
+                };
+        let (g_lo, p_lo) = if lo == base_cfg {
+            (base_gips, base_power)
+        } else {
+            measure_config(dev_cfg, app, lo, opts.runs_per_config, opts.run_ms)
+        };
+        let (g_hi, p_hi) = measure_config(dev_cfg, app, hi, opts.runs_per_config, opts.run_ms);
+
+        if opts.interpolate {
+            let span = table.bw(bw_hi).0 - table.bw(bw_lo).0;
+            for b in table.bw_indices() {
+                let t = (table.bw(b).0 - table.bw(bw_lo).0) / span;
+                entries.push(ProfileEntry {
+                    config: Config { freq, bw: b,
+                    gpu: None,
+                },
+                    speedup: (g_lo + t * (g_hi - g_lo)) / base_gips,
+                    power_w: p_lo + t * (p_hi - p_lo),
+                    measured: b == bw_lo || b == bw_hi,
+                });
+            }
+        } else {
+            entries.push(ProfileEntry {
+                config: lo,
+                speedup: g_lo / base_gips,
+                power_w: p_lo,
+                measured: true,
+            });
+            entries.push(ProfileEntry {
+                config: hi,
+                speedup: g_hi / base_gips,
+                power_w: p_hi,
+                measured: true,
+            });
+        }
+        f += opts.freq_stride;
+    }
+
+    ProfileTable {
+        app: app.spec().name.to_string(),
+        base_gips,
+        entries,
+    }
+}
+
+/// Measure one fully pinned (CPU, bandwidth, GPU) point.
+fn measure_config_gpu(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    config: Config,
+    gpu: GpuFreqIndex,
+    runs: usize,
+    run_ms: u64,
+) -> (f64, f64) {
+    let mut gips_sum = 0.0;
+    let mut power_sum = 0.0;
+    for run in 0..runs {
+        let mut device =
+            Device::new(dev_cfg.clone().with_seed(dev_cfg.seed ^ (run as u64 + 0x30)));
+        device.set_tool_overhead(0.04, 0.015);
+        device.set_cpu_governor("userspace");
+        device.set_bw_governor("userspace");
+        device.set_gpu_governor("userspace");
+        device.set_cpu_freq(config.freq);
+        device.set_mem_bw(config.bw);
+        device.set_gpu_freq(gpu);
+        app.reset();
+        let report = sim::run(&mut device, app, &mut [], run_ms);
+        gips_sum += report.avg_gips;
+        power_sum += report.avg_power_w;
+    }
+    (gips_sum / runs as f64, power_sum / runs as f64)
+}
+
+/// Three-axis offline profile (the paper's §VII extension): every
+/// `freq_stride`-th CPU frequency × {lowest, highest} memory bandwidth
+/// × {lowest, highest} GPU frequency, with linear interpolation along
+/// both the bandwidth and the GPU ladders.
+///
+/// # Panics
+///
+/// Panics if `opts.runs_per_config` or `opts.freq_stride` is zero.
+pub fn profile_app_with_gpu(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    opts: &ProfileOptions,
+) -> ProfileTable {
+    assert!(opts.runs_per_config > 0, "need at least one run");
+    assert!(opts.freq_stride > 0, "stride must be positive");
+
+    let table = dev_cfg.table.clone();
+    let gpu_count = asgov_soc::gpu::ADRENO420_FREQS_GHZ.len();
+    let (lo_f, hi_f) = app.spec().profile_freq_range;
+    let hi_f = hi_f.min(table.num_freqs() - 1);
+    let bw_lo = table.min_bw();
+    let bw_hi = table.max_bw();
+    let (gpu_lo, gpu_hi) = (GpuFreqIndex(0), GpuFreqIndex(gpu_count - 1));
+    let gpu_ghz =
+        |i: usize| asgov_soc::gpu::ADRENO420_FREQS_GHZ[i];
+
+    let base_cfg = Config::new(table.min_freq(), table.min_bw());
+    let (base_gips, _) = measure_config_gpu(
+        dev_cfg,
+        app,
+        base_cfg,
+        gpu_lo,
+        opts.runs_per_config,
+        opts.run_ms,
+    );
+    let base_gips = base_gips.max(1e-6);
+
+    let mut entries = Vec::new();
+    let mut f = lo_f;
+    while f <= hi_f {
+        let freq = FreqIndex(f);
+        // Four measured corners per frequency: (bw, gpu) ∈ {lo,hi}².
+        let mut corner = [[(0.0f64, 0.0f64); 2]; 2];
+        for (bi, bw) in [bw_lo, bw_hi].into_iter().enumerate() {
+            for (gi, gpu) in [gpu_lo, gpu_hi].into_iter().enumerate() {
+                corner[bi][gi] = measure_config_gpu(
+                    dev_cfg,
+                    app,
+                    Config::new(freq, bw),
+                    gpu,
+                    opts.runs_per_config,
+                    opts.run_ms,
+                );
+            }
+        }
+        let bw_span = table.bw(bw_hi).0 - table.bw(bw_lo).0;
+        let gpu_span = gpu_ghz(gpu_count - 1) - gpu_ghz(0);
+        for b in table.bw_indices() {
+            let tb = (table.bw(b).0 - table.bw(bw_lo).0) / bw_span;
+            for g in 0..gpu_count {
+                let tg = (gpu_ghz(g) - gpu_ghz(0)) / gpu_span;
+                // Bilinear interpolation across the two measured axes.
+                fn lerp2(c: &[[f64; 2]; 2], tb: f64, tg: f64) -> f64 {
+                    let lo_g = c[0][0] + tb * (c[1][0] - c[0][0]);
+                    let hi_g = c[0][1] + tb * (c[1][1] - c[0][1]);
+                    lo_g + tg * (hi_g - lo_g)
+                }
+                let gips_c = [
+                    [corner[0][0].0, corner[0][1].0],
+                    [corner[1][0].0, corner[1][1].0],
+                ];
+                let power_c = [
+                    [corner[0][0].1, corner[0][1].1],
+                    [corner[1][0].1, corner[1][1].1],
+                ];
+                let gips = lerp2(&gips_c, tb, tg);
+                let power = lerp2(&power_c, tb, tg);
+                let measured = (b == bw_lo || b == bw_hi) && (g == 0 || g == gpu_count - 1);
+                entries.push(ProfileEntry {
+                    config: Config::with_gpu(freq, b, GpuFreqIndex(g)),
+                    speedup: gips / base_gips,
+                    power_w: power,
+                    measured,
+                });
+            }
+        }
+        f += opts.freq_stride;
+    }
+
+    ProfileTable {
+        app: app.spec().name.to_string(),
+        base_gips,
+        entries,
+    }
+}
+
+/// Measure GIPS and power with the CPU pinned and the memory bandwidth
+/// under the default `cpubw_hwmon` governor (for the CPU-only ablation).
+fn measure_config_cpu_only(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    freq: FreqIndex,
+    runs: usize,
+    run_ms: u64,
+) -> (f64, f64) {
+    let mut gips_sum = 0.0;
+    let mut power_sum = 0.0;
+    for run in 0..runs {
+        let mut device = Device::new(dev_cfg.clone().with_seed(dev_cfg.seed ^ (run as u64 + 0x10)));
+        device.set_tool_overhead(0.04, 0.015);
+        device.set_cpu_governor("userspace");
+        device.set_cpu_freq(freq);
+        let mut bw_gov = CpubwHwmon::default();
+        let mut gpu_gov = AdrenoTz::default();
+        let mut policies: [&mut dyn Policy; 2] = [&mut bw_gov, &mut gpu_gov];
+        app.reset();
+        let report = sim::run(&mut device, app, &mut policies, run_ms);
+        gips_sum += report.avg_gips;
+        power_sum += report.avg_power_w;
+    }
+    (gips_sum / runs as f64, power_sum / runs as f64)
+}
+
+/// Profile for the paper's §V-D CPU-only ablation: the CPU frequency is
+/// pinned per configuration while the memory bandwidth stays under the
+/// default `cpubw_hwmon` governor. The resulting table has one row per
+/// profiled frequency (the bandwidth column records the SoC minimum as
+/// a placeholder — a CPU-only controller never actuates it).
+///
+/// # Panics
+///
+/// Panics if `opts.runs_per_config` or `opts.freq_stride` is zero.
+pub fn profile_app_cpu_only(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    opts: &ProfileOptions,
+) -> ProfileTable {
+    assert!(opts.runs_per_config > 0, "need at least one run");
+    assert!(opts.freq_stride > 0, "stride must be positive");
+
+    let table = dev_cfg.table.clone();
+    let (lo_f, hi_f) = app.spec().profile_freq_range;
+    let hi_f = hi_f.min(table.num_freqs() - 1);
+
+    let (base_gips, _) = measure_config_cpu_only(
+        dev_cfg,
+        app,
+        table.min_freq(),
+        opts.runs_per_config,
+        opts.run_ms,
+    );
+    let base_gips = base_gips.max(1e-6);
+
+    let mut entries = Vec::new();
+    let mut f = lo_f;
+    while f <= hi_f {
+        let freq = FreqIndex(f);
+        let (g, p) =
+            measure_config_cpu_only(dev_cfg, app, freq, opts.runs_per_config, opts.run_ms);
+        entries.push(ProfileEntry {
+            config: Config {
+                freq,
+                bw: table.min_bw(),
+                    gpu: None,
+                },
+            speedup: g / base_gips,
+            power_w: p,
+            measured: true,
+        });
+        f += opts.freq_stride;
+    }
+
+    ProfileTable {
+        app: app.spec().name.to_string(),
+        base_gips,
+        entries,
+    }
+}
+
+/// Fit a MAR-CSE model (paper §VI, Liang & Lai): for each training
+/// application, sweep the frequency ladder at the lowest bandwidth,
+/// find the energy-minimal frequency (the *critical speed*) and pair it
+/// with the application's measured memory access rate. The resulting
+/// points parameterize [`asgov_governors::MarCseModel`].
+pub fn fit_mar_cse(
+    dev_cfg: &DeviceConfig,
+    apps: &mut [PhasedApp],
+    opts: &ProfileOptions,
+) -> asgov_governors::MarCseModel {
+    assert!(!apps.is_empty(), "need at least one training application");
+    let table = dev_cfg.table.clone();
+    let mut points = Vec::new();
+    for app in apps.iter_mut() {
+        let mut best: Option<(f64, FreqIndex)> = None; // (energy per instr, freq)
+        let mut mar_sum = 0.0;
+        let mut mar_n = 0.0;
+        let mut f = 0;
+        while f < table.num_freqs() {
+            let freq = FreqIndex(f);
+            let mut device =
+                Device::new(dev_cfg.clone().with_seed(dev_cfg.seed ^ (f as u64 + 0x50)));
+            device.set_tool_overhead(0.04, 0.015);
+            device.set_cpu_governor("userspace");
+            device.set_bw_governor("userspace");
+            device.set_cpu_freq(freq);
+            let mut gpu_gov = AdrenoTz::default();
+            let mut policies: [&mut dyn Policy; 1] = [&mut gpu_gov];
+            app.reset();
+            let report = sim::run(&mut device, app, &mut policies, opts.run_ms);
+            if report.instructions > 0.0 {
+                let energy_per_instr = report.energy_j / report.instructions;
+                if best.is_none_or(|(e, _)| energy_per_instr < e) {
+                    best = Some((energy_per_instr, freq));
+                }
+                mar_sum += device.pmu().bus_bytes() / device.pmu().instructions();
+                mar_n += 1.0;
+            }
+            f += opts.freq_stride;
+        }
+        if let (Some((_, cs)), true) = (best, mar_n > 0.0) {
+            points.push((mar_sum / mar_n, table.freq(cs).0));
+        }
+    }
+    asgov_governors::MarCseModel::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgov_soc::BwIndex;
+    use asgov_workloads::{apps, BackgroundLoad};
+
+    fn opts_fast() -> ProfileOptions {
+        ProfileOptions {
+            runs_per_config: 1,
+            run_ms: 4_000,
+            freq_stride: 4,
+            interpolate: true,
+        }
+    }
+
+    #[test]
+    fn profile_covers_all_bandwidths_when_interpolating() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::spotify(BackgroundLoad::baseline(1));
+        let t = profile_app(&dev_cfg, &mut app, &opts_fast());
+        assert!(!t.is_empty());
+        // Spotify profiles f1..f5 with stride 4 → f1, f5 → 2 × 13 rows.
+        assert_eq!(t.len(), 2 * 13);
+        let measured = t.entries.iter().filter(|e| e.measured).count();
+        assert_eq!(measured, 4, "only lowest/highest bw measured");
+    }
+
+    #[test]
+    fn base_speedup_is_one() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::angrybirds(BackgroundLoad::baseline(1));
+        let t = profile_app(
+            &dev_cfg,
+            &mut app,
+            &ProfileOptions {
+                runs_per_config: 1,
+                run_ms: 6_000,
+                freq_stride: 4,
+                interpolate: false,
+            },
+        );
+        // First entry is the base configuration (f1, bw1): speedup 1.
+        let first = &t.entries[0];
+        assert_eq!(first.config.freq, FreqIndex(0));
+        assert_eq!(first.config.bw, BwIndex(0));
+        assert!((first.speedup - 1.0).abs() < 0.08, "speedup {}", first.speedup);
+    }
+
+    #[test]
+    fn speedup_monotone_along_frequency_for_batch_apps() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::vidcon(BackgroundLoad::baseline(1));
+        let t = profile_app(&dev_cfg, &mut app, &opts_fast());
+        // At the lowest bandwidth, speedup should increase with freq.
+        let lo_bw: Vec<&ProfileEntry> = t
+            .entries
+            .iter()
+            .filter(|e| e.config.bw == BwIndex(0))
+            .collect();
+        assert!(lo_bw.len() >= 2);
+        for w in lo_bw.windows(2) {
+            assert!(
+                w[1].speedup > w[0].speedup * 0.98,
+                "speedup should not regress: {} then {}",
+                w[0].speedup,
+                w[1].speedup
+            );
+        }
+    }
+
+    #[test]
+    fn mar_cse_fit_orders_critical_speeds() {
+        // A compute-bound trainer should get a higher critical speed
+        // than a memory-bound one.
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut training = [
+            apps::vidcon(BackgroundLoad::none(1)),     // compute-ish
+            apps::angrybirds(BackgroundLoad::none(1)), // more memory traffic
+        ];
+        let model = fit_mar_cse(
+            &dev_cfg,
+            &mut training,
+            &ProfileOptions {
+                runs_per_config: 1,
+                run_ms: 3_000,
+                freq_stride: 4,
+                interpolate: false,
+            },
+        );
+        let low_mar = model.critical_speed_ghz(0.05);
+        let high_mar = model.critical_speed_ghz(3.0);
+        assert!(low_mar > 0.0 && high_mar > 0.0);
+    }
+
+    #[test]
+    fn cpu_only_profile_has_one_row_per_frequency() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::wechat(BackgroundLoad::baseline(1));
+        let t = profile_app_cpu_only(&dev_cfg, &mut app, &opts_fast());
+        // WeChat profiles f3..f10 with stride 4 -> f3, f7 -> 2 rows.
+        assert_eq!(t.len(), 2);
+        assert!(t.entries.iter().all(|e| e.measured));
+        assert!(t.entries[1].speedup >= t.entries[0].speedup * 0.9);
+    }
+
+    #[test]
+    fn power_monotone_along_bandwidth_at_fixed_freq() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::wechat(BackgroundLoad::baseline(1));
+        let t = profile_app(&dev_cfg, &mut app, &opts_fast());
+        let freq = t.entries[0].config.freq;
+        let rows: Vec<&ProfileEntry> = t
+            .entries
+            .iter()
+            .filter(|e| e.config.freq == freq)
+            .collect();
+        assert_eq!(rows.len(), 13);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].power_w >= w[0].power_w - 1e-9,
+                "interpolated power must be monotone in bw"
+            );
+        }
+    }
+}

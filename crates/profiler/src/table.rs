@@ -1,0 +1,469 @@
+//! The profile table (paper Table I).
+
+use asgov_soc::{BwIndex, DvfsTable, FreqIndex, GpuFreqIndex};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// A *system configuration*: an ordered pair of CPU frequency and
+/// memory bandwidth indices (paper §III-A). The controller framework is
+/// axis-generic in principle (the paper lists GPU frequency and network
+/// packet rate as future axes); this pair is what the paper controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    /// CPU frequency index.
+    pub freq: FreqIndex,
+    /// Memory bandwidth index.
+    pub bw: BwIndex,
+    /// GPU frequency index, when the GPU axis is controlled too (the
+    /// paper's §VII extension); `None` leaves the GPU to its governor.
+    #[serde(default)]
+    pub gpu: Option<GpuFreqIndex>,
+}
+
+impl Config {
+    /// A two-axis configuration (the paper's controlled pair).
+    pub fn new(freq: FreqIndex, bw: BwIndex) -> Self {
+        Self {
+            freq,
+            bw,
+            gpu: None,
+        }
+    }
+
+    /// A three-axis configuration including the GPU.
+    pub fn with_gpu(freq: FreqIndex, bw: BwIndex, gpu: GpuFreqIndex) -> Self {
+        Self {
+            freq,
+            bw,
+            gpu: Some(gpu),
+        }
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.gpu {
+            Some(g) => write!(f, "({}, {}, {})", self.freq, self.bw, g),
+            None => write!(f, "({}, {})", self.freq, self.bw),
+        }
+    }
+}
+
+/// One row of the profile table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileEntry {
+    /// The configuration.
+    pub config: Config,
+    /// Speedup 𝕊 relative to the application's base speed.
+    pub speedup: f64,
+    /// Average whole-device power ℙ at this configuration, watts.
+    pub power_w: f64,
+    /// Whether this row was measured (`false` = interpolated).
+    pub measured: bool,
+}
+
+/// Offline profile of one application: speedup and power per system
+/// configuration, plus the base speed that anchors the speedups.
+///
+/// # Example
+///
+/// ```
+/// # use asgov_profiler::{Config, ProfileEntry, ProfileTable};
+/// # use asgov_soc::{BwIndex, FreqIndex};
+/// let table = ProfileTable {
+///     app: "AngryBirds".into(),
+///     base_gips: 0.129,
+///     entries: vec![ProfileEntry {
+///         config: Config::new(FreqIndex(0), BwIndex(0)),
+///         speedup: 1.0,
+///         power_w: 1.62357,
+///         measured: true,
+///     }],
+/// };
+/// // Persist and restore through the dependency-free TSV format.
+/// let restored: ProfileTable = table.to_tsv().parse()?;
+/// assert_eq!(restored, table);
+/// # Ok::<(), asgov_profiler::TableParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileTable {
+    /// Application name.
+    pub app: String,
+    /// Base speed `b`: application GIPS at the lowest system
+    /// configuration of the SoC (paper: 0.129 for AngryBirds, 0.471 for
+    /// VidCon).
+    pub base_gips: f64,
+    /// Table rows, sorted by (freq, bw).
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl ProfileTable {
+    /// The speedup vector 𝕊 (paper Eqn. 5), in row order.
+    pub fn speedups(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.speedup).collect()
+    }
+
+    /// The power vector ℙ (paper Eqn. 4), in row order.
+    pub fn powers(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.power_w).collect()
+    }
+
+    /// The configuration of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn config(&self, i: usize) -> Config {
+        self.entries[i].config
+    }
+
+    /// Number of rows (N).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Smallest speedup in the table.
+    pub fn min_speedup(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest speedup in the table.
+    pub fn max_speedup(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.speedup)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// GIPS the table predicts for row `i` (`speedup × base`).
+    pub fn predicted_gips(&self, i: usize) -> f64 {
+        self.entries[i].speedup * self.base_gips
+    }
+
+    /// Sanity-check the table before handing it to a controller.
+    /// Returns a list of human-readable issues (empty = healthy).
+    ///
+    /// Checked: non-finite or non-positive values, duplicate
+    /// configurations, a base speed outside plausible bounds, and a
+    /// speedup scale that never reaches ~1 (which suggests the base
+    /// configuration was mis-measured).
+    pub fn validate(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        if self.is_empty() {
+            issues.push("table has no entries".to_string());
+            return issues;
+        }
+        if !(1e-4..=100.0).contains(&self.base_gips) {
+            issues.push(format!("implausible base speed {} GIPS", self.base_gips));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.entries {
+            if !e.speedup.is_finite() || e.speedup <= 0.0 {
+                issues.push(format!("bad speedup {} at {}", e.speedup, e.config));
+            }
+            if !e.power_w.is_finite() || e.power_w <= 0.0 {
+                issues.push(format!("bad power {} at {}", e.power_w, e.config));
+            }
+            if !seen.insert(e.config) {
+                issues.push(format!("duplicate configuration {}", e.config));
+            }
+        }
+        if self.min_speedup() > 1.5 {
+            issues.push(format!(
+                "smallest speedup is {:.3}: the base configuration looks mis-measured",
+                self.min_speedup()
+            ));
+        }
+        issues
+    }
+
+    /// Render as a tab-separated table (stable on-disk format — the
+    /// workspace deliberately carries no serde *format* crate).
+    /// Round-trips through [`ProfileTable::from_tsv`].
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# app\t{}\n# base_gips\t{}\n", self.app, self.base_gips));
+        out.push_str("# freq_idx\tbw_idx\tgpu_idx\tspeedup\tpower_w\tmeasured\n");
+        for e in &self.entries {
+            let gpu = e.config.gpu.map_or(-1i64, |g| g.0 as i64);
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                e.config.freq.0, e.config.bw.0, gpu, e.speedup, e.power_w, e.measured as u8
+            ));
+        }
+        out
+    }
+
+    /// Parse the TSV format produced by [`ProfileTable::to_tsv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableParseError`] on malformed input.
+    pub fn from_tsv(text: &str) -> Result<Self, TableParseError> {
+        let mut app = None;
+        let mut base_gips = None;
+        let mut entries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim_end_matches('\r');
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# app\t") {
+                app = Some(rest.to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# base_gips\t") {
+                base_gips =
+                    Some(rest.parse::<f64>().map_err(|_| TableParseError::at(lineno, line))?);
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            // 6 fields with the GPU column; 5 for tables written before
+            // the GPU axis existed.
+            if fields.len() != 6 && fields.len() != 5 {
+                return Err(TableParseError::at(lineno, line));
+            }
+            let parse = |s: &str| -> Result<f64, TableParseError> {
+                s.parse().map_err(|_| TableParseError::at(lineno, line))
+            };
+            let (gpu, rest) = if fields.len() == 6 {
+                let g = parse(fields[2])?;
+                (
+                    if g < 0.0 {
+                        None
+                    } else {
+                        Some(GpuFreqIndex(g as usize))
+                    },
+                    &fields[3..],
+                )
+            } else {
+                (None, &fields[2..])
+            };
+            entries.push(ProfileEntry {
+                config: Config {
+                    freq: FreqIndex(parse(fields[0])? as usize),
+                    bw: BwIndex(parse(fields[1])? as usize),
+                    gpu,
+                },
+                speedup: parse(rest[0])?,
+                power_w: parse(rest[1])?,
+                measured: rest[2] == "1",
+            });
+        }
+        Ok(Self {
+            app: app.ok_or(TableParseError::MissingHeader("app"))?,
+            base_gips: base_gips.ok_or(TableParseError::MissingHeader("base_gips"))?,
+            entries,
+        })
+    }
+
+    /// Pretty-print in the style of the paper's Table I.
+    pub fn render(&self, table: &DvfsTable) -> String {
+        let mut out = format!(
+            "Profile for {} (base speed {:.3} GIPS)\n{:<4} {:<22} {:<10} {:<12} {}\n",
+            self.app, self.base_gips, "#", "Config (GHz, MBps)", "Speedup", "Power (mW)", "src"
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "{:<4} ({:.4}, {:>5.0})        {:<10.4} {:<12.2} {}\n",
+                i + 1,
+                table.freq(e.config.freq).0,
+                table.bw(e.config.bw).0,
+                e.speedup,
+                e.power_w * 1000.0,
+                if e.measured { "measured" } else { "interp" },
+            ));
+        }
+        out
+    }
+}
+
+/// Error parsing a profile table from TSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableParseError {
+    /// A malformed line.
+    BadLine {
+        /// Zero-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A required header line is missing.
+    MissingHeader(&'static str),
+}
+
+impl TableParseError {
+    fn at(line: usize, content: &str) -> Self {
+        Self::BadLine {
+            line,
+            content: content.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TableParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableParseError::BadLine { line, content } => {
+                write!(f, "malformed profile line {line}: {content:?}")
+            }
+            TableParseError::MissingHeader(h) => write!(f, "missing header {h:?}"),
+        }
+    }
+}
+
+impl Error for TableParseError {}
+
+impl FromStr for ProfileTable {
+    type Err = TableParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::from_tsv(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProfileTable {
+        ProfileTable {
+            app: "AngryBirds".into(),
+            base_gips: 0.129,
+            entries: vec![
+                ProfileEntry {
+                    config: Config {
+                        freq: FreqIndex(0),
+                        bw: BwIndex(0),
+                    gpu: None,
+                },
+                    speedup: 1.0,
+                    power_w: 1.62357,
+                    measured: true,
+                },
+                ProfileEntry {
+                    config: Config {
+                        freq: FreqIndex(0),
+                        bw: BwIndex(2),
+                    gpu: None,
+                },
+                    speedup: 1.0077,
+                    power_w: 1.74209,
+                    measured: false,
+                },
+                ProfileEntry {
+                    config: Config {
+                        freq: FreqIndex(4),
+                        bw: BwIndex(0),
+                    gpu: None,
+                },
+                    speedup: 1.837,
+                    power_w: 2.21922,
+                    measured: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn vectors_in_row_order() {
+        let t = sample();
+        assert_eq!(t.speedups(), vec![1.0, 1.0077, 1.837]);
+        assert_eq!(t.powers(), vec![1.62357, 1.74209, 2.21922]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn min_max_speedup() {
+        let t = sample();
+        assert_eq!(t.min_speedup(), 1.0);
+        assert_eq!(t.max_speedup(), 1.837);
+    }
+
+    #[test]
+    fn predicted_gips_scales_base() {
+        let t = sample();
+        assert!((t.predicted_gips(2) - 1.837 * 0.129).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let t = sample();
+        let tsv = t.to_tsv();
+        let back = ProfileTable::from_tsv(&tsv).unwrap();
+        assert_eq!(t, back);
+        // FromStr too.
+        let back2: ProfileTable = tsv.parse().unwrap();
+        assert_eq!(t, back2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            ProfileTable::from_tsv("# app\tx\n# base_gips\tnope\n"),
+            Err(TableParseError::BadLine { .. })
+        ));
+        assert!(matches!(
+            ProfileTable::from_tsv(""),
+            Err(TableParseError::MissingHeader("app"))
+        ));
+        assert!(matches!(
+            ProfileTable::from_tsv("# app\tx\n1\t2\t3\n"),
+            Err(TableParseError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_flags_real_problems() {
+        let mut t = sample();
+        assert!(t.validate().is_empty(), "sample table is healthy");
+
+        t.entries[1].speedup = f64::NAN;
+        t.entries.push(t.entries[0]);
+        t.base_gips = 1e9;
+        let issues = t.validate();
+        assert!(issues.iter().any(|i| i.contains("bad speedup")));
+        assert!(issues.iter().any(|i| i.contains("duplicate")));
+        assert!(issues.iter().any(|i| i.contains("base speed")));
+
+        let empty = ProfileTable {
+            app: "x".into(),
+            base_gips: 1.0,
+            entries: vec![],
+        };
+        assert_eq!(empty.validate(), vec!["table has no entries".to_string()]);
+    }
+
+    #[test]
+    fn validate_flags_missing_base_anchor() {
+        let mut t = sample();
+        for e in &mut t.entries {
+            e.speedup += 2.0;
+        }
+        let issues = t.validate();
+        assert!(issues.iter().any(|i| i.contains("mis-measured")));
+    }
+
+    #[test]
+    fn render_mentions_app_and_rows() {
+        let t = sample();
+        let s = t.render(&DvfsTable::nexus6());
+        assert!(s.contains("AngryBirds"));
+        assert!(s.contains("0.3000"));
+        assert!(s.contains("1623.57"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the profile table: TSV round-trips for
+//! arbitrary tables, interpolation bounds, and load-model convexity.
+
+use asgov_profiler::{Config, LoadModel, LoadSignature, ProfileEntry, ProfileTable};
+use asgov_soc::{BwIndex, FreqIndex, GpuFreqIndex};
+use proptest::prelude::*;
+
+fn entry_strategy() -> impl Strategy<Value = ProfileEntry> {
+    (
+        0usize..18,
+        0usize..13,
+        prop::option::of(0usize..5),
+        0.1f64..10.0,
+        0.5f64..8.0,
+        any::<bool>(),
+    )
+        .prop_map(|(f, b, g, speedup, power, measured)| ProfileEntry {
+            config: Config {
+                freq: FreqIndex(f),
+                bw: BwIndex(b),
+                gpu: g.map(GpuFreqIndex),
+            },
+            speedup,
+            power_w: power,
+            measured,
+        })
+}
+
+fn table_strategy() -> impl Strategy<Value = ProfileTable> {
+    (
+        "[A-Za-z][A-Za-z0-9 _-]{0,20}",
+        0.01f64..5.0,
+        prop::collection::vec(entry_strategy(), 1..60),
+    )
+        .prop_map(|(app, base_gips, entries)| ProfileTable {
+            app,
+            base_gips,
+            entries,
+        })
+}
+
+proptest! {
+    /// Any table survives the TSV round-trip bit-exactly (floats are
+    /// printed with full precision).
+    #[test]
+    fn tsv_round_trip(table in table_strategy()) {
+        let tsv = table.to_tsv();
+        let back = ProfileTable::from_tsv(&tsv).expect("own output must parse");
+        prop_assert_eq!(table, back);
+    }
+
+    /// Vector accessors agree with the entries.
+    #[test]
+    fn vectors_match_entries(table in table_strategy()) {
+        let speedups = table.speedups();
+        let powers = table.powers();
+        prop_assert_eq!(speedups.len(), table.len());
+        for (i, e) in table.entries.iter().enumerate() {
+            prop_assert_eq!(speedups[i], e.speedup);
+            prop_assert_eq!(powers[i], e.power_w);
+            prop_assert_eq!(table.config(i), e.config);
+        }
+        prop_assert!(table.min_speedup() <= table.max_speedup());
+    }
+
+    /// Load-model output is always within the convex hull of its anchor
+    /// profiles, row by row.
+    #[test]
+    fn load_model_convex(
+        base_lo in 0.05f64..1.0,
+        base_hi in 0.05f64..1.0,
+        n in 2usize..20,
+        query in 0.0f64..0.5,
+    ) {
+        let mk = |base: f64, tilt: f64| ProfileTable {
+            app: "m".into(),
+            base_gips: base,
+            entries: (0..n)
+                .map(|i| ProfileEntry {
+                    config: Config {
+                        freq: FreqIndex(i % 18),
+                        bw: BwIndex(i % 13),
+                        gpu: None,
+                    },
+                    speedup: 1.0 + i as f64 * 0.3 + tilt,
+                    power_w: 1.0 + i as f64 * 0.2 + tilt,
+                    measured: true,
+                })
+                .collect(),
+        };
+        let lo = mk(base_lo, 0.0);
+        let hi = mk(base_hi, 0.5);
+        let model = LoadModel::new(vec![
+            (LoadSignature { cpu_util: 0.05, traffic_mbps: 0.0 }, lo.clone()),
+            (LoadSignature { cpu_util: 0.30, traffic_mbps: 0.0 }, hi.clone()),
+        ])
+        .unwrap();
+        let out = model.table_for(&LoadSignature { cpu_util: query, traffic_mbps: 0.0 });
+        for ((o, l), h) in out.entries.iter().zip(&lo.entries).zip(&hi.entries) {
+            let (smin, smax) = (l.speedup.min(h.speedup), l.speedup.max(h.speedup));
+            prop_assert!(o.speedup >= smin - 1e-9 && o.speedup <= smax + 1e-9);
+            let (pmin, pmax) = (l.power_w.min(h.power_w), l.power_w.max(h.power_w));
+            prop_assert!(o.power_w >= pmin - 1e-9 && o.power_w <= pmax + 1e-9);
+        }
+        let (bmin, bmax) = (base_lo.min(base_hi), base_lo.max(base_hi));
+        prop_assert!(out.base_gips >= bmin - 1e-9 && out.base_gips <= bmax + 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! A simple battery drain model.
+//!
+//! The paper's motivation is battery life: energy (not power) correlates
+//! with it. The battery integrates true (noise-free) device power and
+//! reports remaining charge, letting examples demonstrate battery-life
+//! extensions from energy savings.
+
+/// Battery with a fixed energy capacity, drained by the device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    capacity_j: f64,
+    drained_j: f64,
+}
+
+impl Battery {
+    /// A battery holding `capacity_j` joules. The Nexus 6 ships a
+    /// 3220 mAh / 3.8 V pack ≈ 44 kJ; see [`Battery::nexus6`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_j` is not positive.
+    pub fn new(capacity_j: f64) -> Self {
+        assert!(capacity_j > 0.0, "battery capacity must be positive");
+        Self {
+            capacity_j,
+            drained_j: 0.0,
+        }
+    }
+
+    /// The Nexus 6 battery (3220 mAh at 3.8 V nominal ≈ 44 050 J).
+    pub fn nexus6() -> Self {
+        Self::new(3.220 * 3.8 * 3600.0)
+    }
+
+    /// Drain `joules` of charge (saturates at empty).
+    pub fn drain(&mut self, joules: f64) {
+        debug_assert!(joules >= 0.0);
+        self.drained_j = (self.drained_j + joules).min(self.capacity_j);
+    }
+
+    /// Total capacity, joules.
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Energy drained so far, joules.
+    pub fn drained_j(&self) -> f64 {
+        self.drained_j
+    }
+
+    /// Remaining charge, joules.
+    pub fn remaining_j(&self) -> f64 {
+        self.capacity_j - self.drained_j
+    }
+
+    /// State of charge in [0, 1].
+    pub fn soc(&self) -> f64 {
+        self.remaining_j() / self.capacity_j
+    }
+
+    /// Is the battery empty?
+    pub fn empty(&self) -> bool {
+        self.remaining_j() <= 0.0
+    }
+}
+
+impl Default for Battery {
+    fn default() -> Self {
+        Self::nexus6()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nexus6_capacity_is_about_44_kj() {
+        let b = Battery::nexus6();
+        assert!((b.capacity_j() - 44050.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn drain_reduces_soc() {
+        let mut b = Battery::new(100.0);
+        assert_eq!(b.soc(), 1.0);
+        b.drain(25.0);
+        assert_eq!(b.remaining_j(), 75.0);
+        assert!((b.soc() - 0.75).abs() < 1e-12);
+        assert!(!b.empty());
+    }
+
+    #[test]
+    fn drain_saturates_at_empty() {
+        let mut b = Battery::new(10.0);
+        b.drain(25.0);
+        assert_eq!(b.remaining_j(), 0.0);
+        assert!(b.empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Battery::new(0.0);
+    }
+}

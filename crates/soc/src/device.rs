@@ -1,0 +1,897 @@
+//! The simulated device: clock, CPU, memory bus, counters and actuation.
+//!
+//! [`Device`] advances in 1 ms ticks. Each tick it takes the foreground
+//! application's [`Demand`], runs the roofline performance model at the
+//! current (frequency, bandwidth) operating point, retires instructions
+//! into the [`Pmu`], computes whole-device power through the
+//! [`PowerModel`] and integrates it in the [`PowerMonitor`] and
+//! [`Battery`].
+//!
+//! Governors and controllers actuate the device either through the
+//! in-kernel driver interface ([`Device::set_cpu_freq`] /
+//! [`Device::set_mem_bw`]) or through the virtual sysfs tree
+//! ([`Device::sysfs_write`]), which enforces the Linux rule that
+//! `scaling_setspeed` only works under the `userspace` governor.
+
+use crate::battery::Battery;
+use crate::dvfs::{BwIndex, DvfsTable, FreqIndex};
+use crate::gpu::{Gpu, GpuFreqIndex};
+use crate::net::{NetRateIndex, Radio};
+use crate::monitor::PowerMonitor;
+use crate::pmu::Pmu;
+use crate::power::{PowerBreakdown, PowerModel, PowerModelParams};
+use crate::trace::{Trace, TraceEvent};
+use crate::workload::{Demand, Executed};
+
+/// Duration of one simulation tick, milliseconds.
+pub const TICK_MS: u64 = 1;
+
+/// Energy charged per DVFS transition (driver + PLL relock), joules.
+/// The paper reports ~14 mW of actuation power at the controller's
+/// 200 ms-minimum switching cadence, i.e. ≈ 2.8 mJ per switch.
+const TRANSITION_ENERGY_J: f64 = 2.8e-3;
+
+/// Construction-time parameters of a [`Device`].
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// DVFS operating points.
+    pub table: DvfsTable,
+    /// Power model constants.
+    pub power: PowerModelParams,
+    /// Monsoon measurement noise, watts (σ).
+    pub monitor_noise_w: f64,
+    /// Number of online cores. `mpdecision` (hotplugging) is disabled in
+    /// the paper's experiments, so all four Krait cores stay online.
+    pub online_cores: f64,
+    /// RNG seed for measurement noise.
+    pub seed: u64,
+    /// Fraction of memory-stall time the core overlaps with useful
+    /// compute (0 = fully serialized, 1 = perfect overlap). Out-of-order
+    /// Krait cores hide most but not all memory latency.
+    pub mem_overlap: f64,
+    /// Enable cpuidle-style deep sleep: idle core time sheds this
+    /// fraction of CPU leakage (§I lists "greedily entering low power
+    /// states" alongside DVFS; the paper's experiments leave it to the
+    /// kernel, so the Table III calibration keeps it off — enable it
+    /// for the corresponding ablation).
+    pub cpuidle_leak_reduction: f64,
+}
+
+impl DeviceConfig {
+    /// The Nexus 6 configuration used throughout the paper.
+    pub fn nexus6() -> Self {
+        Self {
+            table: DvfsTable::nexus6(),
+            power: PowerModelParams::nexus6(),
+            monitor_noise_w: 0.004,
+            online_cores: 4.0,
+            seed: 0x6e657875, // "nexu"
+            mem_overlap: 0.7,
+            cpuidle_leak_reduction: 0.0,
+        }
+    }
+
+    /// Same device, different noise seed (for averaging over runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::nexus6()
+    }
+}
+
+/// What happened during one tick (returned to the harness and forwarded
+/// to the workload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickOutcome {
+    /// Foreground execution results.
+    pub executed: Executed,
+    /// Power breakdown for the tick.
+    pub power: PowerBreakdown,
+}
+
+/// Cumulative statistics snapshot (see [`Device::stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceStats {
+    /// Simulation time, ms.
+    pub elapsed_ms: u64,
+    /// Measured (Monsoon) energy, joules.
+    pub energy_j: f64,
+    /// Measured average power, watts.
+    pub avg_power_w: f64,
+    /// Retired foreground instructions.
+    pub instructions: f64,
+    /// Average foreground performance over the window, GIPS.
+    pub avg_gips: f64,
+    /// Milliseconds spent at each CPU frequency index.
+    pub time_in_freq_ms: Vec<u64>,
+    /// Milliseconds spent at each bandwidth index.
+    pub time_in_bw_ms: Vec<u64>,
+    /// Number of CPU frequency transitions.
+    pub freq_transitions: u64,
+    /// Number of bandwidth transitions.
+    pub bw_transitions: u64,
+}
+
+impl DeviceStats {
+    /// Fraction of time spent at each CPU frequency (sums to 1).
+    pub fn freq_histogram(&self) -> Vec<f64> {
+        normalize(&self.time_in_freq_ms)
+    }
+
+    /// Fraction of time spent at each bandwidth (sums to 1).
+    pub fn bw_histogram(&self) -> Vec<f64> {
+        normalize(&self.time_in_bw_ms)
+    }
+}
+
+fn normalize(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+/// The simulated mobile device. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use asgov_soc::{Device, DeviceConfig, Demand, FreqIndex};
+///
+/// let mut device = Device::new(DeviceConfig::nexus6());
+/// device.set_cpu_governor("userspace");
+/// device.set_cpu_freq(FreqIndex(9)); // the paper's f10, 1.4976 GHz
+/// let out = device.tick(&Demand {
+///     ipc0: 1.5,
+///     desired_gips: Some(0.3),
+///     active_cores: 2.0,
+///     ..Demand::default()
+/// });
+/// assert!((out.executed.gips - 0.3).abs() < 1e-9);
+/// assert!(out.power.total_w() > 0.8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Device {
+    table: DvfsTable,
+    power_model: PowerModel,
+    online_cores: f64,
+    mem_overlap: f64,
+    cpuidle_leak_reduction: f64,
+    now_ms: u64,
+    freq: FreqIndex,
+    bw: BwIndex,
+    cpu_governor: String,
+    bw_governor: String,
+    gpu: Gpu,
+    radio: Radio,
+    pmu: Pmu,
+    monitor: PowerMonitor,
+    battery: Battery,
+    // cumulative signals governors sample and difference
+    busy_core_ms: f64,
+    busy_ms: f64,
+    bg_util_ms: f64,
+    bg_traffic_mb: f64,
+    // statistics
+    stats_start_ms: u64,
+    instr_at_stats_start: f64,
+    time_in_freq_ms: Vec<u64>,
+    time_in_bw_ms: Vec<u64>,
+    freq_transitions: u64,
+    bw_transitions: u64,
+    pending_transition_energy_j: f64,
+    last_touch_ms: Option<u64>,
+    last_busy_frac: f64,
+    tool_load: f64,
+    tool_power_w: f64,
+    trace: Trace,
+}
+
+impl Device {
+    /// Create a device in its boot state: lowest frequency and bandwidth,
+    /// `interactive` + `cpubw_hwmon` governors selected.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        let nf = cfg.table.num_freqs();
+        let nb = cfg.table.num_bws();
+        Self {
+            power_model: PowerModel::new(cfg.power),
+            online_cores: cfg.online_cores,
+            mem_overlap: cfg.mem_overlap.clamp(0.0, 1.0),
+            cpuidle_leak_reduction: cfg.cpuidle_leak_reduction.clamp(0.0, 1.0),
+            now_ms: 0,
+            freq: FreqIndex(0),
+            bw: BwIndex(0),
+            cpu_governor: "interactive".to_string(),
+            bw_governor: "cpubw_hwmon".to_string(),
+            gpu: Gpu::adreno420(),
+            radio: Radio::wifi(),
+            pmu: Pmu::new(),
+            monitor: PowerMonitor::new(cfg.monitor_noise_w, cfg.seed),
+            battery: Battery::nexus6(),
+            busy_core_ms: 0.0,
+            busy_ms: 0.0,
+            bg_util_ms: 0.0,
+            bg_traffic_mb: 0.0,
+            stats_start_ms: 0,
+            instr_at_stats_start: 0.0,
+            time_in_freq_ms: vec![0; nf],
+            time_in_bw_ms: vec![0; nb],
+            freq_transitions: 0,
+            bw_transitions: 0,
+            pending_transition_energy_j: 0.0,
+            last_touch_ms: None,
+            last_busy_frac: 0.0,
+            tool_load: 0.0,
+            tool_power_w: 0.0,
+            trace: Trace::default(),
+            table: cfg.table,
+        }
+    }
+
+    // ---- observation -------------------------------------------------
+
+    /// Current simulation time, ms.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// The DVFS table.
+    pub fn table(&self) -> &DvfsTable {
+        &self.table
+    }
+
+    /// Current CPU frequency index.
+    pub fn freq(&self) -> FreqIndex {
+        self.freq
+    }
+
+    /// Current memory bandwidth index.
+    pub fn bw(&self) -> BwIndex {
+        self.bw
+    }
+
+    /// The PMU counters.
+    pub fn pmu(&self) -> &Pmu {
+        &self.pmu
+    }
+
+    /// The GPU.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// The network radio.
+    pub fn radio(&self) -> &Radio {
+        &self.radio
+    }
+
+    /// Set the radio's packet service rate (paper §VII network axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of the ladder's range.
+    pub fn set_net_rate(&mut self, idx: NetRateIndex) {
+        self.radio.set_rate(idx);
+    }
+
+    /// The power monitor.
+    pub fn monitor(&self) -> &PowerMonitor {
+        &self.monitor
+    }
+
+    /// Mutable access to the power monitor (enable tracing, reset).
+    pub fn monitor_mut(&mut self) -> &mut PowerMonitor {
+        &mut self.monitor
+    }
+
+    /// The battery.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// The event trace (disabled by default; see [`Device::trace_mut`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the event trace (enable, clear, export).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Number of online cores (all four unless hotplugging changed it).
+    pub fn online_cores(&self) -> f64 {
+        self.online_cores
+    }
+
+    /// Set the number of online cores (the `mpdecision` hotplug path).
+    /// The paper disables hotplugging during its experiments because it
+    /// perturbs measurements; it is available here for the same ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1.0 ≤ cores ≤ 4.0`.
+    pub fn set_online_cores(&mut self, cores: f64) {
+        assert!(
+            (1.0..=4.0).contains(&cores),
+            "online cores must be within 1..=4"
+        );
+        self.online_cores = cores;
+    }
+
+    /// Cumulative busy core-milliseconds (for load computation by
+    /// sampling governors; analogous to `/proc/stat` busy time).
+    pub fn busy_core_ms(&self) -> f64 {
+        self.busy_core_ms
+    }
+
+    /// Cumulative busy milliseconds (time any runnable work occupied the
+    /// CPU, memory stalls included) — the utilization signal sampled by
+    /// load-based governors such as `interactive` and `ondemand`.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+
+    /// Cumulative background-thread utilization, util·ms (the per-task
+    /// accounting a controller can read from `/proc` to estimate the
+    /// background load — paper §V-C envisions load-adaptive profiles).
+    pub fn bg_util_ms(&self) -> f64 {
+        self.bg_util_ms
+    }
+
+    /// Cumulative background bus traffic, MB.
+    pub fn bg_traffic_mb(&self) -> f64 {
+        self.bg_traffic_mb
+    }
+
+    /// CPU busy fraction of the most recent tick (0–1).
+    pub fn last_busy_frac(&self) -> f64 {
+        self.last_busy_frac
+    }
+
+    /// Time of the most recent touch event, if any.
+    pub fn last_touch_ms(&self) -> Option<u64> {
+        self.last_touch_ms
+    }
+
+    /// Currently selected cpufreq governor name.
+    pub fn cpu_governor(&self) -> &str {
+        &self.cpu_governor
+    }
+
+    /// Currently selected devfreq (memory bus) governor name.
+    pub fn bw_governor(&self) -> &str {
+        &self.bw_governor
+    }
+
+    // ---- actuation (in-kernel driver path) ----------------------------
+
+    /// Set the CPU frequency (all four cores — the paper pins them to a
+    /// common frequency). This is the in-kernel driver path used by
+    /// governor implementations; user-space code should go through
+    /// [`Device::sysfs_write`] instead.
+    pub fn set_cpu_freq(&mut self, idx: FreqIndex) {
+        assert!(idx.0 < self.table.num_freqs(), "frequency index out of range");
+        if idx != self.freq {
+            self.trace
+                .record(self.now_ms, TraceEvent::CpuFreq(self.freq.0, idx.0));
+            self.freq = idx;
+            self.freq_transitions += 1;
+            self.pending_transition_energy_j += TRANSITION_ENERGY_J;
+        }
+    }
+
+    /// Set the GPU frequency. In-kernel driver path (the kgsl driver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of the GPU ladder's range.
+    pub fn set_gpu_freq(&mut self, idx: GpuFreqIndex) {
+        if idx != self.gpu.freq() {
+            self.trace
+                .record(self.now_ms, TraceEvent::GpuFreq(self.gpu.freq().0, idx.0));
+            self.gpu.set_freq(idx);
+            self.pending_transition_energy_j += TRANSITION_ENERGY_J;
+        }
+    }
+
+    /// Select the GPU devfreq governor.
+    pub fn set_gpu_governor(&mut self, name: &str) {
+        self.gpu.set_governor(name);
+    }
+
+    /// Set the memory-bus bandwidth. In-kernel driver path.
+    pub fn set_mem_bw(&mut self, idx: BwIndex) {
+        assert!(idx.0 < self.table.num_bws(), "bandwidth index out of range");
+        if idx != self.bw {
+            self.trace
+                .record(self.now_ms, TraceEvent::MemBw(self.bw.0, idx.0));
+            self.bw = idx;
+            self.bw_transitions += 1;
+            self.pending_transition_energy_j += TRANSITION_ENERGY_J;
+        }
+    }
+
+    /// Select the cpufreq governor (kernel path; sysfs writes route here).
+    pub fn set_cpu_governor(&mut self, name: &str) {
+        self.trace.record(
+            self.now_ms,
+            TraceEvent::Governor {
+                subsystem: "cpufreq",
+                name: name.to_string(),
+            },
+        );
+        self.cpu_governor = name.to_string();
+        match name {
+            "performance" => self.set_cpu_freq(self.table.max_freq()),
+            "powersave" => self.set_cpu_freq(self.table.min_freq()),
+            _ => {}
+        }
+    }
+
+    /// Select the devfreq governor (kernel path; sysfs writes route here).
+    pub fn set_bw_governor(&mut self, name: &str) {
+        self.trace.record(
+            self.now_ms,
+            TraceEvent::Governor {
+                subsystem: "devfreq",
+                name: name.to_string(),
+            },
+        );
+        self.bw_governor = name.to_string();
+        match name {
+            "performance" => self.set_mem_bw(self.table.max_bw()),
+            "powersave" => self.set_mem_bw(self.table.min_bw()),
+            _ => {}
+        }
+    }
+
+    /// Inject measurement-tool CPU load and power (models the `perf`
+    /// overhead: 40 % at a 100 ms sampling period, 4 % at 1 s, 15 mW).
+    pub fn set_tool_overhead(&mut self, load: f64, power_w: f64) {
+        self.tool_load = load.clamp(0.0, 1.0);
+        self.tool_power_w = power_w.max(0.0);
+    }
+
+    // ---- statistics ----------------------------------------------------
+
+    /// Snapshot of cumulative statistics since the last
+    /// [`Device::reset_stats`].
+    pub fn stats(&self) -> DeviceStats {
+        let elapsed_ms = self.now_ms - self.stats_start_ms;
+        let instructions = self.pmu.instructions() - self.instr_at_stats_start;
+        let avg_gips = if elapsed_ms == 0 {
+            0.0
+        } else {
+            instructions / (elapsed_ms as f64 * 1e-3) / 1e9
+        };
+        DeviceStats {
+            elapsed_ms,
+            energy_j: self.monitor.energy_j(),
+            avg_power_w: self.monitor.average_power_w(),
+            instructions,
+            avg_gips,
+            time_in_freq_ms: self.time_in_freq_ms.clone(),
+            time_in_bw_ms: self.time_in_bw_ms.clone(),
+            freq_transitions: self.freq_transitions,
+            bw_transitions: self.bw_transitions,
+        }
+    }
+
+    /// Reset statistics (histograms, energy integrator, transition
+    /// counters) without touching device state.
+    pub fn reset_stats(&mut self) {
+        self.gpu.reset_stats();
+        self.stats_start_ms = self.now_ms;
+        self.instr_at_stats_start = self.pmu.instructions();
+        self.time_in_freq_ms.iter_mut().for_each(|c| *c = 0);
+        self.time_in_bw_ms.iter_mut().for_each(|c| *c = 0);
+        self.freq_transitions = 0;
+        self.bw_transitions = 0;
+        self.monitor.reset();
+    }
+
+    // ---- execution -----------------------------------------------------
+
+    /// Execute one 1 ms tick under the given foreground demand.
+    pub fn tick(&mut self, demand: &Demand) -> TickOutcome {
+        let dt_s = TICK_MS as f64 * 1e-3;
+        let f_hz = self.table.freq(self.freq).hz();
+        let bw_bps = self.table.bw(self.bw).bytes_per_sec();
+
+        // --- contention: background + tool activity steal core time and
+        // bus bandwidth from the foreground application.
+        let stolen_util = (demand.bg.cpu_util + self.tool_load).min(0.9);
+        let cores_avail = (self.online_cores * (1.0 - stolen_util)).max(0.1);
+        let fg_cores = demand.active_cores.clamp(0.0, cores_avail);
+        let bg_traffic_bps = demand.bg.traffic_mbps * 1e6;
+        // Bus arbitration guarantees the foreground a minimum share.
+        let bus_avail_bps = (bw_bps - bg_traffic_bps).max(0.4 * bw_bps);
+
+        // --- roofline performance model.
+        let ips_cpu = demand.ipc0 * fg_cores * f_hz;
+        let ips_mem = if demand.bytes_per_instr > 0.0 {
+            bus_avail_bps / demand.bytes_per_instr
+        } else {
+            f64::INFINITY
+        };
+        // Partial-overlap roofline: a fraction `mem_overlap` of memory
+        // stall time hides under compute.
+        let ips_hw = if ips_cpu <= 0.0 {
+            0.0
+        } else if ips_mem.is_finite() && ips_mem > 0.0 {
+            1.0 / (1.0 / ips_cpu + (1.0 - self.mem_overlap) / ips_mem)
+        } else {
+            ips_cpu
+        };
+        // GPU-bound throttling: when the GPU cannot keep up with the
+        // demanded render work, the render thread blocks on the fence
+        // and CPU-side throughput scales down with it.
+        let ips_cpu_side = ips_hw;
+        let (gpu_fraction, gpu_power_w) = self.gpu.tick(demand.gpu_work);
+        // Network-bound throttling: coalesced packets delay
+        // network-paced work the same way GPU fences delay render work.
+        let (net_fraction, net_power_w) = self.radio.tick(demand.net_pps);
+        let ips_hw = ips_hw * gpu_fraction * net_fraction;
+        let ips_capped = match demand.gips_cap {
+            Some(cap) => ips_hw.min(cap * 1e9),
+            None => ips_hw,
+        };
+        let ips_run = match demand.desired_gips {
+            Some(want) => ips_capped.min(want.max(0.0) * 1e9),
+            None => ips_capped,
+        };
+
+        let instructions = ips_run * dt_s;
+        // Fraction of the tick the foreground app occupies the CPU
+        // (memory stalls count as busy time, as cpufreq sees them).
+        // When the pipeline cap binds: a dependency-stalled pipeline
+        // (`cap_busy`) still occupies the cores; an I/O- or
+        // hardware-wait lets them idle. GPU waits always idle the CPU.
+        let busy_denominator = if demand.cap_busy {
+            ips_capped
+        } else {
+            ips_cpu_side
+        };
+        let fg_busy = if busy_denominator > 0.0 {
+            (ips_run / busy_denominator).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let busy_frac = (fg_busy + stolen_util).clamp(0.0, 1.0);
+        let fg_busy_cores = fg_busy * fg_cores;
+        let busy_cores =
+            (fg_busy_cores + stolen_util * self.online_cores).min(self.online_cores);
+
+        // The bus physically cannot carry more than its configured
+        // bandwidth, whatever the overlap model credits the cores with.
+        let fg_traffic_bps = (instructions * demand.bytes_per_instr / dt_s).min(bus_avail_bps);
+        let traffic_mbps = (fg_traffic_bps + bg_traffic_bps) / 1e6;
+
+        // --- accounting.
+        let cycles = fg_busy_cores * f_hz * dt_s;
+        self.pmu
+            .record(instructions, cycles, (fg_traffic_bps + bg_traffic_bps) * dt_s);
+        self.busy_core_ms += busy_cores * TICK_MS as f64;
+        self.busy_ms += busy_frac * TICK_MS as f64;
+        self.bg_util_ms += demand.bg.cpu_util * TICK_MS as f64;
+        self.bg_traffic_mb += demand.bg.traffic_mbps * dt_s;
+
+        // --- power. With cpuidle enabled, idle core time sheds part of
+        // its leakage (deep C-states power-gate the core).
+        let idle_cores = (self.online_cores - busy_cores).max(0.0);
+        let effective_cores =
+            self.online_cores - idle_cores * self.cpuidle_leak_reduction;
+        let mut power = self.power_model.power(
+            &self.table,
+            self.freq,
+            self.bw,
+            effective_cores,
+            busy_cores,
+            traffic_mbps,
+            demand.extra_power_w + self.tool_power_w,
+            demand.bg.power_w,
+        );
+        power.gpu_w = gpu_power_w;
+        power.extra_w += net_power_w;
+        if self.pending_transition_energy_j > 0.0 {
+            power.extra_w += self.pending_transition_energy_j / dt_s;
+            self.pending_transition_energy_j = 0.0;
+        }
+        let total_w = power.total_w();
+        self.monitor.record(self.now_ms, total_w);
+        self.battery.drain(total_w * dt_s);
+
+        // --- statistics.
+        self.time_in_freq_ms[self.freq.0] += TICK_MS;
+        self.time_in_bw_ms[self.bw.0] += TICK_MS;
+        if demand.touch {
+            self.last_touch_ms = Some(self.now_ms);
+        }
+        self.last_busy_frac = busy_frac;
+        self.now_ms += TICK_MS;
+
+        TickOutcome {
+            executed: Executed {
+                instructions,
+                gips: ips_run / 1e9,
+                busy_frac,
+                traffic_mb: traffic_mbps * dt_s,
+            },
+            power,
+        }
+    }
+
+    // ---- sysfs ----------------------------------------------------------
+
+    /// Read a virtual sysfs file. See [`crate::sysfs`] for the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SocError::NoSuchFile`] for unknown paths.
+    pub fn sysfs_read(&self, path: &str) -> Result<String, crate::SocError> {
+        crate::sysfs::read(self, path)
+    }
+
+    /// Write a virtual sysfs file. See [`crate::sysfs`] for the tree and
+    /// its semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SocError`] for unknown paths, read-only files,
+    /// unparsable values, or `scaling_setspeed` writes while the active
+    /// governor is not `userspace`.
+    pub fn sysfs_write(&mut self, path: &str, value: &str) -> Result<(), crate::SocError> {
+        crate::sysfs::write(self, path, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::BackgroundDemand;
+
+    fn quiet_device() -> Device {
+        let mut cfg = DeviceConfig::nexus6();
+        cfg.monitor_noise_w = 0.0;
+        Device::new(cfg)
+    }
+
+    fn cpu_demand(gips: f64) -> Demand {
+        Demand {
+            ipc0: 1.5,
+            bytes_per_instr: 0.5,
+            desired_gips: Some(gips),
+            active_cores: 2.0,
+            ..Demand::default()
+        }
+    }
+
+    #[test]
+    fn boot_state_is_lowest_config() {
+        let d = quiet_device();
+        assert_eq!(d.freq(), FreqIndex(0));
+        assert_eq!(d.bw(), BwIndex(0));
+        assert_eq!(d.cpu_governor(), "interactive");
+        assert_eq!(d.bw_governor(), "cpubw_hwmon");
+    }
+
+    #[test]
+    fn tick_advances_time_and_counts() {
+        let mut d = quiet_device();
+        let out = d.tick(&cpu_demand(0.2));
+        assert_eq!(d.now_ms(), 1);
+        assert!(out.executed.instructions > 0.0);
+        assert!(d.pmu().instructions() > 0.0);
+        assert!(d.monitor().energy_j() > 0.0);
+    }
+
+    #[test]
+    fn higher_frequency_executes_faster_for_compute_bound() {
+        let mut d = quiet_device();
+        // Unbounded batch demand, compute bound.
+        let demand = Demand {
+            ipc0: 1.5,
+            bytes_per_instr: 0.05,
+            desired_gips: None,
+            active_cores: 2.0,
+            ..Demand::default()
+        };
+        let low = d.tick(&demand).executed.gips;
+        d.set_cpu_freq(FreqIndex(17));
+        let high = d.tick(&demand).executed.gips;
+        assert!(
+            high > low * 4.0,
+            "compute-bound work should scale strongly with frequency ({low} -> {high})"
+        );
+    }
+
+    #[test]
+    fn memory_bound_work_saturates_with_frequency() {
+        let mut d = quiet_device();
+        let demand = Demand {
+            ipc0: 1.5,
+            bytes_per_instr: 16.0, // heavily memory bound at bw1 = 762 MBps
+            desired_gips: None,
+            active_cores: 4.0,
+            ..Demand::default()
+        };
+        d.set_cpu_freq(FreqIndex(9));
+        let mid = d.tick(&demand).executed.gips;
+        d.set_cpu_freq(FreqIndex(17));
+        let high = d.tick(&demand).executed.gips;
+        assert!(
+            high < mid * 1.3,
+            "memory-bound work should barely scale with frequency ({mid} -> {high})"
+        );
+        // ... but scales with bandwidth.
+        d.set_mem_bw(BwIndex(12));
+        let high_bw = d.tick(&demand).executed.gips;
+        assert!(high_bw > high * 2.0);
+    }
+
+    #[test]
+    fn gips_cap_limits_execution() {
+        let mut d = quiet_device();
+        d.set_cpu_freq(FreqIndex(17));
+        d.set_mem_bw(BwIndex(12));
+        let demand = Demand {
+            ipc0: 2.0,
+            bytes_per_instr: 0.5,
+            gips_cap: Some(0.3),
+            desired_gips: None,
+            active_cores: 4.0,
+            ..Demand::default()
+        };
+        let out = d.tick(&demand);
+        assert!((out.executed.gips - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_limited_app_reduces_busy_fraction_at_high_freq() {
+        let mut d = quiet_device();
+        let demand = cpu_demand(0.3);
+        d.set_cpu_freq(FreqIndex(0));
+        let low = d.tick(&demand).executed.busy_frac;
+        d.set_cpu_freq(FreqIndex(17));
+        let high = d.tick(&demand).executed.busy_frac;
+        assert!(
+            high < low,
+            "same work rate should be less busy at high frequency ({low} vs {high})"
+        );
+    }
+
+    #[test]
+    fn background_load_steals_throughput() {
+        let mut d = quiet_device();
+        let mut demand = Demand {
+            ipc0: 1.5,
+            bytes_per_instr: 0.5,
+            desired_gips: None,
+            active_cores: 4.0,
+            ..Demand::default()
+        };
+        let clean = d.tick(&demand).executed.gips;
+        demand.bg = BackgroundDemand {
+            cpu_util: 0.5,
+            traffic_mbps: 300.0,
+            power_w: 0.1,
+        };
+        let loaded = d.tick(&demand).executed.gips;
+        assert!(loaded < clean);
+    }
+
+    #[test]
+    fn transitions_counted_and_cost_energy() {
+        let mut d = quiet_device();
+        let base = {
+            let mut d2 = quiet_device();
+            d2.tick(&cpu_demand(0.1));
+            d2.monitor().energy_j()
+        };
+        d.set_cpu_freq(FreqIndex(5));
+        d.set_cpu_freq(FreqIndex(5)); // no-op, same freq
+        assert_eq!(d.stats().freq_transitions, 1);
+        d.set_mem_bw(BwIndex(3));
+        assert_eq!(d.stats().bw_transitions, 1);
+        d.set_cpu_freq(FreqIndex(0));
+        d.set_mem_bw(BwIndex(0));
+        d.tick(&cpu_demand(0.1));
+        assert!(d.monitor().energy_j() > base, "transition energy charged");
+    }
+
+    #[test]
+    fn governor_performance_pins_max() {
+        let mut d = quiet_device();
+        d.set_cpu_governor("performance");
+        assert_eq!(d.freq(), FreqIndex(17));
+        d.set_bw_governor("performance");
+        assert_eq!(d.bw(), BwIndex(12));
+        d.set_cpu_governor("powersave");
+        assert_eq!(d.freq(), FreqIndex(0));
+    }
+
+    #[test]
+    fn stats_reset_zeroes_histograms() {
+        let mut d = quiet_device();
+        for _ in 0..10 {
+            d.tick(&cpu_demand(0.1));
+        }
+        assert_eq!(d.stats().elapsed_ms, 10);
+        d.reset_stats();
+        let s = d.stats();
+        assert_eq!(s.elapsed_ms, 0);
+        assert_eq!(s.energy_j, 0.0);
+        assert!(s.time_in_freq_ms.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn histogram_mass_sums_to_one() {
+        let mut d = quiet_device();
+        for i in 0..100u64 {
+            if i == 50 {
+                d.set_cpu_freq(FreqIndex(9));
+            }
+            d.tick(&cpu_demand(0.1));
+        }
+        let h = d.stats().freq_histogram();
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((h[0] - 0.5).abs() < 1e-9);
+        assert!((h[9] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn touch_events_are_latched() {
+        let mut d = quiet_device();
+        let mut demand = cpu_demand(0.1);
+        d.tick(&demand);
+        assert_eq!(d.last_touch_ms(), None);
+        demand.touch = true;
+        d.tick(&demand);
+        assert_eq!(d.last_touch_ms(), Some(1));
+    }
+
+    #[test]
+    fn cpuidle_sheds_idle_leakage() {
+        let mut cfg = DeviceConfig::nexus6();
+        cfg.monitor_noise_w = 0.0;
+        let without = Device::new(cfg.clone()).tick(&Demand::idle()).power.total_w();
+        cfg.cpuidle_leak_reduction = 0.8;
+        let with = Device::new(cfg.clone()).tick(&Demand::idle()).power.total_w();
+        assert!(with < without, "idle power must drop: {without} -> {with}");
+        // Fully-busy power is unaffected.
+        let busy = Demand {
+            ipc0: 1.5,
+            bytes_per_instr: 0.1,
+            desired_gips: None,
+            active_cores: 4.0,
+            ..Demand::default()
+        };
+        let mut clean = Device::new({
+            let mut c = DeviceConfig::nexus6();
+            c.monitor_noise_w = 0.0;
+            c
+        });
+        let p_clean = clean.tick(&busy).power.total_w();
+        let mut idled = Device::new(cfg);
+        let p_idled = idled.tick(&busy).power.total_w();
+        assert!((p_clean - p_idled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tool_overhead_adds_load_and_power() {
+        let mut d = quiet_device();
+        let p0 = d.tick(&cpu_demand(0.0)).power.total_w();
+        d.set_tool_overhead(0.04, 0.015);
+        let out = d.tick(&cpu_demand(0.0));
+        assert!(out.power.total_w() > p0);
+        assert!(out.executed.busy_frac >= 0.04);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for the SoC substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by device operations (chiefly the virtual sysfs tree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocError {
+    /// The sysfs path does not exist.
+    NoSuchFile(String),
+    /// The sysfs file exists but is read-only.
+    ReadOnly(String),
+    /// The value written could not be parsed or is not a supported
+    /// operating point.
+    InvalidValue {
+        /// Path written to.
+        path: String,
+        /// The offending value.
+        value: String,
+    },
+    /// `scaling_setspeed` (or its devfreq analogue) was written while the
+    /// active governor is not `userspace` — the kernel rejects this.
+    WrongGovernor {
+        /// Path written to.
+        path: String,
+        /// The governor that is currently active.
+        active: String,
+    },
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::NoSuchFile(p) => write!(f, "no such sysfs file: {p}"),
+            SocError::ReadOnly(p) => write!(f, "sysfs file is read-only: {p}"),
+            SocError::InvalidValue { path, value } => {
+                write!(f, "invalid value {value:?} written to {path}")
+            }
+            SocError::WrongGovernor { path, active } => write!(
+                f,
+                "cannot write {path}: active governor is {active:?}, not \"userspace\""
+            ),
+        }
+    }
+}
+
+impl Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SocError::NoSuchFile("/sys/foo".into());
+        assert!(e.to_string().contains("/sys/foo"));
+        let e = SocError::WrongGovernor {
+            path: "x".into(),
+            active: "interactive".into(),
+        };
+        assert!(e.to_string().contains("interactive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SocError>();
+    }
+}

@@ -1,0 +1,219 @@
+//! GPU model (Adreno 420) — the paper's first "future work" axis
+//! (§VII: "include GPU frequencies … into the control system
+//! framework").
+//!
+//! The GPU renders the frames games demand. Its operating point scales
+//! like the CPU's: utilization-dependent dynamic power on a voltage
+//! ladder, plus a rate limit — a GPU-bound application cannot render
+//! faster than the GPU executes, which caps its CPU-side instruction
+//! rate too (the render thread blocks on the GPU fence).
+
+use serde::{Deserialize, Serialize};
+
+/// The Adreno 420 frequency ladder, GHz.
+pub const ADRENO420_FREQS_GHZ: [f64; 5] = [0.20, 0.30, 0.42, 0.50, 0.60];
+
+/// Index into the GPU frequency ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GpuFreqIndex(pub usize);
+
+impl std::fmt::Display for GpuFreqIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0 + 1)
+    }
+}
+
+/// The GPU: ladder, current operating point, and power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gpu {
+    freqs_ghz: Vec<f64>,
+    cur: GpuFreqIndex,
+    governor: String,
+    /// Dynamic power coefficient, W per (V² · GHz) at full utilization.
+    dyn_w_per_v2ghz: f64,
+    /// Leakage, W per volt.
+    leak_w_per_v: f64,
+    busy_ms: f64,
+    time_in_freq_ms: Vec<u64>,
+}
+
+impl Gpu {
+    /// An Adreno 420-like GPU.
+    pub fn adreno420() -> Self {
+        Self {
+            freqs_ghz: ADRENO420_FREQS_GHZ.to_vec(),
+            cur: GpuFreqIndex(0),
+            governor: "msm-adreno-tz".to_string(),
+            dyn_w_per_v2ghz: 1.6,
+            leak_w_per_v: 0.04,
+            busy_ms: 0.0,
+            time_in_freq_ms: vec![0; ADRENO420_FREQS_GHZ.len()],
+        }
+    }
+
+    /// Number of operating points.
+    pub fn num_freqs(&self) -> usize {
+        self.freqs_ghz.len()
+    }
+
+    /// Frequency at `idx`, GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn freq_ghz(&self, idx: GpuFreqIndex) -> f64 {
+        self.freqs_ghz[idx.0]
+    }
+
+    /// Voltage at `idx` (Adreno-like ladder).
+    pub fn voltage(&self, idx: GpuFreqIndex) -> f64 {
+        0.8 + 0.5 * self.freqs_ghz[idx.0]
+    }
+
+    /// Current operating point.
+    pub fn freq(&self) -> GpuFreqIndex {
+        self.cur
+    }
+
+    /// Set the operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_freq(&mut self, idx: GpuFreqIndex) {
+        assert!(idx.0 < self.freqs_ghz.len(), "gpu frequency out of range");
+        self.cur = idx;
+    }
+
+    /// Smallest index with frequency ≥ `ghz` (max index if beyond).
+    pub fn freq_at_least(&self, ghz: f64) -> GpuFreqIndex {
+        match self.freqs_ghz.iter().position(|&f| f >= ghz) {
+            Some(i) => GpuFreqIndex(i),
+            None => GpuFreqIndex(self.freqs_ghz.len() - 1),
+        }
+    }
+
+    /// Selected devfreq governor for the GPU.
+    pub fn governor(&self) -> &str {
+        &self.governor
+    }
+
+    /// Select the GPU governor.
+    pub fn set_governor(&mut self, name: &str) {
+        self.governor = name.to_string();
+        match name {
+            "performance" => self.cur = GpuFreqIndex(self.freqs_ghz.len() - 1),
+            "powersave" => self.cur = GpuFreqIndex(0),
+            _ => {}
+        }
+    }
+
+    /// Cumulative GPU busy time, ms (for the tz governor's load signal).
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+
+    /// Milliseconds spent at each operating point.
+    pub fn time_in_freq_ms(&self) -> &[u64] {
+        &self.time_in_freq_ms
+    }
+
+    /// Reset residency statistics.
+    pub fn reset_stats(&mut self) {
+        self.time_in_freq_ms.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Execute one tick: `gpu_work` is the render work demanded this
+    /// tick, expressed in GHz-equivalents of GPU time (0 = GPU idle).
+    /// Returns `(throughput_fraction, power_w)` where the fraction is
+    /// 1.0 when the GPU keeps up and < 1.0 when it is the bottleneck.
+    pub fn tick(&mut self, gpu_work: f64) -> (f64, f64) {
+        let f = self.freqs_ghz[self.cur.0];
+        let v = self.voltage(self.cur);
+        let util = if gpu_work <= 0.0 {
+            0.0
+        } else {
+            (gpu_work / f).min(1.0)
+        };
+        let fraction = if gpu_work <= f || gpu_work <= 0.0 {
+            1.0
+        } else {
+            f / gpu_work
+        };
+        self.busy_ms += util;
+        self.time_in_freq_ms[self.cur.0] += 1;
+        let power = self.leak_w_per_v * v + self.dyn_w_per_v2ghz * v * v * f * util;
+        (fraction, power)
+    }
+}
+
+impl Default for Gpu {
+    fn default() -> Self {
+        Self::adreno420()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_and_voltages_monotone() {
+        let g = Gpu::adreno420();
+        assert_eq!(g.num_freqs(), 5);
+        for i in 1..g.num_freqs() {
+            assert!(g.freq_ghz(GpuFreqIndex(i)) > g.freq_ghz(GpuFreqIndex(i - 1)));
+            assert!(g.voltage(GpuFreqIndex(i)) > g.voltage(GpuFreqIndex(i - 1)));
+        }
+    }
+
+    #[test]
+    fn keeps_up_when_fast_enough() {
+        let mut g = Gpu::adreno420();
+        g.set_freq(GpuFreqIndex(4)); // 600 MHz
+        let (fraction, power) = g.tick(0.3);
+        assert_eq!(fraction, 1.0);
+        assert!(power > 0.1, "busy GPU draws real power, got {power}");
+    }
+
+    #[test]
+    fn bottlenecks_when_too_slow() {
+        let mut g = Gpu::adreno420();
+        g.set_freq(GpuFreqIndex(0)); // 200 MHz
+        let (fraction, _) = g.tick(0.4);
+        assert!((fraction - 0.5).abs() < 1e-12, "200 MHz vs 0.4 GHz work");
+    }
+
+    #[test]
+    fn idle_gpu_draws_only_leakage() {
+        let mut g = Gpu::adreno420();
+        g.set_freq(GpuFreqIndex(4));
+        let (fraction, power) = g.tick(0.0);
+        assert_eq!(fraction, 1.0);
+        assert!(power < 0.06, "idle GPU draws ~leakage, got {power}");
+    }
+
+    #[test]
+    fn governor_pins() {
+        let mut g = Gpu::adreno420();
+        g.set_governor("performance");
+        assert_eq!(g.freq(), GpuFreqIndex(4));
+        g.set_governor("powersave");
+        assert_eq!(g.freq(), GpuFreqIndex(0));
+        g.set_governor("userspace");
+        assert_eq!(g.governor(), "userspace");
+    }
+
+    #[test]
+    fn residency_and_busy_accumulate() {
+        let mut g = Gpu::adreno420();
+        g.set_freq(GpuFreqIndex(2));
+        for _ in 0..10 {
+            g.tick(0.21); // half utilization at 0.42 GHz
+        }
+        assert_eq!(g.time_in_freq_ms()[2], 10);
+        assert!((g.busy_ms() - 5.0).abs() < 1e-9);
+        g.reset_stats();
+        assert_eq!(g.time_in_freq_ms()[2], 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! # asgov-soc — simulated mobile SoC substrate
+//!
+//! This crate models the hardware/OS substrate that the HPCA'17 paper
+//! *"Application-Specific Performance-Aware Energy Optimization on Android
+//! Mobile Devices"* ran on: a Nexus 6 smartphone with a Qualcomm
+//! Snapdragon 805 SoC (quad-core Krait 450 CPU with 18 DVFS frequencies,
+//! a memory bus with 13 bandwidth settings), a Monsoon power monitor and
+//! the Linux `cpufreq`/`devfreq` sysfs interface.
+//!
+//! Everything the online controller and the baseline governors observe or
+//! actuate goes through this crate:
+//!
+//! - [`DvfsTable`] — the exact frequency/bandwidth ladders of Table II of
+//!   the paper, plus a Krait-like voltage ladder.
+//! - [`Device`] — a discrete-time (1 ms tick) whole-device simulator with
+//!   a roofline performance model and a component-wise power model.
+//! - [`Pmu`] — per-core retired-instruction counters, read through
+//!   [`PerfReader`] which models the `perf` tool's sampling period,
+//!   computational overhead and measurement noise.
+//! - [`PowerMonitor`] — a Monsoon-style whole-device power sampler.
+//! - [`sysfs`] — a virtual `/sys` tree with the same write-to-actuate
+//!   semantics as Linux (`scaling_setspeed` only works under the
+//!   `userspace` governor).
+//! - [`Workload`] — the trait through which application models (see the
+//!   `asgov-workloads` crate) present per-tick instruction demand.
+//! - [`Policy`] — the trait through which governors and controllers
+//!   (see `asgov-governors` / `asgov-core`) are stepped by the
+//!   simulation harness in [`sim`].
+//!
+//! # Example
+//!
+//! ```
+//! use asgov_soc::{Device, DeviceConfig, ConstantWorkload, sim};
+//!
+//! let mut device = Device::new(DeviceConfig::nexus6());
+//! // A synthetic workload that always wants 1.5 GIPS of compute-heavy work.
+//! let mut app = ConstantWorkload::new("toy", 1.5, 1.4, 4.0);
+//! let report = sim::run(&mut device, &mut app, &mut [], 2_000);
+//! assert!(report.energy_j > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod battery;
+mod device;
+mod dvfs;
+mod error;
+pub mod gpu;
+mod monitor;
+pub mod net;
+mod perf;
+mod pmu;
+mod power;
+pub mod sim;
+pub mod sysfs;
+pub mod trace;
+mod workload;
+
+pub use battery::Battery;
+pub use device::{Device, DeviceConfig, DeviceStats, TickOutcome};
+pub use dvfs::{
+    BwIndex, CpuFreq, DvfsTable, FreqIndex, MemBw, NEXUS6_CPU_FREQS_GHZ, NEXUS6_MEM_BWS_MBPS,
+};
+pub use error::SocError;
+pub use gpu::{Gpu, GpuFreqIndex};
+pub use net::{NetRateIndex, Radio};
+pub use monitor::{PowerMonitor, PowerSample};
+pub use perf::{PerfReader, PerfReading};
+pub use pmu::Pmu;
+pub use trace::{Trace, TraceEvent, TraceRecord};
+pub use power::{PowerBreakdown, PowerModel, PowerModelParams};
+pub use workload::{BackgroundDemand, ConstantWorkload, Demand, Executed, Workload};
+
+/// Trait implemented by DVFS governors and by the online controller.
+///
+/// A policy is stepped once per simulated millisecond *after* the device
+/// has executed that tick. Policies keep their own notion of sampling
+/// cadence by inspecting [`Device::now_ms`]. Policies actuate either
+/// through the internal driver interface ([`Device::set_cpu_freq`],
+/// [`Device::set_mem_bw`]) — as in-kernel governors do — or through the
+/// virtual sysfs tree ([`Device::sysfs_write`]) as user-space controllers
+/// do.
+pub trait Policy {
+    /// Short human-readable policy name (e.g. `"interactive"`).
+    fn name(&self) -> &str;
+
+    /// Called once before the simulation starts.
+    fn start(&mut self, _device: &mut Device) {}
+
+    /// Called once per simulated millisecond, after the device tick.
+    fn tick(&mut self, device: &mut Device);
+
+    /// Called once after the simulation ends.
+    fn finish(&mut self, _device: &mut Device) {}
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn start(&mut self, device: &mut Device) {
+        (**self).start(device)
+    }
+    fn tick(&mut self, device: &mut Device) {
+        (**self).tick(device)
+    }
+    fn finish(&mut self, device: &mut Device) {
+        (**self).finish(device)
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for &mut P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn start(&mut self, device: &mut Device) {
+        (**self).start(device)
+    }
+    fn tick(&mut self, device: &mut Device) {
+        (**self).tick(device)
+    }
+    fn finish(&mut self, device: &mut Device) {
+        (**self).finish(device)
+    }
+}

@@ -1,0 +1,199 @@
+//! Event tracing: a bounded ring buffer of device state transitions.
+//!
+//! Disabled by default (zero overhead); when enabled, the device records
+//! every DVFS transition and governor change so experiments can inspect
+//! *when* decisions happened, not just the aggregate histograms. Dumps
+//! to CSV for offline analysis.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// CPU frequency changed (old index, new index).
+    CpuFreq(usize, usize),
+    /// Memory bandwidth changed (old index, new index).
+    MemBw(usize, usize),
+    /// GPU frequency changed (old index, new index).
+    GpuFreq(usize, usize),
+    /// A governor was (re)selected for a subsystem.
+    Governor {
+        /// `"cpufreq"`, `"devfreq"` or `"kgsl"`.
+        subsystem: &'static str,
+        /// The newly selected governor.
+        name: String,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::CpuFreq(a, b) => write!(f, "cpufreq,f{},f{}", a + 1, b + 1),
+            TraceEvent::MemBw(a, b) => write!(f, "membw,bw{},bw{}", a + 1, b + 1),
+            TraceEvent::GpuFreq(a, b) => write!(f, "gpufreq,g{},g{}", a + 1, b + 1),
+            TraceEvent::Governor { subsystem, name } => {
+                write!(f, "governor,{subsystem},{name}")
+            }
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time of the event, ms.
+    pub t_ms: u64,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// Bounded event trace. Oldest records are dropped once `capacity` is
+/// reached (with a counter of how many were lost).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace with room for `capacity` records once enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            records: VecDeque::new(),
+            capacity,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Enable or disable recording (records are kept either way).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Is recording enabled?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op while disabled).
+    pub fn record(&mut self, t_ms: u64, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { t_ms, event });
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records were evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clear all records (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+
+    /// Render as CSV (`t_ms,kind,from,to`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_ms,kind,from,to\n");
+        for r in &self.records {
+            out.push_str(&format!("{},{}\n", r.t_ms, r.event));
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(4);
+        t.record(0, TraceEvent::CpuFreq(0, 5));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_keeps_order() {
+        let mut t = Trace::new(4);
+        t.set_enabled(true);
+        t.record(1, TraceEvent::CpuFreq(0, 5));
+        t.record(2, TraceEvent::MemBw(0, 3));
+        let kinds: Vec<u64> = t.records().map(|r| r.t_ms).collect();
+        assert_eq!(kinds, vec![1, 2]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(2);
+        t.set_enabled(true);
+        for i in 0..5 {
+            t.record(i, TraceEvent::CpuFreq(0, 1));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.records().next().unwrap().t_ms, 3);
+    }
+
+    #[test]
+    fn csv_renders_paper_numbering() {
+        let mut t = Trace::new(8);
+        t.set_enabled(true);
+        t.record(10, TraceEvent::CpuFreq(0, 9));
+        t.record(20, TraceEvent::Governor {
+            subsystem: "cpufreq",
+            name: "userspace".into(),
+        });
+        let csv = t.to_csv();
+        assert!(csv.starts_with("t_ms,kind,from,to\n"));
+        assert!(csv.contains("10,cpufreq,f1,f10"));
+        assert!(csv.contains("20,governor,cpufreq,userspace"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::new(2);
+        t.set_enabled(true);
+        t.record(0, TraceEvent::GpuFreq(0, 1));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.is_enabled());
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the device model: energy accounting,
+//! roofline monotonicity, histogram conservation and sysfs semantics
+//! under random inputs.
+
+use asgov_soc::{sysfs, BwIndex, Demand, Device, DeviceConfig, FreqIndex};
+use proptest::prelude::*;
+
+fn quiet() -> DeviceConfig {
+    let mut cfg = DeviceConfig::nexus6();
+    cfg.monitor_noise_w = 0.0;
+    cfg
+}
+
+fn demand_strategy() -> impl Strategy<Value = Demand> {
+    (
+        0.2f64..2.0,   // ipc0
+        0.05f64..4.0,  // bytes_per_instr
+        0.0f64..3.0,   // desired gips
+        0.2f64..4.0,   // active cores
+    )
+        .prop_map(|(ipc0, bpi, want, cores)| Demand {
+            ipc0,
+            bytes_per_instr: bpi,
+            desired_gips: Some(want),
+            active_cores: cores,
+            ..Demand::default()
+        })
+}
+
+proptest! {
+    /// Energy is the integral of power: average power × time == energy,
+    /// and it is additive across segments.
+    #[test]
+    fn energy_accounting_is_additive(
+        demands in prop::collection::vec(demand_strategy(), 2..6),
+        f in 0usize..18,
+        b in 0usize..13,
+    ) {
+        let mut dev = Device::new(quiet());
+        dev.set_cpu_governor("userspace");
+        dev.set_bw_governor("userspace");
+        dev.set_cpu_freq(FreqIndex(f));
+        dev.set_mem_bw(BwIndex(b));
+
+        let mut per_segment = 0.0;
+        for d in &demands {
+            let start = dev.monitor().energy_j();
+            for _ in 0..50 {
+                dev.tick(d);
+            }
+            per_segment += dev.monitor().energy_j() - start;
+        }
+        let total = dev.monitor().energy_j();
+        prop_assert!((total - per_segment).abs() < 1e-9);
+        let avg = dev.monitor().average_power_w();
+        let elapsed_s = dev.monitor().elapsed_ms() as f64 * 1e-3;
+        prop_assert!((avg * elapsed_s - total).abs() < 1e-9);
+    }
+
+    /// Executed GIPS never exceeds the demand rate nor the hardware
+    /// capability, and is never negative.
+    #[test]
+    fn execution_bounded_by_demand(d in demand_strategy(), f in 0usize..18, b in 0usize..13) {
+        let mut dev = Device::new(quiet());
+        dev.set_cpu_governor("userspace");
+        dev.set_bw_governor("userspace");
+        dev.set_cpu_freq(FreqIndex(f));
+        dev.set_mem_bw(BwIndex(b));
+        let out = dev.tick(&d);
+        prop_assert!(out.executed.gips >= 0.0);
+        if let Some(want) = d.desired_gips {
+            prop_assert!(out.executed.gips <= want + 1e-9);
+        }
+        let f_hz = dev.table().freq(FreqIndex(f)).hz();
+        let cap = d.ipc0 * d.active_cores * f_hz / 1e9;
+        prop_assert!(out.executed.gips <= cap + 1e-9, "exceeds compute roofline");
+    }
+
+    /// More frequency never hurts: unbounded demand executes at least as
+    /// fast at a higher frequency (same bandwidth).
+    #[test]
+    fn frequency_monotonicity(
+        ipc0 in 0.5f64..2.0,
+        bpi in 0.05f64..2.0,
+        cores in 0.5f64..4.0,
+        b in 0usize..13,
+    ) {
+        let demand = Demand {
+            ipc0,
+            bytes_per_instr: bpi,
+            desired_gips: None,
+            active_cores: cores,
+            ..Demand::default()
+        };
+        let mut prev = 0.0;
+        for f in 0..18 {
+            let mut dev = Device::new(quiet());
+            dev.set_cpu_governor("userspace");
+            dev.set_bw_governor("userspace");
+            dev.set_cpu_freq(FreqIndex(f));
+            dev.set_mem_bw(BwIndex(b));
+            let g = dev.tick(&demand).executed.gips;
+            prop_assert!(g >= prev - 1e-9, "regression at f{}", f + 1);
+            prev = g;
+        }
+    }
+
+    /// Histogram mass is conserved: the per-frequency residency always
+    /// sums to the elapsed time.
+    #[test]
+    fn histogram_mass_conserved(
+        switches in prop::collection::vec((0usize..18, 0usize..13, 1u64..40), 1..20),
+    ) {
+        let mut dev = Device::new(quiet());
+        dev.set_cpu_governor("userspace");
+        dev.set_bw_governor("userspace");
+        let d = Demand::idle();
+        let mut expected: u64 = 0;
+        for (f, b, ticks) in switches {
+            dev.set_cpu_freq(FreqIndex(f));
+            dev.set_mem_bw(BwIndex(b));
+            for _ in 0..ticks {
+                dev.tick(&d);
+            }
+            expected += ticks;
+        }
+        let stats = dev.stats();
+        prop_assert_eq!(stats.time_in_freq_ms.iter().sum::<u64>(), expected);
+        prop_assert_eq!(stats.time_in_bw_ms.iter().sum::<u64>(), expected);
+        prop_assert_eq!(stats.elapsed_ms, expected);
+    }
+
+    /// Power is always positive and finite, whatever the demand.
+    #[test]
+    fn power_well_formed(d in demand_strategy(), f in 0usize..18, b in 0usize..13) {
+        let mut dev = Device::new(quiet());
+        dev.set_cpu_governor("userspace");
+        dev.set_bw_governor("userspace");
+        dev.set_cpu_freq(FreqIndex(f));
+        dev.set_mem_bw(BwIndex(b));
+        let out = dev.tick(&d);
+        let p = out.power.total_w();
+        prop_assert!(p.is_finite());
+        prop_assert!(p > 0.5, "device never draws less than base power, got {p}");
+        prop_assert!(p < 14.0, "implausible device power {p}");
+    }
+
+    /// sysfs setspeed accepts exactly the ladder frequencies and nothing
+    /// else.
+    #[test]
+    fn sysfs_setspeed_validation(khz in 0u64..4_000_000) {
+        let mut dev = Device::new(quiet());
+        dev.set_cpu_governor("userspace");
+        let path = format!("{}/scaling_setspeed", sysfs::CPUFREQ);
+        let on_ladder = dev.table().freq_from_khz(khz).is_some();
+        let result = dev.sysfs_write(&path, &khz.to_string());
+        prop_assert_eq!(result.is_ok(), on_ladder);
+        if on_ladder {
+            let read_back: u64 = dev
+                .sysfs_read(&format!("{}/scaling_cur_freq", sysfs::CPUFREQ))
+                .unwrap()
+                .parse()
+                .unwrap();
+            prop_assert_eq!(read_back, khz);
+        }
+    }
+
+    /// The PMU instruction counter is monotone non-decreasing.
+    #[test]
+    fn pmu_monotone(demands in prop::collection::vec(demand_strategy(), 1..50)) {
+        let mut dev = Device::new(quiet());
+        let mut last = 0.0;
+        for d in demands {
+            dev.tick(&d);
+            let now = dev.pmu().instructions();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+}

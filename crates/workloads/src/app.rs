@@ -1,0 +1,590 @@
+//! Generic phase-machine application model.
+//!
+//! An application is a cyclic (or one-shot) sequence of [`PhaseSpec`]s.
+//! Within a phase, work arrives in *frames*: every `frame_period_ms`
+//! the application enqueues `rate_gips · frame_period` instructions into
+//! a backlog, which it then drains as fast as the hardware allows. This
+//! frame-granular arrival is what makes CPU load *bursty* — the signal
+//! the `interactive` governor overreacts to, producing the paper's
+//! Fig. 1/4 histograms.
+//!
+//! On top of the phases sit [`TouchSpec`] (Poisson user interactions)
+//! and [`EventSpec`]s (periodic happenings such as AngryBirds
+//! advertisements, Spotify song changes or e-book page turns) that add
+//! power draw and enqueue extra work for a bounded duration.
+
+use crate::background::BackgroundLoad;
+use asgov_soc::{Demand, Executed, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One application phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Phase label (for traces).
+    pub name: &'static str,
+    /// Phase length, ms. Phases cycle; a single phase of any duration
+    /// behaves as steady-state.
+    pub duration_ms: u64,
+    /// Average work arrival rate, GIPS. For [`AppKind::Batch`]
+    /// applications this is ignored — work is unbounded until done.
+    pub rate_gips: f64,
+    /// Work arrival granularity, ms (frame period; 0 = continuous).
+    pub frame_period_ms: u64,
+    /// Relative jitter of per-frame work (0 = uniform frames; 0.5 means
+    /// frames vary ±50 %). Heavy frames are what bounce the
+    /// `interactive` governor to its hispeed frequency.
+    pub rate_jitter: f64,
+    /// Peak per-core IPC of this phase's instruction mix.
+    pub ipc0: f64,
+    /// Bus bytes per instruction of this phase.
+    pub bytes_per_instr: f64,
+    /// Pipeline GIPS cap (hardware decoder etc.), if any.
+    pub gips_cap: Option<f64>,
+    /// Whether hitting the cap keeps the CPU busy (dependency stalls)
+    /// or idles it (I/O / hardware waits). See `asgov_soc::Demand`.
+    pub cap_busy: bool,
+    /// Cores this phase can keep busy.
+    pub active_cores: f64,
+    /// Constant extra device power during this phase, watts (camera,
+    /// hardware decoder).
+    pub extra_power_w: f64,
+    /// Constant extra bus traffic during this phase (streaming DMA,
+    /// network buffers), MBps.
+    pub extra_traffic_mbps: f64,
+    /// GPU render work per tick, GHz-equivalents (0 = GPU unused).
+    pub gpu_work_ghz: f64,
+    /// Network packets per second this phase's traffic needs serviced.
+    pub net_pps: f64,
+}
+
+impl Default for PhaseSpec {
+    fn default() -> Self {
+        Self {
+            name: "phase",
+            duration_ms: 1_000,
+            rate_gips: 0.1,
+            frame_period_ms: 17,
+            rate_jitter: 0.0,
+            ipc0: 1.5,
+            bytes_per_instr: 1.0,
+            gips_cap: None,
+            cap_busy: false,
+            active_cores: 2.0,
+            extra_power_w: 0.0,
+            extra_traffic_mbps: 0.0,
+            gpu_work_ghz: 0.0,
+            net_pps: 0.0,
+        }
+    }
+}
+
+/// Poisson touch-event generator (user interactions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TouchSpec {
+    /// Mean touches per second.
+    pub rate_per_s: f64,
+    /// Extra work enqueued per touch (UI response), giga-instructions.
+    pub work_gi: f64,
+}
+
+/// A periodic application event (advertisement, song change, page turn).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSpec {
+    /// Event label.
+    pub name: &'static str,
+    /// Period between event starts, ms.
+    pub period_ms: u64,
+    /// Event duration, ms.
+    pub duration_ms: u64,
+    /// Extra device power while the event is active, watts.
+    pub power_w: f64,
+    /// Extra work enqueued at event start, giga-instructions.
+    pub work_gi: f64,
+    /// Additional bus traffic while the event is active (asset
+    /// streaming, DMA), MBps. Contends with the application for the bus
+    /// and drives the `cpubw_hwmon` governor's vote up.
+    pub extra_traffic_mbps: f64,
+    /// Whether the event counts as a touch (screen interaction).
+    pub touch: bool,
+}
+
+/// Whether the application has a fixed amount of work or runs at a rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AppKind {
+    /// Fixed total work (giga-instructions); the app finishes when done
+    /// and its figure of merit is execution time (VidCon).
+    Batch {
+        /// Total work, giga-instructions.
+        total_gi: f64,
+    },
+    /// Rate-based: runs until the harness stops it; figure of merit is
+    /// GIPS.
+    Interactive,
+}
+
+/// Full application specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Application name (matches the paper).
+    pub name: &'static str,
+    /// Batch or rate-based.
+    pub kind: AppKind,
+    /// Cyclic phase list (must be non-empty).
+    pub phases: Vec<PhaseSpec>,
+    /// Optional touch generator.
+    pub touch: Option<TouchSpec>,
+    /// Periodic events.
+    pub events: Vec<EventSpec>,
+    /// Frequency indices (0-based, inclusive) usable in the offline
+    /// profile — the paper excludes per-app ranges (WeChat's camera
+    /// fails below f3; MX Player stutters below f5; VidCon loses > 50 %
+    /// below f7).
+    pub profile_freq_range: (usize, usize),
+    /// Maximum frames of backlog kept before work is dropped (frame
+    /// dropping under overload); `None` = unbounded (batch).
+    pub max_backlog_frames: Option<f64>,
+    /// Default wall-clock test duration used by the experiments, ms
+    /// (the paper plays AngryBirds 200 s, calls WeChat 100 s, …).
+    pub test_duration_ms: u64,
+}
+
+/// Executable application model: an [`AppSpec`] plus runtime state.
+///
+/// Implements [`Workload`]; create it via the constructors in
+/// [`crate::apps`] or from a custom spec with [`PhasedApp::new`].
+///
+/// # Example
+///
+/// ```
+/// use asgov_soc::{sim, Device, DeviceConfig};
+/// use asgov_workloads::{apps, BackgroundLoad};
+///
+/// let mut device = Device::new(DeviceConfig::nexus6());
+/// let mut game = apps::angrybirds(BackgroundLoad::baseline(1));
+/// let report = sim::run(&mut device, &mut game, &mut [], 5_000);
+/// // At the boot configuration (f1, bw1) the game is capability-bound
+/// // near its profiled base speed.
+/// assert!(report.avg_gips > 0.05 && report.avg_gips < 0.25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhasedApp {
+    spec: AppSpec,
+    background: BackgroundLoad,
+    rng: SmallRng,
+    phase_idx: usize,
+    phase_elapsed_ms: u64,
+    frame_backlog_gi: f64,
+    event_backlog_gi: f64,
+    executed_gi: f64,
+    next_frame_ms: u64,
+    active_events: Vec<(usize, u64)>, // (event index, end time)
+    seed: u64,
+}
+
+impl PhasedApp {
+    /// Build an application from a spec, a background-load generator and
+    /// an RNG seed (touch timing, jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no phases or an inverted profile range.
+    pub fn new(spec: AppSpec, background: BackgroundLoad, seed: u64) -> Self {
+        assert!(!spec.phases.is_empty(), "app spec must have phases");
+        assert!(
+            spec.profile_freq_range.0 <= spec.profile_freq_range.1,
+            "inverted profile frequency range"
+        );
+        Self {
+            spec,
+            background,
+            rng: SmallRng::seed_from_u64(seed),
+            phase_idx: 0,
+            phase_elapsed_ms: 0,
+            frame_backlog_gi: 0.0,
+            event_backlog_gi: 0.0,
+            executed_gi: 0.0,
+            next_frame_ms: 0,
+            active_events: Vec::new(),
+            seed,
+        }
+    }
+
+    /// The specification.
+    pub fn spec(&self) -> &AppSpec {
+        &self.spec
+    }
+
+    /// The background-load generator (mutable, e.g. to swap scenarios).
+    pub fn background_mut(&mut self) -> &mut BackgroundLoad {
+        &mut self.background
+    }
+
+    /// Total work executed so far, giga-instructions.
+    pub fn executed_gi(&self) -> f64 {
+        self.executed_gi
+    }
+
+    /// Current backlog, giga-instructions (frame + event work).
+    pub fn backlog_gi(&self) -> f64 {
+        self.frame_backlog_gi + self.event_backlog_gi
+    }
+
+    fn current_phase(&self) -> &PhaseSpec {
+        &self.spec.phases[self.phase_idx]
+    }
+
+    fn advance_phase_clock(&mut self) {
+        self.phase_elapsed_ms += 1;
+        if self.phase_elapsed_ms >= self.current_phase().duration_ms {
+            self.phase_elapsed_ms = 0;
+            self.phase_idx = (self.phase_idx + 1) % self.spec.phases.len();
+        }
+    }
+}
+
+impl Workload for PhasedApp {
+    fn name(&self) -> &str {
+        self.spec.name
+    }
+
+    fn demand(&mut self, now_ms: u64) -> Demand {
+        let is_batch = matches!(self.spec.kind, AppKind::Batch { .. });
+        let phase = self.current_phase().clone();
+
+        // --- frame-granular work arrival (rate apps only).
+        if !is_batch {
+            if phase.frame_period_ms == 0 {
+                self.frame_backlog_gi += phase.rate_gips * 1e-3;
+            } else if now_ms >= self.next_frame_ms {
+                let jitter = if phase.rate_jitter > 0.0 {
+                    1.0 + self.rng.gen_range(-phase.rate_jitter..phase.rate_jitter)
+                } else {
+                    1.0
+                };
+                self.frame_backlog_gi +=
+                    phase.rate_gips * jitter * phase.frame_period_ms as f64 * 1e-3;
+                self.next_frame_ms = now_ms + phase.frame_period_ms;
+            }
+            // Frame dropping under overload (event work is never
+            // dropped: advertisements and song changes always complete).
+            if let Some(max_frames) = self.spec.max_backlog_frames {
+                let cap = phase.rate_gips * phase.frame_period_ms.max(1) as f64 * 1e-3
+                    * max_frames;
+                if self.frame_backlog_gi > cap {
+                    self.frame_backlog_gi = cap;
+                }
+            }
+        }
+
+        // --- events: start new ones, retire finished ones.
+        let mut touch = false;
+        for (i, ev) in self.spec.events.iter().enumerate() {
+            if ev.period_ms > 0 && now_ms.is_multiple_of(ev.period_ms) && now_ms > 0 {
+                self.active_events.push((i, now_ms + ev.duration_ms));
+                self.event_backlog_gi += ev.work_gi;
+                if ev.touch {
+                    touch = true;
+                }
+            }
+        }
+        self.active_events.retain(|&(_, end)| end > now_ms);
+
+        let mut extra_power = phase.extra_power_w;
+        let mut extra_traffic = phase.extra_traffic_mbps;
+        for &(i, _) in &self.active_events {
+            let ev = &self.spec.events[i];
+            extra_power += ev.power_w;
+            extra_traffic += ev.extra_traffic_mbps;
+        }
+
+        // --- touches (Poisson).
+        if let Some(t) = self.spec.touch {
+            let p = t.rate_per_s * 1e-3;
+            if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+                touch = true;
+                self.event_backlog_gi += t.work_gi;
+            }
+        }
+
+        // --- demand for this tick.
+        let desired = if is_batch {
+            None // run as fast as the hardware allows
+        } else {
+            // Drain the backlog as fast as possible, but no faster than
+            // the backlog allows (1 ms tick).
+            Some((self.backlog_gi() / 1e-3).max(0.0))
+        };
+
+        let mut bg = self.background.demand(now_ms);
+        bg.traffic_mbps += extra_traffic;
+        Demand {
+            ipc0: phase.ipc0,
+            bytes_per_instr: phase.bytes_per_instr,
+            gips_cap: phase.gips_cap,
+            cap_busy: phase.cap_busy,
+            desired_gips: desired,
+            active_cores: phase.active_cores,
+            extra_power_w: extra_power,
+            gpu_work: phase.gpu_work_ghz,
+            net_pps: phase.net_pps,
+            touch,
+            bg,
+        }
+    }
+
+    fn deliver(&mut self, _now_ms: u64, executed: Executed) {
+        let gi = executed.instructions / 1e9;
+        self.executed_gi += gi;
+        if !matches!(self.spec.kind, AppKind::Batch { .. }) {
+            // Event work drains first (it is what the user is waiting
+            // on), then frame work.
+            let from_events = gi.min(self.event_backlog_gi);
+            self.event_backlog_gi -= from_events;
+            self.frame_backlog_gi = (self.frame_backlog_gi - (gi - from_events)).max(0.0);
+        }
+        self.advance_phase_clock();
+    }
+
+    fn finished(&self) -> bool {
+        match self.spec.kind {
+            AppKind::Batch { total_gi } => self.executed_gi >= total_gi,
+            AppKind::Interactive => false,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+        self.phase_idx = 0;
+        self.phase_elapsed_ms = 0;
+        self.frame_backlog_gi = 0.0;
+        self.event_backlog_gi = 0.0;
+        self.executed_gi = 0.0;
+        self.next_frame_ms = 0;
+        self.active_events.clear();
+        self.background.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::background::BackgroundLoad;
+    use asgov_soc::{sim, Device, DeviceConfig};
+
+    fn device() -> Device {
+        let mut cfg = DeviceConfig::nexus6();
+        cfg.monitor_noise_w = 0.0;
+        Device::new(cfg)
+    }
+
+    fn steady_spec(rate: f64) -> AppSpec {
+        AppSpec {
+            name: "steady",
+            kind: AppKind::Interactive,
+            phases: vec![PhaseSpec {
+                rate_gips: rate,
+                duration_ms: 1_000,
+                ..PhaseSpec::default()
+            }],
+            touch: None,
+            events: vec![],
+            profile_freq_range: (0, 17),
+            max_backlog_frames: Some(3.0),
+            test_duration_ms: 10_000,
+        }
+    }
+
+    #[test]
+    fn rate_app_delivers_its_rate_when_hardware_suffices() {
+        let mut dev = device();
+        dev.set_cpu_governor("userspace");
+        dev.set_cpu_freq(asgov_soc::FreqIndex(17));
+        dev.set_mem_bw(asgov_soc::BwIndex(12));
+        let mut app = PhasedApp::new(steady_spec(0.3), BackgroundLoad::none(1), 1);
+        let report = sim::run(&mut dev, &mut app, &mut [], 5_000);
+        assert!(
+            (report.avg_gips - 0.3).abs() < 0.02,
+            "expected ~0.3 GIPS, got {}",
+            report.avg_gips
+        );
+    }
+
+    #[test]
+    fn rate_app_saturates_on_slow_hardware() {
+        let mut dev = device(); // stays at lowest config
+        dev.set_cpu_governor("userspace");
+        let mut app = PhasedApp::new(steady_spec(5.0), BackgroundLoad::none(1), 1);
+        let report = sim::run(&mut dev, &mut app, &mut [], 5_000);
+        assert!(
+            report.avg_gips < 2.0,
+            "lowest config cannot deliver 5 GIPS, got {}",
+            report.avg_gips
+        );
+        // Backlog must be bounded (frames dropped), not runaway.
+        assert!(app.backlog_gi() < 1.0);
+    }
+
+    #[test]
+    fn batch_app_finishes_and_reports() {
+        let spec = AppSpec {
+            name: "batch",
+            kind: AppKind::Batch { total_gi: 0.5 },
+            phases: vec![PhaseSpec {
+                ipc0: 1.8,
+                bytes_per_instr: 0.3,
+                active_cores: 3.0,
+                ..PhaseSpec::default()
+            }],
+            touch: None,
+            events: vec![],
+            profile_freq_range: (0, 17),
+            max_backlog_frames: None,
+            test_duration_ms: 60_000,
+        };
+        let mut dev = device();
+        dev.set_cpu_governor("userspace");
+        dev.set_cpu_freq(asgov_soc::FreqIndex(17));
+        let mut app = PhasedApp::new(spec, BackgroundLoad::none(1), 1);
+        let report = sim::run(&mut dev, &mut app, &mut [], 60_000);
+        assert!(report.completed);
+        assert!((app.executed_gi() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn events_add_power_and_work() {
+        let mut spec = steady_spec(0.05);
+        spec.events.push(EventSpec {
+            name: "ad",
+            period_ms: 2_000,
+            duration_ms: 500,
+            power_w: 0.5,
+            work_gi: 0.05,
+            extra_traffic_mbps: 300.0,
+            touch: false,
+        });
+        let mut dev = device();
+        dev.set_cpu_governor("userspace");
+        dev.set_cpu_freq(asgov_soc::FreqIndex(9));
+        let mut app = PhasedApp::new(spec, BackgroundLoad::none(1), 1);
+
+        let mut with_event = 0.0;
+        let mut without_event = 0.0;
+        let (mut n_with, mut n_without) = (0, 0);
+        for _ in 0..6_000u64 {
+            let now = dev.now_ms();
+            let d = app.demand(now);
+            let out = dev.tick(&d);
+            app.deliver(now, out.executed);
+            let in_event = now % 2_000 < 500 && now >= 2_000;
+            if in_event {
+                with_event += out.power.total_w();
+                n_with += 1;
+            } else {
+                without_event += out.power.total_w();
+                n_without += 1;
+            }
+        }
+        let p_event = with_event / n_with as f64;
+        let p_quiet = without_event / n_without as f64;
+        assert!(
+            p_event > p_quiet + 0.3,
+            "ads should draw visibly more power: {p_event} vs {p_quiet}"
+        );
+    }
+
+    #[test]
+    fn touches_fire_at_roughly_the_configured_rate() {
+        let mut spec = steady_spec(0.05);
+        spec.touch = Some(TouchSpec {
+            rate_per_s: 2.0,
+            work_gi: 0.001,
+        });
+        let mut app = PhasedApp::new(spec, BackgroundLoad::none(1), 42);
+        let mut touches = 0;
+        for now in 0..60_000u64 {
+            if app.demand(now).touch {
+                touches += 1;
+            }
+            app.deliver(now, Executed::default());
+        }
+        let rate = touches as f64 / 60.0;
+        assert!(
+            (rate - 2.0).abs() < 0.5,
+            "expected ~2 touches/s, got {rate}"
+        );
+    }
+
+    #[test]
+    fn phases_cycle() {
+        let spec = AppSpec {
+            name: "two-phase",
+            kind: AppKind::Interactive,
+            phases: vec![
+                PhaseSpec {
+                    name: "a",
+                    duration_ms: 10,
+                    rate_gips: 1.0,
+                    ..PhaseSpec::default()
+                },
+                PhaseSpec {
+                    name: "b",
+                    duration_ms: 10,
+                    rate_gips: 0.0,
+                    ..PhaseSpec::default()
+                },
+            ],
+            touch: None,
+            events: vec![],
+            profile_freq_range: (0, 17),
+            max_backlog_frames: Some(2.0),
+            test_duration_ms: 1_000,
+        };
+        let mut app = PhasedApp::new(spec, BackgroundLoad::none(1), 1);
+        let mut names = Vec::new();
+        for now in 0..40u64 {
+            names.push(app.current_phase().name);
+            app.demand(now);
+            app.deliver(now, Executed::default());
+        }
+        assert_eq!(names[0], "a");
+        assert_eq!(names[15], "b");
+        assert_eq!(names[25], "a");
+        assert_eq!(names[35], "b");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut app = PhasedApp::new(steady_spec(0.3), BackgroundLoad::baseline(1), 9);
+        for now in 0..100u64 {
+            app.demand(now);
+            app.deliver(
+                now,
+                Executed {
+                    instructions: 1e6,
+                    ..Executed::default()
+                },
+            );
+        }
+        assert!(app.executed_gi() > 0.0);
+        app.reset();
+        assert_eq!(app.executed_gi(), 0.0);
+        assert_eq!(app.backlog_gi(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phases")]
+    fn empty_spec_rejected() {
+        let spec = AppSpec {
+            name: "empty",
+            kind: AppKind::Interactive,
+            phases: vec![],
+            touch: None,
+            events: vec![],
+            profile_freq_range: (0, 17),
+            max_backlog_frames: None,
+            test_duration_ms: 0,
+        };
+        let _ = PhasedApp::new(spec, BackgroundLoad::none(1), 1);
+    }
+}

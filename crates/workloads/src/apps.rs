@@ -1,0 +1,602 @@
+//! The concrete application models of the paper's evaluation (§IV-C),
+//! plus the e-book reader used for the motivation (Fig. 1).
+//!
+//! Parameters are calibrated so each model reproduces the qualitative
+//! profile the paper reports: where GIPS saturates along the frequency
+//! ladder, which frequency ranges are usable, how bursty the load is,
+//! and what event power looks like (advertisements, camera, decoder).
+
+use crate::app::{AppKind, AppSpec, EventSpec, PhasedApp, PhaseSpec, TouchSpec};
+use crate::background::BackgroundLoad;
+
+/// **VidCon** — FFmpeg-based video converter. Fixed-size HD mp4
+/// conversion: a pure batch job with a uniform power/performance
+/// profile that scales all the way up the frequency ladder. The paper
+/// excludes frequencies below №7 from its profile (> 50 % performance
+/// drop) and reports the default governor finishing in 59 s.
+pub fn vidcon(background: BackgroundLoad) -> PhasedApp {
+    let spec = AppSpec {
+        name: "VidCon",
+        kind: AppKind::Batch { total_gi: 175.0 },
+        phases: vec![PhaseSpec {
+            name: "convert",
+            duration_ms: 1_000,
+            rate_gips: 0.0, // unbounded batch
+            frame_period_ms: 0,
+            rate_jitter: 0.0,
+            ipc0: 0.95,
+            bytes_per_instr: 0.10,
+            gips_cap: Some(3.3), // encoder pipeline dependency limit
+            cap_busy: true,      // encode stalls still occupy the cores
+            active_cores: 1.8,
+            extra_power_w: 0.05,
+            extra_traffic_mbps: 0.0,
+            gpu_work_ghz: 0.0,
+            net_pps: 0.0, // conversion never touches the GPU
+        }],
+        touch: None,
+        events: vec![],
+        profile_freq_range: (6, 17), // f7..f18
+        max_backlog_frames: None,
+        test_duration_ms: 120_000,
+    };
+    PhasedApp::new(spec, background, 0x71d)
+}
+
+/// **MobileBench** — BBench-derived browser benchmark in Chrome:
+/// websites loaded in quick succession with automatic scrolling and
+/// zooming. Rapidly varying phases (the paper's hard case, §V-B) with
+/// interaction events throughout. Profiled between f7 and f18 (f7 alone
+/// is already 30 % below default performance).
+pub fn mobilebench(background: BackgroundLoad) -> PhasedApp {
+    // Six sites; each a heavy load phase then a lighter render/read
+    // phase. Rates differ site to site.
+    let mut phases = Vec::new();
+    for (load_rate, read_rate) in [
+        (2.3, 0.7),
+        (1.6, 0.5),
+        (2.8, 0.9),
+        (1.2, 0.4),
+        (2.0, 0.6),
+        (2.5, 0.8),
+    ] {
+        // Page load: a CPU-bound parse/layout burst, then network-paced
+        // fetching and rendering.
+        phases.push(PhaseSpec {
+            name: "parse",
+            duration_ms: 900,
+            rate_gips: load_rate,
+            frame_period_ms: 30,
+            rate_jitter: 0.35,
+            ipc0: 1.5,
+            bytes_per_instr: 0.2,
+            gips_cap: Some(3.0), // dependency chains inside layout
+            cap_busy: true,      // ...which still spin the cores
+            active_cores: 2.6,
+            extra_power_w: 0.0,
+            extra_traffic_mbps: 0.0,
+            gpu_work_ghz: 0.12,
+            net_pps: 0.0,
+        });
+        phases.push(PhaseSpec {
+            name: "fetch",
+            duration_ms: 1_600,
+            rate_gips: load_rate,
+            frame_period_ms: 30,
+            rate_jitter: 0.35,
+            ipc0: 1.5,
+            bytes_per_instr: 0.2,
+            gips_cap: Some(2.2), // network-paced
+            cap_busy: false,
+            active_cores: 2.6,
+            extra_power_w: 0.12, // radio active
+            extra_traffic_mbps: 0.0,
+            gpu_work_ghz: 0.12,
+            net_pps: 0.0, // compositor work while rendering pages
+        });
+        phases.push(PhaseSpec {
+            name: "read",
+            duration_ms: 1_800,
+            rate_gips: read_rate,
+            frame_period_ms: 17,
+            rate_jitter: 0.4,
+            ipc0: 1.5,
+            bytes_per_instr: 0.25,
+            gips_cap: Some(read_rate), // scripted scrolling pace
+            cap_busy: false,
+            active_cores: 1.8,
+            extra_power_w: 0.0,
+            extra_traffic_mbps: 0.0,
+            gpu_work_ghz: 0.10,
+            net_pps: 0.0, // scroll animation
+        });
+    }
+    let spec = AppSpec {
+        name: "MobileBench",
+        kind: AppKind::Batch { total_gi: 150.0 },
+        phases,
+        touch: Some(TouchSpec {
+            rate_per_s: 1.2, // scroll / zoom gestures
+            work_gi: 0.012,
+        }),
+        events: vec![],
+        profile_freq_range: (6, 17), // f7..f18
+        max_backlog_frames: Some(8.0),
+        test_duration_ms: 120_000,
+    };
+    PhasedApp::new(spec, background, 0x3b)
+}
+
+/// **AngryBirds** — representative game, played for 200 s in the paper.
+/// 60 fps frame work whose GIPS stops improving beyond frequency №5
+/// (base speed 0.129 GIPS at the lowest configuration), with
+/// advertisements loading between levels (~0.5 W extra and a bandwidth
+/// spike that drives the default `cpubw_hwmon` to the maximum — peak
+/// power near 6 W under CPU-only control).
+pub fn angrybirds(background: BackgroundLoad) -> PhasedApp {
+    let spec = AppSpec {
+        name: "AngryBirds",
+        kind: AppKind::Interactive,
+        phases: vec![PhaseSpec {
+            name: "gameplay",
+            duration_ms: 1_000,
+            rate_gips: 0.33,
+            frame_period_ms: 17,
+            rate_jitter: 0.35,
+            ipc0: 0.9,
+            bytes_per_instr: 1.2,
+            gips_cap: None,
+            cap_busy: false,
+            active_cores: 0.45,
+            extra_power_w: 0.02,
+            extra_traffic_mbps: 0.0,
+            gpu_work_ghz: 0.22,
+            net_pps: 0.0, // 60 fps scene rendering
+        }],
+        touch: Some(TouchSpec {
+            rate_per_s: 0.8, // slingshot flings
+            work_gi: 0.008,
+        }),
+        events: vec![EventSpec {
+            name: "advertisement",
+            period_ms: 15_000,
+            duration_ms: 4_000,
+            power_w: 0.5,
+            work_gi: 0.10,
+            extra_traffic_mbps: 250.0, // asset decode bursts (network-paced)
+            touch: false,
+        }],
+        profile_freq_range: (0, 9), // f1..f10: no gains past f5, margin to f10
+        max_backlog_frames: Some(2.5),
+        test_duration_ms: 200_000,
+    };
+    PhasedApp::new(spec, background, 0xab1)
+}
+
+/// **WeChat video call** — 100 s call in the paper. Steady 30 fps
+/// camera capture + encode; the camera cannot record reliably below
+/// frequency №3 (those points are excluded from the profile) and GIPS
+/// stops improving beyond №7. The camera pipeline draws a constant
+/// extra ~0.35 W.
+pub fn wechat(background: BackgroundLoad) -> PhasedApp {
+    let spec = AppSpec {
+        name: "WeChat",
+        kind: AppKind::Interactive,
+        phases: vec![PhaseSpec {
+            name: "videocall",
+            duration_ms: 1_000,
+            rate_gips: 0.80,
+            frame_period_ms: 33,
+            rate_jitter: 0.45,
+            ipc0: 1.83,
+            bytes_per_instr: 0.4,
+            gips_cap: None,
+            cap_busy: false,
+            active_cores: 0.42,
+            extra_power_w: 0.35, // camera + radio
+            extra_traffic_mbps: 150.0, // up/down video streams
+            gpu_work_ghz: 0.08,
+            net_pps: 0.0, // preview composition
+        }],
+        touch: None,
+        events: vec![],
+        profile_freq_range: (2, 9), // f3..f10 (camera fails below f3)
+        max_backlog_frames: Some(4.0),
+        test_duration_ms: 100_000,
+    };
+    PhasedApp::new(spec, background, 0x3c4)
+}
+
+/// **MX Player** — plays a 137 s HD video using the hardware decoder
+/// (bypassing the GPU): the CPU only shuttles buffers, so GIPS is
+/// capped by the decode pipeline and varies < 0.5 % beyond frequency
+/// №5; below №5 playback stutters, so f1–f4 are excluded from the
+/// profile. The default governor already does well here (the paper
+/// saves only ~4–5 %).
+pub fn mxplayer(background: BackgroundLoad) -> PhasedApp {
+    let spec = AppSpec {
+        name: "MXPlayer",
+        kind: AppKind::Interactive,
+        phases: vec![
+            // Between bitstream bursts the CPU only shuttles buffers.
+            PhaseSpec {
+                name: "cruise",
+                duration_ms: 850,
+                rate_gips: 0.11,
+                frame_period_ms: 33,
+                rate_jitter: 0.1,
+                ipc0: 1.2,
+                bytes_per_instr: 0.25,
+                gips_cap: Some(1.4),
+                cap_busy: false, // waiting on the hardware decoder idles the CPU
+                active_cores: 1.2,
+                extra_power_w: 0.30, // hardware decoder + display pipeline
+                extra_traffic_mbps: 0.0,
+                gpu_work_ghz: 0.0,
+                net_pps: 0.0,   // decoder bypasses the GPU (paper §V-A)
+            },
+            // Periodic demux/buffer spike; misses its deadline below f5,
+            // which is why f1–f4 are excluded from the profile.
+            PhaseSpec {
+                name: "spike",
+                duration_ms: 150,
+                rate_gips: 1.10,
+                frame_period_ms: 33,
+                rate_jitter: 0.2,
+                ipc0: 1.2,
+                bytes_per_instr: 0.25,
+                gips_cap: Some(1.4),
+                cap_busy: true, // demux burns CPU even when capped
+                active_cores: 1.2,
+                extra_power_w: 0.30,
+                extra_traffic_mbps: 0.0,
+                gpu_work_ghz: 0.0,
+                net_pps: 0.0,
+            },
+        ],
+        touch: None,
+        events: vec![],
+        profile_freq_range: (4, 9), // f5..f10
+        max_backlog_frames: Some(4.0),
+        test_duration_ms: 137_000,
+    };
+    PhasedApp::new(spec, background, 0x327)
+}
+
+/// **Spotify** — 100 s of premium streaming with a song change every
+/// 20 s. Audio decode is tiny (quality is unimpaired even at the lowest
+/// frequency — the paper profiles only f1, f3 and f5), but periodic
+/// buffer refills and song changes make the default governor bounce to
+/// frequency №10 for ~27 % of the time.
+pub fn spotify(background: BackgroundLoad) -> PhasedApp {
+    let spec = AppSpec {
+        name: "Spotify",
+        kind: AppKind::Interactive,
+        phases: vec![PhaseSpec {
+            name: "stream",
+            duration_ms: 1_000,
+            rate_gips: 0.10,
+            frame_period_ms: 0, // continuous decode
+            rate_jitter: 0.0,
+            ipc0: 1.2,
+            bytes_per_instr: 0.8,
+            gips_cap: None,
+            cap_busy: false,
+            active_cores: 0.9,
+            extra_power_w: 0.12, // audio path + radio
+            extra_traffic_mbps: 0.0,
+            gpu_work_ghz: 0.0,
+            net_pps: 0.0,
+        }],
+        touch: None,
+        events: vec![
+            EventSpec {
+                name: "song-change",
+                period_ms: 20_000,
+                duration_ms: 1_500,
+                power_w: 0.25,
+                work_gi: 0.10,
+                extra_traffic_mbps: 60.0,
+                touch: true, // user taps next track
+            },
+            EventSpec {
+                name: "buffer-refill",
+                period_ms: 350,
+                duration_ms: 60,
+                power_w: 0.05,
+                work_gi: 0.012,
+                extra_traffic_mbps: 25.0,
+                touch: false,
+            },
+        ],
+        profile_freq_range: (0, 4), // f1..f5 (paper uses f1, f3, f5)
+        max_backlog_frames: None,
+        test_duration_ms: 100_000,
+    };
+    PhasedApp::new(spec, background, 0x590)
+}
+
+/// **eBook reader** — the motivating example of Fig. 1: the user just
+/// reads (no scrolling/zooming), screen at lowest brightness, WiFi on.
+/// Page turns every ~15 s plus background sync still make the default
+/// governor spend > 10 % of time at the highest frequency and ~15 % at
+/// frequency №10.
+pub fn ebook(background: BackgroundLoad) -> PhasedApp {
+    let spec = AppSpec {
+        name: "eBook",
+        kind: AppKind::Interactive,
+        phases: vec![PhaseSpec {
+            name: "read",
+            duration_ms: 1_000,
+            rate_gips: 0.03,
+            // Redraw/housekeeping timers fire a small work pulse every
+            // 200 ms; each pulse saturates a 20 ms load window at the
+            // low frequencies, which is what bounces the interactive
+            // governor to its hispeed frequency even though the reader
+            // is near-idle on average (the paper's Fig. 1 observation).
+            frame_period_ms: 200,
+            rate_jitter: 0.4,
+            ipc0: 1.3,
+            bytes_per_instr: 0.8,
+            gips_cap: None,
+            cap_busy: false,
+            active_cores: 0.8,
+            extra_power_w: 0.0,
+            extra_traffic_mbps: 0.0,
+            gpu_work_ghz: 0.01,
+            net_pps: 0.0,
+        }],
+        touch: None,
+        events: vec![EventSpec {
+            name: "page-turn",
+            period_ms: 15_000,
+            duration_ms: 400,
+            power_w: 0.05,
+            work_gi: 0.35,
+            extra_traffic_mbps: 30.0,
+            touch: true,
+        }],
+        profile_freq_range: (0, 9),
+        max_backlog_frames: Some(4.0),
+        test_duration_ms: 120_000,
+    };
+    PhasedApp::new(spec, background, 0xeb0)
+}
+
+/// **Idler** — the paper's §V-B first out-of-scope type: an application
+/// whose CPU requirements are so low that the default governor already
+/// sits at the lowest frequency most of the time. "It is hard to obtain
+/// additional energy savings through CPU DVFS" for such apps; the
+/// `scope` experiment demonstrates that.
+pub fn idler(background: BackgroundLoad) -> PhasedApp {
+    let spec = AppSpec {
+        name: "Idler",
+        kind: AppKind::Interactive,
+        phases: vec![PhaseSpec {
+            name: "idle-poll",
+            duration_ms: 1_000,
+            rate_gips: 0.015,
+            frame_period_ms: 0,
+            rate_jitter: 0.0,
+            ipc0: 1.2,
+            bytes_per_instr: 0.5,
+            gips_cap: None,
+            cap_busy: false,
+            active_cores: 0.4,
+            extra_power_w: 0.0,
+            extra_traffic_mbps: 0.0,
+            gpu_work_ghz: 0.0,
+            net_pps: 0.0,
+        }],
+        touch: None,
+        events: vec![],
+        profile_freq_range: (0, 5),
+        max_backlog_frames: None,
+        test_duration_ms: 60_000,
+    };
+    PhasedApp::new(spec, background, 0x1d1e)
+}
+
+/// **Cruncher** — the paper's §V-B second out-of-scope type: a
+/// CPU-intensive batch job that keeps the default governor at the
+/// highest frequency; "it is hard to save more energy without
+/// performance degradation".
+pub fn cruncher(background: BackgroundLoad) -> PhasedApp {
+    let spec = AppSpec {
+        name: "Cruncher",
+        kind: AppKind::Batch { total_gi: 250.0 },
+        phases: vec![PhaseSpec {
+            name: "crunch",
+            duration_ms: 1_000,
+            rate_gips: 0.0,
+            frame_period_ms: 0,
+            rate_jitter: 0.0,
+            ipc0: 1.6,
+            bytes_per_instr: 0.05,
+            gips_cap: None, // truly compute bound: every MHz helps
+            cap_busy: false,
+            active_cores: 3.6,
+            extra_power_w: 0.0,
+            extra_traffic_mbps: 0.0,
+            gpu_work_ghz: 0.0,
+            net_pps: 0.0,
+        }],
+        touch: None,
+        events: vec![],
+        profile_freq_range: (6, 17),
+        max_backlog_frames: None,
+        test_duration_ms: 120_000,
+    };
+    PhasedApp::new(spec, background, 0xc4c4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgov_soc::{sim, BwIndex, Device, DeviceConfig, FreqIndex, Workload};
+
+    fn quiet_device() -> Device {
+        let mut cfg = DeviceConfig::nexus6();
+        cfg.monitor_noise_w = 0.0;
+        Device::new(cfg)
+    }
+
+    fn pinned(f: usize, b: usize) -> Device {
+        let mut dev = quiet_device();
+        dev.set_cpu_governor("userspace");
+        dev.set_bw_governor("userspace");
+        dev.set_cpu_freq(FreqIndex(f));
+        dev.set_mem_bw(BwIndex(b));
+        // Keep the GPU out of the way when studying the CPU/memory axes.
+        dev.set_gpu_governor("userspace");
+        dev.set_gpu_freq(asgov_soc::GpuFreqIndex(4));
+        dev
+    }
+
+    fn gips_at(app: &mut PhasedApp, f: usize, b: usize, ms: u64) -> f64 {
+        let mut dev = pinned(f, b);
+        app.reset();
+        sim::run(&mut dev, app, &mut [], ms).avg_gips
+    }
+
+    #[test]
+    fn angrybirds_base_speed_near_paper_value() {
+        let mut app = angrybirds(BackgroundLoad::baseline(1));
+        let base = gips_at(&mut app, 0, 0, 20_000);
+        assert!(
+            (0.09..=0.18).contains(&base),
+            "AngryBirds base speed {base} GIPS; paper reports 0.129"
+        );
+    }
+
+    #[test]
+    fn angrybirds_saturates_by_mid_frequencies() {
+        // The paper observes no GIPS improvement beyond f5 on the real
+        // game; our calibrated model has its knee at f7–f9.
+        let mut app = angrybirds(BackgroundLoad::baseline(1));
+        let at_f7 = gips_at(&mut app, 6, 0, 20_000);
+        let at_f10 = gips_at(&mut app, 9, 0, 20_000);
+        assert!(
+            at_f10 < at_f7 * 1.08,
+            "GIPS should barely improve past f7: {at_f7} -> {at_f10}"
+        );
+        // ...but the steep region below the knee is pronounced.
+        let at_f1 = gips_at(&mut app, 0, 0, 20_000);
+        assert!(at_f7 > at_f1 * 2.0, "steep region: {at_f1} -> {at_f7}");
+    }
+
+    #[test]
+    fn vidcon_base_speed_near_paper_value() {
+        // Paper: VidCon base speed 0.471 GIPS at (300 MHz, 762 MBps).
+        let mut app = vidcon(BackgroundLoad::baseline(1));
+        let base = gips_at(&mut app, 0, 0, 10_000);
+        assert!(
+            (0.3..=0.65).contains(&base),
+            "VidCon base speed {base} GIPS; paper reports 0.471"
+        );
+    }
+
+    #[test]
+    fn vidcon_scales_to_its_pipeline_limit() {
+        // The conversion gains frequency all the way to the encoder
+        // pipeline's limit near f13, then goes flat — which is why the
+        // paper's controller parks at f13 while the default governor
+        // pushes to f18 for nothing.
+        let mut app = vidcon(BackgroundLoad::baseline(1));
+        let low = gips_at(&mut app, 6, 6, 10_000);
+        let knee = gips_at(&mut app, 12, 6, 10_000);
+        let top = gips_at(&mut app, 17, 6, 10_000);
+        assert!(knee > low * 1.4, "steep region below the knee: {low} -> {knee}");
+        assert!(
+            top < knee * 1.06,
+            "plateau beyond the knee: {knee} -> {top}"
+        );
+    }
+
+    #[test]
+    fn mxplayer_flat_beyond_f5() {
+        let mut app = mxplayer(BackgroundLoad::baseline(1));
+        let at_f5 = gips_at(&mut app, 4, 4, 20_000);
+        let at_f18 = gips_at(&mut app, 17, 4, 20_000);
+        assert!(
+            (at_f18 - at_f5).abs() / at_f5 < 0.05,
+            "MX Player capped by HW decoder: {at_f5} vs {at_f18}"
+        );
+    }
+
+    #[test]
+    fn wechat_saturates_past_f7() {
+        let mut app = wechat(BackgroundLoad::baseline(1));
+        let at_f7 = gips_at(&mut app, 6, 4, 20_000);
+        let at_f10 = gips_at(&mut app, 9, 4, 20_000);
+        assert!(
+            at_f10 < at_f7 * 1.05,
+            "WeChat GIPS saturates past f7: {at_f7} -> {at_f10}"
+        );
+    }
+
+    #[test]
+    fn spotify_is_light() {
+        let mut app = spotify(BackgroundLoad::baseline(1));
+        let base = gips_at(&mut app, 0, 0, 30_000);
+        let high = gips_at(&mut app, 9, 6, 30_000);
+        assert!(
+            high < base * 1.6,
+            "Spotify work is nearly configuration-independent: {base} vs {high}"
+        );
+    }
+
+    #[test]
+    fn ebook_is_nearly_idle() {
+        let mut app = ebook(BackgroundLoad::baseline(1));
+        let g = gips_at(&mut app, 9, 4, 30_000);
+        assert!(g < 0.12, "eBook demand is tiny, got {g} GIPS");
+    }
+
+    #[test]
+    fn batch_vidcon_finishes_in_tens_of_seconds_at_max() {
+        let mut dev = pinned(17, 8);
+        let mut app = vidcon(BackgroundLoad::baseline(1));
+        let report = sim::run(&mut dev, &mut app, &mut [], 200_000);
+        assert!(report.completed, "VidCon should finish");
+        assert!(
+            (20_000..=120_000).contains(&report.duration_ms),
+            "duration {} ms should be around the paper's ~60 s",
+            report.duration_ms
+        );
+    }
+
+    #[test]
+    fn profile_ranges_match_paper_exclusions() {
+        let bl = || BackgroundLoad::baseline(1);
+        assert_eq!(vidcon(bl()).spec().profile_freq_range.0, 6);
+        assert_eq!(wechat(bl()).spec().profile_freq_range.0, 2);
+        assert_eq!(mxplayer(bl()).spec().profile_freq_range.0, 4);
+        assert_eq!(spotify(bl()).spec().profile_freq_range, (0, 4));
+    }
+
+    #[test]
+    fn idler_is_nearly_idle_and_cruncher_scales() {
+        let mut idle = idler(BackgroundLoad::baseline(1));
+        let g = gips_at(&mut idle, 9, 4, 20_000);
+        assert!(g < 0.05, "Idler demand is tiny, got {g}");
+
+        let mut crunch = cruncher(BackgroundLoad::baseline(1));
+        let low = gips_at(&mut crunch, 6, 4, 10_000);
+        let high = gips_at(&mut crunch, 17, 4, 10_000);
+        assert!(
+            high > low * 2.0,
+            "Cruncher keeps scaling with frequency: {low} -> {high}"
+        );
+    }
+
+    #[test]
+    fn paper_apps_returns_all_six_in_table_order() {
+        let apps = crate::paper_apps(BackgroundLoad::baseline(1));
+        let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            ["VidCon", "MobileBench", "AngryBirds", "WeChat", "MXPlayer", "Spotify"]
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Background-load scenarios (paper §III-A and §V-C).
+//!
+//! The paper profiles every application under a *baseline load* (BL:
+//! WiFi on, e-mail synchronization enabled, Spotify minimized) and then
+//! stresses the controller under *no load* (NL) and *heavier load* (HL:
+//! Gallery, eBook reader, Chrome, Facebook, e-mail, MX Player and
+//! Spotify all minimized; 134 MB free memory). The dominant difference
+//! between the scenarios is memory pressure; CPU load averages are
+//! similar (6.3 / 6.7 / 6.6 in `/proc/loadavg`).
+
+use asgov_soc::BackgroundDemand;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The three load scenarios of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadLevel {
+    /// Baseline load (BL): the profiling environment.
+    Baseline,
+    /// No load (NL): only the controlled application runs.
+    None,
+    /// Heavier load (HL): seven extra applications minimized.
+    Heavy,
+}
+
+impl LoadLevel {
+    /// Short label used in reports ("BL" / "NL" / "HL").
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadLevel::Baseline => "BL",
+            LoadLevel::None => "NL",
+            LoadLevel::Heavy => "HL",
+        }
+    }
+}
+
+/// A background-load generator: steady CPU/bus/power draw plus periodic
+/// synchronization bursts (e-mail fetch, streaming buffer refills) and
+/// slow stochastic wander.
+#[derive(Debug, Clone)]
+pub struct BackgroundLoad {
+    level: LoadLevel,
+    base_util: f64,
+    base_traffic_mbps: f64,
+    base_power_w: f64,
+    sync_period_ms: u64,
+    sync_duration_ms: u64,
+    sync_util: f64,
+    sync_traffic_mbps: f64,
+    sync_power_w: f64,
+    rng: SmallRng,
+    seed: u64,
+    wander: f64,
+}
+
+impl BackgroundLoad {
+    /// The baseline load (BL): WiFi on, e-mail sync every 45 s, Spotify
+    /// minimized (≈ 500 MB free memory in the paper).
+    pub fn baseline(seed: u64) -> Self {
+        Self {
+            level: LoadLevel::Baseline,
+            base_util: 0.055,
+            base_traffic_mbps: 18.0,
+            base_power_w: 0.16,
+            sync_period_ms: 45_000,
+            sync_duration_ms: 2_000,
+            sync_util: 0.18,
+            sync_traffic_mbps: 80.0,
+            sync_power_w: 0.30,
+            rng: SmallRng::seed_from_u64(seed ^ 0xb1),
+            seed: seed ^ 0xb1,
+            wander: 0.0,
+        }
+    }
+
+    /// No load (NL): only the controlled application runs (≈ 1 GB free).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            level: LoadLevel::None,
+            base_util: 0.008,
+            base_traffic_mbps: 4.0,
+            base_power_w: 0.02,
+            sync_period_ms: u64::MAX,
+            sync_duration_ms: 0,
+            sync_util: 0.0,
+            sync_traffic_mbps: 0.0,
+            sync_power_w: 0.0,
+            rng: SmallRng::seed_from_u64(seed ^ 0x17),
+            seed: seed ^ 0x17,
+            wander: 0.0,
+        }
+    }
+
+    /// Heavier load (HL): seven extra applications minimized, heavy
+    /// memory pressure (≈ 134 MB free → paging traffic), sync bursts
+    /// every 20 s.
+    pub fn heavy(seed: u64) -> Self {
+        Self {
+            level: LoadLevel::Heavy,
+            base_util: 0.16,
+            base_traffic_mbps: 180.0,
+            base_power_w: 0.38,
+            sync_period_ms: 20_000,
+            sync_duration_ms: 3_000,
+            sync_util: 0.25,
+            sync_traffic_mbps: 260.0,
+            sync_power_w: 0.35,
+            rng: SmallRng::seed_from_u64(seed ^ 0x41),
+            seed: seed ^ 0x41,
+            wander: 0.0,
+        }
+    }
+
+    /// Construct by level.
+    pub fn with_level(level: LoadLevel, seed: u64) -> Self {
+        match level {
+            LoadLevel::Baseline => Self::baseline(seed),
+            LoadLevel::None => Self::none(seed),
+            LoadLevel::Heavy => Self::heavy(seed),
+        }
+    }
+
+    /// Which scenario this generator models.
+    pub fn level(&self) -> LoadLevel {
+        self.level
+    }
+
+    /// Background demand for the tick at `now_ms`.
+    pub fn demand(&mut self, now_ms: u64) -> BackgroundDemand {
+        // Slow random wander (±20 % of base) so load is not constant.
+        let step: f64 = self.rng.gen_range(-0.002..0.002);
+        self.wander = (self.wander + step).clamp(-0.2, 0.2);
+        let scale = 1.0 + self.wander;
+
+        let in_sync = self.sync_period_ms != u64::MAX
+            && now_ms % self.sync_period_ms < self.sync_duration_ms;
+        let (su, st, sp) = if in_sync {
+            (self.sync_util, self.sync_traffic_mbps, self.sync_power_w)
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+        BackgroundDemand {
+            cpu_util: (self.base_util * scale + su).clamp(0.0, 0.9),
+            traffic_mbps: (self.base_traffic_mbps * scale + st).max(0.0),
+            power_w: (self.base_power_w * scale + sp).max(0.0),
+        }
+    }
+
+    /// Restart the generator: replays the exact same sequence.
+    pub fn reset(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+        self.wander = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_by_pressure() {
+        let mut nl = BackgroundLoad::none(1);
+        let mut bl = BackgroundLoad::baseline(1);
+        let mut hl = BackgroundLoad::heavy(1);
+        // Average over time to smooth sync bursts and wander.
+        let avg = |l: &mut BackgroundLoad| {
+            let mut u = 0.0;
+            let mut t = 0.0;
+            let mut p = 0.0;
+            let n = 100_000;
+            for ms in 0..n {
+                let d = l.demand(ms);
+                u += d.cpu_util;
+                t += d.traffic_mbps;
+                p += d.power_w;
+            }
+            (u / n as f64, t / n as f64, p / n as f64)
+        };
+        let (nu, nt, np) = avg(&mut nl);
+        let (bu, bt, bp) = avg(&mut bl);
+        let (hu, ht, hp) = avg(&mut hl);
+        assert!(nu < bu && bu < hu, "util: {nu} {bu} {hu}");
+        assert!(nt < bt && bt < ht, "traffic: {nt} {bt} {ht}");
+        assert!(np < bp && bp < hp, "power: {np} {bp} {hp}");
+    }
+
+    #[test]
+    fn baseline_has_sync_bursts() {
+        let mut bl = BackgroundLoad::baseline(7);
+        let mut in_burst = 0;
+        let mut out_burst = 0;
+        for ms in 0..90_000u64 {
+            let d = bl.demand(ms);
+            if d.cpu_util > 0.12 {
+                in_burst += 1;
+            } else {
+                out_burst += 1;
+            }
+        }
+        assert!(in_burst > 1000, "sync bursts present ({in_burst} ms)");
+        assert!(out_burst > 60_000, "mostly quiet ({out_burst} ms)");
+    }
+
+    #[test]
+    fn none_never_bursts() {
+        let mut nl = BackgroundLoad::none(7);
+        for ms in 0..60_000u64 {
+            let d = nl.demand(ms);
+            assert!(d.cpu_util < 0.02);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LoadLevel::Baseline.label(), "BL");
+        assert_eq!(LoadLevel::None.label(), "NL");
+        assert_eq!(LoadLevel::Heavy.label(), "HL");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the workload machinery: work conservation,
+//! determinism per seed, and bounded demand.
+
+use asgov_soc::{Executed, Workload};
+use asgov_workloads::{AppKind, AppSpec, BackgroundLoad, PhasedApp, PhaseSpec};
+use proptest::prelude::*;
+
+fn spec(rate: f64, frame_ms: u64, jitter: f64, backlog: Option<f64>) -> AppSpec {
+    AppSpec {
+        name: "prop",
+        kind: AppKind::Interactive,
+        phases: vec![PhaseSpec {
+            rate_gips: rate,
+            frame_period_ms: frame_ms,
+            rate_jitter: jitter,
+            duration_ms: 1_000,
+            ..PhaseSpec::default()
+        }],
+        touch: None,
+        events: vec![],
+        profile_freq_range: (0, 17),
+        max_backlog_frames: backlog,
+        test_duration_ms: 10_000,
+    }
+}
+
+proptest! {
+    /// Work conservation: executed + backlog never exceeds what arrived
+    /// (within one frame of slack for the in-flight frame).
+    #[test]
+    fn work_conserved(
+        rate in 0.01f64..2.0,
+        frame_ms in 1u64..100,
+        drain_gips in 0.0f64..3.0,
+        seed in 0u64..100,
+    ) {
+        let mut app = PhasedApp::new(
+            spec(rate, frame_ms, 0.0, None),
+            BackgroundLoad::none(seed),
+            seed,
+        );
+        let horizon = 5_000u64;
+        let mut executed = 0.0;
+        for now in 0..horizon {
+            let d = app.demand(now);
+            let want = d.desired_gips.unwrap_or(f64::INFINITY);
+            let run = want.min(drain_gips) * 1e-3; // Gi this tick
+            app.deliver(now, Executed {
+                instructions: run * 1e9,
+                gips: run * 1e3,
+                busy_frac: 0.5,
+                traffic_mb: 0.0,
+            });
+            executed += run;
+        }
+        let arrived = rate * horizon as f64 * 1e-3 + rate * frame_ms as f64 * 1e-3;
+        prop_assert!(
+            executed + app.backlog_gi() <= arrived + 1e-9,
+            "executed {executed} + backlog {} exceeds arrivals {arrived}",
+            app.backlog_gi()
+        );
+    }
+
+    /// Frame dropping bounds the backlog.
+    #[test]
+    fn backlog_bounded_with_cap(
+        rate in 0.1f64..3.0,
+        frames in 1.0f64..8.0,
+        seed in 0u64..50,
+    ) {
+        let mut app = PhasedApp::new(
+            spec(rate, 17, 0.0, Some(frames)),
+            BackgroundLoad::none(seed),
+            seed,
+        );
+        // Never execute anything: backlog must still stay bounded.
+        for now in 0..10_000u64 {
+            app.demand(now);
+            app.deliver(now, Executed::default());
+            prop_assert!(
+                app.backlog_gi() <= rate * 0.017 * frames + rate * 0.017 + 1e-9,
+                "backlog {} blew past the cap",
+                app.backlog_gi()
+            );
+        }
+    }
+
+    /// Same seed ⇒ identical demand sequence; reset replays it.
+    #[test]
+    fn deterministic_and_replayable(seed in 0u64..200) {
+        let run = |app: &mut PhasedApp| {
+            let mut v = Vec::new();
+            for now in 0..500u64 {
+                let d = app.demand(now);
+                v.push((d.desired_gips.unwrap_or(-1.0), d.touch));
+                app.deliver(now, Executed::default());
+            }
+            v
+        };
+        let mut a = PhasedApp::new(spec(0.5, 17, 0.5, Some(3.0)), BackgroundLoad::baseline(seed), seed);
+        let first = run(&mut a);
+        a.reset();
+        let replay = run(&mut a);
+        prop_assert_eq!(first, replay);
+    }
+
+    /// Demand fields are always well-formed.
+    #[test]
+    fn demand_well_formed(
+        rate in 0.0f64..5.0,
+        jitter in 0.0f64..0.9,
+        seed in 0u64..50,
+    ) {
+        let mut app = PhasedApp::new(
+            spec(rate, 17, jitter, Some(4.0)),
+            BackgroundLoad::heavy(seed),
+            seed,
+        );
+        for now in 0..2_000u64 {
+            let d = app.demand(now);
+            prop_assert!(d.ipc0 > 0.0);
+            prop_assert!(d.bytes_per_instr >= 0.0);
+            prop_assert!(d.active_cores > 0.0 && d.active_cores <= 4.0);
+            prop_assert!(d.desired_gips.unwrap_or(0.0) >= 0.0);
+            prop_assert!(d.extra_power_w >= 0.0);
+            prop_assert!(d.bg.cpu_util >= 0.0 && d.bg.cpu_util <= 0.9);
+            app.deliver(now, Executed::default());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper (plus the ablation,
+# scope, related-work and trace studies) into ./results/.
+# Full-fidelity runs take a few minutes; pass --quick to smoke-test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+QUICK="${1:-}"
+mkdir -p results
+for bin in table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5 \
+           ablations scope related_work traces; do
+  echo "=== $bin ==="
+  if [ "$QUICK" = "--quick" ]; then
+    cargo run --release -p asgov-experiments --bin "$bin" -- --quick \
+      > "results/$bin.txt" 2>&1 || true
+  else
+    cargo run --release -p asgov-experiments --bin "$bin" \
+      > "results/$bin.txt" 2>&1
+  fi
+done
+echo "all experiment outputs are in ./results/"

@@ -1,0 +1,172 @@
+//! End-to-end closed-loop tests: offline profile → online control →
+//! energy/performance comparison against the stock governors, across
+//! the paper's applications.
+
+use asgov::prelude::*;
+
+fn quick_profile() -> ProfileOptions {
+    ProfileOptions {
+        runs_per_config: 1,
+        run_ms: 8_000,
+        freq_stride: 2,
+        interpolate: true,
+    }
+}
+
+/// Profile, measure default, run controller; return (default, report).
+fn run_pair(
+    mut app: PhasedApp,
+    duration_ms: u64,
+) -> (
+    asgov::profiler::DefaultMeasurement,
+    asgov::soc::sim::RunReport,
+) {
+    let dev_cfg = DeviceConfig::nexus6();
+    let profile = profile_app(&dev_cfg, &mut app, &quick_profile());
+    let default = measure_default(&dev_cfg, &mut app, 1, duration_ms);
+    let mut controller = ControllerBuilder::new(profile)
+        .target_gips(default.gips)
+        .build();
+    let mut gpu_gov = asgov::governors::AdrenoTz::default();
+    let mut device = Device::new(dev_cfg);
+    app.reset();
+    let report = sim::run(
+        &mut device,
+        &mut app,
+        &mut [&mut gpu_gov, &mut controller],
+        duration_ms,
+    );
+    (default, report)
+}
+
+#[test]
+fn angrybirds_saves_energy_within_performance_band() {
+    let (default, ctrl) = run_pair(apps::angrybirds(BackgroundLoad::baseline(1)), 60_000);
+    let savings = (default.energy_j - ctrl.energy_j) / default.energy_j;
+    let perf = (ctrl.avg_gips - default.gips) / default.gips;
+    assert!(savings > 0.03, "expected >3% savings, got {:.1}%", savings * 100.0);
+    assert!(perf > -0.04, "performance loss {:.1}% too large", perf * 100.0);
+}
+
+#[test]
+fn spotify_saves_energy_at_equal_quality() {
+    let (default, ctrl) = run_pair(apps::spotify(BackgroundLoad::baseline(1)), 60_000);
+    let savings = (default.energy_j - ctrl.energy_j) / default.energy_j;
+    let perf = (ctrl.avg_gips - default.gips) / default.gips;
+    assert!(savings > 0.05, "expected >5% savings, got {:.1}%", savings * 100.0);
+    assert!(perf.abs() < 0.03, "audio workload perf should be unchanged");
+}
+
+#[test]
+fn wechat_saves_energy_within_performance_band() {
+    let (default, ctrl) = run_pair(apps::wechat(BackgroundLoad::baseline(1)), 60_000);
+    let savings = (default.energy_j - ctrl.energy_j) / default.energy_j;
+    let perf = (ctrl.avg_gips - default.gips) / default.gips;
+    assert!(savings > 0.03, "expected >3% savings, got {:.1}%", savings * 100.0);
+    assert!(perf > -0.04, "performance loss {:.1}% too large", perf * 100.0);
+}
+
+#[test]
+fn vidcon_completes_with_less_energy() {
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut app = apps::vidcon(BackgroundLoad::baseline(1));
+    let profile = profile_app(&dev_cfg, &mut app, &quick_profile());
+    let default = measure_default(&dev_cfg, &mut app, 1, 200_000);
+    assert!(default.reports[0].completed, "default run must finish the conversion");
+
+    let mut controller = ControllerBuilder::new(profile)
+        .target_gips(default.gips)
+        .target_margin(0.0) // deadline-critical
+        .build();
+    let mut gpu_gov = asgov::governors::AdrenoTz::default();
+    let mut device = Device::new(dev_cfg);
+    app.reset();
+    let report = sim::run(
+        &mut device,
+        &mut app,
+        &mut [&mut gpu_gov, &mut controller],
+        200_000,
+    );
+    assert!(report.completed, "controller run must finish the conversion");
+
+    let savings = (default.energy_j - report.energy_j) / default.energy_j;
+    assert!(savings > 0.05, "expected >5% savings, got {:.1}%", savings * 100.0);
+    let slowdown = report.duration_ms as f64 / default.duration_ms - 1.0;
+    assert!(slowdown < 0.05, "conversion {:.1}% slower", slowdown * 100.0);
+}
+
+#[test]
+fn coordinated_beats_cpu_only_on_game() {
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut app = apps::angrybirds(BackgroundLoad::baseline(1));
+    let default = measure_default(&dev_cfg, &mut app, 1, 90_000);
+
+    // Coordinated.
+    let coord_profile = profile_app(&dev_cfg, &mut app, &quick_profile());
+    let mut coordinated = ControllerBuilder::new(coord_profile)
+        .target_gips(default.gips)
+        .build();
+    let mut gpu_gov = asgov::governors::AdrenoTz::default();
+    let mut device = Device::new(dev_cfg.clone());
+    app.reset();
+    let coord = sim::run(
+        &mut device,
+        &mut app,
+        &mut [&mut gpu_gov, &mut coordinated],
+        90_000,
+    );
+
+    // CPU-only (bandwidth under cpubw_hwmon).
+    let cpu_profile = profile_app_cpu_only(&dev_cfg, &mut app, &quick_profile());
+    let mut cpu_only = ControllerBuilder::new(cpu_profile)
+        .target_gips(default.gips)
+        .mode(ControlMode::CpuOnly)
+        .build();
+    let mut bw_gov = CpubwHwmon::default();
+    let mut gpu_gov2 = asgov::governors::AdrenoTz::default();
+    let mut device = Device::new(dev_cfg);
+    app.reset();
+    let cpuonly = sim::run(
+        &mut device,
+        &mut app,
+        &mut [&mut bw_gov, &mut gpu_gov2, &mut cpu_only],
+        90_000,
+    );
+
+    assert!(
+        coord.energy_j < cpuonly.energy_j,
+        "coordinated ({:.1} J) must beat cpu-only ({:.1} J)",
+        coord.energy_j,
+        cpuonly.energy_j
+    );
+}
+
+#[test]
+fn controller_prefers_low_bandwidth() {
+    // Paper Fig. 5: the controller selects bandwidth No. 1 for over 60%
+    // of the runtime in all six test cases.
+    let (_, ctrl) = run_pair(apps::angrybirds(BackgroundLoad::baseline(1)), 60_000);
+    let bw_hist = ctrl.stats.bw_histogram();
+    assert!(
+        bw_hist[0] > 0.6,
+        "controller should sit at bw1 >60% of the time, got {:.1}%",
+        bw_hist[0] * 100.0
+    );
+}
+
+#[test]
+fn controller_avoids_high_frequencies_for_saturating_app() {
+    // Paper Fig. 4(c): profiling excludes useless high frequencies, so
+    // the controller never visits them even though the default does.
+    let (default, ctrl) = run_pair(apps::angrybirds(BackgroundLoad::baseline(1)), 60_000);
+    let ctrl_hist = ctrl.stats.freq_histogram();
+    let high_ctrl: f64 = ctrl_hist[10..].iter().sum();
+    assert!(high_ctrl < 0.01, "controller beyond f10: {:.2}%", high_ctrl * 100.0);
+    let def_hist = default.reports[0].stats.freq_histogram();
+    let elevated_def: f64 = def_hist[7..].iter().sum();
+    assert!(
+        elevated_def > 0.15,
+        "default should spend real time at elevated frequencies, got {:.1}%",
+        elevated_def * 100.0
+    );
+}

@@ -1,0 +1,110 @@
+//! Determinism and calibration-anchor tests: identical seeds must give
+//! identical results (the experiments are reproducible bit-for-bit),
+//! and the simulated device must stay anchored to the paper's absolute
+//! reference points.
+
+use asgov::governors::{AdrenoTz, CpubwHwmon, Interactive};
+use asgov::prelude::*;
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let run = || {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut device = Device::new(dev_cfg);
+        let mut cpu = Interactive::default();
+        let mut bw = CpubwHwmon::default();
+        let mut gpu = AdrenoTz::default();
+        let mut app = apps::angrybirds(BackgroundLoad::baseline(1));
+        let report = sim::run(
+            &mut device,
+            &mut app,
+            &mut [&mut cpu, &mut bw, &mut gpu],
+            20_000,
+        );
+        (report.energy_j, report.avg_gips, report.stats.freq_transitions)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seeds, same everything");
+}
+
+#[test]
+fn different_device_seeds_differ_noise_only() {
+    let run = |seed| {
+        let dev_cfg = DeviceConfig::nexus6().with_seed(seed);
+        let mut device = Device::new(dev_cfg);
+        let mut app = apps::spotify(BackgroundLoad::baseline(1));
+        sim::run(&mut device, &mut app, &mut [], 20_000).energy_j
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(a, b, "monitor noise differs across seeds");
+    assert!(
+        (a - b).abs() / a < 0.01,
+        "...but only by measurement noise: {a} vs {b}"
+    );
+}
+
+#[test]
+fn profiles_are_reproducible() {
+    let opts = ProfileOptions {
+        runs_per_config: 1,
+        run_ms: 4_000,
+        freq_stride: 4,
+        interpolate: true,
+    };
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut app = apps::wechat(BackgroundLoad::baseline(1));
+    let p1 = profile_app(&dev_cfg, &mut app, &opts);
+    let p2 = profile_app(&dev_cfg, &mut app, &opts);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn paper_table1_anchor_points() {
+    // Paper Table I: AngryBirds at (0.3 GHz, 762 MBps) draws ~1.62 W
+    // whole-device; base speed 0.129 GIPS. Our calibration must stay in
+    // the same neighbourhood (±35 %).
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut app = apps::angrybirds(BackgroundLoad::baseline(1));
+    let mut device = Device::new(dev_cfg);
+    device.set_cpu_governor("userspace");
+    device.set_bw_governor("userspace");
+    device.set_tool_overhead(0.04, 0.015); // perf runs during profiling
+    let report = sim::run(&mut device, &mut app, &mut [], 30_000);
+
+    assert!(
+        (1.05..=2.2).contains(&report.avg_power_w),
+        "base-config power {} W vs the paper's 1.62 W",
+        report.avg_power_w
+    );
+    assert!(
+        (0.084..=0.175).contains(&report.avg_gips),
+        "base speed {} GIPS vs the paper's 0.129",
+        report.avg_gips
+    );
+}
+
+#[test]
+fn paper_vidcon_anchor_points() {
+    // Paper: VidCon base speed 0.471 GIPS; default conversion ≈ 59 s.
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut app = apps::vidcon(BackgroundLoad::baseline(1));
+
+    let mut device = Device::new(dev_cfg.clone());
+    device.set_cpu_governor("userspace");
+    device.set_bw_governor("userspace");
+    let base = sim::run(&mut device, &mut app, &mut [], 20_000).avg_gips;
+    assert!(
+        (0.3..=0.71).contains(&base),
+        "VidCon base speed {base} vs the paper's 0.471"
+    );
+
+    let default = measure_default(&dev_cfg, &mut app, 1, 200_000);
+    assert!(default.reports[0].completed);
+    assert!(
+        (30_000.0..=90_000.0).contains(&default.duration_ms),
+        "default conversion took {} ms vs the paper's ~59 s",
+        default.duration_ms
+    );
+}
