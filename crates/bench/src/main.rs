@@ -1,0 +1,233 @@
+//! Benchmark runner: three suites (`optimizer`, `controller`,
+//! `simulator`), each written as `BENCH_<suite>.json` at the repository
+//! root. `--quick` shrinks the sampling plan for CI smoke runs.
+
+use asgov_bench::{bench, suite_report, synthetic_profile, synthetic_table, BenchConfig};
+use asgov_control::{AdaptiveIntegrator, KalmanFilter};
+use asgov_core::{ControllerBuilder, EnergyController, EnergyOptimizer};
+use asgov_governors::{AdrenoTz, CpubwHwmon};
+use asgov_linprog::{two_point, HullSolver};
+use asgov_soc::{sim, Device, DeviceConfig, Policy};
+use asgov_util::{Json, Rng};
+use asgov_workloads::{apps, BackgroundLoad};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// A deterministic sweep of solve targets spanning the synthetic
+/// profile's speedup range (1.0 ..= 3.2), plus out-of-range extremes.
+fn targets(count: usize) -> Vec<f64> {
+    let mut rng = Rng::seed_from_u64(0xbe9c);
+    (0..count).map(|_| rng.gen_range(0.8..3.4)).collect()
+}
+
+fn optimizer_suite(quick: bool) -> Json {
+    let cfg = if quick {
+        BenchConfig::quick()
+    } else {
+        BenchConfig::full()
+    };
+    let sweep = targets(256);
+    let mut results = Vec::new();
+    let mut hull_median_234 = f64::NAN;
+    let mut two_point_median_234 = f64::NAN;
+
+    for &n in &[18usize, 64, 234] {
+        let (s, p) = synthetic_profile(n);
+        let hull = HullSolver::new(&s, &p).expect("finite synthetic profile");
+
+        results.push(bench(&format!("hull_build/{n}"), &cfg, || {
+            black_box(HullSolver::new(black_box(&s), black_box(&p)));
+        }));
+
+        let mut k = 0usize;
+        let r = bench(&format!("hull_solve/{n}"), &cfg, || {
+            let t = sweep[k % sweep.len()];
+            k += 1;
+            black_box(hull.solve(black_box(t), 2.0));
+        });
+        if n == 234 {
+            hull_median_234 = r.median_ns;
+        }
+        results.push(r);
+
+        let mut k = 0usize;
+        let r = bench(&format!("two_point/{n}"), &cfg, || {
+            let t = sweep[k % sweep.len()];
+            k += 1;
+            black_box(two_point::optimize(black_box(&s), black_box(&p), t, 2.0));
+        });
+        if n == 234 {
+            two_point_median_234 = r.median_ns;
+        }
+        results.push(r);
+    }
+
+    // Energy parity of the two solvers at the full table size: the
+    // hull is an exact reformulation, so over a dense target sweep the
+    // cheapest-schedule energies must agree to 1e-9 J.
+    let (s, p) = synthetic_profile(234);
+    let hull = HullSolver::new(&s, &p).expect("finite synthetic profile");
+    let mut max_diff = 0.0f64;
+    let mut disagreements = 0usize;
+    let parity_sweep = targets(1000);
+    for &t in &parity_sweep {
+        match (hull.solve(t, 2.0), two_point::optimize(&s, &p, t, 2.0)) {
+            (Some(a), Some(b)) => max_diff = max_diff.max((a.energy_j - b.energy_j).abs()),
+            (None, None) => {}
+            _ => disagreements += 1,
+        }
+    }
+
+    let mut derived = Json::object();
+    derived.set(
+        "hull_speedup_at_234",
+        two_point_median_234 / hull_median_234,
+    );
+    derived.set("hull_median_ns_at_234", hull_median_234);
+    derived.set("two_point_median_ns_at_234", two_point_median_234);
+    derived.set("energy_parity_targets", parity_sweep.len());
+    derived.set("max_abs_energy_diff_at_234", max_diff);
+    derived.set("solver_disagreements", disagreements);
+    suite_report("optimizer", quick, &results, derived)
+}
+
+fn controller_suite(quick: bool) -> Json {
+    let cfg = if quick {
+        BenchConfig::quick()
+    } else {
+        BenchConfig::full()
+    };
+    let sweep = targets(256);
+    let mut results = Vec::new();
+
+    let mut kalman = KalmanFilter::new(0.2, 1.0, 1e-4, 1e-2);
+    let mut k = 0usize;
+    results.push(bench(
+        "kalman_update",
+        &cfg.with_inner(cfg.inner * 50),
+        || {
+            let y = sweep[k % sweep.len()];
+            k += 1;
+            black_box(kalman.update(black_box(y), 1.0));
+        },
+    ));
+
+    let mut reg = AdaptiveIntegrator::new(1.0, 1.0, 3.2);
+    let mut k = 0usize;
+    results.push(bench(
+        "regulator_step",
+        &cfg.with_inner(cfg.inner * 50),
+        || {
+            let m = sweep[k % sweep.len()];
+            k += 1;
+            black_box(reg.step(2.0, black_box(m), 0.2));
+        },
+    ));
+
+    // The optimizer exactly as the controller invokes it per cycle.
+    let table = synthetic_table();
+    let opt = EnergyOptimizer::new(&table);
+    let mut k = 0usize;
+    results.push(bench("optimizer_solve/234", &cfg, || {
+        let t = sweep[k % sweep.len()];
+        k += 1;
+        black_box(opt.solve(black_box(t), 2.0));
+    }));
+
+    // A full closed-loop run: device + app + controller stack for
+    // `sim_ms` simulated milliseconds (control cycle = 2 s).
+    let sim_ms: u64 = if quick { 4_000 } else { 20_000 };
+    let run_cfg = BenchConfig {
+        warmup_iters: 1,
+        samples: if quick { 5 } else { 15 },
+        inner: 1,
+    };
+    let r = bench(&format!("controller_run/{sim_ms}ms"), &run_cfg, || {
+        let mut device = Device::new(DeviceConfig::nexus6());
+        let mut app = apps::spotify(BackgroundLoad::baseline(1));
+        let controller: EnergyController = ControllerBuilder::new(table.clone())
+            .target_gips(0.5)
+            .seed(0xc0de)
+            .build();
+        let mut gpu = AdrenoTz::default();
+        let mut ctrl = controller;
+        let mut policies: [&mut dyn Policy; 2] = [&mut gpu, &mut ctrl];
+        black_box(sim::run(&mut device, &mut app, &mut policies, sim_ms));
+    });
+    let ns_per_sim_ms = r.median_ns / sim_ms as f64;
+    results.push(r);
+
+    let mut derived = Json::object();
+    derived.set("controller_run_ns_per_sim_ms", ns_per_sim_ms);
+    suite_report("controller", quick, &results, derived)
+}
+
+fn simulator_suite(quick: bool) -> Json {
+    let sim_ms: u64 = if quick { 4_000 } else { 20_000 };
+    let run_cfg = BenchConfig {
+        warmup_iters: 1,
+        samples: if quick { 5 } else { 15 },
+        inner: 1,
+    };
+    let mut results = Vec::new();
+
+    let r = bench(&format!("sim_bare/{sim_ms}ms"), &run_cfg, || {
+        let mut device = Device::new(DeviceConfig::nexus6());
+        let mut app = apps::spotify(BackgroundLoad::baseline(1));
+        black_box(sim::run(&mut device, &mut app, &mut [], sim_ms));
+    });
+    let bare_ns_per_tick = r.median_ns / sim_ms as f64;
+    results.push(r);
+
+    let r = bench(&format!("sim_governors/{sim_ms}ms"), &run_cfg, || {
+        let mut device = Device::new(DeviceConfig::nexus6());
+        let mut app = apps::spotify(BackgroundLoad::baseline(1));
+        let mut bw = CpubwHwmon::default();
+        let mut gpu = AdrenoTz::default();
+        let mut policies: [&mut dyn Policy; 2] = [&mut bw, &mut gpu];
+        black_box(sim::run(&mut device, &mut app, &mut policies, sim_ms));
+    });
+    let gov_ns_per_tick = r.median_ns / sim_ms as f64;
+    results.push(r);
+
+    let mut derived = Json::object();
+    derived.set("bare_ns_per_tick", bare_ns_per_tick);
+    derived.set("governors_ns_per_tick", gov_ns_per_tick);
+    derived.set("bare_ticks_per_sec", 1e9 / bare_ns_per_tick);
+    suite_report("simulator", quick, &results, derived)
+}
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("error: unknown argument `{other}` (expected `--quick`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = repo_root();
+    for (suite, report) in [
+        ("optimizer", optimizer_suite(quick)),
+        ("controller", controller_suite(quick)),
+        ("simulator", simulator_suite(quick)),
+    ] {
+        let path = root.join(format!("BENCH_{suite}.json"));
+        std::fs::write(&path, report.to_pretty()).expect("write benchmark report");
+        println!("wrote {}", path.display());
+        if suite == "optimizer" {
+            let speedup = report
+                .get("derived")
+                .and_then(|d| d.get("hull_speedup_at_234"))
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN);
+            println!("  hull vs two-point at N=234: {speedup:.1}x");
+        }
+    }
+}

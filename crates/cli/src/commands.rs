@@ -42,10 +42,7 @@ fn make_app(name: &str, load: &str) -> Result<PhasedApp> {
         "Spotify" => apps::spotify(bg),
         "eBook" => apps::ebook(bg),
         other => {
-            return Err(format!(
-                "unknown application {other:?}; see `asgov list-apps`"
-            )
-            .into())
+            return Err(format!("unknown application {other:?}; see `asgov list-apps`").into())
         }
     };
     Ok(app)
@@ -105,9 +102,7 @@ pub fn run(cmd: Command) -> Result<()> {
             let dev_cfg = DeviceConfig::nexus6();
             let mut a = make_app(&app, &load)?;
             let m = measure_default(&dev_cfg, &mut a, 3, duration_s * 1000);
-            println!(
-                "{app} under interactive + cpubw_hwmon + msm-adreno-tz ({load}):"
-            );
+            println!("{app} under interactive + cpubw_hwmon + msm-adreno-tz ({load}):");
             println!("  R_def = {:.4} GIPS", m.gips);
             println!("  P_def = {:.3} W", m.power_w);
             println!("  T_def = {:.1} s", m.duration_ms / 1000.0);
@@ -165,7 +160,11 @@ pub fn run(cmd: Command) -> Result<()> {
             println!("{app} under the asgov controller (target {target:.4} GIPS, {load}):");
             println!("  achieved = {:.4} GIPS", report.avg_gips);
             println!("  power    = {:.3} W", report.avg_power_w);
-            println!("  energy   = {:.1} J over {:.1} s", report.energy_j, report.duration_s());
+            println!(
+                "  energy   = {:.1} J over {:.1} s",
+                report.energy_j,
+                report.duration_s()
+            );
             println!(
                 "  base-speed estimate = {:.4} GIPS, {} control cycles, {} actuation failures",
                 controller.base_estimate(),

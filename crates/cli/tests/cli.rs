@@ -12,8 +12,15 @@ fn list_apps_names_all_models() {
     let out = asgov().arg("list-apps").output().expect("run");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for app in ["VidCon", "MobileBench", "AngryBirds", "WeChat", "MXPlayer", "Spotify", "eBook"]
-    {
+    for app in [
+        "VidCon",
+        "MobileBench",
+        "AngryBirds",
+        "WeChat",
+        "MXPlayer",
+        "Spotify",
+        "eBook",
+    ] {
         assert!(text.contains(app), "missing {app} in:\n{text}");
     }
 }
@@ -60,7 +67,11 @@ fn profile_then_control_round_trip() {
         ])
         .output()
         .expect("run profile");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(profile_path.exists());
 
     let out = asgov()
@@ -77,7 +88,11 @@ fn profile_then_control_round_trip() {
         ])
         .output()
         .expect("run control");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("achieved"));
     assert!(text.contains("0 actuation failures"));

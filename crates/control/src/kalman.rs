@@ -149,9 +149,8 @@ mod tests {
 
     #[test]
     fn noisy_measurements_average_out() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(11);
+        use asgov_util::Rng;
+        let mut rng = Rng::seed_from_u64(11);
         let mut kf = KalmanFilter::new(0.5, 1.0, 1e-6, 1e-2);
         let b_true = 0.129;
         for _ in 0..3000 {

@@ -64,8 +64,7 @@ impl PidController {
         self.last_error = Some(error);
 
         let candidate_integral = self.integral + error * dt;
-        let unclamped =
-            self.kp * error + self.ki * candidate_integral + self.kd * derivative;
+        let unclamped = self.kp * error + self.ki * candidate_integral + self.kd * derivative;
         let output = unclamped.clamp(self.output_range.0, self.output_range.1);
         // Anti-windup: only commit the integral if not saturating, or if
         // the error drives the output back inside the range.

@@ -1,20 +1,23 @@
 //! Property-based tests of the control-theory substrate: convergence,
 //! stability and clamping of the regulator and estimator under random
 //! plants and noise.
+//!
+//! Randomized inputs come from a seeded [`asgov_util::Rng`] so every
+//! run exercises the same cases (the hermetic stand-in for proptest).
 
 use asgov_control::{AdaptiveIntegrator, Ewma, KalmanFilter, PhaseDetector, PhaseEvent};
-use proptest::prelude::*;
+use asgov_util::Rng;
 
-proptest! {
-    /// The adaptive integrator converges to the required speedup for any
-    /// reachable target on a linear plant, regardless of the initial
-    /// state and base speed.
-    #[test]
-    fn integrator_converges(
-        b in 0.05f64..2.0,
-        target_frac in 0.05f64..0.95,
-        initial in 1.0f64..10.0,
-    ) {
+/// The adaptive integrator converges to the required speedup for any
+/// reachable target on a linear plant, regardless of the initial
+/// state and base speed.
+#[test]
+fn integrator_converges() {
+    let mut rng = Rng::seed_from_u64(0xc0_0001);
+    for case in 0..128 {
+        let b = rng.gen_range(0.05..2.0);
+        let target_frac = rng.gen_range(0.05..0.95);
+        let initial = rng.gen_range(1.0..10.0);
         let (min_s, max_s) = (1.0, 10.0);
         let target = (min_s + target_frac * (max_s - min_s)) * b;
         let mut reg = AdaptiveIntegrator::new(initial, min_s, max_s);
@@ -22,91 +25,116 @@ proptest! {
             let y = reg.speedup() * b;
             reg.step(target, y, b);
         }
-        prop_assert!(
+        assert!(
             (reg.speedup() * b - target).abs() < 1e-6 * target.max(1.0),
-            "speedup {} for target {target} at base {b}",
+            "case {case}: speedup {} for target {target} at base {b}",
             reg.speedup()
         );
     }
+}
 
-    /// The integrator's output is always within its clamp range, no
-    /// matter how wild the measurements are.
-    #[test]
-    fn integrator_always_clamped(
-        measurements in prop::collection::vec(-10.0f64..10.0, 1..100),
-        target in -5.0f64..5.0,
-        b in 0.001f64..10.0,
-    ) {
+/// The integrator's output is always within its clamp range, no
+/// matter how wild the measurements are.
+#[test]
+fn integrator_always_clamped() {
+    let mut rng = Rng::seed_from_u64(0xc0_0002);
+    for case in 0..128 {
+        let target = rng.gen_range(-5.0..5.0);
+        let b = rng.gen_range(0.001..10.0);
+        let len = rng.gen_range_usize(1..100);
         let mut reg = AdaptiveIntegrator::new(1.0, 1.0, 3.0);
-        for y in measurements {
+        for _ in 0..len {
+            let y = rng.gen_range(-10.0..10.0);
             let s = reg.step(target, y, b);
-            prop_assert!((1.0..=3.0).contains(&s));
+            assert!(
+                (1.0..=3.0).contains(&s),
+                "case {case}: unclamped speedup {s}"
+            );
         }
     }
+}
 
-    /// The Kalman filter converges to the true base speed under
-    /// persistent excitation, for any positive h sequence.
-    #[test]
-    fn kalman_converges(
-        b_true in 0.05f64..2.0,
-        h in 0.5f64..5.0,
-        seed in 0.0f64..1.0,
-    ) {
-        let mut kf = KalmanFilter::new(b_true * (0.2 + 1.6 * seed), 1.0, 1e-6, 1e-3);
+/// The Kalman filter converges to the true base speed under
+/// persistent excitation, for any positive h sequence.
+#[test]
+fn kalman_converges() {
+    let mut rng = Rng::seed_from_u64(0xc0_0003);
+    for case in 0..128 {
+        let b_true = rng.gen_range(0.05..2.0);
+        let h = rng.gen_range(0.5..5.0);
+        let spread = rng.gen_range(0.0..1.0);
+        let mut kf = KalmanFilter::new(b_true * (0.2 + 1.6 * spread), 1.0, 1e-6, 1e-3);
         for _ in 0..500 {
             kf.update(h * b_true, h);
         }
-        prop_assert!(
+        assert!(
             (kf.value() - b_true).abs() < 0.01 * b_true.max(0.1),
-            "estimate {} vs true {b_true}",
+            "case {case}: estimate {} vs true {b_true}",
             kf.value()
         );
     }
+}
 
-    /// The filter's variance never becomes negative or NaN.
-    #[test]
-    fn kalman_variance_well_formed(
-        updates in prop::collection::vec((0.0f64..5.0, 0.0f64..5.0), 1..200),
-    ) {
+/// The filter's variance never becomes negative or NaN.
+#[test]
+fn kalman_variance_well_formed() {
+    let mut rng = Rng::seed_from_u64(0xc0_0004);
+    for case in 0..128 {
+        let len = rng.gen_range_usize(1..200);
         let mut kf = KalmanFilter::new(0.5, 1.0, 1e-4, 1e-2);
-        for (y, h) in updates {
+        for _ in 0..len {
+            let y = rng.gen_range(0.0..5.0);
+            let h = rng.gen_range(0.0..5.0);
             kf.update(y, h);
-            prop_assert!(kf.variance() >= 0.0);
-            prop_assert!(kf.variance().is_finite());
-            prop_assert!(kf.value().is_finite());
+            assert!(kf.variance() >= 0.0, "case {case}");
+            assert!(kf.variance().is_finite(), "case {case}");
+            assert!(kf.value().is_finite(), "case {case}");
         }
     }
+}
 
-    /// EWMA output is always inside the convex hull of its inputs.
-    #[test]
-    fn ewma_stays_in_hull(
-        alpha in 0.01f64..1.0,
-        samples in prop::collection::vec(-100.0f64..100.0, 1..100),
-    ) {
+/// EWMA output is always inside the convex hull of its inputs.
+#[test]
+fn ewma_stays_in_hull() {
+    let mut rng = Rng::seed_from_u64(0xc0_0005);
+    for case in 0..128 {
+        let alpha = rng.gen_range(0.01..1.0);
+        let len = rng.gen_range_usize(1..100);
+        let samples: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect();
         let mut e = Ewma::new(alpha);
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for &s in &samples {
             let v = e.push(s);
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(
+                v >= lo - 1e-9 && v <= hi + 1e-9,
+                "case {case}: {v} outside [{lo}, {hi}]"
+            );
         }
     }
+}
 
-    /// The phase detector never fires on a constant signal.
-    #[test]
-    fn phase_detector_quiet_on_constant(
-        value in 0.01f64..100.0,
-        n in 20usize..200,
-    ) {
+/// The phase detector never fires on a constant signal.
+#[test]
+fn phase_detector_quiet_on_constant() {
+    let mut rng = Rng::seed_from_u64(0xc0_0006);
+    for case in 0..128 {
+        let value = rng.gen_range(0.01..100.0);
+        let n = rng.gen_range_usize(20..200);
         let mut d = PhaseDetector::new(4, 16, 0.2);
         for _ in 0..n {
-            prop_assert_eq!(d.push(value), PhaseEvent::Stable);
+            assert_eq!(d.push(value), PhaseEvent::Stable, "case {case}");
         }
     }
+}
 
-    /// The phase detector always fires on a sufficiently large step.
-    #[test]
-    fn phase_detector_fires_on_big_step(base in 1.0f64..10.0, factor in 2.0f64..5.0) {
+/// The phase detector always fires on a sufficiently large step.
+#[test]
+fn phase_detector_fires_on_big_step() {
+    let mut rng = Rng::seed_from_u64(0xc0_0007);
+    for case in 0..128 {
+        let base = rng.gen_range(1.0..10.0);
+        let factor = rng.gen_range(2.0..5.0);
         let mut d = PhaseDetector::new(4, 16, 0.25);
         for _ in 0..32 {
             d.push(base);
@@ -118,6 +146,10 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(fired, "step {base} -> {} missed", base * factor);
+        assert!(
+            fired,
+            "case {case}: step {base} -> {} missed",
+            base * factor
+        );
     }
 }

@@ -75,8 +75,7 @@ impl LoadAdaptiveController {
             return None;
         }
         let util = (device.bg_util_ms() - self.last_bg_util_ms) / dt_ms;
-        let traffic =
-            (device.bg_traffic_mb() - self.last_bg_traffic_mb) / (dt_ms * 1e-3);
+        let traffic = (device.bg_traffic_mb() - self.last_bg_traffic_mb) / (dt_ms * 1e-3);
         self.last_sample_ms = now;
         self.last_bg_util_ms = device.bg_util_ms();
         self.last_bg_traffic_mb = device.bg_traffic_mb();

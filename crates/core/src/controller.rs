@@ -194,8 +194,7 @@ impl ControllerBuilder {
             max_s,
             self.gain,
         );
-        let scheduler =
-            ConfigScheduler::new(self.min_dwell_ms, self.mode == ControlMode::CpuOnly);
+        let scheduler = ConfigScheduler::new(self.min_dwell_ms, self.mode == ControlMode::CpuOnly);
         EnergyController {
             optimizer,
             regulator,
@@ -462,9 +461,7 @@ mod tests {
         let profile = profile_app(&dev_cfg, &mut app, &fast_opts());
         let profiled_base = profile.base_gips;
 
-        let mut controller = ControllerBuilder::new(profile)
-            .target_gips(0.3)
-            .build();
+        let mut controller = ControllerBuilder::new(profile).target_gips(0.3).build();
         let mut device = Device::new(dev_cfg);
         app.reset();
         sim::run(&mut device, &mut app, &mut [&mut controller], 30_000);

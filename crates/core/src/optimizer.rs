@@ -1,6 +1,6 @@
 //! The energy optimizer: the LP of paper Eqns. 4–7 over a profile table.
 
-use asgov_linprog::{gradient, two_point};
+use asgov_linprog::{gradient, two_point, HullSolver};
 use asgov_profiler::{Config, ProfileTable};
 
 /// Minimum-energy configuration selection over an offline profile.
@@ -35,6 +35,11 @@ pub struct EnergyOptimizer {
     speedups: Vec<f64>,
     powers: Vec<f64>,
     configs: Vec<Config>,
+    /// Lower convex envelope, precomputed once at construction; makes
+    /// every [`solve`](EnergyOptimizer::solve) `O(log N)` instead of
+    /// `O(N²)`. `None` only when the table contains non-finite values
+    /// (then every solve returns `None`, as the brute force would).
+    hull: Option<HullSolver>,
 }
 
 /// A solved control input `u_n`: two dwell intervals (paper Fig. 3).
@@ -66,10 +71,14 @@ impl EnergyOptimizer {
     /// Panics if the table is empty.
     pub fn new(table: &ProfileTable) -> Self {
         assert!(!table.is_empty(), "profile table must not be empty");
+        let speedups = table.speedups();
+        let powers = table.powers();
+        let hull = HullSolver::new(&speedups, &powers);
         Self {
-            speedups: table.speedups(),
-            powers: table.powers(),
+            speedups,
+            powers,
             configs: (0..table.len()).map(|i| table.config(i)).collect(),
+            hull,
         }
     }
 
@@ -104,7 +113,20 @@ impl EnergyOptimizer {
     /// Solve for the minimum-energy plan delivering `target_speedup`
     /// over `period_s` seconds. Returns `None` only for non-finite or
     /// non-positive inputs.
+    ///
+    /// Runs on the precomputed convex hull: `O(log N)` per call. The
+    /// `O(N²)` brute force is available as
+    /// [`solve_exhaustive`](EnergyOptimizer::solve_exhaustive) and is
+    /// differentially tested to produce equal-energy plans.
     pub fn solve(&self, target_speedup: f64, period_s: f64) -> Option<Plan> {
+        let sched = self.hull.as_ref()?.solve(target_speedup, period_s)?;
+        Some(self.plan_from(sched))
+    }
+
+    /// Escape hatch: solve with the brute-force `O(N²)` pair search
+    /// instead of the hull. Same answers (the hull is exact, not an
+    /// approximation) — useful for differential testing and debugging.
+    pub fn solve_exhaustive(&self, target_speedup: f64, period_s: f64) -> Option<Plan> {
         let sched = two_point::optimize(&self.speedups, &self.powers, target_speedup, period_s)?;
         Some(self.plan_from(sched))
     }
@@ -112,12 +134,7 @@ impl EnergyOptimizer {
     /// Solve with the CoScale-style greedy search instead of the LP
     /// (paper §VI comparison): a single configuration, found by local
     /// descent from `start` (e.g. the previously applied index).
-    pub fn solve_gradient(
-        &self,
-        target_speedup: f64,
-        period_s: f64,
-        start: usize,
-    ) -> Option<Plan> {
+    pub fn solve_gradient(&self, target_speedup: f64, period_s: f64, start: usize) -> Option<Plan> {
         let sched = gradient::descend(
             &self.speedups,
             &self.powers,
@@ -158,8 +175,8 @@ mod tests {
             config: Config {
                 freq: FreqIndex(f),
                 bw: BwIndex(b),
-                    gpu: None,
-                },
+                gpu: None,
+            },
             speedup: s,
             power_w: p,
             measured: true,
@@ -206,6 +223,26 @@ mod tests {
             let e = opt.solve(t, 2.0).unwrap().energy_j;
             assert!(e >= prev - 1e-9, "energy not monotone at target {t}");
             prev = e;
+        }
+    }
+
+    #[test]
+    fn hull_and_exhaustive_agree() {
+        let opt = EnergyOptimizer::new(&table());
+        for k in 0..=50 {
+            let target = 0.5 + k as f64 * 0.08; // spans below..above range
+            match (opt.solve(target, 2.0), opt.solve_exhaustive(target, 2.0)) {
+                (Some(a), Some(b)) => {
+                    assert!(
+                        (a.energy_j - b.energy_j).abs() < 1e-9,
+                        "target {target}: hull {} vs exhaustive {}",
+                        a.energy_j,
+                        b.energy_j
+                    );
+                    assert!((a.speedup - b.speedup).abs() < 1e-9);
+                }
+                (a, b) => panic!("solvers disagree at {target}: {a:?} vs {b:?}"),
+            }
         }
     }
 

@@ -100,7 +100,10 @@ impl ConfigScheduler {
     fn apply(&mut self, device: &mut Device, config: Config) {
         let khz = device.table().freq(config.freq).khz();
         if device
-            .sysfs_write(&format!("{}/scaling_setspeed", sysfs::CPUFREQ), &khz.to_string())
+            .sysfs_write(
+                &format!("{}/scaling_setspeed", sysfs::CPUFREQ),
+                &khz.to_string(),
+            )
             .is_err()
         {
             self.writes_failed += 1;
@@ -139,13 +142,13 @@ mod tests {
             lower: Config {
                 freq: FreqIndex(l.0),
                 bw: BwIndex(l.1),
-                    gpu: None,
-                },
+                gpu: None,
+            },
             upper: Config {
                 freq: FreqIndex(u.0),
                 bw: BwIndex(u.1),
-                    gpu: None,
-                },
+                gpu: None,
+            },
             tau_lower: tau_l,
             tau_upper: tau_u,
             speedup_lower: 1.0,

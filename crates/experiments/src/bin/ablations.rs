@@ -7,8 +7,9 @@
 
 use asgov_core::{ControllerBuilder, EnergyController};
 use asgov_governors::{AdrenoTz, CpubwHwmon, Interactive, MpDecision};
-use asgov_profiler::{measure_default, measure_fixed, profile_app, DefaultMeasurement,
-    ProfileOptions, ProfileTable};
+use asgov_profiler::{
+    measure_default, measure_fixed, profile_app, DefaultMeasurement, ProfileOptions, ProfileTable,
+};
 use asgov_soc::{sim, Device};
 use asgov_soc::{DeviceConfig, Policy};
 use asgov_workloads::{apps, BackgroundLoad, PhasedApp};

@@ -7,7 +7,9 @@ use asgov_soc::{sim, Device, DeviceConfig, Workload as _};
 use asgov_workloads::{apps, BackgroundLoad};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "AngryBirds".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "AngryBirds".into());
     let dev_cfg = DeviceConfig::nexus6();
     let mut app = match name.as_str() {
         "VidCon" => apps::vidcon(BackgroundLoad::baseline(1)),
@@ -18,16 +20,37 @@ fn main() {
         "eBook" => apps::ebook(BackgroundLoad::baseline(1)),
         _ => apps::angrybirds(BackgroundLoad::baseline(1)),
     };
-    let opts = ProfileOptions { runs_per_config: 1, run_ms: 30_000, freq_stride: 2, interpolate: true };
+    let opts = ProfileOptions {
+        runs_per_config: 1,
+        run_ms: 30_000,
+        freq_stride: 2,
+        interpolate: true,
+    };
     let profile = profile_app(&dev_cfg, &mut app, &opts);
     println!("{}", profile.render(&dev_cfg.table));
 
     let duration = 120_000;
     let default = measure_default(&dev_cfg, &mut app, 1, duration);
-    println!("DEFAULT: gips={:.4} power={:.3} W energy={:.1} J dur={:.0} ms",
-        default.gips, default.power_w, default.energy_j, default.duration_ms);
-    println!("{}", render::histogram("default freq histogram", &default.reports[0].stats.freq_histogram(), "f"));
-    println!("{}", render::histogram("default bw histogram", &default.reports[0].stats.bw_histogram(), "bw"));
+    println!(
+        "DEFAULT: gips={:.4} power={:.3} W energy={:.1} J dur={:.0} ms",
+        default.gips, default.power_w, default.energy_j, default.duration_ms
+    );
+    println!(
+        "{}",
+        render::histogram(
+            "default freq histogram",
+            &default.reports[0].stats.freq_histogram(),
+            "f"
+        )
+    );
+    println!(
+        "{}",
+        render::histogram(
+            "default bw histogram",
+            &default.reports[0].stats.bw_histogram(),
+            "bw"
+        )
+    );
 
     let mut controller = ControllerBuilder::new(profile.clone())
         .target_gips(default.gips)
@@ -36,17 +59,44 @@ fn main() {
     let mut device = Device::new(dev_cfg.clone());
     app.reset();
     let report = sim::run(&mut device, &mut app, &mut [&mut controller], duration);
-    println!("CONTROLLER: gips={:.4} power={:.3} W energy={:.1} J dur={} ms",
-        report.avg_gips, report.avg_power_w, report.energy_j, report.duration_ms);
-    println!("{}", render::histogram("controller freq histogram", &report.stats.freq_histogram(), "f"));
-    println!("{}", render::histogram("controller bw histogram", &report.stats.bw_histogram(), "bw"));
-    println!("savings: {:.1}%  perf delta: {:.2}%",
-        (default.energy_j - report.energy_j)/default.energy_j*100.0,
-        (report.avg_gips - default.gips)/default.gips*100.0);
+    println!(
+        "CONTROLLER: gips={:.4} power={:.3} W energy={:.1} J dur={} ms",
+        report.avg_gips, report.avg_power_w, report.energy_j, report.duration_ms
+    );
+    println!(
+        "{}",
+        render::histogram(
+            "controller freq histogram",
+            &report.stats.freq_histogram(),
+            "f"
+        )
+    );
+    println!(
+        "{}",
+        render::histogram(
+            "controller bw histogram",
+            &report.stats.bw_histogram(),
+            "bw"
+        )
+    );
+    println!(
+        "savings: {:.1}%  perf delta: {:.2}%",
+        (default.energy_j - report.energy_j) / default.energy_j * 100.0,
+        (report.avg_gips - default.gips) / default.gips * 100.0
+    );
     println!("\nCYCLE LOG (target {:.4}):", controller.target_gips());
     for c in controller.cycle_log() {
-        println!("t={:>6} y={:.4} b={:.4} s={:.3} c_l=({},{}) c_h=({},{}) tau_l={:.2}",
-            c.t_ms, c.measured_gips, c.base_estimate, c.required_speedup,
-            c.lower.freq, c.lower.bw, c.upper.freq, c.upper.bw, c.tau_lower_s);
+        println!(
+            "t={:>6} y={:.4} b={:.4} s={:.3} c_l=({},{}) c_h=({},{}) tau_l={:.2}",
+            c.t_ms,
+            c.measured_gips,
+            c.base_estimate,
+            c.required_speedup,
+            c.lower.freq,
+            c.lower.bw,
+            c.upper.freq,
+            c.upper.bw,
+            c.tau_lower_s
+        );
     }
 }

@@ -11,7 +11,14 @@ fn main() {
     let mut app = apps::ebook(BackgroundLoad::baseline(1));
     let report = default_run(&dev_cfg, &mut app, 120_000);
     println!("=== Fig. 1: eBook reading, default governor ===\n");
-    println!("{}", histogram("CPU frequency residency", &report.stats.freq_histogram(), "f"));
+    println!(
+        "{}",
+        histogram(
+            "CPU frequency residency",
+            &report.stats.freq_histogram(),
+            "f"
+        )
+    );
     let h = report.stats.freq_histogram();
     let at_f10 = h[9] * 100.0;
     let high: f64 = h[13..].iter().sum::<f64>() * 100.0;

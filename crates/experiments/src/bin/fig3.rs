@@ -11,8 +11,12 @@ fn main() {
     let table = profile_app(&dev_cfg, &mut app, &ProfileOptions::default());
     let opt = EnergyOptimizer::new(&table);
     println!("=== Fig. 3: energy optimizer selecting c_l and c_h ===\n");
-    println!("profile: N = {} configurations, speedups {:.2}..{:.2}\n",
-        opt.len(), opt.min_speedup(), opt.max_speedup());
+    println!(
+        "profile: N = {} configurations, speedups {:.2}..{:.2}\n",
+        opt.len(),
+        opt.min_speedup(),
+        opt.max_speedup()
+    );
     for frac in [0.2, 0.4, 0.6, 0.8] {
         let s = opt.min_speedup() + frac * (opt.max_speedup() - opt.min_speedup());
         let plan = opt.solve(s, 2.0).expect("finite target");
@@ -23,5 +27,7 @@ fn main() {
             plan.energy_j,
         );
     }
-    println!("\nAt most two configurations are ever selected, bracketing the target (paper Fig. 3).");
+    println!(
+        "\nAt most two configurations are ever selected, bracketing the target (paper Fig. 3)."
+    );
 }

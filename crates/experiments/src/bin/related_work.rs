@@ -80,7 +80,10 @@ fn main() {
         rows.push((label.into(), m.gips, m.energy_j));
     }
 
-    println!("\n=== Related work on AngryBirds ({} s) ===\n", duration / 1000);
+    println!(
+        "\n=== Related work on AngryBirds ({} s) ===\n",
+        duration / 1000
+    );
     println!(
         "{:<30} {:>8} {:>10} {:>11} {:>9}",
         "policy", "GIPS", "perf", "energy (J)", "savings"

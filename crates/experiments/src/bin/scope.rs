@@ -17,7 +17,10 @@ fn main() {
         ExperimentOptions::default()
     };
     println!("=== §V-B application scope: where the controller cannot help ===\n");
-    println!("{:<12} {:>12} {:>9}", "Application", "Performance", "Energy");
+    println!(
+        "{:<12} {:>12} {:>9}",
+        "Application", "Performance", "Energy"
+    );
     for mut app in [
         apps::idler(BackgroundLoad::baseline(1)),
         apps::cruncher(BackgroundLoad::baseline(1)),

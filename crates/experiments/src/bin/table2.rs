@@ -5,7 +5,10 @@ use asgov_soc::DvfsTable;
 fn main() {
     let t = DvfsTable::nexus6();
     println!("=== Table II: Nexus 6 operating points (paper §IV-A) ===\n");
-    println!("{:<4} {:>12}   {:<4} {:>12}", "#", "CPU (GHz)", "#", "Mem (MBps)");
+    println!(
+        "{:<4} {:>12}   {:<4} {:>12}",
+        "#", "CPU (GHz)", "#", "Mem (MBps)"
+    );
     for i in 0..t.num_freqs().max(t.num_bws()) {
         let f = if i < t.num_freqs() {
             format!("{:.4}", t.freq(asgov_soc::FreqIndex(i)).0)
@@ -17,6 +20,16 @@ fn main() {
         } else {
             String::new()
         };
-        println!("{:<4} {:>12}   {:<4} {:>12}", i + 1, f, if i < t.num_bws() { (i + 1).to_string() } else { String::new() }, b);
+        println!(
+            "{:<4} {:>12}   {:<4} {:>12}",
+            i + 1,
+            f,
+            if i < t.num_bws() {
+                (i + 1).to_string()
+            } else {
+                String::new()
+            },
+            b
+        );
     }
 }

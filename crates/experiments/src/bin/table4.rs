@@ -28,42 +28,54 @@ fn main() {
     );
 
     // Profile & target once, under baseline load (the paper's setup).
+    // The per-app rows are independent, so they fan out across workers
+    // and print in app order once all are in.
     let bl_apps = apps_under(&BackgroundLoad::baseline(1));
-    for (idx, mut bl_app) in bl_apps.into_iter().enumerate() {
-        let duration = opts
-            .duration_ms
-            .unwrap_or(bl_app.spec().test_duration_ms);
-        let deadline = matches!(bl_app.spec().kind, AppKind::Batch { .. });
-        let profile = profile_app(&dev_cfg, &mut bl_app, &opts.profile);
-        let target = measure_default(&dev_cfg, &mut bl_app, opts.runs, duration).gips;
+    let rows = asgov_util::par::ordered_map(
+        bl_apps.len(),
+        asgov_util::par::default_threads(bl_apps.len()),
+        |idx| {
+            let mut bl_app = bl_apps[idx].clone();
+            let duration = opts.duration_ms.unwrap_or(bl_app.spec().test_duration_ms);
+            let deadline = matches!(bl_app.spec().kind, AppKind::Batch { .. });
+            let profile = profile_app(&dev_cfg, &mut bl_app, &opts.profile);
+            let target = measure_default(&dev_cfg, &mut bl_app, opts.runs, duration).gips;
 
-        let mut perf = Vec::new();
-        let mut energy = Vec::new();
-        for level in [LoadLevel::Baseline, LoadLevel::None, LoadLevel::Heavy] {
-            let load = BackgroundLoad::with_level(level, 1);
-            let mut app = apps_under(&load).remove(idx);
-            let default = measure_default(&dev_cfg, &mut app, opts.runs, duration);
-            let profile2 = profile.clone();
-            let controller = measure_fixed(&dev_cfg, &mut app, opts.runs, duration, || {
-                let c: EnergyController = ControllerBuilder::new(profile2.clone())
-                    .target_gips(target)
-                    .target_margin(if deadline { 0.0 } else { 0.01 })
-                    .build();
-                vec![Box::new(c) as Box<dyn Policy>]
-            });
-            let p = if deadline {
-                (default.duration_ms - controller.duration_ms) / default.duration_ms * 100.0
-            } else {
-                (controller.gips - default.gips) / default.gips * 100.0
-            };
-            perf.push(p);
-            energy.push((default.energy_j - controller.energy_j) / default.energy_j * 100.0);
-        }
+            let mut perf = Vec::new();
+            let mut energy = Vec::new();
+            for level in [LoadLevel::Baseline, LoadLevel::None, LoadLevel::Heavy] {
+                let load = BackgroundLoad::with_level(level, 1);
+                let mut app = apps_under(&load).remove(idx);
+                let default = measure_default(&dev_cfg, &mut app, opts.runs, duration);
+                let profile2 = profile.clone();
+                let controller = measure_fixed(&dev_cfg, &mut app, opts.runs, duration, || {
+                    let c: EnergyController = ControllerBuilder::new(profile2.clone())
+                        .target_gips(target)
+                        .target_margin(if deadline { 0.0 } else { 0.01 })
+                        .build();
+                    vec![Box::new(c) as Box<dyn Policy>]
+                });
+                let p = if deadline {
+                    (default.duration_ms - controller.duration_ms) / default.duration_ms * 100.0
+                } else {
+                    (controller.gips - default.gips) / default.gips * 100.0
+                };
+                perf.push(p);
+                energy.push((default.energy_j - controller.energy_j) / default.energy_j * 100.0);
+            }
+            (bl_app.spec().name, perf, energy)
+        },
+    );
+    for (name, perf, energy) in rows {
         println!(
             "{:<14} {:>9} {:>9} {:>9}   {:>9} {:>9} {:>9}",
-            bl_app.spec().name,
-            pct(perf[0]), pct(perf[1]), pct(perf[2]),
-            pct(energy[0]), pct(energy[1]), pct(energy[2]),
+            name,
+            pct(perf[0]),
+            pct(perf[1]),
+            pct(perf[2]),
+            pct(energy[0]),
+            pct(energy[1]),
+            pct(energy[2]),
         );
     }
     // The paper's §V-C re-profiling follow-up: MobileBench re-profiled

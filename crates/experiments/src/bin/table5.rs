@@ -2,7 +2,7 @@
 //! the CPU frequency while `cpubw_hwmon` keeps the bandwidth.
 
 use asgov_core::ControlMode;
-use asgov_experiments::harness::{compare, ExperimentOptions};
+use asgov_experiments::harness::{compare_all, ExperimentOptions};
 use asgov_experiments::render::pct;
 use asgov_soc::DeviceConfig;
 use asgov_workloads::{paper_apps, BackgroundLoad};
@@ -21,16 +21,24 @@ fn main() {
         "{:<18} {:>12} {:>10} {:>14}   (paper: perf, energy)",
         "Application", "Performance", "Energy", "coord. energy"
     );
-    let paper = [("+2.8%", "13.1%"), ("-2.9%", "7.6%"), ("-2.6%", "9.6%"),
-                 ("+4.7%", "22.3%"), ("0.0%", "0.4%"), ("+3.3%", "33.3%")];
+    let paper = [
+        ("+2.8%", "13.1%"),
+        ("-2.9%", "7.6%"),
+        ("-2.6%", "9.6%"),
+        ("+4.7%", "22.3%"),
+        ("0.0%", "0.4%"),
+        ("+3.3%", "33.3%"),
+    ];
     let mut cpu_only_sum = 0.0;
     let mut coord_sum = 0.0;
     let mut counted = 0;
-    for (i, mut app) in paper_apps(BackgroundLoad::baseline(1)).into_iter().enumerate() {
-        opts.mode = ControlMode::CpuOnly;
-        let cpu_only = compare(&dev_cfg, &mut app, &opts);
-        opts.mode = ControlMode::Coordinated;
-        let coord = compare(&dev_cfg, &mut app, &opts);
+    // Both modes fan out across all six apps; rows stay in app order.
+    let apps = paper_apps(BackgroundLoad::baseline(1));
+    opts.mode = ControlMode::CpuOnly;
+    let cpu_only_rows = compare_all(&dev_cfg, &apps, &opts);
+    opts.mode = ControlMode::Coordinated;
+    let coord_rows = compare_all(&dev_cfg, &apps, &opts);
+    for (i, (cpu_only, coord)) in cpu_only_rows.into_iter().zip(coord_rows).enumerate() {
         println!(
             "{:<18} {:>12} {:>10} {:>14}   ({:>6}, {:>6})",
             cpu_only.app,
@@ -42,7 +50,7 @@ fn main() {
         );
         // The paper excludes MX Player ("practically does not save
         // energy") from the average.
-        if app.spec().name != "MXPlayer" {
+        if cpu_only.app != "MXPlayer" {
             cpu_only_sum += cpu_only.energy_savings_pct();
             coord_sum += coord.energy_savings_pct();
             counted += 1;

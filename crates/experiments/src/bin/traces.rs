@@ -76,8 +76,12 @@ fn main() {
     let target = measure_default(&dev_cfg, &mut app, 1, duration).gips;
     let mut controller = ControllerBuilder::new(profile).target_gips(target).build();
     let mut gpu = AdrenoTz::default();
-    let (series, events) =
-        series_and_events(&dev_cfg, &mut app, &mut [&mut gpu, &mut controller], duration);
+    let (series, events) = series_and_events(
+        &dev_cfg,
+        &mut app,
+        &mut [&mut gpu, &mut controller],
+        duration,
+    );
     std::fs::write(format!("results/{app_name}_controller_series.csv"), series).unwrap();
     std::fs::write(format!("results/{app_name}_controller_events.csv"), events).unwrap();
 

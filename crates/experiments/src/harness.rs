@@ -4,8 +4,9 @@
 
 use asgov_core::{ControlMode, ControllerBuilder, EnergyController};
 use asgov_governors::{AdrenoTz, CpubwHwmon};
-use asgov_profiler::{measure_default, measure_fixed, profile_app, DefaultMeasurement,
-    ProfileOptions, ProfileTable};
+use asgov_profiler::{
+    measure_default, measure_fixed, profile_app, DefaultMeasurement, ProfileOptions, ProfileTable,
+};
 use asgov_soc::sim::RunReport;
 use asgov_soc::{DeviceConfig, Policy};
 use asgov_workloads::{AppKind, PhasedApp};
@@ -122,7 +123,11 @@ fn controller_stack(
 /// Profile `app`, measure the default baseline and the controller, and
 /// return the comparison. This is one row of Table III (or V with
 /// `mode = CpuOnly`).
-pub fn compare(dev_cfg: &DeviceConfig, app: &mut PhasedApp, opts: &ExperimentOptions) -> Comparison {
+pub fn compare(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    opts: &ExperimentOptions,
+) -> Comparison {
     let duration = opts.duration_ms.unwrap_or(app.spec().test_duration_ms);
     let deadline_based = matches!(app.spec().kind, AppKind::Batch { .. });
 
@@ -145,6 +150,28 @@ pub fn compare(dev_cfg: &DeviceConfig, app: &mut PhasedApp, opts: &ExperimentOpt
         controller,
         deadline_based,
     }
+}
+
+/// Run [`compare`] for every app, fanning the apps out across
+/// `std::thread::scope` workers, and return the comparisons in input
+/// order.
+///
+/// Results are identical to calling [`compare`] serially per app: every
+/// simulation seed derives from the device seed and the run index, never
+/// from scheduling, and each worker owns a private clone of its app.
+pub fn compare_all(
+    dev_cfg: &DeviceConfig,
+    apps: &[PhasedApp],
+    opts: &ExperimentOptions,
+) -> Vec<Comparison> {
+    asgov_util::par::ordered_map(
+        apps.len(),
+        asgov_util::par::default_threads(apps.len()),
+        |i| {
+            let mut app = apps[i].clone();
+            compare(dev_cfg, &mut app, opts)
+        },
+    )
 }
 
 /// Profile the app as appropriate for the controller mode: coordinated

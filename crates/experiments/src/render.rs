@@ -13,13 +13,11 @@ pub fn histogram(title: &str, fractions: &[f64], label: &str) -> String {
 
 /// Render two histograms side by side (controller vs default), the
 /// shape of the paper's Figs. 4 and 5.
-pub fn paired_histogram(
-    title: &str,
-    controller: &[f64],
-    default: &[f64],
-    label: &str,
-) -> String {
-    let mut out = format!("{title}\n{:<6} {:>10} {:>10}\n", "", "controller", "default");
+pub fn paired_histogram(title: &str, controller: &[f64], default: &[f64], label: &str) -> String {
+    let mut out = format!(
+        "{title}\n{:<6} {:>10} {:>10}\n",
+        "", "controller", "default"
+    );
     for i in 0..controller.len().max(default.len()) {
         let c = controller.get(i).copied().unwrap_or(0.0);
         let d = default.get(i).copied().unwrap_or(0.0);
@@ -55,7 +53,11 @@ pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
             s.to_string()
         }
     }
-    let mut out = header.iter().map(|h| field(h)).collect::<Vec<_>>().join(",");
+    let mut out = header
+        .iter()
+        .map(|h| field(h))
+        .collect::<Vec<_>>()
+        .join(",");
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));

@@ -29,8 +29,7 @@ impl Summary {
         let std = if n < 2 {
             0.0
         } else {
-            let var =
-                values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
             var.sqrt()
         };
         Self { mean, std, n }

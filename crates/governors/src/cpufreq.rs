@@ -160,9 +160,7 @@ impl Policy for Interactive {
         let max_idx = device.table().max_freq();
 
         // Frequency that would bring load down to target_load.
-        let scaled = device
-            .table()
-            .freq_at_least(cur_ghz * load / p.target_load);
+        let scaled = device.table().freq_at_least(cur_ghz * load / p.target_load);
 
         let target = if load >= p.go_hispeed_load {
             let boosted = scaled.max(p.hispeed_freq);

@@ -177,7 +177,11 @@ mod tests {
             // Alternate idle and busy 250 ms slices.
             let mut executed = 0.0;
             for i in 0..4_000u64 {
-                let d = if (i / 250) % 2 == 0 { Demand::idle() } else { heavy() };
+                let d = if (i / 250) % 2 == 0 {
+                    Demand::idle()
+                } else {
+                    heavy()
+                };
                 let out = dev.tick(&d);
                 if with_mp {
                     mp.tick(&mut dev);

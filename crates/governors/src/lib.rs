@@ -43,11 +43,11 @@ pub use cpufreq::{
     Conservative, Interactive, InteractiveParams, Ondemand, OndemandParams, PerformanceCpu,
     PowersaveCpu, Schedutil, SchedutilParams, UserspaceCpu,
 };
+pub use devfreq::{CpubwHwmon, CpubwHwmonParams, PerformanceBw, PowersaveBw, UserspaceBw};
+pub use gpufreq::{AdrenoTz, AdrenoTzParams};
 pub use hotplug::{MpDecision, MpDecisionParams};
 pub use marcse::{MarCse, MarCseModel};
 pub use netrate::{NetRateManager, NetRateManagerParams};
-pub use devfreq::{CpubwHwmon, CpubwHwmonParams, PerformanceBw, PowersaveBw, UserspaceBw};
-pub use gpufreq::{AdrenoTz, AdrenoTzParams};
 
 /// The default governor pair on the paper's Nexus 6:
 /// `interactive` for the CPU and `cpubw_hwmon` for the memory bus.

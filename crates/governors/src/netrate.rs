@@ -85,8 +85,7 @@ impl Policy for NetRateManager {
 
         let cur = device.radio().rate();
         let cap = device.radio().rate_pps(cur);
-        if rate_pps > self.params.up_threshold * cap && cur.0 + 1 < device.radio().num_rates()
-        {
+        if rate_pps > self.params.up_threshold * cap && cur.0 + 1 < device.radio().num_rates() {
             device.set_net_rate(NetRateIndex(cur.0 + 1));
         } else if cur.0 > 0 {
             let lower_cap = device.radio().rate_pps(NetRateIndex(cur.0 - 1));

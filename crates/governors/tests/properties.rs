@@ -1,11 +1,14 @@
 //! Property-based tests of the governors: ladder safety, selection
 //! semantics and load responsiveness under randomized workloads.
+//!
+//! Randomized inputs come from a seeded [`asgov_util::Rng`] so every
+//! run exercises the same cases (the hermetic stand-in for proptest).
 
 use asgov_governors::{
     AdrenoTz, Conservative, CpubwHwmon, Interactive, MarCse, MpDecision, Ondemand, Schedutil,
 };
 use asgov_soc::{Demand, Device, DeviceConfig, Policy};
-use proptest::prelude::*;
+use asgov_util::Rng;
 
 fn quiet() -> DeviceConfig {
     let mut cfg = DeviceConfig::nexus6();
@@ -13,22 +16,20 @@ fn quiet() -> DeviceConfig {
     cfg
 }
 
-fn random_demand() -> impl Strategy<Value = Demand> {
-    (
-        0.3f64..2.0,  // ipc0
-        0.05f64..3.0, // bpi
-        0.0f64..4.0,  // desired gips
-        0.3f64..4.0,  // cores
-        0.0f64..0.5,  // gpu work
-    )
-        .prop_map(|(ipc0, bpi, want, cores, gpu)| Demand {
-            ipc0,
-            bytes_per_instr: bpi,
-            desired_gips: Some(want),
-            active_cores: cores,
-            gpu_work: gpu,
-            ..Demand::default()
-        })
+fn random_demand(rng: &mut Rng) -> Demand {
+    Demand {
+        ipc0: rng.gen_range(0.3..2.0),
+        bytes_per_instr: rng.gen_range(0.05..3.0),
+        desired_gips: Some(rng.gen_range(0.0..4.0)),
+        active_cores: rng.gen_range(0.3..4.0),
+        gpu_work: rng.gen_range(0.0..0.5),
+        ..Demand::default()
+    }
+}
+
+fn random_demands(rng: &mut Rng, max_len: usize) -> Vec<Demand> {
+    let len = rng.gen_range_usize(1..max_len);
+    (0..len).map(|_| random_demand(rng)).collect()
 }
 
 /// Run a CPU governor against a random demand sequence; the chosen
@@ -49,36 +50,45 @@ fn drive_cpu_governor(gov: &mut dyn Policy, demands: &[Demand]) {
     gov.finish(&mut dev);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn interactive_is_ladder_safe(demands in prop::collection::vec(random_demand(), 1..12)) {
-        drive_cpu_governor(&mut Interactive::default(), &demands);
+/// Drive `make()`-built governors over seeded random demand sequences.
+fn ladder_safe(seed: u64, mut make: impl FnMut() -> Box<dyn Policy>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    for _ in 0..24 {
+        let demands = random_demands(&mut rng, 12);
+        drive_cpu_governor(make().as_mut(), &demands);
     }
+}
 
-    #[test]
-    fn ondemand_is_ladder_safe(demands in prop::collection::vec(random_demand(), 1..12)) {
-        drive_cpu_governor(&mut Ondemand::default(), &demands);
-    }
+#[test]
+fn interactive_is_ladder_safe() {
+    ladder_safe(0x90_0001, || Box::new(Interactive::default()));
+}
 
-    #[test]
-    fn conservative_is_ladder_safe(demands in prop::collection::vec(random_demand(), 1..12)) {
-        drive_cpu_governor(&mut Conservative::default(), &demands);
-    }
+#[test]
+fn ondemand_is_ladder_safe() {
+    ladder_safe(0x90_0002, || Box::new(Ondemand::default()));
+}
 
-    #[test]
-    fn schedutil_is_ladder_safe(demands in prop::collection::vec(random_demand(), 1..12)) {
-        drive_cpu_governor(&mut Schedutil::default(), &demands);
-    }
+#[test]
+fn conservative_is_ladder_safe() {
+    ladder_safe(0x90_0003, || Box::new(Conservative::default()));
+}
 
-    #[test]
-    fn marcse_is_ladder_safe(demands in prop::collection::vec(random_demand(), 1..12)) {
-        drive_cpu_governor(&mut MarCse::default(), &demands);
-    }
+#[test]
+fn schedutil_is_ladder_safe() {
+    ladder_safe(0x90_0004, || Box::new(Schedutil::default()));
+}
 
-    #[test]
-    fn full_stock_stack_is_safe(demands in prop::collection::vec(random_demand(), 1..10)) {
+#[test]
+fn marcse_is_ladder_safe() {
+    ladder_safe(0x90_0005, || Box::new(MarCse::default()));
+}
+
+#[test]
+fn full_stock_stack_is_safe() {
+    let mut rng = Rng::seed_from_u64(0x90_0006);
+    for case in 0..24 {
+        let demands = random_demands(&mut rng, 10);
         let mut dev = Device::new(quiet());
         let mut cpu = Interactive::default();
         let mut bw = CpubwHwmon::default();
@@ -94,45 +104,57 @@ proptest! {
                 bw.tick(&mut dev);
                 gpu.tick(&mut dev);
                 mp.tick(&mut dev);
-                prop_assert!((1.0..=4.0).contains(&dev.online_cores()));
-                prop_assert!(dev.monitor().energy_j().is_finite());
+                assert!(
+                    (1.0..=4.0).contains(&dev.online_cores()),
+                    "case {case}: cores {}",
+                    dev.online_cores()
+                );
+                assert!(dev.monitor().energy_j().is_finite(), "case {case}");
             }
         }
     }
+}
 
-    /// Higher sustained demand never yields a *lower* settled frequency
-    /// under `interactive` (monotone response).
-    #[test]
-    fn interactive_response_is_monotone(lo in 0.05f64..0.5, extra in 0.3f64..2.0) {
-        let settle = |rate: f64| {
-            let mut dev = Device::new(quiet());
-            let mut gov = Interactive::default();
-            gov.start(&mut dev);
-            let d = Demand {
-                ipc0: 1.5,
-                bytes_per_instr: 0.2,
-                desired_gips: Some(rate),
-                active_cores: 2.0,
-                ..Demand::default()
-            };
-            for _ in 0..4_000 {
-                dev.tick(&d);
-                gov.tick(&mut dev);
-            }
-            // Average frequency index over the last second.
-            dev.reset_stats();
-            for _ in 0..1_000 {
-                dev.tick(&d);
-                gov.tick(&mut dev);
-            }
-            let hist = dev.stats().freq_histogram();
-            hist.iter().enumerate().map(|(i, f)| i as f64 * f).sum::<f64>()
+/// Higher sustained demand never yields a *lower* settled frequency
+/// under `interactive` (monotone response).
+#[test]
+fn interactive_response_is_monotone() {
+    let settle = |rate: f64| {
+        let mut dev = Device::new(quiet());
+        let mut gov = Interactive::default();
+        gov.start(&mut dev);
+        let d = Demand {
+            ipc0: 1.5,
+            bytes_per_instr: 0.2,
+            desired_gips: Some(rate),
+            active_cores: 2.0,
+            ..Demand::default()
         };
+        for _ in 0..4_000 {
+            dev.tick(&d);
+            gov.tick(&mut dev);
+        }
+        // Average frequency index over the last second.
+        dev.reset_stats();
+        for _ in 0..1_000 {
+            dev.tick(&d);
+            gov.tick(&mut dev);
+        }
+        let hist = dev.stats().freq_histogram();
+        hist.iter()
+            .enumerate()
+            .map(|(i, f)| i as f64 * f)
+            .sum::<f64>()
+    };
+    let mut rng = Rng::seed_from_u64(0x90_0007);
+    for case in 0..8 {
+        let lo = rng.gen_range(0.05..0.5);
+        let extra = rng.gen_range(0.3..2.0);
         let f_lo = settle(lo);
         let f_hi = settle(lo + extra);
-        prop_assert!(
+        assert!(
             f_hi >= f_lo - 1.0,
-            "heavier load settled clearly lower: {f_lo:.2} -> {f_hi:.2}"
+            "case {case}: heavier load settled clearly lower: {f_lo:.2} -> {f_hi:.2}"
         );
     }
 }

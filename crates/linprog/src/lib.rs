@@ -10,12 +10,17 @@
 //! ```
 //!
 //! whose optimum provably uses **at most two** system configurations
-//! `c_l, c_h` bracketing the required speedup. This crate provides both:
+//! `c_l, c_h` bracketing the required speedup. This crate provides:
 //!
-//! - [`simplex`] — a general dense two-phase simplex solver (the
-//!   substrate; also used to *verify* the specialized solver in tests),
+//! - [`hull`] — the production solver: precompute the lower convex
+//!   envelope of the (speedup, power) points once (`O(N log N)`), then
+//!   answer every per-tick solve with a binary search + one
+//!   interpolation (`O(log N)`),
 //! - [`two_point`] — the specialized `O(N²)` pair-search solver the
-//!   paper's controller runs online,
+//!   paper's controller runs online (kept as the brute-force oracle the
+//!   hull solver is differentially tested against),
+//! - [`simplex`] — a general dense two-phase simplex solver (the
+//!   substrate; also used to *verify* the specialized solvers in tests),
 //! - [`gradient`] — a CoScale-style greedy local search (paper §VI's
 //!   point of comparison), provided to quantify why the paper prefers
 //!   the exact LP.
@@ -38,9 +43,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod gradient;
+pub mod hull;
 pub mod simplex;
 pub mod two_point;
 
 pub use gradient::descend;
+pub use hull::HullSolver;
 pub use simplex::{solve, LpError, LpSolution};
 pub use two_point::{optimize, Schedule};

@@ -156,11 +156,7 @@ pub fn solve(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Result<LpSolution, LpError
 /// limits which columns may enter the basis (used to exclude
 /// artificials in phase 2). Uses Bland's rule.
 #[allow(clippy::needless_range_loop)]
-fn run_simplex(
-    t: &mut [Vec<f64>],
-    basis: &mut [usize],
-    price_cols: usize,
-) -> Result<(), LpError> {
+fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], price_cols: usize) -> Result<(), LpError> {
     let m = basis.len();
     let cols = t[0].len();
     let max_iters = 10_000;
@@ -176,8 +172,7 @@ fn run_simplex(
             if t[i][enter] > EPS {
                 let ratio = t[i][cols - 1] / t[i][enter];
                 if ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best + EPS && leave.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(i);
@@ -254,12 +249,7 @@ mod tests {
     #[test]
     fn infeasible_detected() {
         // x0 = 1 and x0 = 2 simultaneously.
-        let err = solve(
-            &[vec![1.0], vec![1.0]],
-            &[1.0, 2.0],
-            &[1.0],
-        )
-        .unwrap_err();
+        let err = solve(&[vec![1.0], vec![1.0]], &[1.0, 2.0], &[1.0]).unwrap_err();
         assert_eq!(err, LpError::Infeasible);
     }
 
@@ -272,10 +262,7 @@ mod tests {
 
     #[test]
     fn bad_shapes_rejected() {
-        assert!(matches!(
-            solve(&[], &[], &[1.0]),
-            Err(LpError::BadShape(_))
-        ));
+        assert!(matches!(solve(&[], &[], &[1.0]), Err(LpError::BadShape(_))));
         assert!(matches!(
             solve(&[vec![1.0, 2.0]], &[1.0], &[1.0]),
             Err(LpError::BadShape(_))

@@ -77,26 +77,9 @@ pub fn optimize(
 
     // Clamp out-of-range targets to a single configuration, treating
     // near-equal speedups as a plateau and picking the cheapest member.
-    let (min_i, max_i) = extreme_speedup_indices(speedups, powers);
-    if target_speedup <= speedups[min_i] * (1.0 + PLATEAU_TOL) {
-        let cutoff = speedups[min_i] * (1.0 + PLATEAU_TOL);
-        let cheapest = (0..n)
-            .filter(|&i| speedups[i] <= cutoff)
-            .min_by(|&a, &b| powers[a].total_cmp(&powers[b]))
-            .unwrap_or(min_i);
-        // Only clamp if the target really is at/below the bottom band —
-        // a target in the interior must go to the pair search.
-        if target_speedup <= speedups[cheapest].max(speedups[min_i]) {
-            return Some(single(cheapest, powers, period_s));
-        }
-    }
-    if target_speedup >= speedups[max_i] * (1.0 - PLATEAU_TOL) {
-        let cutoff = speedups[max_i] * (1.0 - PLATEAU_TOL);
-        let cheapest = (0..n)
-            .filter(|&i| speedups[i] >= cutoff)
-            .min_by(|&a, &b| powers[a].total_cmp(&powers[b]))
-            .unwrap_or(max_i);
-        return Some(single(cheapest, powers, period_s));
+    // (Shared with `hull::HullSolver` so both solvers clamp identically.)
+    if let Some(sched) = clamp_extremes(speedups, powers, target_speedup, period_s) {
+        return Some(sched);
     }
 
     // O(N²) pair search. For each bracketing pair compute the unique
@@ -145,7 +128,7 @@ pub fn optimize(
 /// performance-equivalent at the extremes of the table.
 pub const PLATEAU_TOL: f64 = 0.005;
 
-fn single(i: usize, powers: &[f64], period_s: f64) -> Schedule {
+pub(crate) fn single(i: usize, powers: &[f64], period_s: f64) -> Schedule {
     Schedule {
         lower: i,
         upper: i,
@@ -155,9 +138,55 @@ fn single(i: usize, powers: &[f64], period_s: f64) -> Schedule {
     }
 }
 
+/// The cheapest configuration inside the low-speedup plateau (speedups
+/// within `PLATEAU_TOL` of the minimum).
+pub(crate) fn cheapest_low_plateau(speedups: &[f64], powers: &[f64], min_i: usize) -> usize {
+    let cutoff = speedups[min_i] * (1.0 + PLATEAU_TOL);
+    (0..speedups.len())
+        .filter(|&i| speedups[i] <= cutoff)
+        .min_by(|&a, &b| powers[a].total_cmp(&powers[b]))
+        .unwrap_or(min_i)
+}
+
+/// The cheapest configuration inside the high-speedup plateau (speedups
+/// within `PLATEAU_TOL` of the maximum).
+pub(crate) fn cheapest_high_plateau(speedups: &[f64], powers: &[f64], max_i: usize) -> usize {
+    let cutoff = speedups[max_i] * (1.0 - PLATEAU_TOL);
+    (0..speedups.len())
+        .filter(|&i| speedups[i] >= cutoff)
+        .min_by(|&a, &b| powers[a].total_cmp(&powers[b]))
+        .unwrap_or(max_i)
+}
+
+/// Out-of-range targets clamp to a single plateau configuration; an
+/// interior target returns `None` and must go to a pair search. Both
+/// the brute-force and the hull solver route through this so their
+/// clamping is bit-identical.
+pub(crate) fn clamp_extremes(
+    speedups: &[f64],
+    powers: &[f64],
+    target_speedup: f64,
+    period_s: f64,
+) -> Option<Schedule> {
+    let (min_i, max_i) = extreme_speedup_indices(speedups, powers);
+    if target_speedup <= speedups[min_i] * (1.0 + PLATEAU_TOL) {
+        let cheapest = cheapest_low_plateau(speedups, powers, min_i);
+        // Only clamp if the target really is at/below the bottom band —
+        // a target in the interior must go to the pair search.
+        if target_speedup <= speedups[cheapest].max(speedups[min_i]) {
+            return Some(single(cheapest, powers, period_s));
+        }
+    }
+    if target_speedup >= speedups[max_i] * (1.0 - PLATEAU_TOL) {
+        let cheapest = cheapest_high_plateau(speedups, powers, max_i);
+        return Some(single(cheapest, powers, period_s));
+    }
+    None
+}
+
 /// Indices of the lowest- and highest-speedup configurations, breaking
 /// ties by lower power.
-fn extreme_speedup_indices(speedups: &[f64], powers: &[f64]) -> (usize, usize) {
+pub(crate) fn extreme_speedup_indices(speedups: &[f64], powers: &[f64]) -> (usize, usize) {
     let mut min_i = 0;
     let mut max_i = 0;
     for i in 1..speedups.len() {

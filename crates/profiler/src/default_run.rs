@@ -1,10 +1,10 @@
 //! Measuring the default-governor baseline (`R_def`, `P_def`, `T_def`,
 //! `E_def` — paper §III-A) and arbitrary fixed-configuration runs.
 
-use asgov_soc::{sim, Device, DeviceConfig, Policy};
-use asgov_soc::sim::RunReport;
 use asgov_governors::{AdrenoTz, CpubwHwmon, Interactive};
+use asgov_soc::sim::RunReport;
 use asgov_soc::Workload as _;
+use asgov_soc::{sim, Device, DeviceConfig, Policy};
 use asgov_workloads::PhasedApp;
 
 /// Aggregate of one or more baseline runs.
@@ -48,7 +48,11 @@ pub fn measure_default(
     assert!(runs > 0, "need at least one run");
     let mut reports = Vec::with_capacity(runs);
     for run in 0..runs {
-        let mut device = Device::new(dev_cfg.clone().with_seed(dev_cfg.seed ^ (0xd0 + run as u64)));
+        let mut device = Device::new(
+            dev_cfg
+                .clone()
+                .with_seed(dev_cfg.seed ^ (0xd0 + run as u64)),
+        );
         // `perf` runs during the default measurement too (paper §III-A
         // measures R_def with the same tooling as the online controller).
         device.set_tool_overhead(0.04, 0.015);
@@ -78,12 +82,14 @@ where
     assert!(runs > 0, "need at least one run");
     let mut reports = Vec::with_capacity(runs);
     for run in 0..runs {
-        let mut device = Device::new(dev_cfg.clone().with_seed(dev_cfg.seed ^ (0xf0 + run as u64)));
+        let mut device = Device::new(
+            dev_cfg
+                .clone()
+                .with_seed(dev_cfg.seed ^ (0xf0 + run as u64)),
+        );
         let mut policies = make_policies();
-        let mut refs: Vec<&mut dyn Policy> = policies
-            .iter_mut()
-            .map(|p| p as &mut dyn Policy)
-            .collect();
+        let mut refs: Vec<&mut dyn Policy> =
+            policies.iter_mut().map(|p| p as &mut dyn Policy).collect();
         app.reset();
         let report = sim::run(&mut device, app, &mut refs, max_ms);
         reports.push(report);

@@ -76,9 +76,7 @@ impl LoadModel {
     /// [`LoadModelError::TooFewAnchors`] for fewer than two anchors;
     /// [`LoadModelError::MismatchedProfiles`] if the anchors don't share
     /// an application name and configuration list.
-    pub fn new(
-        mut anchors: Vec<(LoadSignature, ProfileTable)>,
-    ) -> Result<Self, LoadModelError> {
+    pub fn new(mut anchors: Vec<(LoadSignature, ProfileTable)>) -> Result<Self, LoadModelError> {
         if anchors.len() < 2 {
             return Err(LoadModelError::TooFewAnchors);
         }
@@ -158,8 +156,8 @@ mod tests {
                     config: Config {
                         freq: FreqIndex(i),
                         bw: BwIndex(0),
-                    gpu: None,
-                },
+                        gpu: None,
+                    },
                     speedup: 1.0 + i as f64 * 0.5 + bump,
                     power_w: 1.5 + i as f64 * 0.3 + bump,
                     measured: true,
@@ -209,11 +207,8 @@ mod tests {
     fn rejects_mismatched_profiles() {
         let mut other = table("a", 0.2, 0.0);
         other.entries.pop();
-        let err = LoadModel::new(vec![
-            (sig(0.0), table("a", 0.2, 0.0)),
-            (sig(0.2), other),
-        ])
-        .unwrap_err();
+        let err =
+            LoadModel::new(vec![(sig(0.0), table("a", 0.2, 0.0)), (sig(0.2), other)]).unwrap_err();
         assert_eq!(err, LoadModelError::MismatchedProfiles);
         let err = LoadModel::new(vec![
             (sig(0.0), table("a", 0.2, 0.0)),

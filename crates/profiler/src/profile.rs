@@ -4,7 +4,20 @@ use crate::table::{Config, ProfileEntry, ProfileTable};
 use asgov_governors::{AdrenoTz, CpubwHwmon};
 use asgov_soc::Workload;
 use asgov_soc::{sim, Device, DeviceConfig, FreqIndex, GpuFreqIndex, Policy};
+use asgov_util::par;
 use asgov_workloads::PhasedApp;
+
+/// The profiled frequency ladder: every `stride`-th index in
+/// `lo..=hi`. Shared by all sweeps so they fan out identically.
+fn freq_ladder(lo: usize, hi: usize, stride: usize) -> Vec<usize> {
+    let mut freqs = Vec::new();
+    let mut f = lo;
+    while f <= hi {
+        freqs.push(f);
+        f += stride;
+    }
+    freqs
+}
 
 /// Knobs of the profiling procedure. The defaults mirror the paper.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +90,11 @@ fn measure_config(
 /// The returned table is sorted by (frequency, bandwidth) and its
 /// speedups are normalized to the measured base speed.
 ///
+/// The per-frequency measurements are independent simulations whose
+/// seeds derive only from `(dev_cfg.seed, run)`, so the sweep fans out
+/// across `std::thread::scope` workers; results are bit-identical to
+/// the serial sweep ([`profile_app_serial`]) for any thread count.
+///
 /// # Panics
 ///
 /// Panics if `opts.runs_per_config` or `opts.freq_stride` is zero.
@@ -84,6 +102,33 @@ pub fn profile_app(
     dev_cfg: &DeviceConfig,
     app: &mut PhasedApp,
     opts: &ProfileOptions,
+) -> ProfileTable {
+    profile_app_threads(dev_cfg, app, opts, 0)
+}
+
+/// [`profile_app`] with the sweep forced onto a single thread (no
+/// workers are spawned at all). Exists so the parallel sweep can be
+/// differentially tested against it; produces byte-identical tables.
+pub fn profile_app_serial(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    opts: &ProfileOptions,
+) -> ProfileTable {
+    profile_app_threads(dev_cfg, app, opts, 1)
+}
+
+/// [`profile_app`] with an explicit worker count (`0` = auto: the
+/// machine's available parallelism, clamped to the number of profiled
+/// frequencies).
+///
+/// # Panics
+///
+/// Panics if `opts.runs_per_config` or `opts.freq_stride` is zero.
+pub fn profile_app_threads(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    opts: &ProfileOptions,
+    threads: usize,
 ) -> ProfileTable {
     assert!(opts.runs_per_config > 0, "need at least one run");
     assert!(opts.freq_stride > 0, "stride must be positive");
@@ -99,37 +144,70 @@ pub fn profile_app(
     let base_cfg = Config {
         freq: table.min_freq(),
         bw: table.min_bw(),
-                    gpu: None,
-                };
+        gpu: None,
+    };
     let (base_gips, base_power) =
         measure_config(dev_cfg, app, base_cfg, opts.runs_per_config, opts.run_ms);
     let base_gips = base_gips.max(1e-6);
 
-    let mut entries = Vec::new();
-    let mut f = lo_f;
-    while f <= hi_f {
-        let freq = FreqIndex(f);
-        let lo = Config { freq, bw: bw_lo,
-                    gpu: None,
-                };
-        let hi = Config { freq, bw: bw_hi,
-                    gpu: None,
-                };
-        let (g_lo, p_lo) = if lo == base_cfg {
+    // Fan the per-frequency measurements out across workers. Each job
+    // owns a fresh clone of the app (reset before every run anyway) and
+    // every simulation seed derives from (dev_cfg.seed, run), never
+    // from the worker, so the table below is independent of `threads`.
+    let freqs = freq_ladder(lo_f, hi_f, opts.freq_stride);
+    let threads = if threads == 0 {
+        par::default_threads(freqs.len())
+    } else {
+        threads
+    };
+    let app_ref: &PhasedApp = app;
+    let sweep = par::ordered_map(freqs.len(), threads, |i| {
+        let freq = FreqIndex(freqs[i]);
+        let mut worker_app = app_ref.clone();
+        let lo = Config {
+            freq,
+            bw: bw_lo,
+            gpu: None,
+        };
+        let hi = Config {
+            freq,
+            bw: bw_hi,
+            gpu: None,
+        };
+        let lo_m = if lo == base_cfg {
             (base_gips, base_power)
         } else {
-            measure_config(dev_cfg, app, lo, opts.runs_per_config, opts.run_ms)
+            measure_config(
+                dev_cfg,
+                &mut worker_app,
+                lo,
+                opts.runs_per_config,
+                opts.run_ms,
+            )
         };
-        let (g_hi, p_hi) = measure_config(dev_cfg, app, hi, opts.runs_per_config, opts.run_ms);
+        let hi_m = measure_config(
+            dev_cfg,
+            &mut worker_app,
+            hi,
+            opts.runs_per_config,
+            opts.run_ms,
+        );
+        (lo_m, hi_m)
+    });
 
+    let mut entries = Vec::new();
+    for (&f, &((g_lo, p_lo), (g_hi, p_hi))) in freqs.iter().zip(&sweep) {
+        let freq = FreqIndex(f);
         if opts.interpolate {
             let span = table.bw(bw_hi).0 - table.bw(bw_lo).0;
             for b in table.bw_indices() {
                 let t = (table.bw(b).0 - table.bw(bw_lo).0) / span;
                 entries.push(ProfileEntry {
-                    config: Config { freq, bw: b,
-                    gpu: None,
-                },
+                    config: Config {
+                        freq,
+                        bw: b,
+                        gpu: None,
+                    },
                     speedup: (g_lo + t * (g_hi - g_lo)) / base_gips,
                     power_w: p_lo + t * (p_hi - p_lo),
                     measured: b == bw_lo || b == bw_hi,
@@ -137,19 +215,26 @@ pub fn profile_app(
             }
         } else {
             entries.push(ProfileEntry {
-                config: lo,
+                config: Config {
+                    freq,
+                    bw: bw_lo,
+                    gpu: None,
+                },
                 speedup: g_lo / base_gips,
                 power_w: p_lo,
                 measured: true,
             });
             entries.push(ProfileEntry {
-                config: hi,
+                config: Config {
+                    freq,
+                    bw: bw_hi,
+                    gpu: None,
+                },
                 speedup: g_hi / base_gips,
                 power_w: p_hi,
                 measured: true,
             });
         }
-        f += opts.freq_stride;
     }
 
     ProfileTable {
@@ -171,8 +256,11 @@ fn measure_config_gpu(
     let mut gips_sum = 0.0;
     let mut power_sum = 0.0;
     for run in 0..runs {
-        let mut device =
-            Device::new(dev_cfg.clone().with_seed(dev_cfg.seed ^ (run as u64 + 0x30)));
+        let mut device = Device::new(
+            dev_cfg
+                .clone()
+                .with_seed(dev_cfg.seed ^ (run as u64 + 0x30)),
+        );
         device.set_tool_overhead(0.04, 0.015);
         device.set_cpu_governor("userspace");
         device.set_bw_governor("userspace");
@@ -211,8 +299,7 @@ pub fn profile_app_with_gpu(
     let bw_lo = table.min_bw();
     let bw_hi = table.max_bw();
     let (gpu_lo, gpu_hi) = (GpuFreqIndex(0), GpuFreqIndex(gpu_count - 1));
-    let gpu_ghz =
-        |i: usize| asgov_soc::gpu::ADRENO420_FREQS_GHZ[i];
+    let gpu_ghz = |i: usize| asgov_soc::gpu::ADRENO420_FREQS_GHZ[i];
 
     let base_cfg = Config::new(table.min_freq(), table.min_bw());
     let (base_gips, _) = measure_config_gpu(
@@ -225,17 +312,20 @@ pub fn profile_app_with_gpu(
     );
     let base_gips = base_gips.max(1e-6);
 
-    let mut entries = Vec::new();
-    let mut f = lo_f;
-    while f <= hi_f {
-        let freq = FreqIndex(f);
+    // Same fan-out as `profile_app`: one job per profiled frequency,
+    // each measuring its four (bw, gpu) corners on a private app clone.
+    let freqs = freq_ladder(lo_f, hi_f, opts.freq_stride);
+    let app_ref: &PhasedApp = app;
+    let sweep = par::ordered_map(freqs.len(), par::default_threads(freqs.len()), |i| {
+        let freq = FreqIndex(freqs[i]);
+        let mut worker_app = app_ref.clone();
         // Four measured corners per frequency: (bw, gpu) ∈ {lo,hi}².
         let mut corner = [[(0.0f64, 0.0f64); 2]; 2];
         for (bi, bw) in [bw_lo, bw_hi].into_iter().enumerate() {
             for (gi, gpu) in [gpu_lo, gpu_hi].into_iter().enumerate() {
                 corner[bi][gi] = measure_config_gpu(
                     dev_cfg,
-                    app,
+                    &mut worker_app,
                     Config::new(freq, bw),
                     gpu,
                     opts.runs_per_config,
@@ -243,6 +333,12 @@ pub fn profile_app_with_gpu(
                 );
             }
         }
+        corner
+    });
+
+    let mut entries = Vec::new();
+    for (&f, corner) in freqs.iter().zip(&sweep) {
+        let freq = FreqIndex(f);
         let bw_span = table.bw(bw_hi).0 - table.bw(bw_lo).0;
         let gpu_span = gpu_ghz(gpu_count - 1) - gpu_ghz(0);
         for b in table.bw_indices() {
@@ -274,7 +370,6 @@ pub fn profile_app_with_gpu(
                 });
             }
         }
-        f += opts.freq_stride;
     }
 
     ProfileTable {
@@ -296,7 +391,11 @@ fn measure_config_cpu_only(
     let mut gips_sum = 0.0;
     let mut power_sum = 0.0;
     for run in 0..runs {
-        let mut device = Device::new(dev_cfg.clone().with_seed(dev_cfg.seed ^ (run as u64 + 0x10)));
+        let mut device = Device::new(
+            dev_cfg
+                .clone()
+                .with_seed(dev_cfg.seed ^ (run as u64 + 0x10)),
+        );
         device.set_tool_overhead(0.04, 0.015);
         device.set_cpu_governor("userspace");
         device.set_cpu_freq(freq);
@@ -341,23 +440,32 @@ pub fn profile_app_cpu_only(
     );
     let base_gips = base_gips.max(1e-6);
 
+    // Same fan-out as `profile_app`: one measurement job per frequency.
+    let freqs = freq_ladder(lo_f, hi_f, opts.freq_stride);
+    let app_ref: &PhasedApp = app;
+    let sweep = par::ordered_map(freqs.len(), par::default_threads(freqs.len()), |i| {
+        let mut worker_app = app_ref.clone();
+        measure_config_cpu_only(
+            dev_cfg,
+            &mut worker_app,
+            FreqIndex(freqs[i]),
+            opts.runs_per_config,
+            opts.run_ms,
+        )
+    });
+
     let mut entries = Vec::new();
-    let mut f = lo_f;
-    while f <= hi_f {
-        let freq = FreqIndex(f);
-        let (g, p) =
-            measure_config_cpu_only(dev_cfg, app, freq, opts.runs_per_config, opts.run_ms);
+    for (&f, &(g, p)) in freqs.iter().zip(&sweep) {
         entries.push(ProfileEntry {
             config: Config {
-                freq,
+                freq: FreqIndex(f),
                 bw: table.min_bw(),
-                    gpu: None,
-                },
+                gpu: None,
+            },
             speedup: g / base_gips,
             power_w: p,
             measured: true,
         });
-        f += opts.freq_stride;
     }
 
     ProfileTable {
@@ -381,12 +489,15 @@ pub fn fit_mar_cse(
     let table = dev_cfg.table.clone();
     let mut points = Vec::new();
     for app in apps.iter_mut() {
-        let mut best: Option<(f64, FreqIndex)> = None; // (energy per instr, freq)
-        let mut mar_sum = 0.0;
-        let mut mar_n = 0.0;
-        let mut f = 0;
-        while f < table.num_freqs() {
+        // One job per swept frequency; the (energy/instr, MAR) samples
+        // come back in ladder order, so the fold below matches the
+        // serial sweep exactly.
+        let freqs = freq_ladder(0, table.num_freqs() - 1, opts.freq_stride);
+        let app_ref: &PhasedApp = app;
+        let sweep = par::ordered_map(freqs.len(), par::default_threads(freqs.len()), |i| {
+            let f = freqs[i];
             let freq = FreqIndex(f);
+            let mut worker_app = app_ref.clone();
             let mut device =
                 Device::new(dev_cfg.clone().with_seed(dev_cfg.seed ^ (f as u64 + 0x50)));
             device.set_tool_overhead(0.04, 0.015);
@@ -395,17 +506,26 @@ pub fn fit_mar_cse(
             device.set_cpu_freq(freq);
             let mut gpu_gov = AdrenoTz::default();
             let mut policies: [&mut dyn Policy; 1] = [&mut gpu_gov];
-            app.reset();
-            let report = sim::run(&mut device, app, &mut policies, opts.run_ms);
+            worker_app.reset();
+            let report = sim::run(&mut device, &mut worker_app, &mut policies, opts.run_ms);
             if report.instructions > 0.0 {
                 let energy_per_instr = report.energy_j / report.instructions;
-                if best.is_none_or(|(e, _)| energy_per_instr < e) {
-                    best = Some((energy_per_instr, freq));
-                }
-                mar_sum += device.pmu().bus_bytes() / device.pmu().instructions();
-                mar_n += 1.0;
+                let mar = device.pmu().bus_bytes() / device.pmu().instructions();
+                Some((energy_per_instr, freq, mar))
+            } else {
+                None
             }
-            f += opts.freq_stride;
+        });
+
+        let mut best: Option<(f64, FreqIndex)> = None; // (energy per instr, freq)
+        let mut mar_sum = 0.0;
+        let mut mar_n = 0.0;
+        for (energy_per_instr, freq, mar) in sweep.into_iter().flatten() {
+            if best.is_none_or(|(e, _)| energy_per_instr < e) {
+                best = Some((energy_per_instr, freq));
+            }
+            mar_sum += mar;
+            mar_n += 1.0;
         }
         if let (Some((_, cs)), true) = (best, mar_n > 0.0) {
             points.push((mar_sum / mar_n, table.freq(cs).0));
@@ -459,7 +579,11 @@ mod tests {
         let first = &t.entries[0];
         assert_eq!(first.config.freq, FreqIndex(0));
         assert_eq!(first.config.bw, BwIndex(0));
-        assert!((first.speedup - 1.0).abs() < 0.08, "speedup {}", first.speedup);
+        assert!(
+            (first.speedup - 1.0).abs() < 0.08,
+            "speedup {}",
+            first.speedup
+        );
     }
 
     #[test]
@@ -520,16 +644,53 @@ mod tests {
     }
 
     #[test]
+    fn parallel_profile_matches_serial() {
+        // The tentpole determinism claim: the threaded sweep produces a
+        // byte-identical ProfileTable for any worker count.
+        let dev_cfg = DeviceConfig::nexus6();
+        let opts = ProfileOptions {
+            runs_per_config: 2,
+            run_ms: 3_000,
+            freq_stride: 2,
+            interpolate: true,
+        };
+        let app = apps::spotify(BackgroundLoad::baseline(1));
+        let serial = profile_app_serial(&dev_cfg, &mut app.clone(), &opts);
+        for threads in [2, 3, 8] {
+            let parallel = profile_app_threads(&dev_cfg, &mut app.clone(), &opts, threads);
+            assert_eq!(serial.app, parallel.app);
+            assert_eq!(
+                serial.base_gips.to_bits(),
+                parallel.base_gips.to_bits(),
+                "base GIPS must be bit-identical ({threads} threads)"
+            );
+            assert_eq!(serial.entries.len(), parallel.entries.len());
+            for (s, p) in serial.entries.iter().zip(&parallel.entries) {
+                assert_eq!(s.config, p.config, "{threads} threads");
+                assert_eq!(
+                    s.speedup.to_bits(),
+                    p.speedup.to_bits(),
+                    "speedup at {:?} must be bit-identical ({threads} threads)",
+                    s.config
+                );
+                assert_eq!(
+                    s.power_w.to_bits(),
+                    p.power_w.to_bits(),
+                    "power at {:?} must be bit-identical ({threads} threads)",
+                    s.config
+                );
+                assert_eq!(s.measured, p.measured);
+            }
+        }
+    }
+
+    #[test]
     fn power_monotone_along_bandwidth_at_fixed_freq() {
         let dev_cfg = DeviceConfig::nexus6();
         let mut app = apps::wechat(BackgroundLoad::baseline(1));
         let t = profile_app(&dev_cfg, &mut app, &opts_fast());
         let freq = t.entries[0].config.freq;
-        let rows: Vec<&ProfileEntry> = t
-            .entries
-            .iter()
-            .filter(|e| e.config.freq == freq)
-            .collect();
+        let rows: Vec<&ProfileEntry> = t.entries.iter().filter(|e| e.config.freq == freq).collect();
         assert_eq!(rows.len(), 13);
         for w in rows.windows(2) {
             assert!(

@@ -1,7 +1,7 @@
 //! The profile table (paper Table I).
 
 use asgov_soc::{BwIndex, DvfsTable, FreqIndex, GpuFreqIndex};
-use serde::{Deserialize, Serialize};
+use asgov_util::Json;
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
@@ -10,7 +10,7 @@ use std::str::FromStr;
 /// memory bandwidth indices (paper §III-A). The controller framework is
 /// axis-generic in principle (the paper lists GPU frequency and network
 /// packet rate as future axes); this pair is what the paper controls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Config {
     /// CPU frequency index.
     pub freq: FreqIndex,
@@ -18,7 +18,6 @@ pub struct Config {
     pub bw: BwIndex,
     /// GPU frequency index, when the GPU axis is controlled too (the
     /// paper's §VII extension); `None` leaves the GPU to its governor.
-    #[serde(default)]
     pub gpu: Option<GpuFreqIndex>,
 }
 
@@ -52,7 +51,7 @@ impl fmt::Display for Config {
 }
 
 /// One row of the profile table.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProfileEntry {
     /// The configuration.
     pub config: Config,
@@ -87,7 +86,7 @@ pub struct ProfileEntry {
 /// assert_eq!(restored, table);
 /// # Ok::<(), asgov_profiler::TableParseError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileTable {
     /// Application name.
     pub app: String,
@@ -192,7 +191,10 @@ impl ProfileTable {
     /// Round-trips through [`ProfileTable::from_tsv`].
     pub fn to_tsv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("# app\t{}\n# base_gips\t{}\n", self.app, self.base_gips));
+        out.push_str(&format!(
+            "# app\t{}\n# base_gips\t{}\n",
+            self.app, self.base_gips
+        ));
         out.push_str("# freq_idx\tbw_idx\tgpu_idx\tspeedup\tpower_w\tmeasured\n");
         for e in &self.entries {
             let gpu = e.config.gpu.map_or(-1i64, |g| g.0 as i64);
@@ -223,8 +225,10 @@ impl ProfileTable {
                 continue;
             }
             if let Some(rest) = line.strip_prefix("# base_gips\t") {
-                base_gips =
-                    Some(rest.parse::<f64>().map_err(|_| TableParseError::at(lineno, line))?);
+                base_gips = Some(
+                    rest.parse::<f64>()
+                        .map_err(|_| TableParseError::at(lineno, line))?,
+                );
                 continue;
             }
             if line.starts_with('#') {
@@ -270,6 +274,92 @@ impl ProfileTable {
         })
     }
 
+    /// Serialize as a JSON document (hand-rolled via `asgov-util` — the
+    /// workspace carries no serde). Round-trips through
+    /// [`ProfileTable::from_json`].
+    pub fn to_json(&self) -> String {
+        let mut doc = Json::object();
+        doc.set("app", self.app.as_str());
+        doc.set("base_gips", self.base_gips);
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut row = Json::object();
+                row.set("freq", e.config.freq.0);
+                row.set("bw", e.config.bw.0);
+                row.set("gpu", e.config.gpu.map_or(Json::Null, |g| Json::from(g.0)));
+                row.set("speedup", e.speedup);
+                row.set("power_w", e.power_w);
+                row.set("measured", e.measured);
+                row
+            })
+            .collect();
+        doc.set("entries", Json::Arr(entries));
+        doc.to_pretty()
+    }
+
+    /// Parse the JSON format produced by [`ProfileTable::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableParseError::BadJson`] on malformed input or a
+    /// document missing required fields.
+    pub fn from_json(text: &str) -> Result<Self, TableParseError> {
+        let bad = |what: &'static str| TableParseError::BadJson(what);
+        let doc = Json::parse(text).map_err(|_| bad("unparseable document"))?;
+        let app = doc
+            .get("app")
+            .and_then(Json::as_str)
+            .ok_or(bad("missing app"))?
+            .to_string();
+        let base_gips = doc
+            .get("base_gips")
+            .and_then(Json::as_f64)
+            .ok_or(bad("missing base_gips"))?;
+        let rows = doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or(bad("missing entries"))?;
+        let mut entries = Vec::with_capacity(rows.len());
+        for row in rows {
+            let idx = |key: &str| -> Result<usize, TableParseError> {
+                row.get(key)
+                    .and_then(Json::as_f64)
+                    .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                    .map(|v| v as usize)
+                    .ok_or(bad("bad index field"))
+            };
+            let num = |key: &str| row.get(key).and_then(Json::as_f64).ok_or(bad("bad number"));
+            let gpu = match row.get("gpu") {
+                None | Some(Json::Null) => None,
+                Some(g) => Some(GpuFreqIndex(
+                    g.as_f64()
+                        .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                        .ok_or(bad("bad gpu index"))? as usize,
+                )),
+            };
+            entries.push(ProfileEntry {
+                config: Config {
+                    freq: FreqIndex(idx("freq")?),
+                    bw: BwIndex(idx("bw")?),
+                    gpu,
+                },
+                speedup: num("speedup")?,
+                power_w: num("power_w")?,
+                measured: row
+                    .get("measured")
+                    .and_then(Json::as_bool)
+                    .ok_or(bad("bad measured flag"))?,
+            });
+        }
+        Ok(Self {
+            app,
+            base_gips,
+            entries,
+        })
+    }
+
     /// Pretty-print in the style of the paper's Table I.
     pub fn render(&self, table: &DvfsTable) -> String {
         let mut out = format!(
@@ -303,6 +393,8 @@ pub enum TableParseError {
     },
     /// A required header line is missing.
     MissingHeader(&'static str),
+    /// A malformed JSON document (see [`ProfileTable::from_json`]).
+    BadJson(&'static str),
 }
 
 impl TableParseError {
@@ -321,6 +413,7 @@ impl fmt::Display for TableParseError {
                 write!(f, "malformed profile line {line}: {content:?}")
             }
             TableParseError::MissingHeader(h) => write!(f, "missing header {h:?}"),
+            TableParseError::BadJson(what) => write!(f, "malformed profile JSON: {what}"),
         }
     }
 }
@@ -348,8 +441,8 @@ mod tests {
                     config: Config {
                         freq: FreqIndex(0),
                         bw: BwIndex(0),
-                    gpu: None,
-                },
+                        gpu: None,
+                    },
                     speedup: 1.0,
                     power_w: 1.62357,
                     measured: true,
@@ -358,8 +451,8 @@ mod tests {
                     config: Config {
                         freq: FreqIndex(0),
                         bw: BwIndex(2),
-                    gpu: None,
-                },
+                        gpu: None,
+                    },
                     speedup: 1.0077,
                     power_w: 1.74209,
                     measured: false,
@@ -368,8 +461,8 @@ mod tests {
                     config: Config {
                         freq: FreqIndex(4),
                         bw: BwIndex(0),
-                    gpu: None,
-                },
+                        gpu: None,
+                    },
                     speedup: 1.837,
                     power_w: 2.21922,
                     measured: true,
@@ -409,6 +502,31 @@ mod tests {
         // FromStr too.
         let back2: ProfileTable = tsv.parse().unwrap();
         assert_eq!(t, back2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = sample();
+        t.entries[1].config.gpu = Some(GpuFreqIndex(3));
+        let json = t.to_json();
+        let back = ProfileTable::from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(matches!(
+            ProfileTable::from_json("not json"),
+            Err(TableParseError::BadJson(_))
+        ));
+        assert!(matches!(
+            ProfileTable::from_json(r#"{"app": "x"}"#),
+            Err(TableParseError::BadJson(_))
+        ));
+        assert!(matches!(
+            ProfileTable::from_json(r#"{"app": "x", "base_gips": 1.0, "entries": [{"freq": -1}]}"#),
+            Err(TableParseError::BadJson(_))
+        ));
     }
 
     #[test]

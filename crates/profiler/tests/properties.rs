@@ -1,77 +1,105 @@
-//! Property-based tests of the profile table: TSV round-trips for
-//! arbitrary tables, interpolation bounds, and load-model convexity.
+//! Property-based tests of the profile table: TSV and JSON round-trips
+//! for arbitrary tables, interpolation bounds, and load-model convexity.
+//!
+//! Randomized inputs come from a seeded [`asgov_util::Rng`] so every
+//! run exercises the same cases (the hermetic stand-in for proptest).
 
 use asgov_profiler::{Config, LoadModel, LoadSignature, ProfileEntry, ProfileTable};
 use asgov_soc::{BwIndex, FreqIndex, GpuFreqIndex};
-use proptest::prelude::*;
+use asgov_util::Rng;
 
-fn entry_strategy() -> impl Strategy<Value = ProfileEntry> {
-    (
-        0usize..18,
-        0usize..13,
-        prop::option::of(0usize..5),
-        0.1f64..10.0,
-        0.5f64..8.0,
-        any::<bool>(),
-    )
-        .prop_map(|(f, b, g, speedup, power, measured)| ProfileEntry {
-            config: Config {
-                freq: FreqIndex(f),
-                bw: BwIndex(b),
-                gpu: g.map(GpuFreqIndex),
-            },
-            speedup,
-            power_w: power,
-            measured,
-        })
+fn random_entry(rng: &mut Rng) -> ProfileEntry {
+    let gpu = if rng.gen_bool(0.3) {
+        Some(GpuFreqIndex(rng.gen_range_usize(0..5)))
+    } else {
+        None
+    };
+    ProfileEntry {
+        config: Config {
+            freq: FreqIndex(rng.gen_range_usize(0..18)),
+            bw: BwIndex(rng.gen_range_usize(0..13)),
+            gpu,
+        },
+        speedup: rng.gen_range(0.1..10.0),
+        power_w: rng.gen_range(0.5..8.0),
+        measured: rng.gen_bool(0.5),
+    }
 }
 
-fn table_strategy() -> impl Strategy<Value = ProfileTable> {
-    (
-        "[A-Za-z][A-Za-z0-9 _-]{0,20}",
-        0.01f64..5.0,
-        prop::collection::vec(entry_strategy(), 1..60),
-    )
-        .prop_map(|(app, base_gips, entries)| ProfileTable {
-            app,
-            base_gips,
-            entries,
-        })
+fn random_name(rng: &mut Rng) -> String {
+    const HEAD: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    const TAIL: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 _-";
+    let len = rng.gen_range_usize(0..21);
+    let mut s = String::new();
+    s.push(HEAD[rng.gen_range_usize(0..HEAD.len())] as char);
+    for _ in 0..len {
+        s.push(TAIL[rng.gen_range_usize(0..TAIL.len())] as char);
+    }
+    s
 }
 
-proptest! {
-    /// Any table survives the TSV round-trip bit-exactly (floats are
-    /// printed with full precision).
-    #[test]
-    fn tsv_round_trip(table in table_strategy()) {
+fn random_table(rng: &mut Rng) -> ProfileTable {
+    let n = rng.gen_range_usize(1..60);
+    ProfileTable {
+        app: random_name(rng),
+        base_gips: rng.gen_range(0.01..5.0),
+        entries: (0..n).map(|_| random_entry(rng)).collect(),
+    }
+}
+
+/// Any table survives the TSV round-trip bit-exactly (floats are
+/// printed with full precision).
+#[test]
+fn tsv_round_trip() {
+    let mut rng = Rng::seed_from_u64(0xf0_0001);
+    for case in 0..256 {
+        let table = random_table(&mut rng);
         let tsv = table.to_tsv();
         let back = ProfileTable::from_tsv(&tsv).expect("own output must parse");
-        prop_assert_eq!(table, back);
+        assert_eq!(table, back, "case {case}");
     }
+}
 
-    /// Vector accessors agree with the entries.
-    #[test]
-    fn vectors_match_entries(table in table_strategy()) {
+/// Any table also survives the JSON round-trip bit-exactly.
+#[test]
+fn json_round_trip() {
+    let mut rng = Rng::seed_from_u64(0xf0_0002);
+    for case in 0..256 {
+        let table = random_table(&mut rng);
+        let json = table.to_json();
+        let back = ProfileTable::from_json(&json).expect("own output must parse");
+        assert_eq!(table, back, "case {case}");
+    }
+}
+
+/// Vector accessors agree with the entries.
+#[test]
+fn vectors_match_entries() {
+    let mut rng = Rng::seed_from_u64(0xf0_0003);
+    for case in 0..256 {
+        let table = random_table(&mut rng);
         let speedups = table.speedups();
         let powers = table.powers();
-        prop_assert_eq!(speedups.len(), table.len());
+        assert_eq!(speedups.len(), table.len(), "case {case}");
         for (i, e) in table.entries.iter().enumerate() {
-            prop_assert_eq!(speedups[i], e.speedup);
-            prop_assert_eq!(powers[i], e.power_w);
-            prop_assert_eq!(table.config(i), e.config);
+            assert_eq!(speedups[i], e.speedup, "case {case}");
+            assert_eq!(powers[i], e.power_w, "case {case}");
+            assert_eq!(table.config(i), e.config, "case {case}");
         }
-        prop_assert!(table.min_speedup() <= table.max_speedup());
+        assert!(table.min_speedup() <= table.max_speedup(), "case {case}");
     }
+}
 
-    /// Load-model output is always within the convex hull of its anchor
-    /// profiles, row by row.
-    #[test]
-    fn load_model_convex(
-        base_lo in 0.05f64..1.0,
-        base_hi in 0.05f64..1.0,
-        n in 2usize..20,
-        query in 0.0f64..0.5,
-    ) {
+/// Load-model output is always within the convex hull of its anchor
+/// profiles, row by row.
+#[test]
+fn load_model_convex() {
+    let mut rng = Rng::seed_from_u64(0xf0_0004);
+    for case in 0..128 {
+        let base_lo = rng.gen_range(0.05..1.0);
+        let base_hi = rng.gen_range(0.05..1.0);
+        let n = rng.gen_range_usize(2..20);
+        let query = rng.gen_range(0.0..0.5);
         let mk = |base: f64, tilt: f64| ProfileTable {
             app: "m".into(),
             base_gips: base,
@@ -91,18 +119,42 @@ proptest! {
         let lo = mk(base_lo, 0.0);
         let hi = mk(base_hi, 0.5);
         let model = LoadModel::new(vec![
-            (LoadSignature { cpu_util: 0.05, traffic_mbps: 0.0 }, lo.clone()),
-            (LoadSignature { cpu_util: 0.30, traffic_mbps: 0.0 }, hi.clone()),
+            (
+                LoadSignature {
+                    cpu_util: 0.05,
+                    traffic_mbps: 0.0,
+                },
+                lo.clone(),
+            ),
+            (
+                LoadSignature {
+                    cpu_util: 0.30,
+                    traffic_mbps: 0.0,
+                },
+                hi.clone(),
+            ),
         ])
         .unwrap();
-        let out = model.table_for(&LoadSignature { cpu_util: query, traffic_mbps: 0.0 });
+        let out = model.table_for(&LoadSignature {
+            cpu_util: query,
+            traffic_mbps: 0.0,
+        });
         for ((o, l), h) in out.entries.iter().zip(&lo.entries).zip(&hi.entries) {
             let (smin, smax) = (l.speedup.min(h.speedup), l.speedup.max(h.speedup));
-            prop_assert!(o.speedup >= smin - 1e-9 && o.speedup <= smax + 1e-9);
+            assert!(
+                o.speedup >= smin - 1e-9 && o.speedup <= smax + 1e-9,
+                "case {case}"
+            );
             let (pmin, pmax) = (l.power_w.min(h.power_w), l.power_w.max(h.power_w));
-            prop_assert!(o.power_w >= pmin - 1e-9 && o.power_w <= pmax + 1e-9);
+            assert!(
+                o.power_w >= pmin - 1e-9 && o.power_w <= pmax + 1e-9,
+                "case {case}"
+            );
         }
         let (bmin, bmax) = (base_lo.min(base_hi), base_lo.max(base_hi));
-        prop_assert!(out.base_gips >= bmin - 1e-9 && out.base_gips <= bmax + 1e-9);
+        assert!(
+            out.base_gips >= bmin - 1e-9 && out.base_gips <= bmax + 1e-9,
+            "case {case}"
+        );
     }
 }

@@ -16,8 +16,8 @@
 use crate::battery::Battery;
 use crate::dvfs::{BwIndex, DvfsTable, FreqIndex};
 use crate::gpu::{Gpu, GpuFreqIndex};
-use crate::net::{NetRateIndex, Radio};
 use crate::monitor::PowerMonitor;
+use crate::net::{NetRateIndex, Radio};
 use crate::pmu::Pmu;
 use crate::power::{PowerBreakdown, PowerModel, PowerModelParams};
 use crate::trace::{Trace, TraceEvent};
@@ -377,7 +377,10 @@ impl Device {
     /// governor implementations; user-space code should go through
     /// [`Device::sysfs_write`] instead.
     pub fn set_cpu_freq(&mut self, idx: FreqIndex) {
-        assert!(idx.0 < self.table.num_freqs(), "frequency index out of range");
+        assert!(
+            idx.0 < self.table.num_freqs(),
+            "frequency index out of range"
+        );
         if idx != self.freq {
             self.trace
                 .record(self.now_ms, TraceEvent::CpuFreq(self.freq.0, idx.0));
@@ -566,8 +569,7 @@ impl Device {
         };
         let busy_frac = (fg_busy + stolen_util).clamp(0.0, 1.0);
         let fg_busy_cores = fg_busy * fg_cores;
-        let busy_cores =
-            (fg_busy_cores + stolen_util * self.online_cores).min(self.online_cores);
+        let busy_cores = (fg_busy_cores + stolen_util * self.online_cores).min(self.online_cores);
 
         // The bus physically cannot carry more than its configured
         // bandwidth, whatever the overlap model credits the cores with.
@@ -576,8 +578,11 @@ impl Device {
 
         // --- accounting.
         let cycles = fg_busy_cores * f_hz * dt_s;
-        self.pmu
-            .record(instructions, cycles, (fg_traffic_bps + bg_traffic_bps) * dt_s);
+        self.pmu.record(
+            instructions,
+            cycles,
+            (fg_traffic_bps + bg_traffic_bps) * dt_s,
+        );
         self.busy_core_ms += busy_cores * TICK_MS as f64;
         self.busy_ms += busy_frac * TICK_MS as f64;
         self.bg_util_ms += demand.bg.cpu_util * TICK_MS as f64;
@@ -586,8 +591,7 @@ impl Device {
         // --- power. With cpuidle enabled, idle core time sheds part of
         // its leakage (deep C-states power-gate the core).
         let idle_cores = (self.online_cores - busy_cores).max(0.0);
-        let effective_cores =
-            self.online_cores - idle_cores * self.cpuidle_leak_reduction;
+        let effective_cores = self.online_cores - idle_cores * self.cpuidle_leak_reduction;
         let mut power = self.power_model.power(
             &self.table,
             self.freq,
@@ -862,9 +866,15 @@ mod tests {
     fn cpuidle_sheds_idle_leakage() {
         let mut cfg = DeviceConfig::nexus6();
         cfg.monitor_noise_w = 0.0;
-        let without = Device::new(cfg.clone()).tick(&Demand::idle()).power.total_w();
+        let without = Device::new(cfg.clone())
+            .tick(&Demand::idle())
+            .power
+            .total_w();
         cfg.cpuidle_leak_reduction = 0.8;
-        let with = Device::new(cfg.clone()).tick(&Demand::idle()).power.total_w();
+        let with = Device::new(cfg.clone())
+            .tick(&Demand::idle())
+            .power
+            .total_w();
         assert!(with < without, "idle power must drop: {without} -> {with}");
         // Fully-busy power is unaffected.
         let busy = Demand {

@@ -4,13 +4,12 @@
 //! the 18 CPU clock frequencies and 13 memory-bus bandwidths supported by
 //! the Snapdragon 805 in the Nexus 6.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The 18 CPU clock frequencies (GHz) of the Nexus 6 (paper Table II).
 pub const NEXUS6_CPU_FREQS_GHZ: [f64; 18] = [
-    0.3000, 0.4224, 0.6528, 0.7296, 0.8832, 0.9600, 1.0368, 1.1904, 1.2672, 1.4976, 1.5744,
-    1.7280, 1.9584, 2.2656, 2.4576, 2.4960, 2.5728, 2.6496,
+    0.3000, 0.4224, 0.6528, 0.7296, 0.8832, 0.9600, 1.0368, 1.1904, 1.2672, 1.4976, 1.5744, 1.7280,
+    1.9584, 2.2656, 2.4576, 2.4960, 2.5728, 2.6496,
 ];
 
 /// The 13 memory-bus bandwidths (MBps) of the Nexus 6 (paper Table II).
@@ -20,11 +19,11 @@ pub const NEXUS6_MEM_BWS_MBPS: [f64; 13] = [
 ];
 
 /// Index into the CPU frequency ladder (0-based; the paper numbers 1–18).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FreqIndex(pub usize);
 
 /// Index into the memory bandwidth ladder (0-based; the paper numbers 1–13).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BwIndex(pub usize);
 
 impl fmt::Display for FreqIndex {
@@ -41,7 +40,7 @@ impl fmt::Display for BwIndex {
 }
 
 /// A CPU clock frequency in GHz.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct CpuFreq(pub f64);
 
 impl CpuFreq {
@@ -63,7 +62,7 @@ impl fmt::Display for CpuFreq {
 }
 
 /// A memory-bus bandwidth in MBps.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct MemBw(pub f64);
 
 impl MemBw {
@@ -94,7 +93,7 @@ impl fmt::Display for MemBw {
 /// assert_eq!(table.freq(FreqIndex(9)).0, 1.4976);
 /// assert_eq!(table.freq_at_least(1.3), FreqIndex(9));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsTable {
     freqs_ghz: Vec<f64>,
     bws_mbps: Vec<f64>,
@@ -204,11 +203,7 @@ impl DvfsTable {
     /// The smallest frequency index whose frequency is ≥ `ghz`, or the
     /// maximum index if `ghz` is above the ladder.
     pub fn freq_at_least(&self, ghz: f64) -> FreqIndex {
-        match self
-            .freqs_ghz
-            .iter()
-            .position(|&f| f >= ghz)
-        {
+        match self.freqs_ghz.iter().position(|&f| f >= ghz) {
             Some(i) => FreqIndex(i),
             None => self.max_freq(),
         }

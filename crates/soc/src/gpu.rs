@@ -8,13 +8,11 @@
 //! faster than the GPU executes, which caps its CPU-side instruction
 //! rate too (the render thread blocks on the GPU fence).
 
-use serde::{Deserialize, Serialize};
-
 /// The Adreno 420 frequency ladder, GHz.
 pub const ADRENO420_FREQS_GHZ: [f64; 5] = [0.20, 0.30, 0.42, 0.50, 0.60];
 
 /// Index into the GPU frequency ladder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GpuFreqIndex(pub usize);
 
 impl std::fmt::Display for GpuFreqIndex {

@@ -64,12 +64,12 @@ pub use dvfs::{
 };
 pub use error::SocError;
 pub use gpu::{Gpu, GpuFreqIndex};
-pub use net::{NetRateIndex, Radio};
 pub use monitor::{PowerMonitor, PowerSample};
+pub use net::{NetRateIndex, Radio};
 pub use perf::{PerfReader, PerfReading};
 pub use pmu::Pmu;
-pub use trace::{Trace, TraceEvent, TraceRecord};
 pub use power::{PowerBreakdown, PowerModel, PowerModelParams};
+pub use trace::{Trace, TraceEvent, TraceRecord};
 pub use workload::{BackgroundDemand, ConstantWorkload, Demand, Executed, Workload};
 
 /// Trait implemented by DVFS governors and by the online controller.

@@ -6,8 +6,7 @@
 //! exactly what a 5 kHz monitor's per-millisecond average would be — and
 //! integrates energy tick by tick.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use asgov_util::Rng;
 
 /// One recorded power sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,7 +22,7 @@ pub struct PowerSample {
 #[derive(Debug, Clone)]
 pub struct PowerMonitor {
     noise_sigma_w: f64,
-    rng: SmallRng,
+    rng: Rng,
     energy_j: f64,
     elapsed_ms: u64,
     trace: Vec<PowerSample>,
@@ -38,7 +37,7 @@ impl PowerMonitor {
     pub fn new(noise_sigma_w: f64, seed: u64) -> Self {
         Self {
             noise_sigma_w,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             energy_j: 0.0,
             elapsed_ms: 0,
             trace: Vec::new(),
@@ -55,7 +54,7 @@ impl PowerMonitor {
     /// Record one tick's average power.
     pub(crate) fn record(&mut self, t_ms: u64, power_w: f64) {
         let noise = if self.noise_sigma_w > 0.0 {
-            // Box-Muller transform; SmallRng is deterministic per seed.
+            // Box-Muller transform; the RNG is deterministic per seed.
             let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
             let u2: f64 = self.rng.gen_range(0.0..1.0);
             self.noise_sigma_w

@@ -8,13 +8,11 @@
 //! power; a low rate coalesces packets cheaply but throttles
 //! packet-rate-hungry traffic (video calls, aggressive streaming).
 
-use serde::{Deserialize, Serialize};
-
 /// The packet service-rate ladder, packets per second.
 pub const PACKET_RATES_PPS: [f64; 5] = [100.0, 500.0, 1_000.0, 5_000.0, 10_000.0];
 
 /// Index into the packet-rate ladder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetRateIndex(pub usize);
 
 impl std::fmt::Display for NetRateIndex {

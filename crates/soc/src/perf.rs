@@ -9,8 +9,7 @@
 //! them so the reproduction faces the same trade-off.
 
 use crate::device::Device;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use asgov_util::Rng;
 
 /// Minimum supported sampling period, ms (as on the paper's Nexus 6).
 pub const MIN_PERIOD_MS: u64 = 100;
@@ -32,7 +31,7 @@ pub struct PerfReading {
 pub struct PerfReader {
     period_ms: u64,
     noise_rel: f64,
-    rng: SmallRng,
+    rng: Rng,
     enabled: bool,
     last_sample_ms: u64,
     last_instructions: f64,
@@ -46,7 +45,7 @@ impl PerfReader {
         Self {
             period_ms: period_ms.max(MIN_PERIOD_MS),
             noise_rel: noise_rel.max(0.0),
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             enabled: false,
             last_sample_ms: 0,
             last_instructions: 0.0,

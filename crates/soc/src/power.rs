@@ -15,10 +15,9 @@
 //! 1.2 W (idle, screen on) … 6 W (peak with ads) band the paper reports.
 
 use crate::dvfs::{BwIndex, DvfsTable, FreqIndex};
-use serde::{Deserialize, Serialize};
 
 /// Tunable constants of the power model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModelParams {
     /// Screen at the paper's fixed lowest brightness, watts.
     pub screen_w: f64,
@@ -95,7 +94,7 @@ impl PowerBreakdown {
 }
 
 /// The whole-device power model. See the module docs for the equation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     params: PowerModelParams,
 }
@@ -139,7 +138,8 @@ impl PowerModel {
         let cpu_leak = p.cpu_leak_w_per_v * v * online_cores;
         let cpu_uncore = p.cpu_uncore_w_per_v2ghz * v * v * f_ghz;
         let cpu_dyn = p.cpu_dyn_w_per_v2ghz * v * v * f_ghz * busy_cores + cpu_uncore;
-        let mem = p.mem_static_w + p.mem_bw_w_per_mbps * bw_mbps
+        let mem = p.mem_static_w
+            + p.mem_bw_w_per_mbps * bw_mbps
             + p.mem_traffic_w_per_mbps * traffic_mbps;
 
         PowerBreakdown {
@@ -180,16 +180,7 @@ mod tests {
     fn busy_max_config_is_in_multi_watt_band() {
         let (m, t) = model();
         let p = m
-            .power(
-                &t,
-                FreqIndex(17),
-                BwIndex(12),
-                4.0,
-                4.0,
-                8000.0,
-                0.0,
-                0.0,
-            )
+            .power(&t, FreqIndex(17), BwIndex(12), 4.0, 4.0, 8000.0, 0.0, 0.0)
             .total_w();
         assert!(p > 3.0 && p < 10.0, "peak power {p} W out of band");
     }

@@ -32,6 +32,22 @@ impl RunReport {
     pub fn duration_s(&self) -> f64 {
         self.duration_ms as f64 * 1e-3
     }
+
+    /// Machine-readable summary of the run as a JSON object (the
+    /// hand-rolled `asgov-util` surface — the workspace carries no
+    /// serde). Histograms are omitted; this is the scalar summary that
+    /// result files and the bench harness persist.
+    pub fn to_json(&self) -> asgov_util::Json {
+        let mut doc = asgov_util::Json::object();
+        doc.set("app", self.app.as_str());
+        doc.set("duration_ms", self.duration_ms as f64);
+        doc.set("energy_j", self.energy_j);
+        doc.set("avg_power_w", self.avg_power_w);
+        doc.set("instructions", self.instructions);
+        doc.set("avg_gips", self.avg_gips);
+        doc.set("completed", self.completed);
+        doc
+    }
 }
 
 /// Run `workload` on `device` under `policies` for at most `max_ms`
@@ -144,6 +160,17 @@ mod tests {
         assert!(report.energy_j > 0.5 && report.energy_j < 5.0);
         assert!((report.avg_power_w - report.energy_j / 1.0).abs() < 1e-9);
         assert!(report.avg_gips > 0.0);
+
+        // The JSON summary carries the same scalars.
+        let json = report.to_json();
+        assert_eq!(
+            json.get("app").and_then(asgov_util::Json::as_str),
+            Some("toy")
+        );
+        assert_eq!(
+            json.get("energy_j").and_then(asgov_util::Json::as_f64),
+            Some(report.energy_j)
+        );
     }
 
     #[test]
@@ -153,12 +180,22 @@ mod tests {
 
         let mut dev_lo = Device::new(cfg.clone());
         let mut app = Batch { remaining: 1e9 };
-        let slow = run(&mut dev_lo, &mut app, &mut [&mut PinFreq(FreqIndex(0))], 60_000);
+        let slow = run(
+            &mut dev_lo,
+            &mut app,
+            &mut [&mut PinFreq(FreqIndex(0))],
+            60_000,
+        );
         assert!(slow.completed);
 
         let mut dev_hi = Device::new(cfg);
         app.reset();
-        let fast = run(&mut dev_hi, &mut app, &mut [&mut PinFreq(FreqIndex(17))], 60_000);
+        let fast = run(
+            &mut dev_hi,
+            &mut app,
+            &mut [&mut PinFreq(FreqIndex(17))],
+            60_000,
+        );
         assert!(fast.completed);
         assert!(
             fast.duration_ms * 3 < slow.duration_ms,

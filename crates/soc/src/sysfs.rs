@@ -52,8 +52,9 @@ pub(crate) fn read(dev: &Device, path: &str) -> Result<String, SocError> {
     if let Some(file) = path.strip_prefix(KGSL).and_then(|p| p.strip_prefix('/')) {
         return match file {
             "governor" => Ok(dev.gpu().governor().to_string()),
-            "gpuclk" => Ok(((dev.gpu().freq_ghz(dev.gpu().freq()) * 1e9).round() as u64)
-                .to_string()),
+            "gpuclk" => {
+                Ok(((dev.gpu().freq_ghz(dev.gpu().freq()) * 1e9).round() as u64).to_string())
+            }
             "available_frequencies" => Ok((0..dev.gpu().num_freqs())
                 .map(|i| {
                     ((dev.gpu().freq_ghz(crate::gpu::GpuFreqIndex(i)) * 1e9).round() as u64)
@@ -255,17 +256,16 @@ mod tests {
     fn read_governor_and_frequency() {
         let d = dev();
         assert_eq!(
-            d.sysfs_read(&format!("{CPUFREQ}/scaling_governor")).unwrap(),
+            d.sysfs_read(&format!("{CPUFREQ}/scaling_governor"))
+                .unwrap(),
             "interactive"
         );
         assert_eq!(
-            d.sysfs_read(&format!("{CPUFREQ}/scaling_cur_freq")).unwrap(),
+            d.sysfs_read(&format!("{CPUFREQ}/scaling_cur_freq"))
+                .unwrap(),
             "300000"
         );
-        assert_eq!(
-            d.sysfs_read(&format!("{DEVFREQ}/cur_freq")).unwrap(),
-            "762"
-        );
+        assert_eq!(d.sysfs_read(&format!("{DEVFREQ}/cur_freq")).unwrap(), "762");
     }
 
     #[test]
@@ -375,8 +375,10 @@ mod tests {
             .sysfs_write(&format!("{KGSL}/gpuclk"), "600000000")
             .unwrap_err();
         assert!(matches!(err, SocError::WrongGovernor { .. }));
-        d.sysfs_write(&format!("{KGSL}/governor"), "userspace").unwrap();
-        d.sysfs_write(&format!("{KGSL}/gpuclk"), "600000000").unwrap();
+        d.sysfs_write(&format!("{KGSL}/governor"), "userspace")
+            .unwrap();
+        d.sysfs_write(&format!("{KGSL}/gpuclk"), "600000000")
+            .unwrap();
         assert_eq!(
             d.sysfs_read(&format!("{KGSL}/gpuclk")).unwrap(),
             "600000000"

@@ -176,10 +176,13 @@ mod tests {
         let mut t = Trace::new(8);
         t.set_enabled(true);
         t.record(10, TraceEvent::CpuFreq(0, 9));
-        t.record(20, TraceEvent::Governor {
-            subsystem: "cpufreq",
-            name: "userspace".into(),
-        });
+        t.record(
+            20,
+            TraceEvent::Governor {
+                subsystem: "cpufreq",
+                name: "userspace".into(),
+            },
+        );
         let csv = t.to_csv();
         assert!(csv.starts_with("t_ms,kind,from,to\n"));
         assert!(csv.contains("10,cpufreq,f1,f10"));

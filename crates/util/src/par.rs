@@ -1,0 +1,119 @@
+//! Deterministic fork–join parallelism over an index range.
+//!
+//! The profiling sweep and the experiment harness fan independent
+//! simulations out across `std::thread::scope` workers. Determinism is
+//! preserved by construction: job `i` computes exactly what the serial
+//! loop iteration `i` would (all seeds derive from the job, not the
+//! worker), and results are returned **in index order** regardless of
+//! which worker ran which job. With `threads == 1` no threads are
+//! spawned at all, so the serial path stays available for differential
+//! testing (`ordered_map(n, 1, f) == ordered_map(n, k, f)` for any
+//! pure-per-index `f`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A sensible worker count: the machine's available parallelism,
+/// clamped to the number of jobs (and at least 1).
+pub fn default_threads(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, jobs.max(1))
+}
+
+/// Run `f(0..jobs)` across `threads` scoped workers and return the
+/// results in index order.
+///
+/// Jobs are claimed from an atomic counter, so long jobs don't stall
+/// the queue behind them. A panicking job propagates the panic to the
+/// caller (after the scope joins), like the serial loop would.
+///
+/// # Example
+///
+/// ```
+/// let squares = asgov_util::par::ordered_map(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn ordered_map<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, jobs);
+    if threads == 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        // Jobs deliberately finish out of order (reverse sleep).
+        let out = ordered_map(16, 8, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(((16 - i) * 50) as u64));
+            i * 10
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let f = |i: usize| (i as f64).sqrt() * 3.0 + i as f64;
+        let serial: Vec<f64> = ordered_map(100, 1, f);
+        let parallel: Vec<f64> = ordered_map(100, 7, f);
+        assert_eq!(serial, parallel, "bit-identical results required");
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<u8> = ordered_map(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_bounded() {
+        assert!(default_threads(0) >= 1);
+        assert_eq!(default_threads(1), 1);
+        assert!(default_threads(1000) >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = ordered_map(8, 4, |i| {
+            if i == 5 {
+                panic!("job 5 failed");
+            }
+            i
+        });
+    }
+}

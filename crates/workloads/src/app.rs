@@ -15,8 +15,7 @@
 
 use crate::background::BackgroundLoad;
 use asgov_soc::{Demand, Executed, Workload};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use asgov_util::Rng;
 
 /// One application phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,7 +170,7 @@ pub struct AppSpec {
 pub struct PhasedApp {
     spec: AppSpec,
     background: BackgroundLoad,
-    rng: SmallRng,
+    rng: Rng,
     phase_idx: usize,
     phase_elapsed_ms: u64,
     frame_backlog_gi: f64,
@@ -198,7 +197,7 @@ impl PhasedApp {
         Self {
             spec,
             background,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             phase_idx: 0,
             phase_elapsed_ms: 0,
             frame_backlog_gi: 0.0,
@@ -269,8 +268,7 @@ impl Workload for PhasedApp {
             // Frame dropping under overload (event work is never
             // dropped: advertisements and song changes always complete).
             if let Some(max_frames) = self.spec.max_backlog_frames {
-                let cap = phase.rate_gips * phase.frame_period_ms.max(1) as f64 * 1e-3
-                    * max_frames;
+                let cap = phase.rate_gips * phase.frame_period_ms.max(1) as f64 * 1e-3 * max_frames;
                 if self.frame_backlog_gi > cap {
                     self.frame_backlog_gi = cap;
                 }
@@ -354,7 +352,7 @@ impl Workload for PhasedApp {
     }
 
     fn reset(&mut self) {
-        self.rng = SmallRng::seed_from_u64(self.seed);
+        self.rng = Rng::seed_from_u64(self.seed);
         self.phase_idx = 0;
         self.phase_elapsed_ms = 0;
         self.frame_backlog_gi = 0.0;

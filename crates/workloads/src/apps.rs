@@ -6,7 +6,7 @@
 //! ladder, which frequency ranges are usable, how bursty the load is,
 //! and what event power looks like (advertisements, camera, decoder).
 
-use crate::app::{AppKind, AppSpec, EventSpec, PhasedApp, PhaseSpec, TouchSpec};
+use crate::app::{AppKind, AppSpec, EventSpec, PhaseSpec, PhasedApp, TouchSpec};
 use crate::background::BackgroundLoad;
 
 /// **VidCon** — FFmpeg-based video converter. Fixed-size HD mp4
@@ -193,7 +193,7 @@ pub fn wechat(background: BackgroundLoad) -> PhasedApp {
             gips_cap: None,
             cap_busy: false,
             active_cores: 0.42,
-            extra_power_w: 0.35, // camera + radio
+            extra_power_w: 0.35,       // camera + radio
             extra_traffic_mbps: 150.0, // up/down video streams
             gpu_work_ghz: 0.08,
             net_pps: 0.0, // preview composition
@@ -233,7 +233,7 @@ pub fn mxplayer(background: BackgroundLoad) -> PhasedApp {
                 extra_power_w: 0.30, // hardware decoder + display pipeline
                 extra_traffic_mbps: 0.0,
                 gpu_work_ghz: 0.0,
-                net_pps: 0.0,   // decoder bypasses the GPU (paper §V-A)
+                net_pps: 0.0, // decoder bypasses the GPU (paper §V-A)
             },
             // Periodic demux/buffer spike; misses its deadline below f5,
             // which is why f1–f4 are excluded from the profile.
@@ -506,7 +506,10 @@ mod tests {
         let low = gips_at(&mut app, 6, 6, 10_000);
         let knee = gips_at(&mut app, 12, 6, 10_000);
         let top = gips_at(&mut app, 17, 6, 10_000);
-        assert!(knee > low * 1.4, "steep region below the knee: {low} -> {knee}");
+        assert!(
+            knee > low * 1.4,
+            "steep region below the knee: {low} -> {knee}"
+        );
         assert!(
             top < knee * 1.06,
             "plateau beyond the knee: {knee} -> {top}"
@@ -596,7 +599,14 @@ mod tests {
         let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
         assert_eq!(
             names,
-            ["VidCon", "MobileBench", "AngryBirds", "WeChat", "MXPlayer", "Spotify"]
+            [
+                "VidCon",
+                "MobileBench",
+                "AngryBirds",
+                "WeChat",
+                "MXPlayer",
+                "Spotify"
+            ]
         );
     }
 }

@@ -9,8 +9,7 @@
 //! similar (6.3 / 6.7 / 6.6 in `/proc/loadavg`).
 
 use asgov_soc::BackgroundDemand;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use asgov_util::Rng;
 
 /// The three load scenarios of Table IV.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,7 +47,7 @@ pub struct BackgroundLoad {
     sync_util: f64,
     sync_traffic_mbps: f64,
     sync_power_w: f64,
-    rng: SmallRng,
+    rng: Rng,
     seed: u64,
     wander: f64,
 }
@@ -67,7 +66,7 @@ impl BackgroundLoad {
             sync_util: 0.18,
             sync_traffic_mbps: 80.0,
             sync_power_w: 0.30,
-            rng: SmallRng::seed_from_u64(seed ^ 0xb1),
+            rng: Rng::seed_from_u64(seed ^ 0xb1),
             seed: seed ^ 0xb1,
             wander: 0.0,
         }
@@ -85,7 +84,7 @@ impl BackgroundLoad {
             sync_util: 0.0,
             sync_traffic_mbps: 0.0,
             sync_power_w: 0.0,
-            rng: SmallRng::seed_from_u64(seed ^ 0x17),
+            rng: Rng::seed_from_u64(seed ^ 0x17),
             seed: seed ^ 0x17,
             wander: 0.0,
         }
@@ -105,7 +104,7 @@ impl BackgroundLoad {
             sync_util: 0.25,
             sync_traffic_mbps: 260.0,
             sync_power_w: 0.35,
-            rng: SmallRng::seed_from_u64(seed ^ 0x41),
+            rng: Rng::seed_from_u64(seed ^ 0x41),
             seed: seed ^ 0x41,
             wander: 0.0,
         }
@@ -132,8 +131,8 @@ impl BackgroundLoad {
         self.wander = (self.wander + step).clamp(-0.2, 0.2);
         let scale = 1.0 + self.wander;
 
-        let in_sync = self.sync_period_ms != u64::MAX
-            && now_ms % self.sync_period_ms < self.sync_duration_ms;
+        let in_sync =
+            self.sync_period_ms != u64::MAX && now_ms % self.sync_period_ms < self.sync_duration_ms;
         let (su, st, sp) = if in_sync {
             (self.sync_util, self.sync_traffic_mbps, self.sync_power_w)
         } else {
@@ -148,7 +147,7 @@ impl BackgroundLoad {
 
     /// Restart the generator: replays the exact same sequence.
     pub fn reset(&mut self) {
-        self.rng = SmallRng::seed_from_u64(self.seed);
+        self.rng = Rng::seed_from_u64(self.seed);
         self.wander = 0.0;
     }
 }

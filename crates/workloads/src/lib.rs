@@ -31,7 +31,7 @@ pub mod apps;
 mod background;
 mod trace_workload;
 
-pub use app::{AppKind, AppSpec, EventSpec, PhasedApp, PhaseSpec, TouchSpec};
+pub use app::{AppKind, AppSpec, EventSpec, PhaseSpec, PhasedApp, TouchSpec};
 pub use background::{BackgroundLoad, LoadLevel};
 pub use trace_workload::{TraceParseError, TraceSample, TraceWorkload};
 

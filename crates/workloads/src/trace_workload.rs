@@ -14,8 +14,8 @@
 //! Samples hold until the next timestamp; the trace loops when it ends
 //! (so a short recording drives an arbitrarily long run).
 
-use asgov_soc::{Demand, Executed, Workload};
 use crate::background::BackgroundLoad;
+use asgov_soc::{Demand, Executed, Workload};
 use std::error::Error;
 use std::fmt;
 

@@ -1,9 +1,12 @@
 //! Property-based tests of the workload machinery: work conservation,
 //! determinism per seed, and bounded demand.
+//!
+//! Randomized inputs come from a seeded [`asgov_util::Rng`] so every
+//! run exercises the same cases (the hermetic stand-in for proptest).
 
 use asgov_soc::{Executed, Workload};
-use asgov_workloads::{AppKind, AppSpec, BackgroundLoad, PhasedApp, PhaseSpec};
-use proptest::prelude::*;
+use asgov_util::Rng;
+use asgov_workloads::{AppKind, AppSpec, BackgroundLoad, PhaseSpec, PhasedApp};
 
 fn spec(rate: f64, frame_ms: u64, jitter: f64, backlog: Option<f64>) -> AppSpec {
     AppSpec {
@@ -24,16 +27,16 @@ fn spec(rate: f64, frame_ms: u64, jitter: f64, backlog: Option<f64>) -> AppSpec 
     }
 }
 
-proptest! {
-    /// Work conservation: executed + backlog never exceeds what arrived
-    /// (within one frame of slack for the in-flight frame).
-    #[test]
-    fn work_conserved(
-        rate in 0.01f64..2.0,
-        frame_ms in 1u64..100,
-        drain_gips in 0.0f64..3.0,
-        seed in 0u64..100,
-    ) {
+/// Work conservation: executed + backlog never exceeds what arrived
+/// (within one frame of slack for the in-flight frame).
+#[test]
+fn work_conserved() {
+    let mut rng = Rng::seed_from_u64(0xa0_0001);
+    for case in 0..64 {
+        let rate = rng.gen_range(0.01..2.0);
+        let frame_ms = rng.gen_range_usize(1..100) as u64;
+        let drain_gips = rng.gen_range(0.0..3.0);
+        let seed = rng.gen_range_usize(0..100) as u64;
         let mut app = PhasedApp::new(
             spec(rate, frame_ms, 0.0, None),
             BackgroundLoad::none(seed),
@@ -45,29 +48,34 @@ proptest! {
             let d = app.demand(now);
             let want = d.desired_gips.unwrap_or(f64::INFINITY);
             let run = want.min(drain_gips) * 1e-3; // Gi this tick
-            app.deliver(now, Executed {
-                instructions: run * 1e9,
-                gips: run * 1e3,
-                busy_frac: 0.5,
-                traffic_mb: 0.0,
-            });
+            app.deliver(
+                now,
+                Executed {
+                    instructions: run * 1e9,
+                    gips: run * 1e3,
+                    busy_frac: 0.5,
+                    traffic_mb: 0.0,
+                },
+            );
             executed += run;
         }
         let arrived = rate * horizon as f64 * 1e-3 + rate * frame_ms as f64 * 1e-3;
-        prop_assert!(
+        assert!(
             executed + app.backlog_gi() <= arrived + 1e-9,
-            "executed {executed} + backlog {} exceeds arrivals {arrived}",
+            "case {case}: executed {executed} + backlog {} exceeds arrivals {arrived}",
             app.backlog_gi()
         );
     }
+}
 
-    /// Frame dropping bounds the backlog.
-    #[test]
-    fn backlog_bounded_with_cap(
-        rate in 0.1f64..3.0,
-        frames in 1.0f64..8.0,
-        seed in 0u64..50,
-    ) {
+/// Frame dropping bounds the backlog.
+#[test]
+fn backlog_bounded_with_cap() {
+    let mut rng = Rng::seed_from_u64(0xa0_0002);
+    for case in 0..64 {
+        let rate = rng.gen_range(0.1..3.0);
+        let frames = rng.gen_range(1.0..8.0);
+        let seed = rng.gen_range_usize(0..50) as u64;
         let mut app = PhasedApp::new(
             spec(rate, 17, 0.0, Some(frames)),
             BackgroundLoad::none(seed),
@@ -77,40 +85,53 @@ proptest! {
         for now in 0..10_000u64 {
             app.demand(now);
             app.deliver(now, Executed::default());
-            prop_assert!(
+            assert!(
                 app.backlog_gi() <= rate * 0.017 * frames + rate * 0.017 + 1e-9,
-                "backlog {} blew past the cap",
+                "case {case}: backlog {} blew past the cap",
                 app.backlog_gi()
             );
         }
     }
+}
 
-    /// Same seed ⇒ identical demand sequence; reset replays it.
-    #[test]
-    fn deterministic_and_replayable(seed in 0u64..200) {
-        let run = |app: &mut PhasedApp| {
-            let mut v = Vec::new();
-            for now in 0..500u64 {
-                let d = app.demand(now);
-                v.push((d.desired_gips.unwrap_or(-1.0), d.touch));
-                app.deliver(now, Executed::default());
-            }
-            v
-        };
-        let mut a = PhasedApp::new(spec(0.5, 17, 0.5, Some(3.0)), BackgroundLoad::baseline(seed), seed);
+/// Same seed ⇒ identical demand sequence; reset replays it.
+#[test]
+fn deterministic_and_replayable() {
+    let run = |app: &mut PhasedApp| {
+        let mut v = Vec::new();
+        for now in 0..500u64 {
+            let d = app.demand(now);
+            v.push((d.desired_gips.unwrap_or(-1.0), d.touch));
+            app.deliver(now, Executed::default());
+        }
+        v
+    };
+    for seed in 0u64..200 {
+        let mut a = PhasedApp::new(
+            spec(0.5, 17, 0.5, Some(3.0)),
+            BackgroundLoad::baseline(seed),
+            seed,
+        );
         let first = run(&mut a);
         a.reset();
         let replay = run(&mut a);
-        prop_assert_eq!(first, replay);
+        assert_eq!(first, replay, "seed {seed}");
+        // A clone behaves exactly like the original after reset (the
+        // parallel profiling sweep relies on this).
+        let mut b = a.clone();
+        b.reset();
+        assert_eq!(first, run(&mut b), "seed {seed} (clone)");
     }
+}
 
-    /// Demand fields are always well-formed.
-    #[test]
-    fn demand_well_formed(
-        rate in 0.0f64..5.0,
-        jitter in 0.0f64..0.9,
-        seed in 0u64..50,
-    ) {
+/// Demand fields are always well-formed.
+#[test]
+fn demand_well_formed() {
+    let mut rng = Rng::seed_from_u64(0xa0_0003);
+    for case in 0..64 {
+        let rate = rng.gen_range(0.0..5.0);
+        let jitter = rng.gen_range(0.0..0.9);
+        let seed = rng.gen_range_usize(0..50) as u64;
         let mut app = PhasedApp::new(
             spec(rate, 17, jitter, Some(4.0)),
             BackgroundLoad::heavy(seed),
@@ -118,12 +139,12 @@ proptest! {
         );
         for now in 0..2_000u64 {
             let d = app.demand(now);
-            prop_assert!(d.ipc0 > 0.0);
-            prop_assert!(d.bytes_per_instr >= 0.0);
-            prop_assert!(d.active_cores > 0.0 && d.active_cores <= 4.0);
-            prop_assert!(d.desired_gips.unwrap_or(0.0) >= 0.0);
-            prop_assert!(d.extra_power_w >= 0.0);
-            prop_assert!(d.bg.cpu_util >= 0.0 && d.bg.cpu_util <= 0.9);
+            assert!(d.ipc0 > 0.0, "case {case}");
+            assert!(d.bytes_per_instr >= 0.0, "case {case}");
+            assert!(d.active_cores > 0.0 && d.active_cores <= 4.0, "case {case}");
+            assert!(d.desired_gips.unwrap_or(0.0) >= 0.0, "case {case}");
+            assert!(d.extra_power_w >= 0.0, "case {case}");
+            assert!(d.bg.cpu_util >= 0.0 && d.bg.cpu_util <= 0.9, "case {case}");
             app.deliver(now, Executed::default());
         }
     }

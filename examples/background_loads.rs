@@ -23,7 +23,10 @@ fn main() {
     );
     let target = measure_default(&dev_cfg, &mut bl_app, 1, 60_000).gips;
     println!("profiled under BL; target {target:.3} GIPS\n");
-    println!("{:<6} {:>12} {:>12} {:>10}", "load", "perf delta", "energy save", "base est");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10}",
+        "load", "perf delta", "energy save", "base est"
+    );
 
     for level in [LoadLevel::Baseline, LoadLevel::None, LoadLevel::Heavy] {
         let mut app = apps::wechat(BackgroundLoad::with_level(level, 1));

@@ -17,7 +17,10 @@ fn main() {
     };
 
     let default = measure_default(&dev_cfg, &mut app, 1, 120_000);
-    println!("default: {:.1} J at {:.3} GIPS", default.energy_j, default.gips);
+    println!(
+        "default: {:.1} J at {:.3} GIPS",
+        default.energy_j, default.gips
+    );
 
     // Coordinated: the paper's controller.
     let coord_profile = profile_app(&dev_cfg, &mut app, &opts);
@@ -53,7 +56,13 @@ fn main() {
 
     let s_coord = (default.energy_j - coord.energy_j) / default.energy_j * 100.0;
     let s_cpu = (default.energy_j - cpuonly.energy_j) / default.energy_j * 100.0;
-    println!("coordinated: {:.1} J ({s_coord:+.1}%) at {:.3} GIPS", coord.energy_j, coord.avg_gips);
-    println!("cpu-only:    {:.1} J ({s_cpu:+.1}%) at {:.3} GIPS", cpuonly.energy_j, cpuonly.avg_gips);
+    println!(
+        "coordinated: {:.1} J ({s_coord:+.1}%) at {:.3} GIPS",
+        coord.energy_j, coord.avg_gips
+    );
+    println!(
+        "cpu-only:    {:.1} J ({s_cpu:+.1}%) at {:.3} GIPS",
+        cpuonly.energy_j, cpuonly.avg_gips
+    );
     println!("\ncoordinated control saves more: the bandwidth axis matters (paper Table V).");
 }

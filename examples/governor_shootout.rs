@@ -27,22 +27,52 @@ fn main() {
     let mut rows = Vec::new();
 
     let (mut i, mut h) = (Interactive::default(), CpubwHwmon::default());
-    rows.push(run_stack(&dev_cfg, &mut app, "interactive + cpubw_hwmon", &mut [&mut i, &mut h]));
+    rows.push(run_stack(
+        &dev_cfg,
+        &mut app,
+        "interactive + cpubw_hwmon",
+        &mut [&mut i, &mut h],
+    ));
 
     let (mut o, mut h) = (Ondemand::default(), CpubwHwmon::default());
-    rows.push(run_stack(&dev_cfg, &mut app, "ondemand + cpubw_hwmon", &mut [&mut o, &mut h]));
+    rows.push(run_stack(
+        &dev_cfg,
+        &mut app,
+        "ondemand + cpubw_hwmon",
+        &mut [&mut o, &mut h],
+    ));
 
     let (mut c, mut h) = (Conservative::default(), CpubwHwmon::default());
-    rows.push(run_stack(&dev_cfg, &mut app, "conservative + cpubw_hwmon", &mut [&mut c, &mut h]));
+    rows.push(run_stack(
+        &dev_cfg,
+        &mut app,
+        "conservative + cpubw_hwmon",
+        &mut [&mut c, &mut h],
+    ));
 
     let (mut p, mut pb) = (PerformanceCpu, PerformanceBw);
-    rows.push(run_stack(&dev_cfg, &mut app, "performance + performance", &mut [&mut p, &mut pb]));
+    rows.push(run_stack(
+        &dev_cfg,
+        &mut app,
+        "performance + performance",
+        &mut [&mut p, &mut pb],
+    ));
 
     let (mut s, mut sb) = (PowersaveCpu, PowersaveBw);
-    rows.push(run_stack(&dev_cfg, &mut app, "powersave + powersave", &mut [&mut s, &mut sb]));
+    rows.push(run_stack(
+        &dev_cfg,
+        &mut app,
+        "powersave + powersave",
+        &mut [&mut s, &mut sb],
+    ));
 
     let (mut su, mut h) = (Schedutil::default(), CpubwHwmon::default());
-    rows.push(run_stack(&dev_cfg, &mut app, "schedutil + cpubw_hwmon", &mut [&mut su, &mut h]));
+    rows.push(run_stack(
+        &dev_cfg,
+        &mut app,
+        "schedutil + cpubw_hwmon",
+        &mut [&mut su, &mut h],
+    ));
 
     let (mut i2, mut h2, mut mp) = (
         Interactive::default(),

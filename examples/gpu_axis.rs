@@ -66,5 +66,8 @@ fn main() {
         pct(three_axis.energy_j),
         three_axis.avg_gips
     );
-    println!("\nGPU residency (three-axis run): {:?}", device.gpu().time_in_freq_ms());
+    println!(
+        "\nGPU residency (three-axis run): {:?}",
+        device.gpu().time_in_freq_ms()
+    );
 }

@@ -16,11 +16,11 @@ fn flagship_device() -> DeviceConfig {
         &[1866.0, 2933.0, 4266.0, 5500.0, 6400.0, 8533.0],
     );
     let power = PowerModelParams {
-        screen_w: 0.55,           // bigger OLED panel
+        screen_w: 0.55, // bigger OLED panel
         wifi_w: 0.08,
         rest_w: 0.25,
         soc_static_w: 0.18,
-        cpu_leak_w_per_v: 0.06,   // leakier high-performance process
+        cpu_leak_w_per_v: 0.06, // leakier high-performance process
         cpu_dyn_w_per_v2ghz: 0.55,
         cpu_uncore_w_per_v2ghz: 0.22,
         mem_static_w: 0.06,

@@ -10,7 +10,10 @@ fn main() {
     let mut app = apps::angrybirds(BackgroundLoad::baseline(1));
 
     // --- Stage 1: offline profiling (paper §III-A).
-    println!("profiling {} (alternate frequencies × lowest/highest bandwidth)...", app.spec().name);
+    println!(
+        "profiling {} (alternate frequencies × lowest/highest bandwidth)...",
+        app.spec().name
+    );
     let profile = profile_app(
         &dev_cfg,
         &mut app,

@@ -17,4 +17,12 @@ for bin in table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5 \
       > "results/$bin.txt" 2>&1
   fi
 done
-echo "all experiment outputs are in ./results/"
+echo "=== bench ==="
+if [ "$QUICK" = "--quick" ]; then
+  cargo run --release -p asgov-bench -- --quick \
+    > "results/bench.txt" 2>&1 || true
+else
+  cargo run --release -p asgov-bench \
+    > "results/bench.txt" 2>&1
+fi
+echo "all experiment outputs are in ./results/ (bench JSON at ./BENCH_*.json)"

@@ -59,6 +59,7 @@ pub use asgov_governors as governors;
 pub use asgov_linprog as linprog;
 pub use asgov_profiler as profiler;
 pub use asgov_soc as soc;
+pub use asgov_util as util;
 pub use asgov_workloads as workloads;
 
 /// Convenient single-import surface for applications of the library.
@@ -69,11 +70,9 @@ pub mod prelude {
         measure_default, measure_fixed, profile_app, profile_app_cpu_only, ProfileOptions,
         ProfileTable,
     };
-    pub use asgov_soc::{
-        sim, Device, DeviceConfig, DvfsTable, Policy, Workload,
-    };
+    pub use asgov_soc::{sim, Device, DeviceConfig, DvfsTable, Policy, Workload};
     pub use asgov_workloads::{
-        apps, paper_apps, AppKind, AppSpec, BackgroundLoad, EventSpec, LoadLevel, PhasedApp,
-        PhaseSpec, TouchSpec,
+        apps, paper_apps, AppKind, AppSpec, BackgroundLoad, EventSpec, LoadLevel, PhaseSpec,
+        PhasedApp, TouchSpec,
     };
 }

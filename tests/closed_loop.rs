@@ -44,8 +44,16 @@ fn angrybirds_saves_energy_within_performance_band() {
     let (default, ctrl) = run_pair(apps::angrybirds(BackgroundLoad::baseline(1)), 60_000);
     let savings = (default.energy_j - ctrl.energy_j) / default.energy_j;
     let perf = (ctrl.avg_gips - default.gips) / default.gips;
-    assert!(savings > 0.03, "expected >3% savings, got {:.1}%", savings * 100.0);
-    assert!(perf > -0.04, "performance loss {:.1}% too large", perf * 100.0);
+    assert!(
+        savings > 0.03,
+        "expected >3% savings, got {:.1}%",
+        savings * 100.0
+    );
+    assert!(
+        perf > -0.04,
+        "performance loss {:.1}% too large",
+        perf * 100.0
+    );
 }
 
 #[test]
@@ -53,7 +61,11 @@ fn spotify_saves_energy_at_equal_quality() {
     let (default, ctrl) = run_pair(apps::spotify(BackgroundLoad::baseline(1)), 60_000);
     let savings = (default.energy_j - ctrl.energy_j) / default.energy_j;
     let perf = (ctrl.avg_gips - default.gips) / default.gips;
-    assert!(savings > 0.05, "expected >5% savings, got {:.1}%", savings * 100.0);
+    assert!(
+        savings > 0.05,
+        "expected >5% savings, got {:.1}%",
+        savings * 100.0
+    );
     assert!(perf.abs() < 0.03, "audio workload perf should be unchanged");
 }
 
@@ -62,8 +74,16 @@ fn wechat_saves_energy_within_performance_band() {
     let (default, ctrl) = run_pair(apps::wechat(BackgroundLoad::baseline(1)), 60_000);
     let savings = (default.energy_j - ctrl.energy_j) / default.energy_j;
     let perf = (ctrl.avg_gips - default.gips) / default.gips;
-    assert!(savings > 0.03, "expected >3% savings, got {:.1}%", savings * 100.0);
-    assert!(perf > -0.04, "performance loss {:.1}% too large", perf * 100.0);
+    assert!(
+        savings > 0.03,
+        "expected >3% savings, got {:.1}%",
+        savings * 100.0
+    );
+    assert!(
+        perf > -0.04,
+        "performance loss {:.1}% too large",
+        perf * 100.0
+    );
 }
 
 #[test]
@@ -72,7 +92,10 @@ fn vidcon_completes_with_less_energy() {
     let mut app = apps::vidcon(BackgroundLoad::baseline(1));
     let profile = profile_app(&dev_cfg, &mut app, &quick_profile());
     let default = measure_default(&dev_cfg, &mut app, 1, 200_000);
-    assert!(default.reports[0].completed, "default run must finish the conversion");
+    assert!(
+        default.reports[0].completed,
+        "default run must finish the conversion"
+    );
 
     let mut controller = ControllerBuilder::new(profile)
         .target_gips(default.gips)
@@ -87,12 +110,23 @@ fn vidcon_completes_with_less_energy() {
         &mut [&mut gpu_gov, &mut controller],
         200_000,
     );
-    assert!(report.completed, "controller run must finish the conversion");
+    assert!(
+        report.completed,
+        "controller run must finish the conversion"
+    );
 
     let savings = (default.energy_j - report.energy_j) / default.energy_j;
-    assert!(savings > 0.05, "expected >5% savings, got {:.1}%", savings * 100.0);
+    assert!(
+        savings > 0.05,
+        "expected >5% savings, got {:.1}%",
+        savings * 100.0
+    );
     let slowdown = report.duration_ms as f64 / default.duration_ms - 1.0;
-    assert!(slowdown < 0.05, "conversion {:.1}% slower", slowdown * 100.0);
+    assert!(
+        slowdown < 0.05,
+        "conversion {:.1}% slower",
+        slowdown * 100.0
+    );
 }
 
 #[test]
@@ -161,7 +195,11 @@ fn controller_avoids_high_frequencies_for_saturating_app() {
     let (default, ctrl) = run_pair(apps::angrybirds(BackgroundLoad::baseline(1)), 60_000);
     let ctrl_hist = ctrl.stats.freq_histogram();
     let high_ctrl: f64 = ctrl_hist[10..].iter().sum();
-    assert!(high_ctrl < 0.01, "controller beyond f10: {:.2}%", high_ctrl * 100.0);
+    assert!(
+        high_ctrl < 0.01,
+        "controller beyond f10: {:.2}%",
+        high_ctrl * 100.0
+    );
     let def_hist = default.reports[0].stats.freq_histogram();
     let elevated_def: f64 = def_hist[7..].iter().sum();
     assert!(

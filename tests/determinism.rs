@@ -21,7 +21,11 @@ fn identical_runs_are_bit_identical() {
             &mut [&mut cpu, &mut bw, &mut gpu],
             20_000,
         );
-        (report.energy_j, report.avg_gips, report.stats.freq_transitions)
+        (
+            report.energy_j,
+            report.avg_gips,
+            report.stats.freq_transitions,
+        )
     };
     let a = run();
     let b = run();

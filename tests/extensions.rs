@@ -156,10 +156,7 @@ t_ms,rate_gips,ipc0,bytes_per_instr,active_cores,extra_power_w,gpu_work_ghz
             base = r.avg_gips;
         }
         entries.push(asgov::profiler::ProfileEntry {
-            config: asgov::profiler::Config::new(
-                asgov::soc::FreqIndex(f),
-                asgov::soc::BwIndex(0),
-            ),
+            config: asgov::profiler::Config::new(asgov::soc::FreqIndex(f), asgov::soc::BwIndex(0)),
             speedup: r.avg_gips / base,
             power_w: r.avg_power_w,
             measured: true,

@@ -42,7 +42,12 @@ fn persisted_profile_drives_a_controller() {
     let mut gpu = AdrenoTz::default();
     let mut device = Device::new(dev_cfg);
     app.reset();
-    let report = sim::run(&mut device, &mut app, &mut [&mut gpu, &mut controller], 20_000);
+    let report = sim::run(
+        &mut device,
+        &mut app,
+        &mut [&mut gpu, &mut controller],
+        20_000,
+    );
     assert!(report.avg_gips > 0.08);
     assert_eq!(controller.actuation_failures(), 0);
 }
@@ -183,6 +188,10 @@ fn gpu_profile_has_three_axes_and_controls_them() {
     let mut device = Device::new(dev_cfg);
     app.reset();
     sim::run(&mut device, &mut app, &mut [&mut controller], 20_000);
-    assert_eq!(device.gpu().governor(), "userspace", "controller claimed the GPU");
+    assert_eq!(
+        device.gpu().governor(),
+        "userspace",
+        "controller claimed the GPU"
+    );
     assert_eq!(controller.actuation_failures(), 0);
 }

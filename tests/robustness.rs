@@ -29,7 +29,12 @@ fn controller_run(
     let mut gpu = AdrenoTz::default();
     let mut device = Device::new(dev_cfg.clone());
     app.reset();
-    sim::run(&mut device, app, &mut [&mut gpu, &mut controller], duration_ms)
+    sim::run(
+        &mut device,
+        app,
+        &mut [&mut gpu, &mut controller],
+        duration_ms,
+    )
 }
 
 #[test]
@@ -80,7 +85,14 @@ fn heavy_measurement_noise_does_not_destabilize() {
     let profile = profile_app(&dev_cfg, &mut app, &quick_profile());
     let default = measure_default(&dev_cfg, &mut app, 1, 60_000);
 
-    let clean = controller_run(&dev_cfg, &mut app, profile.clone(), default.gips, 0.0, 60_000);
+    let clean = controller_run(
+        &dev_cfg,
+        &mut app,
+        profile.clone(),
+        default.gips,
+        0.0,
+        60_000,
+    );
     let noisy = controller_run(&dev_cfg, &mut app, profile, default.gips, 0.10, 60_000);
 
     let perf_drop = (clean.avg_gips - noisy.avg_gips) / clean.avg_gips;
@@ -130,7 +142,12 @@ fn phase_detection_does_not_hurt_steady_apps() {
     let mut gpu = AdrenoTz::default();
     let mut device = Device::new(dev_cfg);
     app.reset();
-    let report = sim::run(&mut device, &mut app, &mut [&mut gpu, &mut controller], 60_000);
+    let report = sim::run(
+        &mut device,
+        &mut app,
+        &mut [&mut gpu, &mut controller],
+        60_000,
+    );
     let perf = (report.avg_gips - default.gips) / default.gips;
     assert!(
         perf > -0.04,
@@ -149,13 +166,18 @@ fn controller_survives_empty_measurement_cycles() {
     let profile = profile_app(&dev_cfg, &mut app, &quick_profile());
     let mut controller = ControllerBuilder::new(profile)
         .target_gips(0.1)
-        .period_ms(400)       // shorter cycle than ...
+        .period_ms(400) // shorter cycle than ...
         .perf_period_ms(1000) // ... the measurement period
         .build();
     let mut gpu = AdrenoTz::default();
     let mut device = Device::new(dev_cfg);
     app.reset();
-    let report = sim::run(&mut device, &mut app, &mut [&mut gpu, &mut controller], 20_000);
+    let report = sim::run(
+        &mut device,
+        &mut app,
+        &mut [&mut gpu, &mut controller],
+        20_000,
+    );
     assert!(report.avg_gips > 0.05);
     assert_eq!(controller.actuation_failures(), 0);
 }
