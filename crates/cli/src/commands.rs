@@ -171,6 +171,20 @@ pub fn run(cmd: Command) -> Result<()> {
                 controller.cycle_log().len(),
                 controller.actuation_failures()
             );
+            if let Some(health) = report.health {
+                println!("  health   = {}", health.summary());
+            }
+            let faults: Vec<_> = controller
+                .cycle_log()
+                .iter()
+                .filter_map(|c| c.actuation_fault.map(|k| (c.t_ms, k)))
+                .collect();
+            if !faults.is_empty() {
+                println!("  actuation faults by cycle:");
+                for (t_ms, kind) in faults {
+                    println!("    t={:.1} s: {kind}", t_ms as f64 * 1e-3);
+                }
+            }
             Ok(())
         }
         Command::Compare {
@@ -223,6 +237,11 @@ pub fn run(cmd: Command) -> Result<()> {
                 report.avg_gips, report.avg_power_w, report.energy_j
             );
             println!("  => {savings:+.1}% energy at {perf:+.1}% performance");
+            if let Some(health) = report.health {
+                if !health.is_clean() {
+                    println!("  health:     {}", health.summary());
+                }
+            }
             Ok(())
         }
     }

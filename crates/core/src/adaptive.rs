@@ -114,6 +114,10 @@ impl Policy for LoadAdaptiveController {
     fn finish(&mut self, device: &mut Device) {
         self.inner.finish(device);
     }
+
+    fn health(&self) -> Option<asgov_soc::HealthReport> {
+        self.inner.health()
+    }
 }
 
 #[cfg(test)]

@@ -2,10 +2,13 @@
 
 use crate::optimizer::EnergyOptimizer;
 use crate::regulator::PerformanceRegulator;
+use crate::resilience::{
+    DegradationLadder, DivergenceGuard, LadderEvent, PerfGate, ResilienceConfig,
+};
 use crate::scheduler::ConfigScheduler;
 use asgov_control::{PhaseDetector, PhaseEvent};
 use asgov_profiler::{Config, ProfileTable};
-use asgov_soc::{sysfs, Device, PerfReader, Policy};
+use asgov_soc::{sysfs, DegradationLevel, Device, HealthReport, PerfReader, Policy, SocErrorKind};
 
 /// Which optimizer the controller runs each cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +51,9 @@ pub struct ControlCycleLog {
     pub upper: Config,
     /// Dwell in `c_l`, seconds (after rounding).
     pub tau_lower_s: f64,
+    /// Cause of the last actuation failure observed during the cycle
+    /// that just ended (`None` when every write landed cleanly).
+    pub actuation_fault: Option<SocErrorKind>,
 }
 
 /// Builder for [`EnergyController`].
@@ -66,6 +72,7 @@ pub struct ControllerBuilder {
     gain: f64,
     phase_detection: bool,
     strategy: OptimizerStrategy,
+    resilience: ResilienceConfig,
 }
 
 impl ControllerBuilder {
@@ -85,14 +92,21 @@ impl ControllerBuilder {
             gain: 0.45,
             phase_detection: false,
             strategy: OptimizerStrategy::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 
     /// Set the performance target `r` in GIPS (typically the measured
     /// default-governor performance `R_def`). Without it the controller
-    /// targets the middle of the profile's speedup range.
+    /// targets the middle of the profile's speedup range. Non-finite or
+    /// non-positive values are rejected (with a logged warning) and
+    /// leave the default target in place.
     pub fn target_gips(mut self, gips: f64) -> Self {
-        self.target_gips = Some(gips);
+        if gips.is_finite() && gips > 0.0 {
+            self.target_gips = Some(gips);
+        } else {
+            eprintln!("asgov: ignoring invalid target_gips {gips:?} (must be finite and positive)");
+        }
         self
     }
 
@@ -108,9 +122,15 @@ impl ControllerBuilder {
         self
     }
 
-    /// Relative PMU measurement noise (σ).
+    /// Relative PMU measurement noise (σ). Non-finite or negative
+    /// values are clamped to 0 with a logged warning.
     pub fn perf_noise_rel(mut self, rel: f64) -> Self {
-        self.perf_noise_rel = rel;
+        if rel.is_finite() && rel >= 0.0 {
+            self.perf_noise_rel = rel;
+        } else {
+            eprintln!("asgov: clamping invalid perf_noise_rel {rel:?} to 0");
+            self.perf_noise_rel = 0.0;
+        }
         self
     }
 
@@ -146,14 +166,30 @@ impl ControllerBuilder {
     /// Default 1 %, matching the paper's "worst case performance loss
     /// of < 1 %".
     pub fn target_margin(mut self, margin: f64) -> Self {
-        self.target_margin = margin.clamp(0.0, 0.5);
+        if margin.is_finite() {
+            self.target_margin = margin.clamp(0.0, 0.5);
+        } else {
+            eprintln!(
+                "asgov: ignoring non-finite target_margin, keeping {}",
+                self.target_margin
+            );
+        }
         self
     }
 
     /// Integrator gain (see `AdaptiveIntegrator::with_gain`); default
-    /// 0.45 for noise immunity at the 2 s cycle.
+    /// 0.45 for noise immunity at the 2 s cycle. Values outside `(0, 1]`
+    /// (or non-finite) would make the integrator panic or diverge, so
+    /// they are rejected with a logged warning.
     pub fn gain(mut self, gain: f64) -> Self {
-        self.gain = gain;
+        if gain.is_finite() && gain > 0.0 && gain <= 1.0 {
+            self.gain = gain;
+        } else {
+            eprintln!(
+                "asgov: ignoring invalid gain {gain:?} (must be in (0, 1]), keeping {}",
+                self.gain
+            );
+        }
         self
     }
 
@@ -169,6 +205,14 @@ impl ControllerBuilder {
     /// Select the per-cycle optimizer (default: the paper's LP).
     pub fn optimizer_strategy(mut self, strategy: OptimizerStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Tune the resilience layer (retry budget, sanity-gate bounds,
+    /// degradation ladder thresholds). The defaults never fire on a
+    /// healthy device.
+    pub fn resilience(mut self, config: ResilienceConfig) -> Self {
+        self.resilience = config;
         self
     }
 
@@ -188,13 +232,14 @@ impl ControllerBuilder {
             .target_gips
             .unwrap_or(self.profile.base_gips * 0.5 * (min_s + max_s))
             * (1.0 - self.target_margin);
-        let regulator = PerformanceRegulator::with_gain(
-            self.profile.base_gips.max(1e-6),
-            min_s,
-            max_s,
-            self.gain,
-        );
-        let scheduler = ConfigScheduler::new(self.min_dwell_ms, self.mode == ControlMode::CpuOnly);
+        let profiled_base = self.profile.base_gips.max(1e-6);
+        let regulator = PerformanceRegulator::with_gain(profiled_base, min_s, max_s, self.gain);
+        let scheduler = ConfigScheduler::new(self.min_dwell_ms, self.mode == ControlMode::CpuOnly)
+            .with_retry(self.resilience.max_retries, self.resilience.backoff_base_ms);
+        // The plant cannot physically exceed base × max speedup; beyond
+        // that (with headroom) a reading is corrupt, not optimistic.
+        let plausible_max = (profiled_base * optimizer.max_speedup()).max(target);
+        let safe_index = optimizer.max_speedup_index();
         EnergyController {
             optimizer,
             regulator,
@@ -216,6 +261,17 @@ impl ControllerBuilder {
             phase_changes: 0,
             strategy: self.strategy,
             last_lower_index: 0,
+            resilience: self.resilience,
+            gate: PerfGate::new(self.resilience.outlier_factor, plausible_max),
+            guard: DivergenceGuard::new(self.resilience.divergence_factor, profiled_base),
+            ladder: DegradationLadder::new(
+                self.resilience.degrade_after,
+                self.resilience.probation_cycles,
+            ),
+            profiled_base,
+            safe_index,
+            drought_run: 0,
+            perf_droughts: 0,
         }
     }
 }
@@ -240,6 +296,14 @@ pub struct EnergyController {
     phase_changes: u64,
     strategy: OptimizerStrategy,
     last_lower_index: usize,
+    resilience: ResilienceConfig,
+    gate: PerfGate,
+    guard: DivergenceGuard,
+    ladder: DegradationLadder,
+    profiled_base: f64,
+    safe_index: usize,
+    drought_run: u64,
+    perf_droughts: u64,
 }
 
 impl EnergyController {
@@ -263,9 +327,37 @@ impl EnergyController {
         &self.log
     }
 
-    /// Number of sysfs actuation failures (should stay zero).
+    /// Number of sysfs actuation failures that survived the recovery
+    /// path — retries exhausted or unrecoverable (should stay zero).
     pub fn actuation_failures(&self) -> u64 {
         self.scheduler.writes_failed()
+    }
+
+    /// Current degradation level (see [`DegradationLevel`]).
+    pub fn degradation_level(&self) -> DegradationLevel {
+        self.ladder.level()
+    }
+
+    /// The run's health counters so far (always available; attached to
+    /// [`asgov_soc::sim::RunReport`] through [`Policy::health`]).
+    pub fn health_report(&self) -> HealthReport {
+        HealthReport {
+            level: self.ladder.level(),
+            sysfs_busy: self.scheduler.sysfs_busy(),
+            wrong_governor: self.scheduler.wrong_governor(),
+            other_write_errors: self.scheduler.other_errors(),
+            actuation_failures: self.scheduler.writes_failed(),
+            retries: self.scheduler.retries(),
+            governor_reasserts: self.scheduler.governor_reasserts(),
+            thermal_clamps_detected: self.scheduler.thermal_clamps_detected(),
+            perf_rejected: self.gate.rejected(),
+            perf_droughts: self.perf_droughts,
+            kalman_reseeds: self.guard.reseeds(),
+            failed_cycles: self.ladder.failed_cycles(),
+            degradations: self.ladder.degradations(),
+            recoveries: self.ladder.recoveries(),
+            recovery_latency_cycles: self.ladder.recovery_latency(),
+        }
     }
 
     /// Number of application-phase changes detected (always 0 unless
@@ -282,7 +374,100 @@ impl EnergyController {
         self.regulator.set_range(min_s, max_s);
     }
 
+    /// Hand the device back to the stock governors (ladder bottom).
+    fn enter_fallback(&mut self, device: &mut Device) {
+        let _ = device.sysfs_write(
+            &format!("{}/scaling_governor", sysfs::CPUFREQ),
+            "interactive",
+        );
+        if self.mode == ControlMode::Coordinated {
+            let _ = device.sysfs_write(&format!("{}/governor", sysfs::DEVFREQ), "cpubw_hwmon");
+        }
+        if self.optimizer.controls_gpu() {
+            let _ = device.sysfs_write(&format!("{}/governor", sysfs::KGSL), "msm-adreno-tz");
+        }
+    }
+
+    /// Pin the safe (maximum-speedup) configuration through the
+    /// scheduler. The scheduler's recovery path re-asserts `userspace`
+    /// if something moved the governors, so this doubles as the
+    /// recovery probe while at the ladder bottom.
+    fn apply_safe_config(&mut self, device: &mut Device) {
+        let period_s = self.period_ms as f64 * 1e-3;
+        let plan = self.optimizer.pinned_plan(self.safe_index, period_s);
+        self.scheduler.install(device, &plan, self.period_ms);
+    }
+
     fn run_cycle(&mut self, device: &mut Device) {
+        // 0. Consume the elapsed cycle's actuation outcome and judge
+        //    the cycle. A cycle fails when actuation exhausted its
+        //    retries or the measurement drought ran too long.
+        let outcome = self.scheduler.take_cycle_outcome();
+        if self.readings.is_empty() {
+            self.drought_run += 1;
+            self.perf_droughts += 1;
+        } else {
+            self.drought_run = 0;
+        }
+        let cycle_failed = outcome.failed || self.drought_run >= self.resilience.drought_cycles;
+        let mut entered_fallback = false;
+        match self.ladder.observe(cycle_failed) {
+            LadderEvent::Down(DegradationLevel::SafeConfig) => {
+                // Feedback can no longer be trusted: pin the safe
+                // configuration and suspend optimization.
+            }
+            LadderEvent::Down(_) => {
+                self.enter_fallback(device);
+                entered_fallback = true;
+            }
+            LadderEvent::Up(DegradationLevel::Full) => {
+                // Probation served: resume full control from a clean
+                // estimator state instead of whatever the fault left.
+                self.regulator.reseed(self.profiled_base);
+                let s0 = self.target_gips / self.profiled_base;
+                self.regulator.set_speedup(s0);
+            }
+            LadderEvent::Up(_) | LadderEvent::None => {}
+        }
+
+        // Degraded operation replaces the measure→regulate→optimize
+        // pipeline with the level's fixed action.
+        match self.ladder.level() {
+            DegradationLevel::SafeConfig | DegradationLevel::FallbackGovernor => {
+                self.readings.clear();
+                if self.ladder.level() == DegradationLevel::SafeConfig {
+                    self.apply_safe_config(device);
+                } else if !entered_fallback {
+                    if cycle_failed {
+                        // The last probe failed: make sure the stock
+                        // governors still own the device (a partial
+                        // probe may have re-asserted `userspace`).
+                        self.enter_fallback(device);
+                    } else {
+                        // Probe for recovery: the scheduler re-asserts
+                        // `userspace` and pins the safe configuration;
+                        // success shows up as a clean cycle.
+                        self.apply_safe_config(device);
+                    }
+                }
+                if self.keep_log {
+                    let cfg = self.optimizer.config(self.safe_index);
+                    self.log.push(ControlCycleLog {
+                        t_ms: device.now_ms(),
+                        measured_gips: self.last_measured,
+                        base_estimate: self.regulator.base_speed(),
+                        required_speedup: self.optimizer.speedup_at(self.safe_index),
+                        lower: cfg,
+                        upper: cfg,
+                        tau_lower_s: self.period_ms as f64 * 1e-3,
+                        actuation_fault: outcome.fault,
+                    });
+                }
+                return;
+            }
+            DegradationLevel::Full => {}
+        }
+
         // 1. Measurement y_n: average of this cycle's perf readings.
         let y = if self.readings.is_empty() {
             self.last_measured
@@ -304,8 +489,17 @@ impl EnergyController {
             }
         }
 
-        // 2. Regulate.
-        let s_next = self.regulator.step(self.target_gips, y, applied);
+        // 2. Regulate, then check the estimator did not diverge (a
+        //    stream of corrupt measurements can drag the Kalman state
+        //    somewhere no real application reaches; re-seed from the
+        //    profiled base rather than keep integrating on garbage).
+        let mut s_next = self.regulator.step(self.target_gips, y, applied);
+        if self.guard.diverged(self.regulator.base_speed()) {
+            self.regulator.reseed(self.profiled_base);
+            s_next = (self.target_gips / self.profiled_base)
+                .clamp(self.optimizer.min_speedup(), self.optimizer.max_speedup());
+            self.regulator.set_speedup(s_next);
+        }
 
         // 3. Optimize. (Inputs are validated; solve only fails on
         //    non-finite targets, which the clamped regulator precludes.)
@@ -334,6 +528,7 @@ impl EnergyController {
                 lower: plan.lower,
                 upper: plan.upper,
                 tau_lower_s: plan.tau_lower,
+                actuation_fault: outcome.fault,
             });
         }
     }
@@ -375,7 +570,11 @@ impl Policy for EnergyController {
 
     fn tick(&mut self, device: &mut Device) {
         if let Some(reading) = self.perf.poll(device) {
-            self.readings.push(reading.gips);
+            // Sanity-gate the raw sample: non-finite or implausibly
+            // large values never reach the regulator.
+            if let Some(gips) = self.gate.accept(reading.gips) {
+                self.readings.push(gips);
+            }
         }
         self.scheduler.tick(device);
         if device.now_ms() >= self.cycle_end_ms {
@@ -386,6 +585,10 @@ impl Policy for EnergyController {
 
     fn finish(&mut self, device: &mut Device) {
         self.perf.disable(device);
+    }
+
+    fn health(&self) -> Option<HealthReport> {
+        Some(self.health_report())
     }
 }
 
@@ -534,6 +737,43 @@ mod tests {
             .build();
         assert!((tight.target_gips() - 0.2).abs() < 1e-12);
         assert!((slack.target_gips() - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_or_clamps_invalid_inputs() {
+        let profile = {
+            let dev_cfg = DeviceConfig::nexus6();
+            let mut app = apps::spotify(BackgroundLoad::baseline(1));
+            profile_app(
+                &dev_cfg,
+                &mut app,
+                &ProfileOptions {
+                    runs_per_config: 1,
+                    run_ms: 2_000,
+                    freq_stride: 4,
+                    interpolate: false,
+                },
+            )
+        };
+        // A valid value survives a later invalid one; non-finite and
+        // non-positive inputs never poison the controller.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            let c = ControllerBuilder::new(profile.clone())
+                .target_gips(0.25)
+                .target_gips(bad)
+                .gain(0.3)
+                .gain(bad)
+                .target_margin(0.1)
+                .build();
+            assert!((c.target_gips() - 0.225).abs() < 1e-12, "bad = {bad:?}");
+        }
+        // Negative noise clamps to zero; a NaN margin keeps the default.
+        let c = ControllerBuilder::new(profile)
+            .target_gips(0.25)
+            .perf_noise_rel(-0.5)
+            .target_margin(f64::NAN)
+            .build();
+        assert!(c.target_gips().is_finite() && c.target_gips() > 0.0);
     }
 
     #[test]

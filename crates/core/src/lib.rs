@@ -61,6 +61,7 @@ mod adaptive;
 mod controller;
 mod optimizer;
 mod regulator;
+pub mod resilience;
 mod scheduler;
 
 pub use adaptive::LoadAdaptiveController;
@@ -69,4 +70,5 @@ pub use controller::{
 };
 pub use optimizer::EnergyOptimizer;
 pub use regulator::PerformanceRegulator;
-pub use scheduler::ConfigScheduler;
+pub use resilience::{DegradationLadder, DivergenceGuard, LadderEvent, PerfGate, ResilienceConfig};
+pub use scheduler::{ConfigScheduler, CycleOutcome};

@@ -150,6 +150,47 @@ impl EnergyOptimizer {
         self.configs.iter().position(|&c| c == config)
     }
 
+    /// The configuration at `index` (panics if out of range).
+    pub fn config(&self, index: usize) -> Config {
+        self.configs[index]
+    }
+
+    /// The profiled speedup at `index` (panics if out of range).
+    pub fn speedup_at(&self, index: usize) -> f64 {
+        self.speedups[index]
+    }
+
+    /// Index of the maximum-speedup configuration. This is the
+    /// degradation ladder's *safe configuration*: pinning it can cost
+    /// energy but never performance, so a degraded controller that has
+    /// lost trust in its measurements falls back to it.
+    pub fn max_speedup_index(&self) -> usize {
+        let mut best = 0;
+        for (i, &s) in self.speedups.iter().enumerate() {
+            if s > self.speedups[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// A degenerate single-configuration plan pinning `index` for the
+    /// whole period (used by the degraded controller, which suspends
+    /// optimization).
+    pub fn pinned_plan(&self, index: usize, period_s: f64) -> Plan {
+        let i = index.min(self.configs.len() - 1);
+        Plan {
+            lower: self.configs[i],
+            upper: self.configs[i],
+            tau_lower: period_s,
+            tau_upper: 0.0,
+            speedup_lower: self.speedups[i],
+            speedup_upper: self.speedups[i],
+            speedup: self.speedups[i],
+            energy_j: self.powers[i] * period_s,
+        }
+    }
+
     fn plan_from(&self, sched: asgov_linprog::Schedule) -> Plan {
         Plan {
             lower: self.configs[sched.lower],

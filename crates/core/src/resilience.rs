@@ -1,0 +1,337 @@
+//! Hardened-runtime building blocks: the perf-sample sanity gate, the
+//! Kalman divergence guard and the degradation ladder.
+//!
+//! The paper's controller assumes a cooperative device: sysfs writes
+//! land, `perf` readings are sane and nothing else touches the
+//! governors. Real Androids violate all three (thermal engines, OEM
+//! daemons, hotplug drivers, flaky PMU reads). These pieces let
+//! [`crate::EnergyController`] keep its loop stable under such faults
+//! and degrade *predictably* instead of mis-actuating:
+//!
+//! ```text
+//! Full ──K failed cycles──► SafeConfig ──K──► FallbackGovernor
+//!   ▲                          │  ▲                │
+//!   └──────── probation ───────┘  └── probation ───┘
+//! ```
+//!
+//! `Full` is the paper's two-configuration schedule; `SafeConfig` pins
+//! the profile's maximum-speedup configuration (never costs
+//! performance, only energy); `FallbackGovernor` hands the device back
+//! to the stock governors and probes each cycle for recovery.
+
+use asgov_soc::DegradationLevel;
+
+/// Tuning knobs for the resilience layer. The defaults are deliberately
+/// conservative: a healthy run never trips any of them, which is what
+/// keeps the hardened controller bit-identical to the original on a
+/// fault-free device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Backed-off retries per rejected actuation before the cycle is
+    /// declared failed.
+    pub max_retries: u32,
+    /// Base backoff, ms (doubles per attempt).
+    pub backoff_base_ms: u64,
+    /// Perf readings above `outlier_factor ×` the plausible maximum
+    /// (profiled base × maximum speedup, or the target if larger) are
+    /// rejected as corrupt.
+    pub outlier_factor: f64,
+    /// Consecutive cycles without one accepted perf reading before the
+    /// cycle is treated as failed (measurement drought).
+    pub drought_cycles: u64,
+    /// The base-speed estimate is re-seeded when it strays beyond
+    /// `divergence_factor ×` (or below `1/factor ×`) the profiled base.
+    pub divergence_factor: f64,
+    /// Consecutive failed cycles per step *down* the ladder (the
+    /// issue's K).
+    pub degrade_after: u64,
+    /// Consecutive clean cycles per step *up* the ladder (probation).
+    pub probation_cycles: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base_ms: 10,
+            outlier_factor: 8.0,
+            drought_cycles: 2,
+            divergence_factor: 50.0,
+            degrade_after: 3,
+            probation_cycles: 2,
+        }
+    }
+}
+
+/// Sanity gate on raw perf readings: rejects non-finite, negative and
+/// implausibly large samples, holding the last good value instead.
+#[derive(Debug, Clone)]
+pub struct PerfGate {
+    outlier_factor: f64,
+    plausible_max: f64,
+    rejected: u64,
+}
+
+impl PerfGate {
+    /// Gate with the given outlier factor around `plausible_max` GIPS —
+    /// the largest value the plant can physically produce (profiled
+    /// base × maximum speedup), with noise headroom.
+    pub fn new(outlier_factor: f64, plausible_max: f64) -> Self {
+        Self {
+            outlier_factor: outlier_factor.max(1.0),
+            plausible_max: plausible_max.max(1e-9),
+            rejected: 0,
+        }
+    }
+
+    /// `Some(gips)` if the sample is plausible, `None` if rejected.
+    pub fn accept(&mut self, gips: f64) -> Option<f64> {
+        if gips.is_finite() && gips >= 0.0 && gips <= self.outlier_factor * self.plausible_max {
+            Some(gips)
+        } else {
+            self.rejected += 1;
+            None
+        }
+    }
+
+    /// Samples rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+/// Watches the Kalman base-speed estimate and flags divergence (the
+/// filter wandered off after a stream of corrupt measurements slipped
+/// through, or its covariance collapsed onto a wrong value).
+#[derive(Debug, Clone)]
+pub struct DivergenceGuard {
+    factor: f64,
+    reference: f64,
+    reseeds: u64,
+}
+
+impl DivergenceGuard {
+    /// Guard around the profiled base speed `reference` GIPS.
+    pub fn new(factor: f64, reference: f64) -> Self {
+        Self {
+            factor: factor.max(2.0),
+            reference: reference.max(1e-9),
+            reseeds: 0,
+        }
+    }
+
+    /// `true` when `estimate` has diverged and the filter must be
+    /// re-seeded (the caller performs the reseed; this only decides and
+    /// counts).
+    pub fn diverged(&mut self, estimate: f64) -> bool {
+        let bad = !estimate.is_finite()
+            || estimate <= 0.0
+            || estimate > self.factor * self.reference
+            || estimate < self.reference / self.factor;
+        if bad {
+            self.reseeds += 1;
+        }
+        bad
+    }
+
+    /// Reseeds forced so far.
+    pub fn reseeds(&self) -> u64 {
+        self.reseeds
+    }
+}
+
+/// A transition taken by [`DegradationLadder::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderEvent {
+    /// No level change this cycle.
+    None,
+    /// Stepped down to the contained level.
+    Down(DegradationLevel),
+    /// Stepped up to the contained level.
+    Up(DegradationLevel),
+}
+
+/// The degradation state machine: K consecutive failed cycles step the
+/// controller down one level; a probation of clean cycles steps it back
+/// up. Tracks the recovery latency the chaos suite asserts on.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    degrade_after: u64,
+    probation_cycles: u64,
+    level: DegradationLevel,
+    cycle: u64,
+    consecutive_failed: u64,
+    consecutive_clean: u64,
+    failed_cycles: u64,
+    degradations: u64,
+    recoveries: u64,
+    last_failed_cycle: Option<u64>,
+    recovery_latency: Option<u64>,
+}
+
+impl DegradationLadder {
+    /// Ladder with the given step-down threshold and probation length.
+    pub fn new(degrade_after: u64, probation_cycles: u64) -> Self {
+        Self {
+            degrade_after: degrade_after.max(1),
+            probation_cycles: probation_cycles.max(1),
+            level: DegradationLevel::Full,
+            cycle: 0,
+            consecutive_failed: 0,
+            consecutive_clean: 0,
+            failed_cycles: 0,
+            degradations: 0,
+            recoveries: 0,
+            last_failed_cycle: None,
+            recovery_latency: None,
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> DegradationLevel {
+        self.level
+    }
+
+    /// Cycles classified as failed so far.
+    pub fn failed_cycles(&self) -> u64 {
+        self.failed_cycles
+    }
+
+    /// Steps taken down.
+    pub fn degradations(&self) -> u64 {
+        self.degradations
+    }
+
+    /// Steps taken up.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Cycles from the last failed cycle to the most recent return to
+    /// `Full` (`None` if never degraded or not yet recovered).
+    pub fn recovery_latency(&self) -> Option<u64> {
+        self.recovery_latency
+    }
+
+    /// Record one control cycle's outcome and take any transition.
+    pub fn observe(&mut self, failed: bool) -> LadderEvent {
+        self.cycle += 1;
+        if failed {
+            self.failed_cycles += 1;
+            self.last_failed_cycle = Some(self.cycle);
+            self.consecutive_clean = 0;
+            self.consecutive_failed += 1;
+            if self.consecutive_failed >= self.degrade_after
+                && self.level != DegradationLevel::FallbackGovernor
+            {
+                self.consecutive_failed = 0;
+                self.level = self.level.down();
+                self.degradations += 1;
+                return LadderEvent::Down(self.level);
+            }
+        } else {
+            self.consecutive_failed = 0;
+            if self.level != DegradationLevel::Full {
+                self.consecutive_clean += 1;
+                if self.consecutive_clean >= self.probation_cycles {
+                    self.consecutive_clean = 0;
+                    self.level = self.level.up();
+                    self.recoveries += 1;
+                    if self.level == DegradationLevel::Full {
+                        if let Some(last) = self.last_failed_cycle {
+                            self.recovery_latency = Some(self.cycle - last);
+                        }
+                    }
+                    return LadderEvent::Up(self.level);
+                }
+            }
+        }
+        LadderEvent::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_rejects_nan_negative_and_outliers() {
+        let mut g = PerfGate::new(8.0, 0.5);
+        assert_eq!(g.accept(0.4), Some(0.4));
+        assert_eq!(g.accept(0.0), Some(0.0), "zero is a legal idle reading");
+        assert_eq!(g.accept(f64::NAN), None);
+        assert_eq!(g.accept(f64::INFINITY), None);
+        assert_eq!(g.accept(-0.1), None);
+        assert_eq!(g.accept(100.0), None, "outlier beyond 8 × 0.5");
+        assert_eq!(g.accept(3.9), Some(3.9), "inside the headroom");
+        assert_eq!(g.rejected(), 4);
+    }
+
+    #[test]
+    fn guard_flags_only_divergence() {
+        let mut d = DivergenceGuard::new(50.0, 0.2);
+        assert!(!d.diverged(0.2));
+        assert!(!d.diverged(5.0));
+        assert!(!d.diverged(0.01));
+        assert!(d.diverged(0.2 * 51.0));
+        assert!(d.diverged(0.2 / 51.0));
+        assert!(d.diverged(f64::NAN));
+        assert!(d.diverged(0.0));
+        assert_eq!(d.reseeds(), 4);
+    }
+
+    #[test]
+    fn ladder_degrades_after_k_and_recovers_after_probation() {
+        let mut l = DegradationLadder::new(3, 2);
+        for _ in 0..2 {
+            assert_eq!(l.observe(true), LadderEvent::None);
+        }
+        assert_eq!(
+            l.observe(true),
+            LadderEvent::Down(DegradationLevel::SafeConfig)
+        );
+        // One clean cycle is not enough (probation is 2)...
+        assert_eq!(l.observe(false), LadderEvent::None);
+        // ...and a failure resets the probation count.
+        assert_eq!(l.observe(true), LadderEvent::None);
+        assert_eq!(l.observe(false), LadderEvent::None);
+        assert_eq!(l.observe(false), LadderEvent::Up(DegradationLevel::Full));
+        assert_eq!(l.degradations(), 1);
+        assert_eq!(l.recoveries(), 1);
+        // Last failure at cycle 5, recovery at cycle 7.
+        assert_eq!(l.recovery_latency(), Some(2));
+    }
+
+    #[test]
+    fn ladder_bottoms_out_and_climbs_within_bound() {
+        let mut l = DegradationLadder::new(3, 2);
+        for _ in 0..6 {
+            l.observe(true);
+        }
+        assert_eq!(l.level(), DegradationLevel::FallbackGovernor);
+        // Keep failing: stays at the bottom, no panic or wrap.
+        for _ in 0..10 {
+            l.observe(true);
+        }
+        assert_eq!(l.level(), DegradationLevel::FallbackGovernor);
+        // Worst-case climb back: 2 + 2 = 4 clean cycles ≤ the M = 5
+        // bound the chaos suite enforces.
+        let mut cycles = 0;
+        while l.level() != DegradationLevel::Full {
+            l.observe(false);
+            cycles += 1;
+            assert!(cycles <= 5, "recovery must fit the M=5 bound");
+        }
+        assert_eq!(cycles, 4);
+        assert_eq!(l.recovery_latency(), Some(4));
+    }
+
+    #[test]
+    fn defaults_are_the_documented_ones() {
+        let c = ResilienceConfig::default();
+        assert_eq!(c.max_retries, 3);
+        assert_eq!(c.degrade_after, 3);
+        assert_eq!(c.probation_cycles, 2);
+        assert!(c.outlier_factor > 1.0);
+    }
+}

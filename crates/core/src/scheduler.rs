@@ -9,9 +9,28 @@
 
 use crate::optimizer::Plan;
 use asgov_profiler::Config;
-use asgov_soc::{sysfs, Device};
+use asgov_soc::{sysfs, Device, SocErrorKind};
+
+/// What happened to actuation over the control cycle just ended
+/// (consumed by the controller's degradation ladder each cycle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleOutcome {
+    /// A configuration could not be applied even after retries.
+    pub failed: bool,
+    /// The cause of the last write failure seen this cycle (recovered
+    /// or not), for diagnostics.
+    pub fault: Option<SocErrorKind>,
+}
 
 /// Applies `(c_l, τ_l) → (c_h, τ_h)` plans at tick granularity.
+///
+/// The scheduler is hardened against a hostile sysfs: transient
+/// `-EBUSY` rejections are retried with exponential backoff across
+/// ticks, `WrongGovernor` rejections (an external agent stole the
+/// governor) re-assert `userspace` and retry immediately, and every
+/// successful CPU write is read back through `scaling_cur_freq` to
+/// detect silent thermal clamping. All of this is diagnostics-only on a
+/// healthy device: no extra writes, no behavioural change.
 #[derive(Debug, Clone)]
 pub struct ConfigScheduler {
     min_dwell_ms: u64,
@@ -19,7 +38,20 @@ pub struct ConfigScheduler {
     switch_at_ms: Option<u64>,
     pending_upper: Option<Config>,
     applied_speedup: f64,
+    max_retries: u32,
+    backoff_base_ms: u64,
+    retry_config: Option<Config>,
+    retry_at_ms: u64,
+    retry_attempts: u32,
     writes_failed: u64,
+    sysfs_busy: u64,
+    wrong_governor: u64,
+    other_errors: u64,
+    retries: u64,
+    governor_reasserts: u64,
+    thermal_clamps_detected: u64,
+    cycle_failed: bool,
+    last_fault: Option<SocErrorKind>,
 }
 
 impl ConfigScheduler {
@@ -34,8 +66,29 @@ impl ConfigScheduler {
             switch_at_ms: None,
             pending_upper: None,
             applied_speedup: 1.0,
+            max_retries: 3,
+            backoff_base_ms: 10,
+            retry_config: None,
+            retry_at_ms: 0,
+            retry_attempts: 0,
             writes_failed: 0,
+            sysfs_busy: 0,
+            wrong_governor: 0,
+            other_errors: 0,
+            retries: 0,
+            governor_reasserts: 0,
+            thermal_clamps_detected: 0,
+            cycle_failed: false,
+            last_fault: None,
         }
+    }
+
+    /// Override the retry policy for transiently rejected writes
+    /// (default: 3 retries, 10 ms base backoff, doubling per attempt).
+    pub fn with_retry(mut self, max_retries: u32, backoff_base_ms: u64) -> Self {
+        self.max_retries = max_retries;
+        self.backoff_base_ms = backoff_base_ms.max(1);
+        self
     }
 
     /// Whether this scheduler actuates only the CPU axis.
@@ -49,16 +102,64 @@ impl ConfigScheduler {
         self.applied_speedup
     }
 
-    /// Count of sysfs writes that failed (diagnostics; should be zero
-    /// once the `userspace` governors are active).
+    /// Count of sysfs writes that stayed failed after all recovery
+    /// attempts (re-assert, retries). Zero on a healthy device.
     pub fn writes_failed(&self) -> u64 {
         self.writes_failed
+    }
+
+    /// Writes transiently rejected with `Busy`.
+    pub fn sysfs_busy(&self) -> u64 {
+        self.sysfs_busy
+    }
+
+    /// Writes rejected because an external agent moved the governor
+    /// away from `userspace`.
+    pub fn wrong_governor(&self) -> u64 {
+        self.wrong_governor
+    }
+
+    /// Writes rejected for any other cause.
+    pub fn other_errors(&self) -> u64 {
+        self.other_errors
+    }
+
+    /// Write retries performed (immediate and backed-off).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Times `userspace` was re-asserted after a `WrongGovernor`
+    /// rejection.
+    pub fn governor_reasserts(&self) -> u64 {
+        self.governor_reasserts
+    }
+
+    /// Successful CPU writes whose read-back (`scaling_cur_freq`) came
+    /// back below the requested frequency — silent thermal mitigation.
+    pub fn thermal_clamps_detected(&self) -> u64 {
+        self.thermal_clamps_detected
+    }
+
+    /// Consume the cycle's actuation outcome (resets the per-cycle
+    /// failure flag and fault record; counters are cumulative).
+    pub fn take_cycle_outcome(&mut self) -> CycleOutcome {
+        let out = CycleOutcome {
+            failed: self.cycle_failed,
+            fault: self.last_fault,
+        };
+        self.cycle_failed = false;
+        self.last_fault = None;
+        out
     }
 
     /// Install a plan for the control cycle of `period_ms` starting now.
     /// Applies the first configuration immediately and arms the switch
     /// point, with `τ_l` rounded to the minimum dwell.
     pub fn install(&mut self, device: &mut Device, plan: &Plan, period_ms: u64) {
+        // A new plan supersedes any retry still pending from the last one.
+        self.retry_config = None;
+        self.retry_attempts = 0;
         let tau_l_ms = (plan.tau_lower * 1000.0).round() as u64;
         // Round to the dwell grid.
         let dwell = self.min_dwell_ms;
@@ -84,8 +185,16 @@ impl ConfigScheduler {
         }
     }
 
-    /// Per-tick: perform the armed switch when its time comes.
+    /// Per-tick: perform the armed switch when its time comes, and
+    /// re-attempt any write whose backoff has elapsed.
     pub fn tick(&mut self, device: &mut Device) {
+        if let Some(cfg) = self.retry_config {
+            if device.now_ms() >= self.retry_at_ms {
+                self.retry_config = None;
+                self.retries += 1;
+                self.apply(device, cfg);
+            }
+        }
         if let (Some(t), Some(cfg)) = (self.switch_at_ms, self.pending_upper) {
             if device.now_ms() >= t {
                 self.apply(device, cfg);
@@ -95,39 +204,111 @@ impl ConfigScheduler {
         }
     }
 
+    /// One sysfs write with recovery: on `WrongGovernor`, re-assert
+    /// `userspace` at `governor_path` and retry immediately; other
+    /// failures are counted and returned.
+    fn write_recovering(
+        &mut self,
+        device: &mut Device,
+        path: &str,
+        value: &str,
+        governor_path: &str,
+    ) -> Result<(), SocErrorKind> {
+        let Err(e) = device.sysfs_write(path, value) else {
+            return Ok(());
+        };
+        let kind = e.kind();
+        self.last_fault = Some(kind);
+        match kind {
+            SocErrorKind::WrongGovernor => {
+                self.wrong_governor += 1;
+                if device.sysfs_write(governor_path, "userspace").is_ok() {
+                    self.governor_reasserts += 1;
+                    self.retries += 1;
+                    if device.sysfs_write(path, value).is_ok() {
+                        return Ok(());
+                    }
+                }
+                Err(kind)
+            }
+            SocErrorKind::Busy => {
+                self.sysfs_busy += 1;
+                Err(kind)
+            }
+            _ => {
+                self.other_errors += 1;
+                Err(kind)
+            }
+        }
+    }
+
     /// Write one configuration through sysfs (the paper's controller is
-    /// a user-space agent; it has no kernel driver path).
+    /// a user-space agent; it has no kernel driver path). Transient
+    /// failures arm a backed-off retry of the whole configuration (the
+    /// writes are idempotent); exhausted retries mark the cycle failed.
     fn apply(&mut self, device: &mut Device, config: Config) {
+        let mut busy = false;
+        let mut hard_failure = false;
+
         let khz = device.table().freq(config.freq).khz();
-        if device
-            .sysfs_write(
-                &format!("{}/scaling_setspeed", sysfs::CPUFREQ),
-                &khz.to_string(),
-            )
-            .is_err()
-        {
-            self.writes_failed += 1;
+        match self.write_recovering(
+            device,
+            &format!("{}/scaling_setspeed", sysfs::CPUFREQ),
+            &khz.to_string(),
+            &format!("{}/scaling_governor", sysfs::CPUFREQ),
+        ) {
+            Ok(()) => {
+                // Detect silent thermal mitigation: the write succeeded
+                // but the policy may have clamped the running frequency.
+                if let Ok(cur) = device.sysfs_read(&format!("{}/scaling_cur_freq", sysfs::CPUFREQ))
+                {
+                    if cur.trim().parse::<u64>().map(|c| c < khz).unwrap_or(false) {
+                        self.thermal_clamps_detected += 1;
+                    }
+                }
+            }
+            Err(SocErrorKind::Busy) => busy = true,
+            Err(_) => hard_failure = true,
         }
         if !self.cpu_only {
             let mbps = device.table().bw(config.bw).0.round() as u64;
-            if device
-                .sysfs_write(
-                    &format!("{}/userspace/set_freq", sysfs::DEVFREQ),
-                    &mbps.to_string(),
-                )
-                .is_err()
-            {
-                self.writes_failed += 1;
+            match self.write_recovering(
+                device,
+                &format!("{}/userspace/set_freq", sysfs::DEVFREQ),
+                &mbps.to_string(),
+                &format!("{}/governor", sysfs::DEVFREQ),
+            ) {
+                Ok(()) => {}
+                Err(SocErrorKind::Busy) => busy = true,
+                Err(_) => hard_failure = true,
             }
         }
         if let Some(g) = config.gpu {
             let hz = (device.gpu().freq_ghz(g) * 1e9).round() as u64;
-            if device
-                .sysfs_write(&format!("{}/gpuclk", sysfs::KGSL), &hz.to_string())
-                .is_err()
-            {
-                self.writes_failed += 1;
+            match self.write_recovering(
+                device,
+                &format!("{}/gpuclk", sysfs::KGSL),
+                &hz.to_string(),
+                &format!("{}/governor", sysfs::KGSL),
+            ) {
+                Ok(()) => {}
+                Err(SocErrorKind::Busy) => busy = true,
+                Err(_) => hard_failure = true,
             }
+        }
+
+        if busy && self.retry_attempts < self.max_retries {
+            self.retry_attempts += 1;
+            let backoff = self.backoff_base_ms << (self.retry_attempts - 1);
+            self.retry_config = Some(config);
+            self.retry_at_ms = device.now_ms() + backoff;
+        } else if busy || hard_failure {
+            self.retry_config = None;
+            self.retry_attempts = 0;
+            self.writes_failed += 1;
+            self.cycle_failed = true;
+        } else {
+            self.retry_attempts = 0;
         }
     }
 }
@@ -246,20 +427,93 @@ mod tests {
     }
 
     #[test]
-    fn gpu_write_fails_without_userspace_gpu_governor() {
+    fn gpu_write_recovers_by_reasserting_the_governor() {
         let mut dev = userspace_device(); // GPU still on msm-adreno-tz
         let mut sched = ConfigScheduler::new(200, false);
         let mut p = plan((2, 1), (8, 5), 2.0, 0.0);
         p.lower.gpu = Some(asgov_soc::GpuFreqIndex(3));
         sched.install(&mut dev, &p, 2000);
-        assert!(sched.writes_failed() > 0, "kgsl write must be rejected");
+        assert_eq!(dev.gpu().governor(), "userspace", "governor re-asserted");
+        assert_eq!(dev.gpu().freq(), asgov_soc::GpuFreqIndex(3));
+        assert_eq!(sched.writes_failed(), 0, "recovered, not failed");
+        assert!(sched.wrong_governor() > 0);
+        assert!(sched.governor_reasserts() > 0);
     }
 
     #[test]
-    fn failed_writes_are_counted_not_fatal() {
+    fn wrong_governor_writes_recover_not_fail() {
         let mut dev = Device::new(DeviceConfig::nexus6()); // interactive active
         let mut sched = ConfigScheduler::new(200, false);
         sched.install(&mut dev, &plan((2, 1), (8, 5), 2.0, 0.0), 2000);
-        assert!(sched.writes_failed() > 0);
+        assert_eq!(dev.cpu_governor(), "userspace");
+        assert_eq!(
+            dev.freq(),
+            FreqIndex(2),
+            "configuration applied after recovery"
+        );
+        assert_eq!(sched.writes_failed(), 0);
+        assert!(sched.wrong_governor() >= 1);
+        assert!(sched.governor_reasserts() >= 1);
+        let out = sched.take_cycle_outcome();
+        assert!(!out.failed);
+        assert_eq!(out.fault, Some(asgov_soc::SocErrorKind::WrongGovernor));
+        // Taking the outcome resets the per-cycle fault record.
+        assert_eq!(sched.take_cycle_outcome().fault, None);
+    }
+
+    #[test]
+    fn busy_writes_are_retried_with_backoff() {
+        use asgov_soc::{FaultInjector, FaultKind, FaultPlan};
+        let mut dev = userspace_device();
+        // Busy storm for the first 25 ms only: the first attempt fails,
+        // a backed-off retry lands after the storm.
+        let fp = FaultPlan::new().window(0, 25, FaultKind::SysfsBusy);
+        dev.install_faults(FaultInjector::new(fp, 5));
+        let mut sched = ConfigScheduler::new(200, false).with_retry(3, 30);
+        sched.install(&mut dev, &plan((2, 1), (8, 5), 2.0, 0.0), 2000);
+        assert_ne!(dev.freq(), FreqIndex(2), "first write rejected busy");
+        let idle = Demand::idle();
+        for _ in 0..100 {
+            dev.tick(&idle);
+            sched.tick(&mut dev);
+        }
+        assert_eq!(dev.freq(), FreqIndex(2), "retry applied the config");
+        assert_eq!(dev.bw(), BwIndex(1));
+        assert!(sched.sysfs_busy() >= 1);
+        assert!(sched.retries() >= 1);
+        assert_eq!(sched.writes_failed(), 0);
+        assert!(!sched.take_cycle_outcome().failed);
+    }
+
+    #[test]
+    fn exhausted_retries_mark_the_cycle_failed() {
+        use asgov_soc::{FaultInjector, FaultKind, FaultPlan};
+        let mut dev = userspace_device();
+        let fp = FaultPlan::new().window(0, 60_000, FaultKind::SysfsBusy);
+        dev.install_faults(FaultInjector::new(fp, 5));
+        let mut sched = ConfigScheduler::new(200, false).with_retry(2, 5);
+        sched.install(&mut dev, &plan((2, 1), (8, 5), 2.0, 0.0), 2000);
+        let idle = Demand::idle();
+        for _ in 0..200 {
+            dev.tick(&idle);
+            sched.tick(&mut dev);
+        }
+        assert!(sched.writes_failed() >= 1);
+        let out = sched.take_cycle_outcome();
+        assert!(out.failed);
+        assert_eq!(out.fault, Some(asgov_soc::SocErrorKind::Busy));
+    }
+
+    #[test]
+    fn thermal_clamp_is_detected_via_readback() {
+        use asgov_soc::{FaultInjector, FaultKind, FaultPlan};
+        let mut dev = userspace_device();
+        let fp = FaultPlan::new().window(0, 60_000, FaultKind::ThermalClamp(3));
+        dev.install_faults(FaultInjector::new(fp, 5));
+        let mut sched = ConfigScheduler::new(200, false);
+        sched.install(&mut dev, &plan((8, 5), (8, 5), 2.0, 0.0), 2000);
+        assert_eq!(dev.freq(), FreqIndex(3), "silently clamped to ceiling");
+        assert!(sched.thermal_clamps_detected() >= 1);
+        assert_eq!(sched.writes_failed(), 0, "the write itself succeeded");
     }
 }

@@ -1,0 +1,168 @@
+//! Chaos study — the hardened controller under the deterministic fault
+//! injector, one row per fault class.
+//!
+//! For each fault class a seeded [`FaultPlan`] fires mid-run; the table
+//! reports what the controller observed, how far it degraded, and how
+//! fast it recovered, next to the clean-run baseline. The same matrix is
+//! written as `CHAOS_faultmatrix.json` at the repository root (uploaded
+//! as a CI artifact alongside the bench reports).
+//!
+//! Run: `cargo run --release -p asgov-experiments --bin chaos [-- --quick]`
+
+use asgov_core::ControllerBuilder;
+use asgov_governors::AdrenoTz;
+use asgov_profiler::{measure_default, profile_app, ProfileOptions};
+use asgov_soc::{
+    sim, Device, DeviceConfig, FaultInjector, FaultKind, FaultPlan, HealthReport, Policy,
+    Workload as _,
+};
+use asgov_util::Json;
+use asgov_workloads::{apps, BackgroundLoad};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// One row of the fault matrix: a named plan and its injection window.
+fn fault_matrix(start: u64, end: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("none", FaultPlan::new()),
+        (
+            "sysfs-busy",
+            FaultPlan::new().window_p(start, end, 0.8, FaultKind::SysfsBusy),
+        ),
+        (
+            "governor-reset",
+            FaultPlan::new().window(start, end, FaultKind::GovernorReset("interactive".into())),
+        ),
+        (
+            "perf-dropout",
+            FaultPlan::new().window(start, end, FaultKind::PerfDropout),
+        ),
+        (
+            "perf-nan",
+            FaultPlan::new().window(start, end, FaultKind::PerfNan),
+        ),
+        (
+            "perf-spike",
+            FaultPlan::new().window_p(start, end, 0.5, FaultKind::PerfSpike(40.0)),
+        ),
+        (
+            "thermal-clamp",
+            FaultPlan::new().window(start, end, FaultKind::ThermalClamp(4)),
+        ),
+        (
+            "hotplug",
+            FaultPlan::new().window(start, end, FaultKind::Hotplug(2.0)),
+        ),
+    ]
+}
+
+struct Row {
+    fault: &'static str,
+    energy_j: f64,
+    avg_gips: f64,
+    health: HealthReport,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let dev_cfg = DeviceConfig::nexus6();
+    let duration_ms: u64 = if quick { 40_000 } else { 120_000 };
+    // Faults fire in the middle third of the run: the controller has
+    // settled before, and has time to recover after.
+    let (f_start, f_end) = (duration_ms / 3, 2 * duration_ms / 3);
+    let opts = ProfileOptions {
+        runs_per_config: 1,
+        run_ms: if quick { 5_000 } else { 10_000 },
+        freq_stride: 2,
+        interpolate: true,
+    };
+
+    let mut app = apps::wechat(BackgroundLoad::baseline(1));
+    eprintln!("profiling...");
+    let profile = profile_app(&dev_cfg, &mut app, &opts);
+    let default = measure_default(&dev_cfg, &mut app, 1, duration_ms);
+
+    println!("=== Chaos: hardened controller under injected faults ===\n");
+    println!(
+        "{:<16} {:>9} {:>9} {:>7} {:>8} {:>8} {:>9} {:>18} {:>9}",
+        "Fault",
+        "GIPS",
+        "Energy J",
+        "writes",
+        "retries",
+        "rejects",
+        "degraded",
+        "final level",
+        "rec (cyc)"
+    );
+
+    let mut rows = Vec::new();
+    for (name, plan) in fault_matrix(f_start, f_end) {
+        let mut device = Device::new(dev_cfg.clone());
+        device.install_faults(FaultInjector::new(plan, 0x5eed));
+        let mut controller = ControllerBuilder::new(profile.clone())
+            .target_gips(default.gips)
+            .build();
+        let mut gpu_gov = AdrenoTz::default();
+        app.reset();
+        let mut policies: [&mut dyn Policy; 2] = [&mut gpu_gov, &mut controller];
+        let report = sim::run(&mut device, &mut app, &mut policies, duration_ms);
+        let health = report.health.expect("controller reports health");
+        assert!(
+            report.energy_j.is_finite() && report.avg_gips.is_finite(),
+            "{name}: run must stay finite under faults"
+        );
+        let latency = health
+            .recovery_latency_cycles
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<16} {:>9.4} {:>9.1} {:>7} {:>8} {:>8} {:>9} {:>18} {:>9}",
+            name,
+            report.avg_gips,
+            report.energy_j,
+            health.write_failures(),
+            health.retries,
+            health.perf_rejected,
+            health.degradations,
+            health.level.to_string(),
+            latency,
+        );
+        rows.push(Row {
+            fault: name,
+            energy_j: report.energy_j,
+            avg_gips: report.avg_gips,
+            health,
+        });
+    }
+
+    let clean_energy = rows[0].energy_j;
+    println!(
+        "\nbaseline (default governors): {:.4} GIPS, {:.1} J; clean controller run: {:.1} J",
+        default.gips, default.energy_j, clean_energy
+    );
+
+    let mut doc = Json::object();
+    doc.set("app", "WeChat");
+    doc.set("quick", quick);
+    doc.set("duration_ms", duration_ms as f64);
+    doc.set("fault_window_ms", format!("{f_start}..{f_end}").as_str());
+    doc.set("default_gips", default.gips);
+    doc.set("default_energy_j", default.energy_j);
+    let mut matrix = Vec::new();
+    for r in &rows {
+        let mut row = Json::object();
+        row.set("fault", r.fault);
+        row.set("energy_j", r.energy_j);
+        row.set("avg_gips", r.avg_gips);
+        row.set("health", r.health.to_json());
+        matrix.push(row);
+    }
+    doc.set("matrix", Json::Arr(matrix));
+    let path = repo_root().join("CHAOS_faultmatrix.json");
+    std::fs::write(&path, doc.to_pretty()).expect("write fault-matrix report");
+    println!("wrote {}", path.display());
+}

@@ -30,6 +30,7 @@ fn main() {
     ];
     // All six apps run concurrently; the rows come back in app order.
     let apps = paper_apps(BackgroundLoad::baseline(1));
+    let mut failures = Vec::new();
     for (i, c) in compare_all(&dev_cfg, &apps, &opts).into_iter().enumerate() {
         let powers: Vec<f64> = c.controller.reports.iter().map(|r| r.avg_power_w).collect();
         println!(
@@ -41,5 +42,14 @@ fn main() {
             paper[i].0,
             paper[i].1,
         );
+        failures.extend(c.failure_summary());
+    }
+    if failures.is_empty() {
+        println!("\nall controller runs healthy: no actuation or measurement faults");
+    } else {
+        println!("\ncontroller failure summary:");
+        for f in &failures {
+            println!("  {f}");
+        }
     }
 }

@@ -44,6 +44,24 @@ impl Comparison {
     pub fn energy_savings_pct(&self) -> f64 {
         (self.default.energy_j - self.controller.energy_j) / self.default.energy_j * 100.0
     }
+
+    /// Health counters aggregated over the controller runs (`None`
+    /// when no run reported health).
+    pub fn health(&self) -> Option<asgov_soc::HealthReport> {
+        self.controller
+            .reports
+            .iter()
+            .filter_map(|r| r.health)
+            .reduce(|a, b| a.merge(&b))
+    }
+
+    /// One-line failure summary for report footers; `None` when every
+    /// controller run was fault-free.
+    pub fn failure_summary(&self) -> Option<String> {
+        self.health()
+            .filter(|h| !h.is_clean())
+            .map(|h| format!("{}: {}", self.app, h.summary()))
+    }
 }
 
 /// Experiment-wide options.

@@ -15,6 +15,7 @@
 
 use crate::battery::Battery;
 use crate::dvfs::{BwIndex, DvfsTable, FreqIndex};
+use crate::faults::{FaultInjector, PerfFault};
 use crate::gpu::{Gpu, GpuFreqIndex};
 use crate::monitor::PowerMonitor;
 use crate::net::{NetRateIndex, Radio};
@@ -191,6 +192,8 @@ pub struct Device {
     tool_load: f64,
     tool_power_w: f64,
     trace: Trace,
+    faults: Option<FaultInjector>,
+    default_online_cores: f64,
 }
 
 impl Device {
@@ -230,6 +233,8 @@ impl Device {
             tool_load: 0.0,
             tool_power_w: 0.0,
             trace: Trace::default(),
+            faults: None,
+            default_online_cores: cfg.online_cores,
             table: cfg.table,
         }
     }
@@ -370,6 +375,33 @@ impl Device {
         &self.bw_governor
     }
 
+    // ---- fault injection ------------------------------------------------
+
+    /// Install a deterministic fault injector (see [`crate::faults`]).
+    /// Without one — or with an empty plan — the device behaves exactly
+    /// as if the fault layer did not exist.
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// The installed fault injector, if any (for inspecting its
+    /// [`stats`](FaultInjector::stats) after a run).
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Remove and return the installed fault injector.
+    pub fn take_faults(&mut self) -> Option<FaultInjector> {
+        self.faults.take()
+    }
+
+    /// Draw the fault (if any) afflicting a perf reading produced now.
+    /// Called by [`crate::PerfReader::poll`].
+    pub(crate) fn draw_perf_fault(&mut self) -> Option<PerfFault> {
+        let now = self.now_ms;
+        self.faults.as_mut().and_then(|f| f.perf_fault(now))
+    }
+
     // ---- actuation (in-kernel driver path) ----------------------------
 
     /// Set the CPU frequency (all four cores — the paper pins them to a
@@ -381,6 +413,18 @@ impl Device {
             idx.0 < self.table.num_freqs(),
             "frequency index out of range"
         );
+        // msm-thermal-style mitigation: requests above the active
+        // ceiling are silently pulled down to it.
+        let mut idx = idx;
+        let now = self.now_ms;
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(ceiling) = f.thermal_ceiling(now) {
+                if idx.0 > ceiling {
+                    idx = FreqIndex(ceiling);
+                    f.note_thermal_clamp();
+                }
+            }
+        }
         if idx != self.freq {
             self.trace
                 .record(self.now_ms, TraceEvent::CpuFreq(self.freq.0, idx.0));
@@ -504,6 +548,29 @@ impl Device {
 
     /// Execute one 1 ms tick under the given foreground demand.
     pub fn tick(&mut self, demand: &Demand) -> TickOutcome {
+        // Fault-plan side effects scheduled for this tick (external
+        // governor resets, hotplug churn, thermal force-down). The
+        // branch is free when no injector is installed.
+        if self.faults.is_some() {
+            let now = self.now_ms;
+            let actions = self.faults.as_mut().expect("checked above").on_tick(now);
+            if let Some(gov) = actions.governor_reset {
+                self.set_cpu_governor(&gov);
+            }
+            if let Some(cores) = actions.set_cores {
+                self.online_cores = cores.clamp(1.0, 4.0);
+            } else if actions.restore_cores {
+                self.online_cores = self.default_online_cores;
+            }
+            if let Some(ceiling) = actions.thermal_ceiling {
+                if self.freq.0 > ceiling {
+                    self.set_cpu_freq(FreqIndex(ceiling));
+                    if let Some(f) = self.faults.as_mut() {
+                        f.note_thermal_clamp();
+                    }
+                }
+            }
+        }
         let dt_s = TICK_MS as f64 * 1e-3;
         let f_hz = self.table.freq(self.freq).hz();
         let bw_bps = self.table.bw(self.bw).bytes_per_sec();
@@ -649,9 +716,16 @@ impl Device {
     /// # Errors
     ///
     /// Returns [`crate::SocError`] for unknown paths, read-only files,
-    /// unparsable values, or `scaling_setspeed` writes while the active
-    /// governor is not `userspace`.
+    /// unparsable values, `scaling_setspeed` writes while the active
+    /// governor is not `userspace`, or [`crate::SocError::Busy`] when an
+    /// installed fault injector transiently rejects the write.
     pub fn sysfs_write(&mut self, path: &str, value: &str) -> Result<(), crate::SocError> {
+        let now = self.now_ms;
+        if let Some(f) = &mut self.faults {
+            if let Some(err) = f.intercept_write(now, path) {
+                return Err(err);
+            }
+        }
         crate::sysfs::write(self, path, value)
     }
 }
@@ -893,6 +967,104 @@ mod tests {
         let mut idled = Device::new(cfg);
         let p_idled = idled.tick(&busy).power.total_w();
         assert!((p_clean - p_idled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_injector_busy_rejects_writes_only_in_window() {
+        use crate::faults::{FaultInjector, FaultKind, FaultPlan};
+        let mut d = quiet_device();
+        d.set_cpu_governor("userspace");
+        let plan = FaultPlan::new().window(5, 10, FaultKind::SysfsBusy);
+        d.install_faults(FaultInjector::new(plan, 1));
+        let path = format!("{}/scaling_setspeed", crate::sysfs::CPUFREQ);
+        assert!(d.sysfs_write(&path, "1497600").is_ok());
+        for _ in 0..5 {
+            d.tick(&Demand::idle());
+        }
+        let err = d.sysfs_write(&path, "300000").unwrap_err();
+        assert_eq!(err.kind(), crate::SocErrorKind::Busy);
+        for _ in 0..5 {
+            d.tick(&Demand::idle());
+        }
+        assert!(d.sysfs_write(&path, "300000").is_ok());
+        assert_eq!(d.faults().unwrap().stats().sysfs_busy, 1);
+    }
+
+    #[test]
+    fn thermal_clamp_silently_limits_and_forces_down() {
+        use crate::faults::{FaultInjector, FaultKind, FaultPlan};
+        let mut d = quiet_device();
+        d.set_cpu_governor("userspace");
+        d.set_cpu_freq(FreqIndex(17));
+        let plan = FaultPlan::new().window(10, 20, FaultKind::ThermalClamp(5));
+        d.install_faults(FaultInjector::new(plan, 1));
+        for _ in 0..11 {
+            d.tick(&Demand::idle());
+        }
+        assert_eq!(d.freq(), FreqIndex(5), "running freq forced to ceiling");
+        // A write above the ceiling succeeds but is clamped.
+        let khz = d.table().freq(FreqIndex(15)).khz();
+        d.sysfs_write(
+            &format!("{}/scaling_setspeed", crate::sysfs::CPUFREQ),
+            &khz.to_string(),
+        )
+        .unwrap();
+        assert_eq!(d.freq(), FreqIndex(5));
+        // After the window the same write takes full effect.
+        for _ in 0..10 {
+            d.tick(&Demand::idle());
+        }
+        d.sysfs_write(
+            &format!("{}/scaling_setspeed", crate::sysfs::CPUFREQ),
+            &khz.to_string(),
+        )
+        .unwrap();
+        assert_eq!(d.freq(), FreqIndex(15));
+        assert!(d.faults().unwrap().stats().thermal_clamps >= 2);
+    }
+
+    #[test]
+    fn governor_reset_and_hotplug_fire_from_the_plan() {
+        use crate::faults::{FaultInjector, FaultKind, FaultPlan};
+        let mut d = quiet_device();
+        d.set_cpu_governor("userspace");
+        let plan = FaultPlan::new()
+            .window(3, 4, FaultKind::GovernorReset("interactive".into()))
+            .window(5, 8, FaultKind::Hotplug(2.0));
+        d.install_faults(FaultInjector::new(plan, 1));
+        for _ in 0..4 {
+            d.tick(&Demand::idle());
+        }
+        assert_eq!(d.cpu_governor(), "interactive", "external reset applied");
+        for _ in 0..2 {
+            d.tick(&Demand::idle());
+        }
+        assert_eq!(d.online_cores(), 2.0, "hotplug window active");
+        for _ in 0..4 {
+            d.tick(&Demand::idle());
+        }
+        assert_eq!(d.online_cores(), 4.0, "cores restored after the window");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        let demand = cpu_demand(0.2);
+        let run = |with_empty_injector: bool| {
+            let mut d = Device::new(DeviceConfig::nexus6());
+            if with_empty_injector {
+                d.install_faults(FaultInjector::new(FaultPlan::new(), 99));
+            }
+            d.set_cpu_governor("userspace");
+            for i in 0..500u64 {
+                if i == 250 {
+                    d.set_cpu_freq(FreqIndex(9));
+                }
+                d.tick(&demand);
+            }
+            (d.monitor().energy_j(), d.pmu().instructions())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

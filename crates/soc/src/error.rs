@@ -26,6 +26,54 @@ pub enum SocError {
         /// The governor that is currently active.
         active: String,
     },
+    /// The write was transiently rejected (the kernel's `-EBUSY`, e.g.
+    /// while a DVFS transition or thermal mitigation holds the policy
+    /// lock). Retrying later may succeed. Only raised by an installed
+    /// [`crate::faults::FaultInjector`].
+    Busy(String),
+}
+
+/// A field-free classification of [`SocError`] — small and `Copy`, so
+/// per-cycle diagnostic logs and health counters can record a failure
+/// cause without carrying path strings around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SocErrorKind {
+    /// [`SocError::NoSuchFile`].
+    NoSuchFile,
+    /// [`SocError::ReadOnly`].
+    ReadOnly,
+    /// [`SocError::InvalidValue`].
+    InvalidValue,
+    /// [`SocError::WrongGovernor`].
+    WrongGovernor,
+    /// [`SocError::Busy`].
+    Busy,
+}
+
+impl fmt::Display for SocErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SocErrorKind::NoSuchFile => "no-such-file",
+            SocErrorKind::ReadOnly => "read-only",
+            SocErrorKind::InvalidValue => "invalid-value",
+            SocErrorKind::WrongGovernor => "wrong-governor",
+            SocErrorKind::Busy => "busy",
+        };
+        f.write_str(s)
+    }
+}
+
+impl SocError {
+    /// The field-free kind of this error.
+    pub fn kind(&self) -> SocErrorKind {
+        match self {
+            SocError::NoSuchFile(_) => SocErrorKind::NoSuchFile,
+            SocError::ReadOnly(_) => SocErrorKind::ReadOnly,
+            SocError::InvalidValue { .. } => SocErrorKind::InvalidValue,
+            SocError::WrongGovernor { .. } => SocErrorKind::WrongGovernor,
+            SocError::Busy(_) => SocErrorKind::Busy,
+        }
+    }
 }
 
 impl fmt::Display for SocError {
@@ -40,6 +88,7 @@ impl fmt::Display for SocError {
                 f,
                 "cannot write {path}: active governor is {active:?}, not \"userspace\""
             ),
+            SocError::Busy(p) => write!(f, "device or resource busy writing {p}"),
         }
     }
 }
@@ -59,6 +108,38 @@ mod tests {
             active: "interactive".into(),
         };
         assert!(e.to_string().contains("interactive"));
+    }
+
+    #[test]
+    fn kind_maps_every_variant() {
+        assert_eq!(
+            SocError::NoSuchFile("x".into()).kind(),
+            SocErrorKind::NoSuchFile
+        );
+        assert_eq!(
+            SocError::ReadOnly("x".into()).kind(),
+            SocErrorKind::ReadOnly
+        );
+        assert_eq!(
+            SocError::InvalidValue {
+                path: "x".into(),
+                value: "y".into()
+            }
+            .kind(),
+            SocErrorKind::InvalidValue
+        );
+        assert_eq!(
+            SocError::WrongGovernor {
+                path: "x".into(),
+                active: "interactive".into()
+            }
+            .kind(),
+            SocErrorKind::WrongGovernor
+        );
+        let busy = SocError::Busy("/sys/x".into());
+        assert_eq!(busy.kind(), SocErrorKind::Busy);
+        assert!(busy.to_string().contains("busy"));
+        assert_eq!(SocErrorKind::Busy.to_string(), "busy");
     }
 
     #[test]

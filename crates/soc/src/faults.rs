@@ -1,0 +1,447 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! The paper's controller runs as a userspace daemon on a rooted phone
+//! and the device is *not* cooperative: sysfs writes get transiently
+//! rejected, other agents (an updater, `thermal-engine`, a curious
+//! user) reset the cpufreq governor, `perf` drops or corrupts samples,
+//! `msm-thermal` silently clamps `scaling_setspeed`, and `mpdecision`
+//! hotplugs cores. This module models those pathologies as a
+//! [`FaultPlan`] — a set of time windows, each injecting one
+//! [`FaultKind`] — executed by a [`FaultInjector`] that is installed
+//! into a [`Device`](crate::Device) with
+//! [`Device::install_faults`](crate::Device::install_faults).
+//!
+//! Everything is **replayable bit-for-bit from `(seed, plan)`**: all
+//! stochastic decisions draw from one vendored [`asgov_util::Rng`]
+//! owned by the injector, in device-tick order. A device with no
+//! injector — or an injector with an empty plan — behaves *identically*
+//! to one built before this module existed: the fault layer draws no
+//! randomness and intercepts nothing unless a window is configured.
+//!
+//! # Example
+//!
+//! ```
+//! use asgov_soc::faults::{FaultInjector, FaultKind, FaultPlan};
+//! use asgov_soc::{Device, DeviceConfig};
+//!
+//! // Between t = 5 s and t = 8 s, every sysfs write fails with EBUSY.
+//! let plan = FaultPlan::new().window(5_000, 8_000, FaultKind::SysfsBusy);
+//! let mut device = Device::new(DeviceConfig::nexus6());
+//! device.install_faults(FaultInjector::new(plan, 0xfau64));
+//! ```
+
+use crate::error::SocError;
+
+use asgov_util::Rng;
+
+/// What a fault window injects while active.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Every sysfs write fails with [`SocError::Busy`] (the kernel's
+    /// transient `-EBUSY`), subject to the window's probability.
+    SysfsBusy,
+    /// One-shot: at the window start an external agent writes this
+    /// governor into `scaling_governor`, kicking the controller off the
+    /// `userspace` policy (e.g. `"interactive"`).
+    GovernorReset(String),
+    /// Perf readings are lost (the sampling window closes with no
+    /// sample delivered).
+    PerfDropout,
+    /// Perf readings come back NaN (a torn read of the counter file).
+    PerfNan,
+    /// Perf readings come back zero (counter reset underneath the
+    /// reader).
+    PerfZero,
+    /// Perf readings are multiplied by this factor (wrap/scaling bug;
+    /// use a large factor for spikes, a tiny one for dips).
+    PerfSpike(f64),
+    /// msm-thermal-style mitigation: the CPU frequency is silently
+    /// clamped to at most this frequency *index*; `scaling_setspeed`
+    /// writes still report success.
+    ThermalClamp(usize),
+    /// mpdecision-style hotplug: the online core count is forced to
+    /// this value while the window is active and restored afterwards.
+    Hotplug(f64),
+}
+
+impl FaultKind {
+    /// Short machine-readable class label (used by fault-matrix
+    /// reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::SysfsBusy => "sysfs-busy",
+            FaultKind::GovernorReset(_) => "governor-reset",
+            FaultKind::PerfDropout => "perf-dropout",
+            FaultKind::PerfNan => "perf-nan",
+            FaultKind::PerfZero => "perf-zero",
+            FaultKind::PerfSpike(_) => "perf-spike",
+            FaultKind::ThermalClamp(_) => "thermal-clamp",
+            FaultKind::Hotplug(_) => "hotplug",
+        }
+    }
+}
+
+/// One fault, active over `[start_ms, end_ms)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWindow {
+    /// First active millisecond.
+    pub start_ms: u64,
+    /// First millisecond *past* the window.
+    pub end_ms: u64,
+    /// Per-opportunity firing probability in `[0, 1]`. `1.0` fires on
+    /// every opportunity (deterministic scheduling); lower values fire
+    /// stochastically from the injector's seeded RNG. Ignored by
+    /// [`FaultKind::ThermalClamp`] and [`FaultKind::Hotplug`], which
+    /// are level-triggered states rather than discrete events.
+    pub probability: f64,
+    /// The fault injected.
+    pub kind: FaultKind,
+}
+
+/// A declarative, replayable set of fault windows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// The fault windows, in no particular order.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Add a window that always fires while active.
+    pub fn window(self, start_ms: u64, end_ms: u64, kind: FaultKind) -> Self {
+        self.window_p(start_ms, end_ms, 1.0, kind)
+    }
+
+    /// Add a window firing with the given per-opportunity probability.
+    pub fn window_p(
+        mut self,
+        start_ms: u64,
+        end_ms: u64,
+        probability: f64,
+        kind: FaultKind,
+    ) -> Self {
+        self.windows.push(FaultWindow {
+            start_ms,
+            end_ms,
+            probability: probability.clamp(0.0, 1.0),
+            kind,
+        });
+        self
+    }
+}
+
+/// Cumulative injection counters (what the injector actually did).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Sysfs writes rejected with [`SocError::Busy`].
+    pub sysfs_busy: u64,
+    /// Governor-reset events fired.
+    pub governor_resets: u64,
+    /// Perf readings dropped.
+    pub perf_dropouts: u64,
+    /// Perf readings corrupted (NaN, zero or spike).
+    pub perf_corrupted: u64,
+    /// `set_cpu_freq` requests clamped by the thermal ceiling.
+    pub thermal_clamps: u64,
+    /// Hotplug transitions applied (enter + leave).
+    pub hotplug_changes: u64,
+}
+
+/// A perf-reading fault drawn for one sample (consumed by
+/// [`PerfReader::poll`](crate::PerfReader::poll)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PerfFault {
+    /// Lose the reading.
+    Dropout,
+    /// Replace the reading with NaN.
+    Nan,
+    /// Replace the reading with zero.
+    Zero,
+    /// Multiply the reading by the factor.
+    Spike(f64),
+}
+
+/// Side effects the injector asks the device to apply on a tick.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TickActions {
+    /// Write this governor into `scaling_governor` (one-shot reset).
+    pub governor_reset: Option<String>,
+    /// Force the online core count to this value.
+    pub set_cores: Option<f64>,
+    /// All hotplug windows just ended: restore the configured count.
+    pub restore_cores: bool,
+    /// Active thermal ceiling; the device pulls the current frequency
+    /// down to it if necessary.
+    pub thermal_ceiling: Option<usize>,
+}
+
+/// Executes a [`FaultPlan`] against a device, deterministically from
+/// `(seed, plan)`. Install with
+/// [`Device::install_faults`](crate::Device::install_faults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    windows: Vec<FaultWindow>,
+    /// Parallel to `windows`: one-shot windows that already fired.
+    fired: Vec<bool>,
+    rng: Rng,
+    stats: FaultStats,
+    hotplug_was_active: bool,
+}
+
+impl FaultInjector {
+    /// Build an injector for `plan`, with its own RNG stream seeded
+    /// from `seed` (independent of the device's measurement-noise
+    /// streams, so installing an injector never perturbs them).
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        let n = plan.windows.len();
+        Self {
+            windows: plan.windows,
+            fired: vec![false; n],
+            rng: Rng::seed_from_u64(seed),
+            stats: FaultStats::default(),
+            hotplug_was_active: false,
+        }
+    }
+
+    /// Whether the plan is empty (the injector can never do anything).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// What the injector has injected so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    fn active(w: &FaultWindow, now_ms: u64) -> bool {
+        (w.start_ms..w.end_ms).contains(&now_ms)
+    }
+
+    /// Per-tick state changes (called by `Device::tick` before the
+    /// tick executes).
+    pub(crate) fn on_tick(&mut self, now_ms: u64) -> TickActions {
+        let mut actions = TickActions::default();
+        let mut hotplug_active = false;
+        for (i, w) in self.windows.iter().enumerate() {
+            if !Self::active(w, now_ms) {
+                continue;
+            }
+            match &w.kind {
+                FaultKind::GovernorReset(gov) if !self.fired[i] => {
+                    self.fired[i] = true;
+                    if w.probability >= 1.0 || self.rng.gen_bool(w.probability) {
+                        actions.governor_reset = Some(gov.clone());
+                        self.stats.governor_resets += 1;
+                    }
+                }
+                FaultKind::ThermalClamp(ceiling) => {
+                    let c = actions
+                        .thermal_ceiling
+                        .map_or(*ceiling, |p| p.min(*ceiling));
+                    actions.thermal_ceiling = Some(c);
+                }
+                FaultKind::Hotplug(cores) => {
+                    hotplug_active = true;
+                    actions.set_cores = Some(*cores);
+                    if !self.hotplug_was_active {
+                        self.stats.hotplug_changes += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if self.hotplug_was_active && !hotplug_active {
+            actions.restore_cores = true;
+            self.stats.hotplug_changes += 1;
+        }
+        self.hotplug_was_active = hotplug_active;
+        actions
+    }
+
+    /// Intercept a sysfs write: `Some(err)` rejects the write before it
+    /// reaches the virtual tree.
+    pub(crate) fn intercept_write(&mut self, now_ms: u64, path: &str) -> Option<SocError> {
+        for w in &self.windows {
+            if matches!(w.kind, FaultKind::SysfsBusy)
+                && Self::active(w, now_ms)
+                && (w.probability >= 1.0 || self.rng.gen_bool(w.probability))
+            {
+                self.stats.sysfs_busy += 1;
+                return Some(SocError::Busy(path.to_string()));
+            }
+        }
+        None
+    }
+
+    /// The thermal frequency ceiling active at `now_ms`, if any
+    /// (lowest across overlapping clamp windows).
+    pub(crate) fn thermal_ceiling(&self, now_ms: u64) -> Option<usize> {
+        self.windows
+            .iter()
+            .filter(|w| Self::active(w, now_ms))
+            .filter_map(|w| match w.kind {
+                FaultKind::ThermalClamp(c) => Some(c),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Record one request clamped by the ceiling.
+    pub(crate) fn note_thermal_clamp(&mut self) {
+        self.stats.thermal_clamps += 1;
+    }
+
+    /// Draw the fault (if any) afflicting a perf reading at `now_ms`.
+    pub(crate) fn perf_fault(&mut self, now_ms: u64) -> Option<PerfFault> {
+        for w in &self.windows {
+            if !Self::active(w, now_ms) {
+                continue;
+            }
+            let fault = match w.kind {
+                FaultKind::PerfDropout => PerfFault::Dropout,
+                FaultKind::PerfNan => PerfFault::Nan,
+                FaultKind::PerfZero => PerfFault::Zero,
+                FaultKind::PerfSpike(k) => PerfFault::Spike(k),
+                _ => continue,
+            };
+            if w.probability >= 1.0 || self.rng.gen_bool(w.probability) {
+                match fault {
+                    PerfFault::Dropout => self.stats.perf_dropouts += 1,
+                    _ => self.stats.perf_corrupted += 1,
+                }
+                return Some(fault);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::new(), 1);
+        assert!(inj.is_empty());
+        for t in 0..100 {
+            let a = inj.on_tick(t);
+            assert!(a.governor_reset.is_none());
+            assert!(a.set_cores.is_none());
+            assert!(a.thermal_ceiling.is_none());
+            assert!(!a.restore_cores);
+            assert!(inj.intercept_write(t, "/sys/x").is_none());
+            assert!(inj.perf_fault(t).is_none());
+        }
+        assert_eq!(*inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn busy_window_rejects_only_inside() {
+        let plan = FaultPlan::new().window(10, 20, FaultKind::SysfsBusy);
+        let mut inj = FaultInjector::new(plan, 7);
+        assert!(inj.intercept_write(9, "/sys/x").is_none());
+        assert!(matches!(
+            inj.intercept_write(10, "/sys/x"),
+            Some(SocError::Busy(_))
+        ));
+        assert!(matches!(
+            inj.intercept_write(19, "/sys/x"),
+            Some(SocError::Busy(_))
+        ));
+        assert!(inj.intercept_write(20, "/sys/x").is_none());
+        assert_eq!(inj.stats().sysfs_busy, 2);
+    }
+
+    #[test]
+    fn governor_reset_fires_once() {
+        let plan = FaultPlan::new().window(50, 60, FaultKind::GovernorReset("interactive".into()));
+        let mut inj = FaultInjector::new(plan, 7);
+        let mut resets = 0;
+        for t in 0..100 {
+            if inj.on_tick(t).governor_reset.is_some() {
+                resets += 1;
+            }
+        }
+        assert_eq!(resets, 1);
+        assert_eq!(inj.stats().governor_resets, 1);
+    }
+
+    #[test]
+    fn thermal_ceiling_takes_the_minimum() {
+        let plan = FaultPlan::new()
+            .window(0, 100, FaultKind::ThermalClamp(9))
+            .window(50, 100, FaultKind::ThermalClamp(4));
+        let inj = FaultInjector::new(plan, 7);
+        assert_eq!(inj.thermal_ceiling(10), Some(9));
+        assert_eq!(inj.thermal_ceiling(60), Some(4));
+        assert_eq!(inj.thermal_ceiling(100), None);
+    }
+
+    #[test]
+    fn hotplug_sets_and_restores() {
+        let plan = FaultPlan::new().window(10, 20, FaultKind::Hotplug(2.0));
+        let mut inj = FaultInjector::new(plan, 7);
+        assert!(inj.on_tick(5).set_cores.is_none());
+        assert_eq!(inj.on_tick(10).set_cores, Some(2.0));
+        assert_eq!(inj.on_tick(19).set_cores, Some(2.0));
+        let a = inj.on_tick(20);
+        assert!(a.set_cores.is_none());
+        assert!(a.restore_cores);
+        assert!(!inj.on_tick(21).restore_cores);
+        assert_eq!(inj.stats().hotplug_changes, 2);
+    }
+
+    #[test]
+    fn perf_faults_map_to_kinds() {
+        let plan = FaultPlan::new()
+            .window(0, 10, FaultKind::PerfNan)
+            .window(10, 20, FaultKind::PerfZero)
+            .window(20, 30, FaultKind::PerfSpike(10.0))
+            .window(30, 40, FaultKind::PerfDropout);
+        let mut inj = FaultInjector::new(plan, 7);
+        assert_eq!(inj.perf_fault(5), Some(PerfFault::Nan));
+        assert_eq!(inj.perf_fault(15), Some(PerfFault::Zero));
+        assert_eq!(inj.perf_fault(25), Some(PerfFault::Spike(10.0)));
+        assert_eq!(inj.perf_fault(35), Some(PerfFault::Dropout));
+        assert_eq!(inj.perf_fault(45), None);
+        assert_eq!(inj.stats().perf_corrupted, 3);
+        assert_eq!(inj.stats().perf_dropouts, 1);
+    }
+
+    #[test]
+    fn stochastic_faults_replay_per_seed() {
+        let plan = || FaultPlan::new().window_p(0, 1000, 0.5, FaultKind::SysfsBusy);
+        let run = |seed| {
+            let mut inj = FaultInjector::new(plan(), seed);
+            (0..1000)
+                .map(|t| inj.intercept_write(t, "/sys/x").is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+        // p = 0.5 actually fires about half the time.
+        let hits = run(3).iter().filter(|&&b| b).count();
+        assert!((300..700).contains(&hits), "p=0.5 fired {hits}/1000");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FaultKind::SysfsBusy.label(), "sysfs-busy");
+        assert_eq!(
+            FaultKind::GovernorReset("x".into()).label(),
+            "governor-reset"
+        );
+        assert_eq!(FaultKind::ThermalClamp(3).label(), "thermal-clamp");
+        assert_eq!(FaultKind::Hotplug(2.0).label(), "hotplug");
+    }
+}

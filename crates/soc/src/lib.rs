@@ -46,7 +46,9 @@ mod battery;
 mod device;
 mod dvfs;
 mod error;
+pub mod faults;
 pub mod gpu;
+mod health;
 mod monitor;
 pub mod net;
 mod perf;
@@ -62,8 +64,10 @@ pub use device::{Device, DeviceConfig, DeviceStats, TickOutcome};
 pub use dvfs::{
     BwIndex, CpuFreq, DvfsTable, FreqIndex, MemBw, NEXUS6_CPU_FREQS_GHZ, NEXUS6_MEM_BWS_MBPS,
 };
-pub use error::SocError;
+pub use error::{SocError, SocErrorKind};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultStats, FaultWindow, PerfFault};
 pub use gpu::{Gpu, GpuFreqIndex};
+pub use health::{DegradationLevel, HealthReport};
 pub use monitor::{PowerMonitor, PowerSample};
 pub use net::{NetRateIndex, Radio};
 pub use perf::{PerfReader, PerfReading};
@@ -93,6 +97,14 @@ pub trait Policy {
 
     /// Called once after the simulation ends.
     fn finish(&mut self, _device: &mut Device) {}
+
+    /// Health summary for hardened policies (see [`HealthReport`]).
+    /// Plain governors return `None`; resilient controllers report their
+    /// fault counters and degradation state so the harness can attach
+    /// them to the [`sim::RunReport`].
+    fn health(&self) -> Option<HealthReport> {
+        None
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -108,6 +120,9 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     fn finish(&mut self, device: &mut Device) {
         (**self).finish(device)
     }
+    fn health(&self) -> Option<HealthReport> {
+        (**self).health()
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for &mut P {
@@ -122,5 +137,8 @@ impl<P: Policy + ?Sized> Policy for &mut P {
     }
     fn finish(&mut self, device: &mut Device) {
         (**self).finish(device)
+    }
+    fn health(&self) -> Option<HealthReport> {
+        (**self).health()
     }
 }

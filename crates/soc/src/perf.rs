@@ -90,7 +90,14 @@ impl PerfReader {
 
     /// Call once per tick; returns a reading when a full period has
     /// elapsed. Returns `None` while disabled or mid-window.
-    pub fn poll(&mut self, device: &Device) -> Option<PerfReading> {
+    ///
+    /// When the device carries a [`crate::faults::FaultInjector`], the
+    /// reading is subject to its perf pathologies: dropouts (the window
+    /// is consumed but no reading is produced, like a lost `perf`
+    /// sample) and corrupted values (NaN, zero, or spikes). The reader's
+    /// own noise stream is drawn *before* the fault is applied, so an
+    /// empty plan leaves readings bit-identical.
+    pub fn poll(&mut self, device: &mut Device) -> Option<PerfReading> {
         if !self.enabled {
             return None;
         }
@@ -102,7 +109,7 @@ impl PerfReader {
         let instructions = device.pmu().instructions();
         let delta = instructions - self.last_instructions;
         let gips_true = delta / (window as f64 * 1e-3) / 1e9;
-        let gips = if self.noise_rel > 0.0 {
+        let mut gips = if self.noise_rel > 0.0 {
             let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
             let u2: f64 = self.rng.gen_range(0.0..1.0);
             let z = (-2.0_f64 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -112,6 +119,13 @@ impl PerfReader {
         };
         self.last_sample_ms = now;
         self.last_instructions = instructions;
+        match device.draw_perf_fault() {
+            Some(crate::faults::PerfFault::Dropout) => return None,
+            Some(crate::faults::PerfFault::Nan) => gips = f64::NAN,
+            Some(crate::faults::PerfFault::Zero) => gips = 0.0,
+            Some(crate::faults::PerfFault::Spike(factor)) => gips *= factor,
+            None => {}
+        }
         Some(PerfReading {
             t_ms: now,
             gips,
@@ -165,7 +179,7 @@ mod tests {
         let mut reading = None;
         for _ in 0..1000 {
             dev.tick(&demand());
-            if let Some(r) = reader.poll(&dev) {
+            if let Some(r) = reader.poll(&mut dev) {
                 reading = Some(r);
             }
         }
@@ -185,11 +199,11 @@ mod tests {
         // Disabled: never reads.
         for _ in 0..200 {
             dev.tick(&demand());
-            assert!(reader.poll(&dev).is_none());
+            assert!(reader.poll(&mut dev).is_none());
         }
         reader.enable(&mut dev);
         dev.tick(&demand());
-        assert!(reader.poll(&dev).is_none(), "mid-window");
+        assert!(reader.poll(&mut dev).is_none(), "mid-window");
     }
 
     #[test]
@@ -205,6 +219,46 @@ mod tests {
     }
 
     #[test]
+    fn perf_faults_corrupt_or_drop_readings() {
+        use crate::faults::{FaultInjector, FaultKind, FaultPlan};
+        let mut dev = device();
+        let plan = FaultPlan::new()
+            .window(0, 150, FaultKind::PerfNan)
+            .window(150, 250, FaultKind::PerfDropout)
+            .window(250, 350, FaultKind::PerfSpike(10.0))
+            .window(350, 450, FaultKind::PerfZero);
+        dev.install_faults(FaultInjector::new(plan, 7));
+        let mut reader = PerfReader::new(100, 0.0, 1);
+        reader.enable(&mut dev);
+        let mut readings = Vec::new();
+        let mut polls = 0;
+        for _ in 0..500 {
+            dev.tick(&demand());
+            let before = dev.now_ms();
+            if before.is_multiple_of(100) {
+                polls += 1;
+            }
+            if let Some(r) = reader.poll(&mut dev) {
+                readings.push(r);
+            }
+        }
+        assert!(polls >= 5);
+        assert!(readings.iter().any(|r| r.gips.is_nan()), "NaN window");
+        assert!(
+            readings.len() < polls,
+            "dropout window consumed at least one reading"
+        );
+        assert!(
+            readings.iter().any(|r| r.gips > 1.0),
+            "spike window produced an outlier (true rate ~0.2)"
+        );
+        assert!(readings.iter().any(|r| r.gips == 0.0), "zero window");
+        let stats = dev.faults().unwrap().stats();
+        assert!(stats.perf_dropouts >= 1);
+        assert!(stats.perf_corrupted >= 3);
+    }
+
+    #[test]
     fn noise_is_deterministic_per_seed() {
         let run = |seed| {
             let mut dev = device();
@@ -213,7 +267,7 @@ mod tests {
             let mut vals = Vec::new();
             for _ in 0..500 {
                 dev.tick(&demand());
-                if let Some(r) = reader.poll(&dev) {
+                if let Some(r) = reader.poll(&mut dev) {
                     vals.push(r.gips);
                 }
             }

@@ -2,6 +2,7 @@
 //! policies and reports energy/performance statistics.
 
 use crate::device::{Device, DeviceStats};
+use crate::health::HealthReport;
 use crate::workload::Workload;
 use crate::Policy;
 
@@ -25,6 +26,9 @@ pub struct RunReport {
     pub completed: bool,
     /// Full device statistics (histograms, transitions).
     pub stats: DeviceStats,
+    /// Health summary of the first policy that reports one (hardened
+    /// controllers do; plain governors don't).
+    pub health: Option<HealthReport>,
 }
 
 impl RunReport {
@@ -46,6 +50,9 @@ impl RunReport {
         doc.set("instructions", self.instructions);
         doc.set("avg_gips", self.avg_gips);
         doc.set("completed", self.completed);
+        if let Some(h) = &self.health {
+            doc.set("health", h.to_json());
+        }
         doc
     }
 }
@@ -86,6 +93,7 @@ pub fn run(
     for p in policies.iter_mut() {
         p.finish(device);
     }
+    let health = policies.iter().find_map(|p| p.health());
 
     let stats = device.stats();
     RunReport {
@@ -97,6 +105,7 @@ pub fn run(
         avg_gips: stats.avg_gips,
         completed,
         stats,
+        health,
     }
 }
 

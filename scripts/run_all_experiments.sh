@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 QUICK="${1:-}"
 mkdir -p results
 for bin in table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5 \
-           ablations scope related_work traces; do
+           ablations scope related_work traces chaos; do
   echo "=== $bin ==="
   if [ "$QUICK" = "--quick" ]; then
     cargo run --release -p asgov-experiments --bin "$bin" -- --quick \
@@ -25,4 +25,4 @@ else
   cargo run --release -p asgov-bench \
     > "results/bench.txt" 2>&1
 fi
-echo "all experiment outputs are in ./results/ (bench JSON at ./BENCH_*.json)"
+echo "all experiment outputs are in ./results/ (bench JSON at ./BENCH_*.json, fault matrix at ./CHAOS_faultmatrix.json)"

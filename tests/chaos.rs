@@ -1,0 +1,262 @@
+//! Chaos tests: the hardened controller under the deterministic fault
+//! injector. Every fault class must complete without panic, with finite
+//! actuations and bounded power, and the controller must climb back to
+//! full operation within M = 5 control cycles of the fault clearing.
+
+use asgov::governors::AdrenoTz;
+use asgov::prelude::*;
+use asgov::soc::{DegradationLevel, FaultInjector, FaultKind, FaultPlan};
+
+fn quick_profile() -> ProfileOptions {
+    ProfileOptions {
+        runs_per_config: 1,
+        run_ms: 8_000,
+        freq_stride: 2,
+        interpolate: true,
+    }
+}
+
+/// Run the controller with `plan` installed on the device; returns the
+/// report and the device for post-run inspection.
+fn run_with_plan(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    profile: &asgov::profiler::ProfileTable,
+    target: f64,
+    plan: FaultPlan,
+    seed: u64,
+    duration_ms: u64,
+) -> (asgov::soc::sim::RunReport, Device) {
+    let mut controller = ControllerBuilder::new(profile.clone())
+        .target_gips(target)
+        .build();
+    let mut gpu = AdrenoTz::default();
+    let mut device = Device::new(dev_cfg.clone());
+    device.install_faults(FaultInjector::new(plan, seed));
+    app.reset();
+    let report = sim::run(
+        &mut device,
+        app,
+        &mut [&mut gpu, &mut controller],
+        duration_ms,
+    );
+    (report, device)
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_and_zero_cost() {
+    // The resilience layer must be invisible when no faults fire: a run
+    // with an empty plan installed matches a run with no injector at
+    // all, bit for bit.
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut app = apps::wechat(BackgroundLoad::baseline(1));
+    let profile = profile_app(&dev_cfg, &mut app, &quick_profile());
+    let target = measure_default(&dev_cfg, &mut app, 1, 40_000).gips;
+
+    let mut controller = ControllerBuilder::new(profile.clone())
+        .target_gips(target)
+        .build();
+    let mut gpu = AdrenoTz::default();
+    let mut device = Device::new(dev_cfg.clone());
+    app.reset();
+    let bare = sim::run(
+        &mut device,
+        &mut app,
+        &mut [&mut gpu, &mut controller],
+        40_000,
+    );
+
+    let (injected, _) = run_with_plan(
+        &dev_cfg,
+        &mut app,
+        &profile,
+        target,
+        FaultPlan::new(),
+        0x5eed,
+        40_000,
+    );
+
+    assert_eq!(bare.energy_j.to_bits(), injected.energy_j.to_bits());
+    assert_eq!(bare.avg_gips.to_bits(), injected.avg_gips.to_bits());
+    assert_eq!(bare.instructions.to_bits(), injected.instructions.to_bits());
+    let health = injected.health.expect("controller reports health");
+    assert!(health.is_clean(), "clean run must report a clean bill");
+    assert_eq!(health.level, DegradationLevel::Full);
+}
+
+#[test]
+fn every_fault_class_recovers_within_five_cycles() {
+    // Faults fire in the middle third of the run; by the end the
+    // controller must be back at Full, having spent at most M = 5
+    // control cycles climbing out after the fault cleared, with finite
+    // actuations and bounded energy throughout.
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut app = apps::wechat(BackgroundLoad::baseline(1));
+    let profile = profile_app(&dev_cfg, &mut app, &quick_profile());
+    let default = measure_default(&dev_cfg, &mut app, 1, 42_000);
+    let (start, end) = (14_000, 28_000);
+
+    let matrix: Vec<(&str, FaultPlan)> = vec![
+        (
+            "sysfs-busy",
+            FaultPlan::new().window_p(start, end, 0.8, FaultKind::SysfsBusy),
+        ),
+        (
+            "perf-dropout",
+            FaultPlan::new().window(start, end, FaultKind::PerfDropout),
+        ),
+        (
+            "perf-nan",
+            FaultPlan::new().window(start, end, FaultKind::PerfNan),
+        ),
+        (
+            "perf-zero",
+            FaultPlan::new().window(start, end, FaultKind::PerfZero),
+        ),
+        (
+            "perf-spike",
+            FaultPlan::new().window_p(start, end, 0.5, FaultKind::PerfSpike(40.0)),
+        ),
+        (
+            "thermal-clamp",
+            FaultPlan::new().window(start, end, FaultKind::ThermalClamp(4)),
+        ),
+        (
+            "hotplug",
+            FaultPlan::new().window(start, end, FaultKind::Hotplug(2.0)),
+        ),
+    ];
+
+    for (name, plan) in matrix {
+        let (report, _) = run_with_plan(
+            &dev_cfg,
+            &mut app,
+            &profile,
+            default.gips,
+            plan,
+            0x5eed,
+            42_000,
+        );
+        assert!(
+            report.energy_j.is_finite() && report.avg_gips.is_finite(),
+            "{name}: outputs must stay finite under faults"
+        );
+        assert!(
+            report.energy_j < default.energy_j * 1.5,
+            "{name}: energy must stay bounded ({:.1} J vs default {:.1} J)",
+            report.energy_j,
+            default.energy_j
+        );
+        let health = report.health.expect("controller reports health");
+        assert_eq!(
+            health.level,
+            DegradationLevel::Full,
+            "{name}: controller must end the run back at full operation ({})",
+            health.summary()
+        );
+        if health.degradations > 0 {
+            assert_eq!(
+                health.recoveries, health.degradations,
+                "{name}: every degradation must be recovered"
+            );
+            let latency = health
+                .recovery_latency_cycles
+                .expect("recovered runs report a latency");
+            assert!(
+                latency <= 5,
+                "{name}: recovery took {latency} cycles (> M = 5)"
+            );
+        }
+    }
+}
+
+#[test]
+fn governor_reset_is_reasserted_within_one_period() {
+    // Satellite (c): an external agent flips the governor to
+    // `interactive` mid-run. The controller must detect the change on
+    // its next actuation, re-assert `userspace`, and resume control
+    // within one control period — no degradation, no lost writes.
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut app = apps::wechat(BackgroundLoad::baseline(1));
+    let profile = profile_app(&dev_cfg, &mut app, &quick_profile());
+    let target = measure_default(&dev_cfg, &mut app, 1, 40_000).gips;
+
+    let (clean, _) = run_with_plan(
+        &dev_cfg,
+        &mut app,
+        &profile,
+        target,
+        FaultPlan::new(),
+        0x5eed,
+        40_000,
+    );
+    let plan = FaultPlan::new().window(
+        20_000,
+        21_000,
+        FaultKind::GovernorReset("interactive".into()),
+    );
+    let (report, device) =
+        run_with_plan(&dev_cfg, &mut app, &profile, target, plan, 0x5eed, 40_000);
+
+    let health = report.health.expect("controller reports health");
+    assert!(
+        health.wrong_governor >= 1,
+        "the rejected write must be observed"
+    );
+    assert!(
+        health.governor_reasserts >= 1,
+        "the controller must re-assert userspace"
+    );
+    assert_eq!(
+        health.actuation_failures, 0,
+        "recovery happens inside the same actuation — nothing is lost"
+    );
+    assert_eq!(
+        health.degradations, 0,
+        "a governor flip is recovered in-place, without degrading"
+    );
+    assert_eq!(device.cpu_governor(), "userspace");
+    // Resumed within one control period: at most one 2 s cycle of the
+    // 40 s run was disturbed, so performance stays within a few percent.
+    let drop = (clean.avg_gips - report.avg_gips) / clean.avg_gips;
+    assert!(
+        drop < 0.05,
+        "control must resume within one period, lost {:.1}% performance",
+        drop * 100.0
+    );
+}
+
+#[test]
+fn fault_replay_is_deterministic() {
+    // The same (plan, seed) pair replays bit-for-bit: identical run
+    // scalars and an identical health report.
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut app = apps::wechat(BackgroundLoad::baseline(1));
+    let profile = profile_app(&dev_cfg, &mut app, &quick_profile());
+    let target = measure_default(&dev_cfg, &mut app, 1, 40_000).gips;
+
+    let plan = || {
+        FaultPlan::new()
+            .window_p(12_000, 26_000, 0.8, FaultKind::SysfsBusy)
+            .window_p(12_000, 26_000, 0.3, FaultKind::PerfSpike(25.0))
+    };
+    let (a, _) = run_with_plan(&dev_cfg, &mut app, &profile, target, plan(), 0xfeed, 40_000);
+    let (b, _) = run_with_plan(&dev_cfg, &mut app, &profile, target, plan(), 0xfeed, 40_000);
+
+    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    assert_eq!(a.avg_gips.to_bits(), b.avg_gips.to_bits());
+    assert_eq!(a.instructions.to_bits(), b.instructions.to_bits());
+    assert_eq!(a.health, b.health);
+    let health = a.health.expect("controller reports health");
+    assert!(
+        !health.is_clean(),
+        "the busy storm must actually have been observed"
+    );
+
+    // A different seed shifts the probabilistic faults.
+    let (c, _) = run_with_plan(&dev_cfg, &mut app, &profile, target, plan(), 0xbeef, 40_000);
+    assert_ne!(
+        a.health, c.health,
+        "a different seed must draw a different fault trace"
+    );
+}
