@@ -7,11 +7,14 @@ use asgov_control::{AdaptiveIntegrator, KalmanFilter};
 use asgov_core::{ControllerBuilder, EnergyController, EnergyOptimizer};
 use asgov_governors::{AdrenoTz, CpubwHwmon};
 use asgov_linprog::{two_point, HullSolver};
+use asgov_obs::{CycleRecord, RingSink, TraceSink as _};
 use asgov_soc::{sim, Device, DeviceConfig, Policy};
 use asgov_util::{Json, Rng};
 use asgov_workloads::{apps, BackgroundLoad};
+use std::cell::RefCell;
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
+use std::rc::Rc;
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
@@ -159,10 +162,60 @@ fn controller_suite(quick: bool) -> Json {
         black_box(sim::run(&mut device, &mut app, &mut policies, sim_ms));
     });
     let ns_per_sim_ms = r.median_ns / sim_ms as f64;
+    let untraced_median_ns = r.median_ns;
     results.push(r);
+
+    // The same closed loop with the observability sink installed: the
+    // delta against the untraced run is the tracing overhead budget
+    // (acceptance: < 5 % per cycle).
+    let r = bench(
+        &format!("controller_run_traced/{sim_ms}ms"),
+        &run_cfg,
+        || {
+            let mut device = Device::new(DeviceConfig::nexus6());
+            let mut app = apps::spotify(BackgroundLoad::baseline(1));
+            let controller: EnergyController = ControllerBuilder::new(table.clone())
+                .target_gips(0.5)
+                .seed(0xc0de)
+                .build();
+            let sink = Rc::new(RefCell::new(RingSink::new(4096)));
+            device.install_obs_sink(sink.clone());
+            let mut gpu = AdrenoTz::default();
+            let mut ctrl = controller;
+            let mut policies: [&mut dyn Policy; 2] = [&mut gpu, &mut ctrl];
+            black_box(sim::run(&mut device, &mut app, &mut policies, sim_ms));
+            black_box(sink.borrow().ring().len());
+        },
+    );
+    let traced_median_ns = r.median_ns;
+    results.push(r);
+
+    // The sink's record path in isolation.
+    let mut sink = RingSink::new(4096);
+    let rec = CycleRecord {
+        cycle: 7,
+        t_ms: 16_000,
+        innovation: -0.02,
+        solve_ns: 1_800,
+        actuation_ns: 9_400,
+        ..CycleRecord::default()
+    };
+    results.push(bench(
+        "trace_record_cycle",
+        &cfg.with_inner(cfg.inner * 50),
+        || {
+            sink.record_cycle(black_box(&rec));
+        },
+    ));
 
     let mut derived = Json::object();
     derived.set("controller_run_ns_per_sim_ms", ns_per_sim_ms);
+    derived.set(
+        "trace_overhead_pct",
+        (traced_median_ns - untraced_median_ns) / untraced_median_ns * 100.0,
+    );
+    derived.set("controller_run_traced_median_ns", traced_median_ns);
+    derived.set("controller_run_untraced_median_ns", untraced_median_ns);
     suite_report("controller", quick, &results, derived)
 }
 

@@ -15,6 +15,10 @@ USAGE:
   asgov control  --app <NAME> --profile <FILE> [--target <GIPS>]
                  [--duration-s <N>] [--load BL|NL|HL] [--cpu-only]
   asgov compare  --app <NAME> [--duration-s <N>] [--load BL|NL|HL] [--quick]
+  asgov trace    --app <NAME> [--profile <FILE>] [--target <GIPS>]
+                 [--duration-s <N>] [--load BL|NL|HL] [--out <FILE>]
+                 [--capacity <N>]
+  asgov stats    --trace <FILE>
 
 COMMANDS:
   list-apps   List the built-in application models
@@ -22,7 +26,12 @@ COMMANDS:
               TSV table to --out (default: <app>.profile.tsv)
   baseline    Measure the default-governor run (R_def, P_def, E_def)
   control     Run the online controller from a saved profile (Stage 2)
-  compare     Profile + baseline + controller, print the Table III row";
+  compare     Profile + baseline + controller, print the Table III row
+  trace       Run the controller with the observability sink attached;
+              writes per-cycle JSONL to --out (default: <app>.trace.jsonl)
+              and prints the metrics summary
+  stats       Aggregate a JSONL trace file: cycle counts, error and
+              latency statistics, fault and degradation tallies";
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +71,18 @@ pub enum Command {
         load: String,
         quick: bool,
     },
+    /// `asgov trace`
+    Trace {
+        app: String,
+        profile: Option<String>,
+        target: Option<f64>,
+        duration_s: u64,
+        load: String,
+        out: Option<String>,
+        capacity: usize,
+    },
+    /// `asgov stats`
+    Stats { trace: String },
 }
 
 /// Parse error.
@@ -230,6 +251,33 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             load: parse_load(f.value("--load")?)?,
             quick: f.flag("--quick"),
         },
+        "trace" => Command::Trace {
+            app: f
+                .value("--app")?
+                .ok_or_else(|| err("--app is required"))?
+                .to_string(),
+            profile: f.value("--profile")?.map(str::to_string),
+            target: match f.value("--target")? {
+                Some(v) => Some(parse_num("--target", v)?),
+                None => None,
+            },
+            duration_s: match f.value("--duration-s")? {
+                Some(v) => parse_num("--duration-s", v)?,
+                None => 60,
+            },
+            load: parse_load(f.value("--load")?)?,
+            out: f.value("--out")?.map(str::to_string),
+            capacity: match f.value("--capacity")? {
+                Some(v) => parse_num("--capacity", v)?,
+                None => 4096,
+            },
+        },
+        "stats" => Command::Stats {
+            trace: f
+                .value("--trace")?
+                .ok_or_else(|| err("--trace is required"))?
+                .to_string(),
+        },
         other => return Err(err(format!("unknown subcommand {other:?}"))),
     };
     f.finish()?;
@@ -326,5 +374,40 @@ mod tests {
         assert!(parse(&v(&["control", "--app", "X"])).is_err());
         assert!(parse(&v(&["profile"])).is_err());
         assert!(parse(&v(&[])).is_err());
+        assert!(parse(&v(&["trace"])).is_err());
+        assert!(parse(&v(&["stats"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_with_defaults() {
+        let cmd = parse(&v(&["trace", "--app", "VidCon"])).unwrap();
+        match cmd {
+            Command::Trace {
+                app,
+                profile,
+                target,
+                duration_s,
+                load,
+                out,
+                capacity,
+            } => {
+                assert_eq!(app, "VidCon");
+                assert!(profile.is_none() && target.is_none() && out.is_none());
+                assert_eq!((duration_s, capacity), (60, 4096));
+                assert_eq!(load, "BL");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_stats() {
+        let cmd = parse(&v(&["stats", "--trace", "run.jsonl"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stats {
+                trace: "run.jsonl".into()
+            }
+        );
     }
 }

@@ -3,13 +3,16 @@
 use crate::args::Command;
 use asgov_core::{ControlMode, ControllerBuilder};
 use asgov_governors::{AdrenoTz, CpubwHwmon};
+use asgov_obs::{parse_jsonl, RingSink, TraceSink as _};
 use asgov_profiler::{
     measure_default, profile_app, profile_app_cpu_only, profile_app_with_gpu, ProfileOptions,
     ProfileTable,
 };
 use asgov_soc::{sim, Device, DeviceConfig, Policy, Workload as _};
 use asgov_workloads::{apps, BackgroundLoad, LoadLevel, PhasedApp};
+use std::cell::RefCell;
 use std::error::Error;
+use std::rc::Rc;
 
 type Result<T> = std::result::Result<T, Box<dyn Error>>;
 
@@ -242,6 +245,103 @@ pub fn run(cmd: Command) -> Result<()> {
                     println!("  health:     {}", health.summary());
                 }
             }
+            Ok(())
+        }
+        Command::Trace {
+            app,
+            profile,
+            target,
+            duration_s,
+            load,
+            out,
+            capacity,
+        } => {
+            let dev_cfg = DeviceConfig::nexus6();
+            let mut a = make_app(&app, &load)?;
+            let table = match profile {
+                Some(path) => {
+                    let text = std::fs::read_to_string(&path)?;
+                    ProfileTable::from_tsv(&text)?
+                }
+                None => {
+                    eprintln!("no --profile; quick-profiling {app}...");
+                    let opts = ProfileOptions {
+                        runs_per_config: 1,
+                        run_ms: 6_000,
+                        freq_stride: 2,
+                        interpolate: true,
+                    };
+                    profile_app(&dev_cfg, &mut a, &opts)
+                }
+            };
+            let target = match target {
+                Some(t) => t,
+                None => {
+                    eprintln!("no --target; measuring the default-governor baseline...");
+                    measure_default(&dev_cfg, &mut a, 1, duration_s * 1000).gips
+                }
+            };
+
+            let mut controller = ControllerBuilder::new(table).target_gips(target).build();
+            let mut gpu_gov = AdrenoTz::default();
+            let mut device = Device::new(dev_cfg);
+            let sink = Rc::new(RefCell::new(RingSink::new(capacity)));
+            device.install_obs_sink(sink.clone());
+            a.reset();
+            let report = sim::run(
+                &mut device,
+                &mut a,
+                &mut [&mut gpu_gov, &mut controller],
+                duration_s * 1000,
+            );
+
+            let sink = sink.borrow();
+            let path = out.unwrap_or_else(|| format!("{app}.trace.jsonl"));
+            std::fs::write(&path, sink.to_jsonl())?;
+            println!("{app} traced run (target {target:.4} GIPS, {load}):");
+            println!(
+                "  achieved = {:.4} GIPS, {:.3} W, {:.1} J over {:.1} s",
+                report.avg_gips,
+                report.avg_power_w,
+                report.energy_j,
+                report.duration_s()
+            );
+            println!(
+                "  wrote {} cycle records to {path} ({} dropped by the ring)",
+                sink.ring().len(),
+                sink.ring().dropped()
+            );
+            println!("{}", sink.metrics().to_json().to_pretty());
+            Ok(())
+        }
+        Command::Stats { trace } => {
+            let text = std::fs::read_to_string(&trace)?;
+            let records = parse_jsonl(&text)?;
+            if records.is_empty() {
+                println!("{trace}: no records");
+                return Ok(());
+            }
+            // Replay the stream through a sink to rebuild the aggregates.
+            let mut sink = RingSink::new(records.len());
+            for rec in &records {
+                sink.record_cycle(rec);
+            }
+            let span_ms = records.last().map_or(0, |r| r.t_ms) - records[0].t_ms;
+            let mean_abs_err =
+                records.iter().map(|r| r.error.abs()).sum::<f64>() / records.len() as f64;
+            let max_abs_err = records.iter().map(|r| r.error.abs()).fold(0.0, f64::max);
+            let split_cycles = records.iter().filter(|r| r.tau_upper_ms > 0).count();
+            println!(
+                "{trace}: {} records spanning {:.1} s",
+                records.len(),
+                span_ms as f64 * 1e-3
+            );
+            println!("  |error|: mean {mean_abs_err:.4} GIPS, max {max_abs_err:.4} GIPS");
+            println!(
+                "  dwell splits: {split_cycles}/{} cycles used two configurations",
+                records.len()
+            );
+            println!("{}", sink.metrics().to_json().to_pretty());
             Ok(())
         }
     }

@@ -10,6 +10,10 @@ pub struct KalmanEstimate {
     pub variance: f64,
     /// Kalman gain used for this update.
     pub gain: f64,
+    /// Innovation `y − h·b⁻` (pre-update residual). Zero when the
+    /// measurement was ignored (`h ≤ 0`). Large sustained magnitudes
+    /// indicate model mismatch — the observability layer histograms it.
+    pub innovation: f64,
 }
 
 /// Scalar Kalman filter with a random-walk process model and a
@@ -94,16 +98,19 @@ impl KalmanFilter {
                 value: self.value,
                 variance: prior_var,
                 gain: 0.0,
+                innovation: 0.0,
             };
         }
         // Update.
         let gain = prior_var * h / (h * h * prior_var + self.measurement_var);
-        self.value += gain * (y - h * self.value);
+        let innovation = y - h * self.value;
+        self.value += gain * innovation;
         self.variance = (1.0 - gain * h) * prior_var;
         KalmanEstimate {
             value: self.value,
             variance: self.variance,
             gain,
+            innovation,
         }
     }
 
@@ -176,6 +183,14 @@ mod tests {
         assert_eq!(est.value, before);
         assert_eq!(est.gain, 0.0);
         assert!(kf.variance() > 0.1, "process noise accumulates");
+    }
+
+    #[test]
+    fn innovation_is_the_pre_update_residual() {
+        let mut kf = KalmanFilter::new(0.5, 1.0, 0.0, 1e-2);
+        let est = kf.update(1.2, 2.0);
+        assert!((est.innovation - (1.2 - 2.0 * 0.5)).abs() < 1e-12);
+        assert_eq!(kf.update(5.0, 0.0).innovation, 0.0, "ignored measurement");
     }
 
     #[test]

@@ -103,9 +103,12 @@ impl Policy for LoadAdaptiveController {
         if device.now_ms() >= self.next_refresh_ms {
             self.next_refresh_ms = device.now_ms() + self.refresh_ms;
             if let Some(sig) = self.measure_signature(device) {
-                let table = self.model.table_for(&sig);
-                self.inner.swap_profile(&table);
-                self.swaps += 1;
+                // An unresolvable signature (NaN, anchor hole) means "no
+                // better profile available": keep the current one.
+                if let Ok(table) = self.model.table_for(&sig) {
+                    self.inner.swap_profile(&table);
+                    self.swaps += 1;
+                }
             }
         }
         self.inner.tick(device);

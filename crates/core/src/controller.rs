@@ -7,8 +7,10 @@ use crate::resilience::{
 };
 use crate::scheduler::ConfigScheduler;
 use asgov_control::{PhaseDetector, PhaseEvent};
+use asgov_obs::CycleRecord;
 use asgov_profiler::{Config, ProfileTable};
 use asgov_soc::{sysfs, DegradationLevel, Device, HealthReport, PerfReader, Policy, SocErrorKind};
+use std::time::Instant;
 
 /// Which optimizer the controller runs each cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -272,6 +274,7 @@ impl ControllerBuilder {
             safe_index,
             drought_run: 0,
             perf_droughts: 0,
+            cycles: 0,
         }
     }
 }
@@ -304,6 +307,7 @@ pub struct EnergyController {
     safe_index: usize,
     drought_run: u64,
     perf_droughts: u64,
+    cycles: u64,
 }
 
 impl EnergyController {
@@ -357,6 +361,7 @@ impl EnergyController {
             degradations: self.ladder.degradations(),
             recoveries: self.ladder.recoveries(),
             recovery_latency_cycles: self.ladder.recovery_latency(),
+            climb_latency_cycles: self.ladder.climb_latency(),
         }
     }
 
@@ -399,6 +404,13 @@ impl EnergyController {
     }
 
     fn run_cycle(&mut self, device: &mut Device) {
+        // Observability: record construction and the wall-clock reads
+        // that feed it are gated on a sink being installed, so an
+        // un-instrumented run takes none of these branches and its
+        // simulation outputs stay bit-identical.
+        let tracing = device.has_obs_sink();
+        let cycle = self.cycles;
+        self.cycles += 1;
         // 0. Consume the elapsed cycle's actuation outcome and judge
         //    the cycle. A cycle fails when actuation exhausted its
         //    retries or the measurement drought ran too long.
@@ -435,6 +447,7 @@ impl EnergyController {
         match self.ladder.level() {
             DegradationLevel::SafeConfig | DegradationLevel::FallbackGovernor => {
                 self.readings.clear();
+                let actuation_t = tracing.then(Instant::now);
                 if self.ladder.level() == DegradationLevel::SafeConfig {
                     self.apply_safe_config(device);
                 } else if !entered_fallback {
@@ -461,6 +474,28 @@ impl EnergyController {
                         upper: cfg,
                         tau_lower_s: self.period_ms as f64 * 1e-3,
                         actuation_fault: outcome.fault,
+                    });
+                }
+                if tracing {
+                    let cfg = self.optimizer.config(self.safe_index);
+                    let pinned = (cfg.freq.0 as u32, cfg.bw.0 as u32);
+                    device.emit_cycle(&CycleRecord {
+                        cycle,
+                        t_ms: device.now_ms(),
+                        target_gips: self.target_gips,
+                        measured_gips: self.last_measured,
+                        error: self.target_gips - self.last_measured,
+                        base_estimate: self.regulator.base_speed(),
+                        innovation: self.regulator.innovation(),
+                        required_speedup: self.optimizer.speedup_at(self.safe_index),
+                        lower: pinned,
+                        upper: pinned,
+                        tau_lower_ms: self.period_ms,
+                        tau_upper_ms: 0,
+                        solve_ns: 0,
+                        actuation_ns: actuation_t.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                        fault: outcome.fault.map(Into::into),
+                        level: self.ladder.level().into(),
                     });
                 }
                 return;
@@ -504,6 +539,7 @@ impl EnergyController {
         // 3. Optimize. (Inputs are validated; solve only fails on
         //    non-finite targets, which the clamped regulator precludes.)
         let period_s = self.period_ms as f64 * 1e-3;
+        let solve_t = tracing.then(Instant::now);
         let plan = match self.strategy {
             OptimizerStrategy::LinearProgram => self.optimizer.solve(s_next, period_s),
             OptimizerStrategy::Gradient => {
@@ -511,13 +547,37 @@ impl EnergyController {
                     .solve_gradient(s_next, period_s, self.last_lower_index)
             }
         };
+        let solve_ns = solve_t.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let Some(plan) = plan else {
             return;
         };
         self.last_lower_index = self.optimizer.index_of(plan.lower).unwrap_or(0);
 
         // 4. Schedule.
+        let actuation_t = tracing.then(Instant::now);
         self.scheduler.install(device, &plan, self.period_ms);
+
+        if tracing {
+            let (tau_lower_ms, tau_upper_ms) = self.scheduler.rounded_dwell_ms();
+            device.emit_cycle(&CycleRecord {
+                cycle,
+                t_ms: device.now_ms(),
+                target_gips: self.target_gips,
+                measured_gips: y,
+                error: self.target_gips - y,
+                base_estimate: self.regulator.base_speed(),
+                innovation: self.regulator.innovation(),
+                required_speedup: s_next,
+                lower: (plan.lower.freq.0 as u32, plan.lower.bw.0 as u32),
+                upper: (plan.upper.freq.0 as u32, plan.upper.bw.0 as u32),
+                tau_lower_ms,
+                tau_upper_ms,
+                solve_ns,
+                actuation_ns: actuation_t.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                fault: outcome.fault.map(Into::into),
+                level: self.ladder.level().into(),
+            });
+        }
 
         if self.keep_log {
             self.log.push(ControlCycleLog {

@@ -10,6 +10,7 @@ use asgov_control::{AdaptiveIntegrator, KalmanFilter};
 pub struct PerformanceRegulator {
     integrator: AdaptiveIntegrator,
     kalman: KalmanFilter,
+    last_innovation: f64,
 }
 
 impl PerformanceRegulator {
@@ -52,6 +53,7 @@ impl PerformanceRegulator {
             // Variances follow POET's practice: slow random-walk drift,
             // measurement noise dominated by the PMU reader.
             kalman: KalmanFilter::new(initial_base_gips, 0.1 * initial_base_gips, 1e-5, 1e-3),
+            last_innovation: 0.0,
         }
     }
 
@@ -63,6 +65,14 @@ impl PerformanceRegulator {
     /// Current required speedup `s_n`.
     pub fn required_speedup(&self) -> f64 {
         self.integrator.speedup()
+    }
+
+    /// The Kalman innovation `y − h·b⁻` of the most recent
+    /// [`step`](PerformanceRegulator::step) (0 before the first step).
+    /// Surfaced for the observability layer, which histograms its
+    /// magnitude as a model-mismatch signal.
+    pub fn innovation(&self) -> f64 {
+        self.last_innovation
     }
 
     /// Advance one control cycle.
@@ -77,6 +87,7 @@ impl PerformanceRegulator {
     pub fn step(&mut self, target_gips: f64, measured_gips: f64, applied_speedup: f64) -> f64 {
         // Estimate b from y = s_applied · b.
         let est = self.kalman.update(measured_gips, applied_speedup);
+        self.last_innovation = est.innovation;
         let b = est.value.max(1e-6);
         self.integrator.step(target_gips, measured_gips, b)
     }

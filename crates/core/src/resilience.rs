@@ -166,7 +166,13 @@ pub struct DegradationLadder {
     degradations: u64,
     recoveries: u64,
     last_failed_cycle: Option<u64>,
+    /// First failed cycle of the fault episode in progress. Set when a
+    /// failure arrives with no episode open; deliberately *not*
+    /// cleared by clean probation cycles mid-ladder, so the episode
+    /// spans from first failure all the way to the return to `Full`.
+    episode_start: Option<u64>,
     recovery_latency: Option<u64>,
+    climb_latency: Option<u64>,
 }
 
 impl DegradationLadder {
@@ -183,7 +189,9 @@ impl DegradationLadder {
             degradations: 0,
             recoveries: 0,
             last_failed_cycle: None,
+            episode_start: None,
             recovery_latency: None,
+            climb_latency: None,
         }
     }
 
@@ -207,10 +215,20 @@ impl DegradationLadder {
         self.recoveries
     }
 
-    /// Cycles from the last failed cycle to the most recent return to
-    /// `Full` (`None` if never degraded or not yet recovered).
+    /// Cycles from the *first* failed cycle of the most recent fault
+    /// episode to the return to `Full` — the full time the episode kept
+    /// the controller away from closed-loop control (`None` if never
+    /// degraded or not yet recovered). Clean probation cycles inside
+    /// the episode do not reset this accounting.
     pub fn recovery_latency(&self) -> Option<u64> {
         self.recovery_latency
+    }
+
+    /// Cycles from the *last* failed cycle to the most recent return to
+    /// `Full` — the climb-out time once the fault cleared. This is the
+    /// quantity the chaos suite bounds by M = 5.
+    pub fn climb_latency(&self) -> Option<u64> {
+        self.climb_latency
     }
 
     /// Record one control cycle's outcome and take any transition.
@@ -219,6 +237,9 @@ impl DegradationLadder {
         if failed {
             self.failed_cycles += 1;
             self.last_failed_cycle = Some(self.cycle);
+            if self.episode_start.is_none() {
+                self.episode_start = Some(self.cycle);
+            }
             self.consecutive_clean = 0;
             self.consecutive_failed += 1;
             if self.consecutive_failed >= self.degrade_after
@@ -238,12 +259,20 @@ impl DegradationLadder {
                     self.level = self.level.up();
                     self.recoveries += 1;
                     if self.level == DegradationLevel::Full {
-                        if let Some(last) = self.last_failed_cycle {
-                            self.recovery_latency = Some(self.cycle - last);
+                        if let Some(first) = self.episode_start {
+                            self.recovery_latency = Some(self.cycle - first);
                         }
+                        if let Some(last) = self.last_failed_cycle {
+                            self.climb_latency = Some(self.cycle - last);
+                        }
+                        self.episode_start = None;
                     }
                     return LadderEvent::Up(self.level);
                 }
+            } else {
+                // Clean at Full: any failures seen never degraded us,
+                // so the episode (if one was opened) is over.
+                self.episode_start = None;
             }
         }
         LadderEvent::None
@@ -298,8 +327,44 @@ mod tests {
         assert_eq!(l.observe(false), LadderEvent::Up(DegradationLevel::Full));
         assert_eq!(l.degradations(), 1);
         assert_eq!(l.recoveries(), 1);
-        // Last failure at cycle 5, recovery at cycle 7.
-        assert_eq!(l.recovery_latency(), Some(2));
+        // Episode opened at cycle 1, recovery at cycle 7: the whole
+        // episode kept the controller degraded for 6 cycles. The
+        // climb-out from the last failure (cycle 5) took 2.
+        assert_eq!(l.recovery_latency(), Some(6));
+        assert_eq!(l.climb_latency(), Some(2));
+    }
+
+    #[test]
+    fn episode_accounting_survives_clean_probation_cycles() {
+        // Regression (scripted fault window): a clean probation cycle
+        // mid-SafeConfig must not reset the episode clock. Window:
+        // cycles 1–3 fail (degrade), 4 clean, 5 fail, 6 clean, 7 clean
+        // (back to Full).
+        let mut l = DegradationLadder::new(3, 2);
+        let script = [true, true, true, false, true, false, false];
+        for failed in script {
+            l.observe(failed);
+        }
+        assert_eq!(l.level(), DegradationLevel::Full);
+        // First failure cycle 1 → Full again at cycle 7, not the 2
+        // cycles the old last-failure accounting reported.
+        assert_eq!(l.recovery_latency(), Some(6));
+        assert_eq!(l.climb_latency(), Some(2));
+
+        // Failures that never degrade the controller (shorter than K)
+        // close their episode on the next clean cycle at Full and do
+        // not leak into a later episode's latency.
+        let mut l = DegradationLadder::new(3, 2);
+        for failed in [true, true, false] {
+            l.observe(failed);
+        }
+        for failed in [true, true, true, false, false] {
+            l.observe(failed);
+        }
+        assert_eq!(l.level(), DegradationLevel::Full);
+        // Second episode: first failure at cycle 4, Full at cycle 8.
+        assert_eq!(l.recovery_latency(), Some(4));
+        assert_eq!(l.climb_latency(), Some(2));
     }
 
     #[test]
@@ -323,7 +388,10 @@ mod tests {
             assert!(cycles <= 5, "recovery must fit the M=5 bound");
         }
         assert_eq!(cycles, 4);
-        assert_eq!(l.recovery_latency(), Some(4));
+        // Climb-out: 4 cycles from the last failure. The episode as a
+        // whole spanned 16 failed cycles + 3 clean before Full.
+        assert_eq!(l.climb_latency(), Some(4));
+        assert_eq!(l.recovery_latency(), Some(19));
     }
 
     #[test]

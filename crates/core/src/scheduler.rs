@@ -38,6 +38,7 @@ pub struct ConfigScheduler {
     switch_at_ms: Option<u64>,
     pending_upper: Option<Config>,
     applied_speedup: f64,
+    last_dwell_ms: (u64, u64),
     max_retries: u32,
     backoff_base_ms: u64,
     retry_config: Option<Config>,
@@ -66,6 +67,7 @@ impl ConfigScheduler {
             switch_at_ms: None,
             pending_upper: None,
             applied_speedup: 1.0,
+            last_dwell_ms: (0, 0),
             max_retries: 3,
             backoff_base_ms: 10,
             retry_config: None,
@@ -100,6 +102,13 @@ impl ConfigScheduler {
     /// the cycle (the Kalman filter's measurement coefficient).
     pub fn applied_speedup(&self) -> f64 {
         self.applied_speedup
+    }
+
+    /// The dwell split `(τ_l, τ_h)` of the most recently installed
+    /// plan, ms, after quantization to the minimum dwell. Invariant:
+    /// the two always sum to the control period exactly.
+    pub fn rounded_dwell_ms(&self) -> (u64, u64) {
+        self.last_dwell_ms
     }
 
     /// Count of sysfs writes that stayed failed after all recovery
@@ -160,18 +169,28 @@ impl ConfigScheduler {
         // A new plan supersedes any retry still pending from the last one.
         self.retry_config = None;
         self.retry_attempts = 0;
-        let tau_l_ms = (plan.tau_lower * 1000.0).round() as u64;
-        // Round to the dwell grid.
+        let tau_l_req = (plan.tau_lower * 1000.0).round() as u64;
+        // Round τ_l to the dwell grid, then assign the remainder to
+        // τ_h so the dwells partition the control period exactly:
+        // τ_l + τ_h == period_ms always. A remainder shorter than the
+        // minimum dwell cannot be honoured as its own slot, so it
+        // collapses into the lower side instead of silently shrinking
+        // or stretching the period.
         let dwell = self.min_dwell_ms;
-        let rounded = ((tau_l_ms + dwell / 2) / dwell) * dwell;
-        let tau_l_ms = rounded.min(period_ms);
+        let mut tau_l_ms = (((tau_l_req + dwell / 2) / dwell) * dwell).min(period_ms);
+        let mut tau_u_ms = period_ms - tau_l_ms;
+        if tau_u_ms > 0 && tau_u_ms < dwell {
+            tau_l_ms = period_ms;
+            tau_u_ms = 0;
+        }
+        self.last_dwell_ms = (tau_l_ms, tau_u_ms);
 
         if tau_l_ms == 0 {
             self.apply(device, plan.upper);
             self.switch_at_ms = None;
             self.pending_upper = None;
             self.applied_speedup = plan.speedup_upper;
-        } else if tau_l_ms >= period_ms {
+        } else if tau_u_ms == 0 {
             self.apply(device, plan.lower);
             self.switch_at_ms = None;
             self.pending_upper = None;
@@ -400,6 +419,45 @@ mod tests {
         // τ_l = 0.93 s rounds to 1.0 s → applied = 0.5·1 + 0.5·2 = 1.5.
         sched.install(&mut dev, &plan((2, 1), (8, 5), 0.93, 1.07), 2000);
         assert!((sched.applied_speedup() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rounded_dwells_partition_the_period_for_all_split_ratios() {
+        // Regression: the quantized dwells must satisfy τ_l + τ_h ==
+        // period exactly, for every split ratio and also for periods
+        // that are not multiples of the 200 ms grid (where the old code
+        // could leave a sliver of the period unassigned).
+        for period_ms in [1000u64, 1900, 2000, 2100, 2500, 3700] {
+            let mut dev = userspace_device();
+            let mut sched = ConfigScheduler::new(200, false);
+            for i in 0..=40u64 {
+                let tau_l = period_ms as f64 / 1000.0 * i as f64 / 40.0;
+                let tau_u = period_ms as f64 / 1000.0 - tau_l;
+                sched.install(&mut dev, &plan((2, 1), (8, 5), tau_l, tau_u), period_ms);
+                let (l, u) = sched.rounded_dwell_ms();
+                assert_eq!(
+                    l + u,
+                    period_ms,
+                    "period {period_ms}, split {i}/40: {l} + {u}"
+                );
+                assert!(
+                    u == 0 || u >= 200,
+                    "period {period_ms}, split {i}/40: τ_h sliver of {u} ms"
+                );
+                assert!(
+                    l == 0 || l >= 200,
+                    "period {period_ms}, split {i}/40: τ_l sliver of {l} ms"
+                );
+                // The applied speedup must describe the *rounded*
+                // schedule, using the same exact partition.
+                let f = l as f64 / period_ms as f64;
+                let expect = f * 1.0 + (1.0 - f) * 2.0;
+                assert!(
+                    (sched.applied_speedup() - expect).abs() < 1e-9,
+                    "period {period_ms}, split {i}/40"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //! written as `CHAOS_faultmatrix.json` at the repository root (uploaded
 //! as a CI artifact alongside the bench reports).
 //!
-//! Run: `cargo run --release -p asgov-experiments --bin chaos [-- --quick]`
+//! Run: `cargo run --release -p asgov-experiments --bin chaos [-- --quick] [-- --trace]`
+//!
+//! With `--trace` the sysfs-busy scenario is re-run with the
+//! observability sink installed, and the per-cycle JSONL trace is
+//! written to `CHAOS_trace.jsonl` at the repository root (uploaded as a
+//! CI artifact alongside the fault matrix).
 
 use asgov_core::ControllerBuilder;
 use asgov_governors::AdrenoTz;
@@ -68,6 +73,7 @@ struct Row {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = std::env::args().any(|a| a == "--trace");
     let dev_cfg = DeviceConfig::nexus6();
     let duration_ms: u64 = if quick { 40_000 } else { 120_000 };
     // Faults fire in the middle third of the run: the controller has
@@ -165,4 +171,30 @@ fn main() {
     let path = repo_root().join("CHAOS_faultmatrix.json");
     std::fs::write(&path, doc.to_pretty()).expect("write fault-matrix report");
     println!("wrote {}", path.display());
+
+    if trace {
+        // Re-run the sysfs-busy scenario with the observability sink
+        // installed and keep the per-cycle JSONL trace as an artifact.
+        let plan = FaultPlan::new().window_p(f_start, f_end, 0.8, FaultKind::SysfsBusy);
+        let (report, sink) = asgov_experiments::harness::traced_controller_run(
+            &dev_cfg,
+            &mut app,
+            &profile,
+            default.gips,
+            duration_ms,
+            4096,
+            Some(FaultInjector::new(plan, 0x5eed)),
+        );
+        let sink = sink.borrow();
+        let trace_path = repo_root().join("CHAOS_trace.jsonl");
+        std::fs::write(&trace_path, sink.to_jsonl()).expect("write chaos trace");
+        println!(
+            "traced sysfs-busy: {:.4} GIPS, {:.1} J, {} cycle records ({} faulted), wrote {}",
+            report.avg_gips,
+            report.energy_j,
+            sink.ring().len(),
+            sink.metrics().total_faults(),
+            trace_path.display()
+        );
+    }
 }

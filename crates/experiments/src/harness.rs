@@ -4,12 +4,15 @@
 
 use asgov_core::{ControlMode, ControllerBuilder, EnergyController};
 use asgov_governors::{AdrenoTz, CpubwHwmon};
+use asgov_obs::RingSink;
 use asgov_profiler::{
     measure_default, measure_fixed, profile_app, DefaultMeasurement, ProfileOptions, ProfileTable,
 };
 use asgov_soc::sim::RunReport;
-use asgov_soc::{DeviceConfig, Policy};
+use asgov_soc::{sim, Device, DeviceConfig, FaultInjector, Policy, Workload as _};
 use asgov_workloads::{AppKind, PhasedApp};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Outcome of one app's default-vs-controller comparison.
 #[derive(Debug, Clone)]
@@ -211,4 +214,36 @@ pub fn profile_app_for_mode(
 pub fn default_run(dev_cfg: &DeviceConfig, app: &mut PhasedApp, duration_ms: u64) -> RunReport {
     let m = measure_default(dev_cfg, app, 1, duration_ms);
     m.reports.into_iter().next().expect("one run requested")
+}
+
+/// Run the controller once with a [`RingSink`] installed on the device
+/// (optionally under an injected fault plan), returning the run report
+/// and the sink with the per-cycle trace and aggregated metrics.
+///
+/// This is the traced twin of the controller leg of [`compare`]: same
+/// policy stack (stock GPU governor + coordinated controller), same
+/// seeding discipline.
+pub fn traced_controller_run(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    profile: &ProfileTable,
+    target_gips: f64,
+    duration_ms: u64,
+    capacity: usize,
+    faults: Option<FaultInjector>,
+) -> (RunReport, Rc<RefCell<RingSink>>) {
+    let mut controller = ControllerBuilder::new(profile.clone())
+        .target_gips(target_gips)
+        .build();
+    let mut gpu_gov = AdrenoTz::default();
+    let mut device = Device::new(dev_cfg.clone());
+    if let Some(injector) = faults {
+        device.install_faults(injector);
+    }
+    let sink = Rc::new(RefCell::new(RingSink::new(capacity)));
+    device.install_obs_sink(sink.clone());
+    app.reset();
+    let mut policies: [&mut dyn Policy; 2] = [&mut gpu_gov, &mut controller];
+    let report = sim::run(&mut device, app, &mut policies, duration_ms);
+    (report, sink)
 }

@@ -1,0 +1,46 @@
+//! # asgov-obs — structured per-cycle observability
+//!
+//! The controller is a closed loop (performance measurement → Kalman
+//! base-speed estimator → LP optimizer → dwell scheduler) whose
+//! behaviour is only legible if every control cycle can be replayed and
+//! aggregated. `RunReport` / `HealthReport` give end-of-run summaries;
+//! this crate adds the per-cycle record underneath them:
+//!
+//! - [`CycleRecord`] — one schema-versioned snapshot per control cycle:
+//!   timestamp, target, measured GIPS, tracking error, Kalman estimate
+//!   and innovation, the chosen configuration pair with its dwell split,
+//!   optimizer solve time, actuation latency, the actuation fault (if
+//!   any) and the degradation level.
+//! - [`RingBuffer`] — a fixed-capacity, allocation-free ring that keeps
+//!   the newest N records and counts what it dropped.
+//! - [`Histogram`] — fixed-bucket (log-spaced) histograms for solve
+//!   time, actuation latency and innovation magnitude.
+//! - [`TraceSink`] — the trait the device and controller emit into;
+//!   [`NullSink`] discards everything (and is bit-identical to no sink
+//!   at all), [`RingSink`] retains records and aggregates [`Metrics`].
+//!
+//! Records serialize to JSONL (one compact object per line, each line
+//! carrying the [`SCHEMA`] tag) through the vendored
+//! [`asgov_util::json`] — no external dependencies, per the workspace
+//! dependency policy.
+//!
+//! ## Layering
+//!
+//! This crate sits *below* `asgov-soc`: it depends only on
+//! `asgov-util`. The SoC-level enums (`SocErrorKind`,
+//! `DegradationLevel`) are mirrored here as [`FaultClass`] and
+//! [`Level`]; the `From` conversions live in `asgov-soc`, which sees
+//! both sides.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hist;
+mod record;
+mod ring;
+mod sink;
+
+pub use hist::Histogram;
+pub use record::{parse_jsonl, CycleRecord, FaultClass, Level, RecordError, SCHEMA};
+pub use ring::RingBuffer;
+pub use sink::{Metrics, NullSink, RingSink, TraceSink};

@@ -1,0 +1,367 @@
+//! The per-cycle trace record and its JSONL encoding.
+
+use asgov_util::Json;
+
+/// Schema tag stamped on every serialized record. Bump the suffix when
+/// a field is added, removed, or changes meaning; readers reject lines
+/// whose tag they do not understand.
+pub const SCHEMA: &str = "asgov-obs/v1";
+
+/// Mirror of `asgov_soc::SocErrorKind` — the class of actuation fault
+/// observed during a control cycle. Lives here (below the SoC crate) so
+/// records need no upward dependency; the `From` conversion is in
+/// `asgov-soc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Write to a sysfs path that does not exist.
+    NoSuchFile,
+    /// Write to a read-only sysfs path.
+    ReadOnly,
+    /// Value rejected by the kernel interface.
+    InvalidValue,
+    /// `scaling_setspeed` ignored because the governor is not
+    /// `userspace`.
+    WrongGovernor,
+    /// Transient `-EBUSY` from the kernel.
+    Busy,
+}
+
+impl FaultClass {
+    /// Every fault class, in a fixed order (stable across releases of
+    /// the same schema version; used to index per-class counters).
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::NoSuchFile,
+        FaultClass::ReadOnly,
+        FaultClass::InvalidValue,
+        FaultClass::WrongGovernor,
+        FaultClass::Busy,
+    ];
+
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::NoSuchFile => "no-such-file",
+            FaultClass::ReadOnly => "read-only",
+            FaultClass::InvalidValue => "invalid-value",
+            FaultClass::WrongGovernor => "wrong-governor",
+            FaultClass::Busy => "busy",
+        }
+    }
+
+    /// Parse a wire name produced by [`FaultClass::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        FaultClass::ALL.into_iter().find(|f| f.as_str() == s)
+    }
+
+    /// Index into per-class counter arrays (the position in
+    /// [`FaultClass::ALL`]).
+    pub fn index(self) -> usize {
+        FaultClass::ALL.iter().position(|f| *f == self).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Mirror of `asgov_soc::DegradationLevel` — where the controller sat
+/// on the degradation ladder when the record was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Level {
+    /// Full closed-loop operation.
+    #[default]
+    Full,
+    /// Pinned to the profiled maximum-speedup configuration.
+    SafeConfig,
+    /// Delegated back to the stock kernel governors.
+    FallbackGovernor,
+}
+
+impl Level {
+    /// Every level, ladder order.
+    pub const ALL: [Level; 3] = [Level::Full, Level::SafeConfig, Level::FallbackGovernor];
+
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Full => "full",
+            Level::SafeConfig => "safe-config",
+            Level::FallbackGovernor => "fallback-governor",
+        }
+    }
+
+    /// Parse a wire name produced by [`Level::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Level::ALL.into_iter().find(|l| l.as_str() == s)
+    }
+
+    /// Index into per-level counter arrays.
+    pub fn index(self) -> usize {
+        Level::ALL.iter().position(|l| *l == self).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One control cycle, fully described. `Copy` and fixed-size so the
+/// ring buffer holding these never allocates after construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleRecord {
+    /// Control-cycle ordinal (0-based, monotone within a run).
+    pub cycle: u64,
+    /// Device time at the end of the cycle, ms.
+    pub t_ms: u64,
+    /// Performance target, GIPS.
+    pub target_gips: f64,
+    /// Measured performance over the cycle (mean of accepted perf
+    /// readings), GIPS.
+    pub measured_gips: f64,
+    /// Tracking error `e_n = target − measured`, GIPS.
+    pub error: f64,
+    /// Kalman base-speed estimate `b_n`, GIPS.
+    pub base_estimate: f64,
+    /// Kalman innovation `y − h·b⁻` for this cycle's update, GIPS.
+    pub innovation: f64,
+    /// Required speedup `s_n` emitted by the regulator.
+    pub required_speedup: f64,
+    /// Lower configuration of the chosen pair `c_l`: (CPU-frequency
+    /// index, memory-bandwidth index) into the device ladders.
+    pub lower: (u32, u32),
+    /// Upper configuration `c_h`, same encoding.
+    pub upper: (u32, u32),
+    /// Dwell on the lower configuration `τ_l`, ms (post-quantization).
+    pub tau_lower_ms: u64,
+    /// Dwell on the upper configuration `τ_h`, ms. The scheduler
+    /// guarantees `tau_lower_ms + tau_upper_ms == T` exactly.
+    pub tau_upper_ms: u64,
+    /// Wall-clock time the optimizer spent solving, ns.
+    pub solve_ns: u64,
+    /// Wall-clock latency of the actuation (sysfs writes + retries), ns.
+    pub actuation_ns: u64,
+    /// Actuation fault observed during the cycle, if any.
+    pub fault: Option<FaultClass>,
+    /// Degradation-ladder level after this cycle's health accounting.
+    pub level: Level,
+}
+
+impl Default for CycleRecord {
+    fn default() -> Self {
+        Self {
+            cycle: 0,
+            t_ms: 0,
+            target_gips: 0.0,
+            measured_gips: 0.0,
+            error: 0.0,
+            base_estimate: 0.0,
+            innovation: 0.0,
+            required_speedup: 0.0,
+            lower: (0, 0),
+            upper: (0, 0),
+            tau_lower_ms: 0,
+            tau_upper_ms: 0,
+            solve_ns: 0,
+            actuation_ns: 0,
+            fault: None,
+            level: Level::Full,
+        }
+    }
+}
+
+/// Why a serialized record line could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The line is not valid JSON.
+    Malformed,
+    /// The line parsed, but its `schema` tag is missing or unknown.
+    BadSchema(String),
+    /// A required field is missing or has the wrong type.
+    MissingField(&'static str),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Malformed => write!(f, "line is not valid JSON"),
+            RecordError::BadSchema(s) => write!(f, "unknown schema tag {s:?} (want {SCHEMA:?})"),
+            RecordError::MissingField(name) => write!(f, "missing or mistyped field {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl CycleRecord {
+    /// Encode as a JSON object carrying the [`SCHEMA`] tag.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("schema", SCHEMA);
+        o.set("cycle", self.cycle as f64);
+        o.set("t_ms", self.t_ms as f64);
+        o.set("target_gips", self.target_gips);
+        o.set("measured_gips", self.measured_gips);
+        o.set("error", self.error);
+        o.set("base_estimate", self.base_estimate);
+        o.set("innovation", self.innovation);
+        o.set("required_speedup", self.required_speedup);
+        o.set("lower_freq", self.lower.0 as f64);
+        o.set("lower_bw", self.lower.1 as f64);
+        o.set("upper_freq", self.upper.0 as f64);
+        o.set("upper_bw", self.upper.1 as f64);
+        o.set("tau_lower_ms", self.tau_lower_ms as f64);
+        o.set("tau_upper_ms", self.tau_upper_ms as f64);
+        o.set("solve_ns", self.solve_ns as f64);
+        o.set("actuation_ns", self.actuation_ns as f64);
+        match self.fault {
+            Some(fault) => o.set("fault", fault.as_str()),
+            None => o.set("fault", Json::Null),
+        }
+        o.set("level", self.level.as_str());
+        o
+    }
+
+    /// Decode a JSON object produced by [`CycleRecord::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, RecordError> {
+        let tag = j.get("schema").and_then(Json::as_str).unwrap_or("");
+        if tag != SCHEMA {
+            return Err(RecordError::BadSchema(tag.to_string()));
+        }
+        let f64_field = |name: &'static str| {
+            j.get(name)
+                .and_then(Json::as_f64)
+                .ok_or(RecordError::MissingField(name))
+        };
+        let u64_field = |name: &'static str| f64_field(name).map(|v| v as u64);
+        let u32_field = |name: &'static str| f64_field(name).map(|v| v as u32);
+        let fault = match j.get("fault") {
+            Some(Json::Null) | None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .and_then(FaultClass::parse)
+                    .ok_or(RecordError::MissingField("fault"))?,
+            ),
+        };
+        let level = j
+            .get("level")
+            .and_then(Json::as_str)
+            .and_then(Level::parse)
+            .ok_or(RecordError::MissingField("level"))?;
+        Ok(Self {
+            cycle: u64_field("cycle")?,
+            t_ms: u64_field("t_ms")?,
+            target_gips: f64_field("target_gips")?,
+            measured_gips: f64_field("measured_gips")?,
+            error: f64_field("error")?,
+            base_estimate: f64_field("base_estimate")?,
+            innovation: f64_field("innovation")?,
+            required_speedup: f64_field("required_speedup")?,
+            lower: (u32_field("lower_freq")?, u32_field("lower_bw")?),
+            upper: (u32_field("upper_freq")?, u32_field("upper_bw")?),
+            tau_lower_ms: u64_field("tau_lower_ms")?,
+            tau_upper_ms: u64_field("tau_upper_ms")?,
+            solve_ns: u64_field("solve_ns")?,
+            actuation_ns: u64_field("actuation_ns")?,
+            fault,
+            level,
+        })
+    }
+
+    /// Encode as one compact JSONL line (no trailing newline).
+    pub fn to_jsonl_line(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Decode one JSONL line.
+    pub fn from_jsonl_line(line: &str) -> Result<Self, RecordError> {
+        let j = Json::parse(line).map_err(|_| RecordError::Malformed)?;
+        Self::from_json(&j)
+    }
+}
+
+/// Decode a whole JSONL document (one record per non-empty line).
+pub fn parse_jsonl(text: &str) -> Result<Vec<CycleRecord>, RecordError> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(CycleRecord::from_jsonl_line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(cycle: u64) -> CycleRecord {
+        CycleRecord {
+            cycle,
+            t_ms: 2_000 * (cycle + 1),
+            target_gips: 0.5,
+            measured_gips: 0.487,
+            error: 0.013,
+            base_estimate: 0.231,
+            innovation: -0.004,
+            required_speedup: 2.16,
+            lower: (7, 3),
+            upper: (8, 4),
+            tau_lower_ms: 1_200,
+            tau_upper_ms: 800,
+            solve_ns: 1_850,
+            actuation_ns: 12_400,
+            fault: Some(FaultClass::Busy),
+            level: Level::SafeConfig,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_jsonl() {
+        let rec = sample(3);
+        let line = rec.to_jsonl_line();
+        assert!(line.contains("\"schema\":\"asgov-obs/v1\""));
+        let back = CycleRecord::from_jsonl_line(&line).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn null_fault_round_trips() {
+        let rec = CycleRecord {
+            fault: None,
+            level: Level::Full,
+            ..sample(0)
+        };
+        let back = CycleRecord::from_jsonl_line(&rec.to_jsonl_line()).unwrap();
+        assert_eq!(back.fault, None);
+        assert_eq!(back.level, Level::Full);
+    }
+
+    #[test]
+    fn rejects_unknown_schema() {
+        let mut j = sample(0).to_json();
+        j.set("schema", "asgov-obs/v999");
+        let err = CycleRecord::from_json(&j).unwrap_err();
+        assert!(matches!(err, RecordError::BadSchema(_)));
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let line = r#"{"schema":"asgov-obs/v1","cycle":1}"#;
+        let err = CycleRecord::from_jsonl_line(line).unwrap_err();
+        assert!(matches!(err, RecordError::MissingField(_)));
+    }
+
+    #[test]
+    fn wire_names_are_total_and_invertible() {
+        for f in FaultClass::ALL {
+            assert_eq!(FaultClass::parse(f.as_str()), Some(f));
+        }
+        for l in Level::ALL {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(FaultClass::parse("nope"), None);
+        assert_eq!(Level::parse("nope"), None);
+    }
+}

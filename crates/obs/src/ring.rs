@@ -1,0 +1,160 @@
+//! Fixed-capacity ring buffer: keeps the newest N records, counts the
+//! rest. All storage is reserved up front; `push` never allocates.
+
+/// A fixed-capacity overwrite-oldest ring of `Copy` values.
+///
+/// ```
+/// use asgov_obs::RingBuffer;
+/// let mut ring = RingBuffer::new(3);
+/// for i in 0..5u64 {
+///     ring.push(i);
+/// }
+/// assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+/// assert_eq!(ring.dropped(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T: Copy> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index the *next* push writes to, once the buffer is full.
+    head: usize,
+    pushed: u64,
+}
+
+impl<T: Copy> RingBuffer<T> {
+    /// A ring holding at most `capacity` values (at least 1). The full
+    /// backing store is allocated here; nothing allocates afterwards.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Append a value, overwriting the oldest once full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() < self.capacity {
+            // Within the reserved capacity — no reallocation.
+            self.buf.push(value);
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    /// Number of values currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total values ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// How many values were overwritten (pushed − retained).
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.buf.len() as u64
+    }
+
+    /// Iterate the retained values oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (older, newer) = self.buf.split_at(self.head);
+        newer.iter().chain(older.iter())
+    }
+
+    /// The newest value, if any.
+    pub fn last(&self) -> Option<&T> {
+        if self.buf.is_empty() {
+            None
+        } else if self.head == 0 {
+            self.buf.last()
+        } else {
+            Some(&self.buf[self.head - 1])
+        }
+    }
+
+    /// Drop all retained values (the `pushed` total is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_keeping_newest() {
+        let mut ring = RingBuffer::new(4);
+        assert!(ring.is_empty());
+        for i in 0..10u32 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(ring.last(), Some(&9));
+    }
+
+    #[test]
+    fn partial_fill_preserves_order() {
+        let mut ring = RingBuffer::new(8);
+        for i in 0..3u32 {
+            ring.push(i);
+        }
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.last(), Some(&2));
+    }
+
+    #[test]
+    fn never_reallocates_after_construction() {
+        let mut ring = RingBuffer::new(16);
+        let ptr = ring.buf.as_ptr();
+        let cap = ring.buf.capacity();
+        for i in 0..1000u32 {
+            ring.push(i);
+        }
+        assert_eq!(ring.buf.as_ptr(), ptr, "backing store must not move");
+        assert_eq!(ring.buf.capacity(), cap);
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut ring = RingBuffer::new(0);
+        ring.push(1u8);
+        ring.push(2u8);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.last(), Some(&2));
+    }
+
+    #[test]
+    fn clear_resets_contents_not_totals() {
+        let mut ring = RingBuffer::new(2);
+        ring.push(1u8);
+        ring.push(2u8);
+        ring.push(3u8);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.pushed(), 3);
+        ring.push(9u8);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+}

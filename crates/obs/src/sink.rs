@@ -1,0 +1,290 @@
+//! The sink the device and controller emit trace data into.
+
+use crate::hist::Histogram;
+use crate::record::{CycleRecord, FaultClass, Level};
+use crate::ring::RingBuffer;
+use asgov_util::Json;
+
+/// Receives per-cycle records (from the controller) and actuation
+/// events (from the simulated device). Implementations must be cheap:
+/// the controller calls into the sink from its hot path, and the bench
+/// suite holds the overhead budget to < 5 % per cycle.
+///
+/// `Debug` is a supertrait so sinks can live inside `Device`, which
+/// derives `Debug`.
+pub trait TraceSink: std::fmt::Debug {
+    /// One control cycle completed.
+    fn record_cycle(&mut self, rec: &CycleRecord);
+
+    /// A device-level actuation happened (`kind` is a stable name such
+    /// as `"cpu-freq"` or `"cpufreq-governor"`). Default: ignored.
+    fn device_event(&mut self, t_ms: u64, kind: &str) {
+        let _ = (t_ms, kind);
+    }
+}
+
+/// Discards everything. Installing a `NullSink` is bit-identical to
+/// installing no sink at all (asserted in `tests/observability.rs`,
+/// mirroring the empty-`FaultPlan` contract in `tests/chaos.rs`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record_cycle(&mut self, _rec: &CycleRecord) {}
+}
+
+/// Aggregated counters and histograms over everything a sink has seen.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Control cycles observed.
+    pub cycles: u64,
+    /// Cycles that carried an actuation fault, per [`FaultClass`]
+    /// (indexed by [`FaultClass::index`]).
+    pub faults: [u64; 5],
+    /// Cycles spent at each degradation [`Level`] (indexed by
+    /// [`Level::index`]).
+    pub level_cycles: [u64; 3],
+    /// Ladder step-downs observed (one per level crossed).
+    pub degradations: u64,
+    /// Completed recoveries (back to `Full`), attributed to the fault
+    /// class that opened the degraded episode.
+    pub recoveries_by_fault: [u64; 5],
+    /// Device-level actuation events, by kind.
+    pub device_events: u64,
+    /// Optimizer solve time, ns.
+    pub solve_ns: Histogram,
+    /// Actuation latency, ns.
+    pub actuation_ns: Histogram,
+    /// |Kalman innovation|, GIPS.
+    pub innovation_abs: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            cycles: 0,
+            faults: [0; 5],
+            level_cycles: [0; 3],
+            degradations: 0,
+            recoveries_by_fault: [0; 5],
+            device_events: 0,
+            solve_ns: Histogram::time_ns(),
+            actuation_ns: Histogram::time_ns(),
+            innovation_abs: Histogram::magnitude(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Total faulted cycles across all classes.
+    pub fn total_faults(&self) -> u64 {
+        self.faults.iter().sum()
+    }
+
+    /// Total completed recoveries across all classes.
+    pub fn total_recoveries(&self) -> u64 {
+        self.recoveries_by_fault.iter().sum()
+    }
+
+    /// JSON summary (used by `asgov trace` / `asgov stats` output).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("cycles", self.cycles as f64);
+        let mut faults = Json::object();
+        let mut recoveries = Json::object();
+        for f in FaultClass::ALL {
+            if self.faults[f.index()] > 0 {
+                faults.set(f.as_str(), self.faults[f.index()] as f64);
+            }
+            if self.recoveries_by_fault[f.index()] > 0 {
+                recoveries.set(f.as_str(), self.recoveries_by_fault[f.index()] as f64);
+            }
+        }
+        o.set("faulted_cycles", faults);
+        o.set("recoveries_by_fault", recoveries);
+        let mut levels = Json::object();
+        for l in Level::ALL {
+            if self.level_cycles[l.index()] > 0 {
+                levels.set(l.as_str(), self.level_cycles[l.index()] as f64);
+            }
+        }
+        o.set("level_cycles", levels);
+        o.set("degradations", self.degradations as f64);
+        o.set("device_events", self.device_events as f64);
+        o.set("solve_ns", self.solve_ns.to_json());
+        o.set("actuation_ns", self.actuation_ns.to_json());
+        o.set("innovation_abs", self.innovation_abs.to_json());
+        o
+    }
+}
+
+/// The standard in-memory sink: a fixed-capacity [`RingBuffer`] of the
+/// newest records plus running [`Metrics`]. Construction reserves all
+/// storage; the record path never allocates.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    ring: RingBuffer<CycleRecord>,
+    metrics: Metrics,
+    prev_level: Level,
+    /// The fault class that opened the current degraded episode, for
+    /// recovery attribution.
+    episode_fault: Option<FaultClass>,
+}
+
+impl RingSink {
+    /// A sink retaining the newest `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: RingBuffer::new(capacity),
+            metrics: Metrics::default(),
+            prev_level: Level::Full,
+            episode_fault: None,
+        }
+    }
+
+    /// The retained records, oldest → newest.
+    pub fn records(&self) -> Vec<CycleRecord> {
+        self.ring.iter().copied().collect()
+    }
+
+    /// The underlying ring (for capacity / drop accounting).
+    pub fn ring(&self) -> &RingBuffer<CycleRecord> {
+        &self.ring
+    }
+
+    /// The aggregated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Serialize the retained records as JSONL, one schema-versioned
+    /// compact object per line, oldest → newest.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in self.ring.iter() {
+            out.push_str(&rec.to_jsonl_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record_cycle(&mut self, rec: &CycleRecord) {
+        self.metrics.cycles += 1;
+        self.metrics.level_cycles[rec.level.index()] += 1;
+        if let Some(fault) = rec.fault {
+            self.metrics.faults[fault.index()] += 1;
+            if self.episode_fault.is_none() {
+                self.episode_fault = Some(fault);
+            }
+        }
+        if rec.level.index() > self.prev_level.index() {
+            self.metrics.degradations += (rec.level.index() - self.prev_level.index()) as u64;
+        }
+        if rec.level == Level::Full && self.prev_level != Level::Full {
+            if let Some(fault) = self.episode_fault {
+                self.metrics.recoveries_by_fault[fault.index()] += 1;
+            }
+        }
+        if rec.level == Level::Full && rec.fault.is_none() {
+            self.episode_fault = None;
+        }
+        self.prev_level = rec.level;
+        self.metrics.solve_ns.record(rec.solve_ns as f64);
+        self.metrics.actuation_ns.record(rec.actuation_ns as f64);
+        self.metrics.innovation_abs.record(rec.innovation.abs());
+        self.ring.push(*rec);
+    }
+
+    fn device_event(&mut self, _t_ms: u64, _kind: &str) {
+        self.metrics.device_events += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cycle: u64, fault: Option<FaultClass>, level: Level) -> CycleRecord {
+        CycleRecord {
+            cycle,
+            t_ms: 2_000 * (cycle + 1),
+            innovation: -0.25,
+            solve_ns: 1_500,
+            actuation_ns: 9_000,
+            fault,
+            level,
+            ..CycleRecord::default()
+        }
+    }
+
+    #[test]
+    fn aggregates_counters_and_histograms() {
+        let mut sink = RingSink::new(8);
+        sink.record_cycle(&rec(0, None, Level::Full));
+        sink.record_cycle(&rec(1, Some(FaultClass::Busy), Level::Full));
+        sink.record_cycle(&rec(2, Some(FaultClass::Busy), Level::SafeConfig));
+        sink.record_cycle(&rec(3, None, Level::SafeConfig));
+        sink.record_cycle(&rec(4, None, Level::Full));
+        let m = sink.metrics();
+        assert_eq!(m.cycles, 5);
+        assert_eq!(m.faults[FaultClass::Busy.index()], 2);
+        assert_eq!(m.level_cycles[Level::Full.index()], 3);
+        assert_eq!(m.level_cycles[Level::SafeConfig.index()], 2);
+        assert_eq!(m.degradations, 1);
+        assert_eq!(m.recoveries_by_fault[FaultClass::Busy.index()], 1);
+        assert_eq!(m.total_recoveries(), 1);
+        assert_eq!(m.solve_ns.count(), 5);
+        assert_eq!(m.innovation_abs.count(), 5);
+    }
+
+    #[test]
+    fn recovery_attributed_to_opening_fault() {
+        // Busy opens the episode; a later WrongGovernor mid-episode
+        // does not steal the attribution.
+        let mut sink = RingSink::new(8);
+        sink.record_cycle(&rec(0, Some(FaultClass::Busy), Level::SafeConfig));
+        sink.record_cycle(&rec(1, Some(FaultClass::WrongGovernor), Level::SafeConfig));
+        sink.record_cycle(&rec(2, None, Level::Full));
+        let m = sink.metrics();
+        assert_eq!(m.recoveries_by_fault[FaultClass::Busy.index()], 1);
+        assert_eq!(m.recoveries_by_fault[FaultClass::WrongGovernor.index()], 0);
+    }
+
+    #[test]
+    fn jsonl_lists_retained_records_in_order() {
+        let mut sink = RingSink::new(2);
+        for i in 0..4 {
+            sink.record_cycle(&rec(i, None, Level::Full));
+        }
+        let text = sink.to_jsonl();
+        let records = crate::record::parse_jsonl(&text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].cycle, 2);
+        assert_eq!(records[1].cycle, 3);
+        assert_eq!(sink.ring().dropped(), 2);
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        sink.record_cycle(&rec(0, None, Level::Full));
+        sink.device_event(10, "cpu-freq");
+    }
+
+    #[test]
+    fn metrics_json_has_the_headline_keys() {
+        let mut sink = RingSink::new(4);
+        sink.record_cycle(&rec(0, Some(FaultClass::Busy), Level::Full));
+        let j = sink.metrics().to_json();
+        assert_eq!(j.get("cycles").and_then(Json::as_f64), Some(1.0));
+        assert!(j.get("solve_ns").is_some());
+        assert_eq!(
+            j.get("faulted_cycles")
+                .and_then(|f| f.get("busy"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+}

@@ -36,13 +36,21 @@ impl LoadSignature {
     }
 }
 
-/// Errors constructing a [`LoadModel`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Errors constructing or evaluating a [`LoadModel`].
+#[derive(Debug, Clone, PartialEq)]
 pub enum LoadModelError {
     /// Fewer than two anchor profiles were supplied.
     TooFewAnchors,
     /// Anchor profiles cover different configuration sets or apps.
     MismatchedProfiles,
+    /// The interpolation key derived from a [`LoadSignature`] cannot be
+    /// bracketed by the anchor set — e.g. the signature is NaN, or the
+    /// anchor table has a hole. The controller should keep its current
+    /// profile rather than crash.
+    UnresolvableSignature {
+        /// The interpolation key that could not be bracketed.
+        key: f64,
+    },
 }
 
 impl fmt::Display for LoadModelError {
@@ -54,6 +62,10 @@ impl fmt::Display for LoadModelError {
             LoadModelError::MismatchedProfiles => write!(
                 f,
                 "anchor profiles must describe the same application and configurations"
+            ),
+            LoadModelError::UnresolvableSignature { key } => write!(
+                f,
+                "load signature key {key} cannot be bracketed by the anchor profiles"
             ),
         }
     }
@@ -101,22 +113,32 @@ impl LoadModel {
     /// Generate the profile predicted for `sig`: linear interpolation of
     /// every row's speedup and power between the two bracketing anchors
     /// (clamped at the extremes). The base speed is interpolated too.
-    pub fn table_for(&self, sig: &LoadSignature) -> ProfileTable {
+    ///
+    /// # Errors
+    ///
+    /// [`LoadModelError::UnresolvableSignature`] when the signature's
+    /// interpolation key cannot be bracketed by the anchors — a NaN
+    /// signature, or an anchor set with a hole. Callers should treat
+    /// this as "no better profile available" and keep the current one.
+    pub fn table_for(&self, sig: &LoadSignature) -> Result<ProfileTable, LoadModelError> {
         let k = sig.key();
+        if !k.is_finite() {
+            return Err(LoadModelError::UnresolvableSignature { key: k });
+        }
         let first = &self.anchors[0];
         let last = &self.anchors[self.anchors.len() - 1];
         if k <= first.0.key() {
-            return first.1.clone();
+            return Ok(first.1.clone());
         }
         if k >= last.0.key() {
-            return last.1.clone();
+            return Ok(last.1.clone());
         }
         // Find the bracketing pair.
         let hi_idx = self
             .anchors
             .iter()
             .position(|(s, _)| s.key() >= k)
-            .expect("k is within the anchor range");
+            .ok_or(LoadModelError::UnresolvableSignature { key: k })?;
         let (lo_sig, lo_tab) = &self.anchors[hi_idx - 1];
         let (hi_sig, hi_tab) = &self.anchors[hi_idx];
         let span = (hi_sig.key() - lo_sig.key()).max(f64::EPSILON);
@@ -133,11 +155,11 @@ impl LoadModel {
                 measured: false,
             })
             .collect();
-        ProfileTable {
+        Ok(ProfileTable {
             app: lo_tab.app.clone(),
             base_gips: lo_tab.base_gips + t * (hi_tab.base_gips - lo_tab.base_gips),
             entries,
-        }
+        })
     }
 }
 
@@ -180,7 +202,7 @@ mod tests {
             (sig(0.2), table("a", 0.1, -0.2)),
         ])
         .unwrap();
-        let mid = model.table_for(&sig(0.1));
+        let mid = model.table_for(&sig(0.1)).unwrap();
         assert!((mid.base_gips - 0.15).abs() < 1e-12);
         assert!((mid.entries[0].speedup - 0.9).abs() < 1e-12);
         assert!(!mid.entries[0].measured, "interpolated rows are marked");
@@ -193,8 +215,8 @@ mod tests {
             (sig(0.2), table("a", 0.1, -0.2)),
         ])
         .unwrap();
-        assert_eq!(model.table_for(&sig(0.0)), table("a", 0.2, 0.0));
-        assert_eq!(model.table_for(&sig(0.9)), table("a", 0.1, -0.2));
+        assert_eq!(model.table_for(&sig(0.0)).unwrap(), table("a", 0.2, 0.0));
+        assert_eq!(model.table_for(&sig(0.9)).unwrap(), table("a", 0.1, -0.2));
     }
 
     #[test]
@@ -230,6 +252,28 @@ mod tests {
             (sig(0.0), table("a", 0.2, 0.0)),
         ])
         .unwrap();
-        assert_eq!(m1.table_for(&sig(0.1)), m2.table_for(&sig(0.1)));
+        assert_eq!(
+            m1.table_for(&sig(0.1)).unwrap(),
+            m2.table_for(&sig(0.1)).unwrap()
+        );
+    }
+
+    #[test]
+    fn nan_signature_degrades_to_an_error_not_a_panic() {
+        let model = LoadModel::new(vec![
+            (sig(0.0), table("a", 0.2, 0.0)),
+            (sig(0.2), table("a", 0.1, -0.2)),
+        ])
+        .unwrap();
+        let err = model
+            .table_for(&LoadSignature {
+                cpu_util: f64::NAN,
+                traffic_mbps: 0.0,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LoadModelError::UnresolvableSignature { key } if key.is_nan()
+        ));
     }
 }

@@ -135,10 +135,12 @@ fn load_model_convex() {
             ),
         ])
         .unwrap();
-        let out = model.table_for(&LoadSignature {
-            cpu_util: query,
-            traffic_mbps: 0.0,
-        });
+        let out = model
+            .table_for(&LoadSignature {
+                cpu_util: query,
+                traffic_mbps: 0.0,
+            })
+            .unwrap();
         for ((o, l), h) in out.entries.iter().zip(&lo.entries).zip(&hi.entries) {
             let (smin, smax) = (l.speedup.min(h.speedup), l.speedup.max(h.speedup));
             assert!(

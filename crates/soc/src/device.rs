@@ -23,6 +23,9 @@ use crate::pmu::Pmu;
 use crate::power::{PowerBreakdown, PowerModel, PowerModelParams};
 use crate::trace::{Trace, TraceEvent};
 use crate::workload::{Demand, Executed};
+use asgov_obs::{CycleRecord, TraceSink};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Duration of one simulation tick, milliseconds.
 pub const TICK_MS: u64 = 1;
@@ -193,6 +196,7 @@ pub struct Device {
     tool_power_w: f64,
     trace: Trace,
     faults: Option<FaultInjector>,
+    obs: Option<Rc<RefCell<dyn TraceSink>>>,
     default_online_cores: f64,
 }
 
@@ -234,6 +238,7 @@ impl Device {
             tool_power_w: 0.0,
             trace: Trace::default(),
             faults: None,
+            obs: None,
             default_online_cores: cfg.online_cores,
             table: cfg.table,
         }
@@ -395,6 +400,49 @@ impl Device {
         self.faults.take()
     }
 
+    // ---- observability ------------------------------------------------
+
+    /// Install an observability sink (see [`asgov_obs`]). The sink is
+    /// shared — clones of the device emit into the same sink. Without
+    /// one, the observability layer costs nothing; with a
+    /// [`asgov_obs::NullSink`], simulation outputs are bit-identical to
+    /// no sink at all (asserted in `tests/observability.rs`).
+    pub fn install_obs_sink(&mut self, sink: Rc<RefCell<dyn TraceSink>>) {
+        self.obs = Some(sink);
+    }
+
+    /// Whether a sink is installed. Controllers gate record
+    /// construction (and the wall-clock reads that feed it) on this so
+    /// un-instrumented runs pay nothing.
+    pub fn has_obs_sink(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// The installed sink, if any.
+    pub fn obs_sink(&self) -> Option<&Rc<RefCell<dyn TraceSink>>> {
+        self.obs.as_ref()
+    }
+
+    /// Remove and return the installed sink.
+    pub fn take_obs_sink(&mut self) -> Option<Rc<RefCell<dyn TraceSink>>> {
+        self.obs.take()
+    }
+
+    /// Emit one control-cycle record into the sink, if present. Called
+    /// by the controller at the end of every control cycle.
+    pub fn emit_cycle(&self, rec: &CycleRecord) {
+        if let Some(sink) = &self.obs {
+            sink.borrow_mut().record_cycle(rec);
+        }
+    }
+
+    /// Emit a device-level actuation event into the sink, if present.
+    fn obs_event(&self, kind: &'static str) {
+        if let Some(sink) = &self.obs {
+            sink.borrow_mut().device_event(self.now_ms, kind);
+        }
+    }
+
     /// Draw the fault (if any) afflicting a perf reading produced now.
     /// Called by [`crate::PerfReader::poll`].
     pub(crate) fn draw_perf_fault(&mut self) -> Option<PerfFault> {
@@ -428,6 +476,7 @@ impl Device {
         if idx != self.freq {
             self.trace
                 .record(self.now_ms, TraceEvent::CpuFreq(self.freq.0, idx.0));
+            self.obs_event("cpu-freq");
             self.freq = idx;
             self.freq_transitions += 1;
             self.pending_transition_energy_j += TRANSITION_ENERGY_J;
@@ -443,6 +492,7 @@ impl Device {
         if idx != self.gpu.freq() {
             self.trace
                 .record(self.now_ms, TraceEvent::GpuFreq(self.gpu.freq().0, idx.0));
+            self.obs_event("gpu-freq");
             self.gpu.set_freq(idx);
             self.pending_transition_energy_j += TRANSITION_ENERGY_J;
         }
@@ -459,6 +509,7 @@ impl Device {
         if idx != self.bw {
             self.trace
                 .record(self.now_ms, TraceEvent::MemBw(self.bw.0, idx.0));
+            self.obs_event("mem-bw");
             self.bw = idx;
             self.bw_transitions += 1;
             self.pending_transition_energy_j += TRANSITION_ENERGY_J;
@@ -474,6 +525,7 @@ impl Device {
                 name: name.to_string(),
             },
         );
+        self.obs_event("cpufreq-governor");
         self.cpu_governor = name.to_string();
         match name {
             "performance" => self.set_cpu_freq(self.table.max_freq()),
@@ -491,6 +543,7 @@ impl Device {
                 name: name.to_string(),
             },
         );
+        self.obs_event("devfreq-governor");
         self.bw_governor = name.to_string();
         match name {
             "performance" => self.set_mem_bw(self.table.max_bw()),

@@ -63,6 +63,18 @@ impl fmt::Display for SocErrorKind {
     }
 }
 
+impl From<SocErrorKind> for asgov_obs::FaultClass {
+    fn from(kind: SocErrorKind) -> Self {
+        match kind {
+            SocErrorKind::NoSuchFile => asgov_obs::FaultClass::NoSuchFile,
+            SocErrorKind::ReadOnly => asgov_obs::FaultClass::ReadOnly,
+            SocErrorKind::InvalidValue => asgov_obs::FaultClass::InvalidValue,
+            SocErrorKind::WrongGovernor => asgov_obs::FaultClass::WrongGovernor,
+            SocErrorKind::Busy => asgov_obs::FaultClass::Busy,
+        }
+    }
+}
+
 impl SocError {
     /// The field-free kind of this error.
     pub fn kind(&self) -> SocErrorKind {

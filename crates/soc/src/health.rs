@@ -44,6 +44,16 @@ impl DegradationLevel {
     }
 }
 
+impl From<DegradationLevel> for asgov_obs::Level {
+    fn from(level: DegradationLevel) -> Self {
+        match level {
+            DegradationLevel::Full => asgov_obs::Level::Full,
+            DegradationLevel::SafeConfig => asgov_obs::Level::SafeConfig,
+            DegradationLevel::FallbackGovernor => asgov_obs::Level::FallbackGovernor,
+        }
+    }
+}
+
 impl fmt::Display for DegradationLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -89,10 +99,17 @@ pub struct HealthReport {
     pub degradations: u64,
     /// Steps taken back up the ladder.
     pub recoveries: u64,
-    /// Control cycles between the last observed fault symptom and the
-    /// most recent return to `Full` operation (`None` if the controller
-    /// never returned from a degraded level, or never left `Full`).
+    /// Control cycles between the *first* failed cycle of the most
+    /// recent fault episode and the return to `Full` operation — i.e.
+    /// how long the whole episode (faults included) kept the controller
+    /// away from full closed-loop control. `None` if the controller
+    /// never returned from a degraded level, or never left `Full`.
     pub recovery_latency_cycles: Option<u64>,
+    /// Control cycles between the *last* failed cycle and the most
+    /// recent return to `Full` — the climb-out time once the fault
+    /// cleared. This is the quantity bounded by the chaos suite's
+    /// M = 5 contract.
+    pub climb_latency_cycles: Option<u64>,
 }
 
 impl HealthReport {
@@ -144,9 +161,10 @@ impl HealthReport {
             parts.push(format!("{} estimator re-seeds", self.kalman_reseeds));
         }
         if self.degradations > 0 {
-            let latency = match self.recovery_latency_cycles {
-                Some(c) => format!("recovered in {c} cycles"),
-                None => "not recovered".to_string(),
+            let latency = match (self.recovery_latency_cycles, self.climb_latency_cycles) {
+                (Some(c), Some(k)) => format!("recovered in {c} cycles, climb-out {k}"),
+                (Some(c), None) => format!("recovered in {c} cycles"),
+                _ => "not recovered".to_string(),
             };
             parts.push(format!(
                 "{} degradations / {} recoveries ({latency})",
@@ -182,6 +200,10 @@ impl HealthReport {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 (a, b) => a.or(b),
             },
+            climb_latency_cycles: match (self.climb_latency_cycles, other.climb_latency_cycles) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
         }
     }
 
@@ -208,6 +230,10 @@ impl HealthReport {
         match self.recovery_latency_cycles {
             Some(c) => doc.set("recovery_latency_cycles", c as f64),
             None => doc.set("recovery_latency_cycles", asgov_util::Json::Null),
+        }
+        match self.climb_latency_cycles {
+            Some(c) => doc.set("climb_latency_cycles", c as f64),
+            None => doc.set("climb_latency_cycles", asgov_util::Json::Null),
         }
         doc
     }

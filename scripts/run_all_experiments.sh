@@ -9,11 +9,14 @@ mkdir -p results
 for bin in table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5 \
            ablations scope related_work traces chaos; do
   echo "=== $bin ==="
+  # The chaos study also writes the per-cycle CHAOS_trace.jsonl artifact.
+  EXTRA=""
+  [ "$bin" = "chaos" ] && EXTRA="--trace"
   if [ "$QUICK" = "--quick" ]; then
-    cargo run --release -p asgov-experiments --bin "$bin" -- --quick \
+    cargo run --release -p asgov-experiments --bin "$bin" -- --quick $EXTRA \
       > "results/$bin.txt" 2>&1 || true
   else
-    cargo run --release -p asgov-experiments --bin "$bin" \
+    cargo run --release -p asgov-experiments --bin "$bin" -- $EXTRA \
       > "results/$bin.txt" 2>&1
   fi
 done

@@ -20,6 +20,7 @@
 //! | [`governors`] | `asgov-governors` | interactive, ondemand, conservative, userspace, performance, powersave, cpubw_hwmon |
 //! | [`workloads`] | `asgov-workloads` | the six paper applications + eBook, BL/NL/HL background loads |
 //! | [`profiler`] | `asgov-profiler` | offline profiling with bandwidth interpolation, default-run baseline |
+//! | [`obs`] | `asgov-obs` | observability: per-cycle trace records, ring-buffer sink, metrics |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use asgov_control as control;
 pub use asgov_core as core;
 pub use asgov_governors as governors;
 pub use asgov_linprog as linprog;
+pub use asgov_obs as obs;
 pub use asgov_profiler as profiler;
 pub use asgov_soc as soc;
 pub use asgov_util as util;

@@ -160,11 +160,15 @@ fn every_fault_class_recovers_within_five_cycles() {
                 "{name}: every degradation must be recovered"
             );
             let latency = health
-                .recovery_latency_cycles
-                .expect("recovered runs report a latency");
+                .climb_latency_cycles
+                .expect("recovered runs report a climb-out latency");
             assert!(
                 latency <= 5,
-                "{name}: recovery took {latency} cycles (> M = 5)"
+                "{name}: climb-out took {latency} cycles (> M = 5)"
+            );
+            assert!(
+                health.recovery_latency_cycles.is_some(),
+                "{name}: recovered runs report an episode latency"
             );
         }
     }

@@ -150,10 +150,12 @@ fn load_model_generates_between_real_profiles() {
     .unwrap();
 
     // The generated mid-load profile sits between its anchors, row-wise.
-    let mid = model.table_for(&LoadSignature {
-        cpu_util: 0.08,
-        traffic_mbps: 90.0,
-    });
+    let mid = model
+        .table_for(&LoadSignature {
+            cpu_util: 0.08,
+            traffic_mbps: 90.0,
+        })
+        .unwrap();
     for ((m, lo), hi) in mid
         .entries
         .iter()
