@@ -1,0 +1,123 @@
+//! Allow-list annotations.
+//!
+//! A finding is suppressed by a comment of the form
+//!
+//! ```text
+//! // asgov-analyze: allow(<rule-id>): <reason>
+//! ```
+//!
+//! placed on the offending line (trailing) or on the line directly
+//! above it. The reason is **mandatory** — an allow without one is
+//! itself a finding (`allow-missing-reason`), as is an allow naming a
+//! rule that does not exist (`allow-unknown-rule`) or an allow that
+//! suppresses nothing (`unused-allow`). The meta-rules keep the
+//! escape hatch honest: every suppression is deliberate, explained,
+//! and still load-bearing.
+
+use crate::lexer::Tok;
+use std::cell::Cell;
+
+/// The annotation marker looked for inside comments.
+pub const MARKER: &str = "asgov-analyze:";
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule being allowed.
+    pub rule: String,
+    /// Mandatory justification (may be empty if the author omitted it —
+    /// the framework reports that as `allow-missing-reason`).
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Whether any finding was actually suppressed by this allow.
+    pub used: Cell<bool>,
+}
+
+impl Allow {
+    /// True when this allow covers a finding of `rule` at `line` (the
+    /// annotation's own line for trailing comments, or the next line
+    /// for comments placed above the offending statement).
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// Extract every allow annotation from a file's comment tokens.
+pub fn collect(tokens: &[Tok]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for tok in tokens.iter().filter(|t| t.is_comment()) {
+        // Doc comments never carry annotations — they *document* the
+        // syntax (as this module does) without enacting it.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| tok.text.starts_with(p))
+        {
+            continue;
+        }
+        let Some(at) = tok.text.find(MARKER) else {
+            continue;
+        };
+        let rest = tok.text[at + MARKER.len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_start();
+        let reason = after
+            .strip_prefix(':')
+            .map(|r| r.trim().trim_end_matches("*/").trim().to_string())
+            .unwrap_or_default();
+        out.push(Allow {
+            rule,
+            reason,
+            line: tok.line,
+            used: Cell::new(false),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_rule_and_reason() {
+        let toks =
+            lex("// asgov-analyze: allow(hot-path-panic): ring slot proven occupied\nlet x = 1;");
+        let allows = collect(&toks);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "hot-path-panic");
+        assert_eq!(allows[0].reason, "ring slot proven occupied");
+        assert!(allows[0].covers("hot-path-panic", 2));
+        assert!(!allows[0].covers("hot-path-panic", 3));
+        assert!(!allows[0].covers("float-eq", 2));
+    }
+
+    #[test]
+    fn missing_reason_is_detectable() {
+        let toks = lex("// asgov-analyze: allow(float-eq)\nlet x = 1;");
+        let allows = collect(&toks);
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].reason.is_empty());
+    }
+
+    #[test]
+    fn block_comment_form_strips_the_terminator() {
+        let toks = lex("/* asgov-analyze: allow(nondeterminism): timer is obs-gated */ x");
+        let allows = collect(&toks);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].reason, "timer is obs-gated");
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let toks = lex("// plain comment\n// asgov-analyze: something else\nx");
+        assert!(collect(&toks).is_empty());
+    }
+}

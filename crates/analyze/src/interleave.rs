@@ -1,0 +1,432 @@
+//! Engine 2: a loom-lite exhaustive interleaving checker for the
+//! deterministic parallel harness (`asgov_util::par::ordered_map`).
+//!
+//! `ordered_map`'s concurrency skeleton is tiny: workers claim job
+//! indices from one atomic counter and write each result into its own
+//! pre-allocated slot. This module models that skeleton as explicit
+//! state machines and enumerates **every** schedule the model admits
+//! (optionally bounded in the number of preemptions, à la CHESS),
+//! asserting at each terminal state that the outcome is bit-identical
+//! to the serial loop. The OS scheduler only ever samples this space;
+//! the checker covers it.
+//!
+//! Model ↔ implementation correspondence (`crates/util/src/par.rs`):
+//!
+//! | model step | implementation |
+//! |------------|----------------|
+//! | `Claim`    | `next.fetch_add(1, Ordering::Relaxed)` — one atomic step |
+//! | `Write(i)` | `*slots[i].lock() = Some(f(i))` — slot owned by job `i` alone |
+//!
+//! Two deliberately broken variants prove the checker has teeth:
+//! [`Model::UnorderedPush`] (results pushed in completion order — the
+//! naive implementation) and [`Model::TornCounter`] (the claim split
+//! into a non-atomic read + increment). The checker must find a
+//! violating schedule in both; if it ever stops finding them, the
+//! checker itself has regressed.
+
+/// Which concurrency skeleton to explore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// The real `ordered_map` design: atomic claim, per-job slot.
+    OrderedSlots,
+    /// Broken: results pushed to a shared vector in completion order.
+    UnorderedPush,
+    /// Broken: the claim is a non-atomic read followed by a separate
+    /// increment, so two workers can claim the same job.
+    TornCounter,
+}
+
+/// One checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of jobs in the virtual `ordered_map` call.
+    pub jobs: usize,
+    /// Number of virtual worker threads.
+    pub threads: usize,
+    /// Maximum preemptions per schedule (`None` = exhaustive over all
+    /// schedules; small bounds cover the practically reachable space
+    /// at far lower cost, per the CHESS result).
+    pub preemption_bound: Option<usize>,
+}
+
+/// Result of exploring one (model, config) pair.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Terminal schedules explored.
+    pub schedules: u64,
+    /// First determinism violation found, if any, with the schedule
+    /// (sequence of thread ids) that produced it.
+    pub violation: Option<String>,
+}
+
+/// Deterministic per-job value — stands in for the pure per-index `f`.
+fn job_value(i: usize) -> u64 {
+    let mut z = (i as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    /// About to claim a job index.
+    Claim,
+    /// (TornCounter only) read the counter, not yet incremented it.
+    Incr(usize),
+    /// Claimed job `i`, about to write its result.
+    Write(usize),
+    /// Exited the worker loop.
+    Done,
+}
+
+#[derive(Clone)]
+struct State {
+    next: usize,
+    slots: Vec<Option<u64>>,
+    writes: Vec<u32>,
+    pushed: Vec<u64>,
+    pcs: Vec<Pc>,
+}
+
+struct Explorer {
+    model: Model,
+    jobs: usize,
+    bound: Option<usize>,
+    schedules: u64,
+    violation: Option<String>,
+}
+
+impl Explorer {
+    /// Advance thread `t` by one atomic step. Returns an error string
+    /// on an immediately detectable violation (double slot write).
+    fn step(&self, state: &mut State, t: usize) -> Result<(), String> {
+        match state.pcs[t] {
+            Pc::Claim => match self.model {
+                Model::TornCounter => state.pcs[t] = Pc::Incr(state.next),
+                _ => {
+                    let i = state.next;
+                    state.next += 1;
+                    state.pcs[t] = if i >= self.jobs {
+                        Pc::Done
+                    } else {
+                        Pc::Write(i)
+                    };
+                }
+            },
+            Pc::Incr(i) => {
+                state.next = i + 1;
+                state.pcs[t] = if i >= self.jobs {
+                    Pc::Done
+                } else {
+                    Pc::Write(i)
+                };
+            }
+            Pc::Write(i) => {
+                match self.model {
+                    Model::UnorderedPush => state.pushed.push(job_value(i)),
+                    _ => {
+                        state.writes[i] += 1;
+                        if state.writes[i] > 1 {
+                            return Err(format!("slot {i} written twice"));
+                        }
+                        state.slots[i] = Some(job_value(i));
+                    }
+                }
+                state.pcs[t] = Pc::Claim;
+            }
+            Pc::Done => unreachable!("done threads are never scheduled"),
+        }
+        Ok(())
+    }
+
+    fn terminal_check(&self, state: &State) -> Result<(), String> {
+        match self.model {
+            Model::UnorderedPush => {
+                let serial: Vec<u64> = (0..self.jobs).map(job_value).collect();
+                if state.pushed != serial {
+                    return Err(format!(
+                        "result order differs from serial: {:?} vs {serial:?}",
+                        state.pushed
+                    ));
+                }
+            }
+            _ => {
+                for i in 0..self.jobs {
+                    if state.writes[i] != 1 {
+                        return Err(format!("job {i} executed {} times", state.writes[i]));
+                    }
+                    if state.slots[i] != Some(job_value(i)) {
+                        return Err(format!("slot {i} holds a wrong value"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn explore(
+        &mut self,
+        state: &State,
+        last: Option<usize>,
+        preemptions: usize,
+        schedule: &mut Vec<usize>,
+    ) {
+        if self.violation.is_some() {
+            return;
+        }
+        let runnable: Vec<usize> = (0..state.pcs.len())
+            .filter(|&t| state.pcs[t] != Pc::Done)
+            .collect();
+        if runnable.is_empty() {
+            self.schedules += 1;
+            if let Err(why) = self.terminal_check(state) {
+                self.violation = Some(format!("{why} under schedule {schedule:?}"));
+            }
+            return;
+        }
+        let last_still_runnable = last.is_some_and(|t| runnable.contains(&t));
+        for &t in &runnable {
+            // Switching away from a still-runnable thread is a
+            // preemption; resuming after a block/exit is free.
+            let cost = usize::from(last_still_runnable && last != Some(t));
+            if let Some(bound) = self.bound {
+                if preemptions + cost > bound {
+                    continue;
+                }
+            }
+            let mut next = state.clone();
+            schedule.push(t);
+            match self.step(&mut next, t) {
+                Err(why) => {
+                    self.violation = Some(format!("{why} under schedule {schedule:?}"));
+                }
+                Ok(()) => self.explore(&next, Some(t), preemptions + cost, schedule),
+            }
+            schedule.pop();
+            if self.violation.is_some() {
+                return;
+            }
+        }
+    }
+}
+
+/// Exhaustively explore `model` under `cfg`.
+pub fn check(model: Model, cfg: &Config) -> Outcome {
+    let mut explorer = Explorer {
+        model,
+        jobs: cfg.jobs,
+        bound: cfg.preemption_bound,
+        schedules: 0,
+        violation: None,
+    };
+    let state = State {
+        next: 0,
+        slots: vec![None; cfg.jobs],
+        writes: vec![0; cfg.jobs],
+        pushed: Vec::new(),
+        pcs: vec![Pc::Claim; cfg.threads],
+    };
+    let mut schedule = Vec::new();
+    explorer.explore(&state, None, 0, &mut schedule);
+    Outcome {
+        schedules: explorer.schedules,
+        violation: explorer.violation,
+    }
+}
+
+/// The configurations the CI gate explores. `quick` keeps only the
+/// exhaustive (unbounded) small configs.
+pub fn default_configs(quick: bool) -> Vec<Config> {
+    let mut cfgs = vec![
+        Config {
+            jobs: 2,
+            threads: 2,
+            preemption_bound: None,
+        },
+        Config {
+            jobs: 3,
+            threads: 2,
+            preemption_bound: None,
+        },
+        Config {
+            jobs: 2,
+            threads: 3,
+            preemption_bound: None,
+        },
+    ];
+    if !quick {
+        cfgs.push(Config {
+            jobs: 3,
+            threads: 3,
+            preemption_bound: None,
+        });
+        cfgs.push(Config {
+            jobs: 4,
+            threads: 2,
+            preemption_bound: Some(3),
+        });
+        cfgs.push(Config {
+            jobs: 5,
+            threads: 3,
+            preemption_bound: Some(2),
+        });
+    }
+    cfgs
+}
+
+/// Aggregate result of the full interleaving gate.
+#[derive(Debug, Clone)]
+pub struct InterleaveReport {
+    /// Per-config outcomes for the real [`Model::OrderedSlots`] design.
+    pub ordered: Vec<(Config, Outcome)>,
+    /// Whether the checker found the seeded bug in every broken model
+    /// (its "teeth" self-test).
+    pub teeth_ok: bool,
+    /// Whether the real `ordered_map` matched its serial run bit-for-bit
+    /// across thread counts.
+    pub real_harness_ok: bool,
+}
+
+impl InterleaveReport {
+    /// True when every ordered config verified, the teeth test passed
+    /// and the real harness differential passed.
+    pub fn ok(&self) -> bool {
+        self.ordered.iter().all(|(_, o)| o.violation.is_none())
+            && self.teeth_ok
+            && self.real_harness_ok
+    }
+}
+
+/// Run the whole interleaving gate: verify the real design over the
+/// default configs, confirm the checker still catches both seeded
+/// bugs, and differentially test the real `ordered_map` against its
+/// serial path.
+pub fn run_all(quick: bool) -> InterleaveReport {
+    let ordered = default_configs(quick)
+        .into_iter()
+        .map(|cfg| (cfg, check(Model::OrderedSlots, &cfg)))
+        .collect();
+    let teeth_cfg = Config {
+        jobs: 3,
+        threads: 2,
+        preemption_bound: None,
+    };
+    let teeth_ok = check(Model::UnorderedPush, &teeth_cfg).violation.is_some()
+        && check(Model::TornCounter, &teeth_cfg).violation.is_some();
+
+    let f = |i: usize| (i as f64).sqrt().mul_add(1e-3, job_value(i) as f64);
+    let serial = asgov_util::par::ordered_map(64, 1, f);
+    let real_harness_ok = (2..=8).all(|threads| {
+        let parallel = asgov_util::par::ordered_map(64, threads, f);
+        parallel
+            .iter()
+            .zip(&serial)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+
+    InterleaveReport {
+        ordered,
+        teeth_ok,
+        real_harness_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_slots_is_deterministic_under_every_interleaving() {
+        for cfg in default_configs(false) {
+            let out = check(Model::OrderedSlots, &cfg);
+            assert!(out.violation.is_none(), "{cfg:?}: {:?}", out.violation);
+            assert!(out.schedules > 0, "{cfg:?} explored nothing");
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_config_explores_many_schedules() {
+        let out = check(
+            Model::OrderedSlots,
+            &Config {
+                jobs: 3,
+                threads: 2,
+                preemption_bound: None,
+            },
+        );
+        // 2 threads × (3 jobs + exits) interleaved: 96 distinct
+        // schedules; a tiny count would mean the scheduler is broken.
+        assert!(out.schedules >= 90, "only {} schedules", out.schedules);
+    }
+
+    #[test]
+    fn checker_catches_the_unordered_push_bug() {
+        let out = check(
+            Model::UnorderedPush,
+            &Config {
+                jobs: 2,
+                threads: 2,
+                preemption_bound: None,
+            },
+        );
+        let why = out.violation.expect("must find an order violation");
+        assert!(why.contains("differs from serial"), "{why}");
+    }
+
+    #[test]
+    fn checker_catches_the_torn_counter_bug() {
+        let out = check(
+            Model::TornCounter,
+            &Config {
+                jobs: 2,
+                threads: 2,
+                preemption_bound: None,
+            },
+        );
+        let why = out.violation.expect("must find a duplicate claim");
+        assert!(why.contains("twice") || why.contains("times"), "{why}");
+    }
+
+    #[test]
+    fn preemption_bound_prunes_but_never_misses_on_broken_models() {
+        // Even with an aggressive bound of 1 preemption, the torn
+        // counter needs exactly one ill-timed switch to fail.
+        let out = check(
+            Model::TornCounter,
+            &Config {
+                jobs: 2,
+                threads: 2,
+                preemption_bound: Some(1),
+            },
+        );
+        assert!(out.violation.is_some());
+    }
+
+    #[test]
+    fn bound_zero_serializes_and_passes() {
+        // With no preemptions each thread runs to completion: thread 0
+        // does all jobs, the rest exit immediately. That degenerate
+        // schedule is exactly the serial loop and must verify.
+        let out = check(
+            Model::OrderedSlots,
+            &Config {
+                jobs: 4,
+                threads: 3,
+                preemption_bound: Some(0),
+            },
+        );
+        assert!(out.violation.is_none());
+        assert!(out.schedules >= 1);
+    }
+
+    #[test]
+    fn full_gate_passes_and_has_teeth() {
+        let report = run_all(true);
+        assert!(report.teeth_ok, "checker lost its teeth");
+        assert!(
+            report.real_harness_ok,
+            "real ordered_map diverged from serial"
+        );
+        assert!(report.ok());
+    }
+}

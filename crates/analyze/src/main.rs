@@ -1,0 +1,165 @@
+//! CLI entry point: `cargo run -p asgov-analyze -- --workspace`.
+//!
+//! Exit status is the contract: 0 when every lint passes and the
+//! interleaving gate verifies, 1 otherwise — CI runs this binary as a
+//! blocking job. A machine-readable report is always written (default
+//! `ANALYZE_report.json`), findings or not, so the artifact can be
+//! uploaded unconditionally.
+
+use asgov_analyze::{interleave, report::Report, rules, workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+asgov-analyze — invariant lints + interleaving checker
+
+USAGE:
+  asgov-analyze --workspace [--root <DIR>] [--report <FILE>]
+                [--skip-interleavings] [--quick]
+
+OPTIONS:
+  --workspace           Scan every crate in the workspace (required)
+  --root <DIR>          Workspace root (default: discovered upward
+                        from the current directory)
+  --report <FILE>       Report path (default: <root>/ANALYZE_report.json)
+  --skip-interleavings  Lint only; skip the interleaving checker
+  --quick               Smaller interleaving configurations (CI smoke)";
+
+struct Args {
+    root: Option<PathBuf>,
+    report: Option<PathBuf>,
+    workspace: bool,
+    skip_interleavings: bool,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        report: None,
+        workspace: false,
+        skip_interleavings: false,
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--skip-interleavings" => args.skip_interleavings = true,
+            "--quick" => args.quick = true,
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--report" => {
+                args.report = Some(PathBuf::from(it.next().ok_or("--report needs a path")?));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !args.workspace {
+        return Err("pass --workspace to select the analysis target".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(root) = args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| workspace::find_root(&d))
+    }) else {
+        eprintln!("error: could not locate the workspace root; pass --root");
+        return ExitCode::FAILURE;
+    };
+
+    let files = match workspace::discover(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: scanning {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut findings = Vec::new();
+    for file in &files {
+        match std::fs::read_to_string(&file.path) {
+            Ok(source) => {
+                findings.extend(rules::check_file(&file.rel, &file.crate_name, &source));
+            }
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", file.path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let interleave = if args.skip_interleavings {
+        None
+    } else {
+        Some(interleave::run_all(args.quick))
+    };
+
+    let report = Report {
+        findings,
+        files_scanned: files.len(),
+        interleave,
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "asgov-analyze: {} files, {} finding(s)",
+        report.files_scanned,
+        report.findings.len()
+    );
+    if let Some(il) = &report.interleave {
+        for (cfg, out) in &il.ordered {
+            let bound = cfg
+                .preemption_bound
+                .map_or("exhaustive".to_string(), |b| format!("≤{b} preemptions"));
+            match &out.violation {
+                None => println!(
+                    "interleave: jobs={} threads={} ({bound}): {} schedules, bit-identical",
+                    cfg.jobs, cfg.threads, out.schedules
+                ),
+                Some(v) => println!(
+                    "interleave: jobs={} threads={} ({bound}): VIOLATION: {v}",
+                    cfg.jobs, cfg.threads
+                ),
+            }
+        }
+        println!(
+            "interleave: checker teeth {}, real-harness differential {}",
+            if il.teeth_ok { "ok" } else { "LOST" },
+            if il.real_harness_ok { "ok" } else { "FAILED" },
+        );
+    }
+
+    let report_path = args
+        .report
+        .unwrap_or_else(|| root.join("ANALYZE_report.json"));
+    if let Err(e) = std::fs::write(&report_path, report.to_json().to_pretty()) {
+        eprintln!("error: writing {}: {e}", report_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("report: {}", report_path.display());
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

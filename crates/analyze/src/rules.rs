@@ -1,0 +1,606 @@
+//! The invariant lint rules and the framework that runs them.
+//!
+//! Each rule scans the comment-free token stream of one file and
+//! reports findings. Rules are deliberately *lexical*: they know
+//! nothing about types or name resolution, so each one is scoped to
+//! the crates where its invariant is load-bearing and backed by an
+//! allow-annotation escape hatch ([`crate::allow`]) for the rare
+//! justified exception. Test code (files under `tests/`, `examples/`,
+//! `benches/`, and `#[cfg(test)]` / `#[test]` item spans) is exempt
+//! from every rule except the allow meta-rules: tests *should* panic
+//! on broken invariants and compare floats exactly.
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `hot-path-panic` | core, control, soc, obs | no `unwrap`/`expect`/`panic!`-family in the 2 s control loop |
+//! | `hot-path-index` | core, control, soc, obs | no `x[i]` indexing that can panic; use `.get()` |
+//! | `nondeterminism` | all but bench/experiments/analyze and the harness boundary | no wall clocks, OS entropy, or randomized-hash collections |
+//! | `float-eq` | all | no `==`/`!=` against float literals |
+//! | `obs-gating` | core, control | obs emission only behind `has_obs_sink` |
+//! | `error-taxonomy` | all | `SocErrorKind` values come from the taxonomy, not ad-hoc construction |
+
+use crate::allow;
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (one of [`RULE_IDS`]).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Every rule the analyzer knows, including the allow meta-rules.
+pub const RULE_IDS: [&str; 9] = [
+    "hot-path-panic",
+    "hot-path-index",
+    "nondeterminism",
+    "float-eq",
+    "obs-gating",
+    "error-taxonomy",
+    "allow-missing-reason",
+    "allow-unknown-rule",
+    "unused-allow",
+];
+
+/// Crates whose control path runs inside the 2 s cycle and must stay
+/// panic-free (see DESIGN.md §8).
+const HOT_PATH_CRATES: [&str; 4] = ["asgov-core", "asgov-control", "asgov-soc", "asgov-obs"];
+
+/// Crates allowed to observe wall clocks and machine parallelism: the
+/// measurement harnesses themselves, plus this analyzer.
+const HARNESS_CRATES: [&str; 3] = ["asgov-bench", "asgov-experiments", "asgov-analyze"];
+
+/// Modules inside `asgov-util` that *are* the sanctioned boundary for
+/// parallelism and seeding.
+const HARNESS_BOUNDARY_FILES: [&str; 2] = ["crates/util/src/par.rs", "crates/util/src/rng.rs"];
+
+/// Identifiers whose presence outside the harness boundary breaks the
+/// bit-identical determinism contract.
+const NONDETERMINISM_IDENTS: [&str; 7] = [
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "available_parallelism",
+    "HashMap",
+    "HashSet",
+    "RandomState",
+];
+
+/// Obs-emission entry points that must be gated.
+const OBS_EMIT_IDENTS: [&str; 3] = ["emit_cycle", "record_cycle", "device_event"];
+
+/// Rust keywords (an identifier position that cannot be an expression
+/// ending before `[`).
+const KEYWORDS: [&str; 29] = [
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "trait", "use", "while",
+];
+
+/// Analyze one file: lex, evaluate every applicable rule, apply allow
+/// annotations, and report the allow meta-findings.
+pub fn check_file(rel_path: &str, crate_name: &str, source: &str) -> Vec<Finding> {
+    let tokens = lex(source);
+    let allows = allow::collect(&tokens);
+    let test_lines = TestLines::compute(rel_path, &tokens);
+    let code: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let file = rel_path.to_string();
+    let ctx = Ctx {
+        file: &file,
+        crate_name,
+        code: &code,
+        test_lines: &test_lines,
+    };
+
+    if HOT_PATH_CRATES.contains(&crate_name) {
+        rule_hot_path_panic(&ctx, &mut raw);
+        rule_hot_path_index(&ctx, &mut raw);
+    }
+    if !HARNESS_CRATES.contains(&crate_name) && !HARNESS_BOUNDARY_FILES.contains(&rel_path) {
+        rule_nondeterminism(&ctx, &mut raw);
+    }
+    rule_float_eq(&ctx, &mut raw);
+    if matches!(crate_name, "asgov-core" | "asgov-control") {
+        rule_obs_gating(&ctx, &mut raw);
+    }
+    if rel_path != "crates/soc/src/error.rs" {
+        rule_error_taxonomy(&ctx, &mut raw);
+    }
+
+    // Apply the allow list, marking each allow that earns its keep.
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            let covered = allows.iter().find(|a| a.covers(f.rule, f.line));
+            if let Some(a) = covered {
+                a.used.set(true);
+            }
+            covered.is_none()
+        })
+        .collect();
+
+    // Meta-rules: the allow list polices itself.
+    for a in &allows {
+        if !RULE_IDS.contains(&a.rule.as_str()) {
+            findings.push(Finding {
+                rule: "allow-unknown-rule",
+                file: file.clone(),
+                line: a.line,
+                message: format!("allow names unknown rule {:?}", a.rule),
+            });
+            continue;
+        }
+        if a.reason.is_empty() {
+            findings.push(Finding {
+                rule: "allow-missing-reason",
+                file: file.clone(),
+                line: a.line,
+                message: format!(
+                    "allow({}) carries no reason; write `allow({}): <why>`",
+                    a.rule, a.rule
+                ),
+            });
+        }
+        if !a.used.get() {
+            findings.push(Finding {
+                rule: "unused-allow",
+                file: file.clone(),
+                line: a.line,
+                message: format!("allow({}) suppresses nothing; delete it", a.rule),
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+struct Ctx<'a> {
+    file: &'a str,
+    crate_name: &'a str,
+    code: &'a [&'a Tok],
+    test_lines: &'a TestLines,
+}
+
+impl Ctx<'_> {
+    fn push(&self, out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String) {
+        if !self.test_lines.contains(line) {
+            out.push(Finding {
+                rule,
+                file: self.file.to_string(),
+                line,
+                message,
+            });
+        }
+    }
+}
+
+/// Line spans that count as test code.
+struct TestLines {
+    whole_file: bool,
+    spans: Vec<(u32, u32)>,
+}
+
+impl TestLines {
+    fn compute(rel_path: &str, tokens: &[Tok]) -> Self {
+        let whole_file = rel_path.contains("/tests/")
+            || rel_path.contains("/examples/")
+            || rel_path.contains("/benches/");
+        let code: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i + 1 < code.len() {
+            if code[i].text == "#" && code[i + 1].text == "[" {
+                // Collect the attribute body up to the matching `]`.
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                let mut is_test = false;
+                let mut negated = false;
+                while j < code.len() {
+                    match code[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "test" => is_test = true,
+                        "not" => negated = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if is_test && !negated {
+                    // Span of the annotated item: first `{` after the
+                    // attribute through its matching `}`.
+                    let mut k = j + 1;
+                    while k < code.len() && code[k].text != "{" {
+                        k += 1;
+                    }
+                    let mut brace = 0usize;
+                    let start_line = code[i].line;
+                    let mut end_line = start_line;
+                    while k < code.len() {
+                        match code[k].text.as_str() {
+                            "{" => brace += 1,
+                            "}" => {
+                                brace -= 1;
+                                if brace == 0 {
+                                    end_line = code[k].line;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        end_line = code[k].line;
+                        k += 1;
+                    }
+                    spans.push((start_line, end_line));
+                    i = k;
+                    continue;
+                }
+                i = j;
+            }
+            i += 1;
+        }
+        Self { whole_file, spans }
+    }
+
+    fn contains(&self, line: u32) -> bool {
+        self.whole_file || self.spans.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+fn rule_hot_path_panic(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let code = ctx.code;
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = code.get(i + 1).map(|t| t.text.as_str());
+        let prev = i.checked_sub(1).map(|p| code[p].text.as_str());
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev == Some(".") && next == Some("(") => {
+                ctx.push(
+                    out,
+                    "hot-path-panic",
+                    t.line,
+                    format!(
+                        ".{}() can panic inside the control loop of {}; propagate or default instead",
+                        t.text, ctx.crate_name
+                    ),
+                );
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if next == Some("!") => {
+                ctx.push(
+                    out,
+                    "hot-path-panic",
+                    t.line,
+                    format!(
+                        "{}! aborts the control loop; degrade gracefully instead",
+                        t.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn rule_hot_path_index(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let code = ctx.code;
+    for i in 1..code.len() {
+        if code[i].text != "[" {
+            continue;
+        }
+        let prev = code[i - 1];
+        let indexes_expression = match prev.kind {
+            TokKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+            TokKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
+            _ => false,
+        };
+        if indexes_expression {
+            ctx.push(
+                out,
+                "hot-path-index",
+                code[i].line,
+                format!(
+                    "`{}[…]` indexing panics when out of range; use .get()/.get_mut() or prove the bound",
+                    prev.text
+                ),
+            );
+        }
+    }
+}
+
+fn rule_nondeterminism(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for t in ctx.code {
+        if t.kind == TokKind::Ident && NONDETERMINISM_IDENTS.contains(&t.text.as_str()) {
+            ctx.push(
+                out,
+                "nondeterminism",
+                t.line,
+                format!(
+                    "{} breaks the bit-identical determinism contract outside the harness boundary",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn rule_float_eq(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let code = ctx.code;
+    for i in 0..code.len() {
+        if !matches!(code[i].text.as_str(), "==" | "!=") || code[i].kind != TokKind::Punct {
+            continue;
+        }
+        let float_adjacent = [i.checked_sub(1), Some(i + 1)]
+            .into_iter()
+            .flatten()
+            .filter_map(|j| code.get(j))
+            .any(|t| t.kind == TokKind::Float);
+        if float_adjacent {
+            ctx.push(
+                out,
+                "float-eq",
+                code[i].line,
+                "exact float comparison; compare against a tolerance or restructure".to_string(),
+            );
+        }
+    }
+}
+
+fn rule_obs_gating(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let code = ctx.code;
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident || !OBS_EMIT_IDENTS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let is_call =
+            i > 0 && code[i - 1].text == "." && code.get(i + 1).is_some_and(|n| n.text == "(");
+        if !is_call {
+            continue;
+        }
+        // Scan back to the enclosing `fn`; the emission must follow a
+        // `has_obs_sink`/`tracing` gate established earlier in it.
+        let mut gated = false;
+        for j in (0..i).rev() {
+            match code[j].text.as_str() {
+                "fn" => break,
+                "has_obs_sink" | "tracing" => {
+                    gated = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !gated {
+            ctx.push(
+                out,
+                "obs-gating",
+                t.line,
+                format!(
+                    ".{}() must be gated behind device.has_obs_sink() so un-instrumented runs stay bit-identical",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn rule_error_taxonomy(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let code = ctx.code;
+    for i in 0..code.len() {
+        if code[i].text != "SocErrorKind" || code[i].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(variant_at) =
+            (i + 2 < code.len() && code[i + 1].text == "::" && code[i + 2].kind == TokKind::Ident)
+                .then_some(i + 2)
+        else {
+            continue; // bare type mention (annotations, imports)
+        };
+        // Comparison against a taxonomy value is fine.
+        let cmp_before = i > 0 && matches!(code[i - 1].text.as_str(), "==" | "!=");
+        let cmp_after = code
+            .get(variant_at + 1)
+            .is_some_and(|t| matches!(t.text.as_str(), "==" | "!="));
+        // Pattern position: walking forward over closers lands on `=>`
+        // or `|` (match arm), or the whole thing sits inside a `let`
+        // destructure (`if let Err(SocErrorKind::Busy) = …`).
+        let mut j = variant_at + 1;
+        while code
+            .get(j)
+            .is_some_and(|t| matches!(t.text.as_str(), ")" | "]" | ","))
+        {
+            j += 1;
+        }
+        let in_match_arm = code
+            .get(j)
+            .is_some_and(|t| matches!(t.text.as_str(), "=>" | "|"));
+        let in_let_pattern = (i.saturating_sub(8)..i)
+            .rev()
+            .take_while(|&k| code[k].text != "=" && code[k].text != ";")
+            .any(|k| code[k].text == "let");
+        if !(cmp_before || cmp_after || in_match_arm || in_let_pattern) {
+            ctx.push(
+                out,
+                "error-taxonomy",
+                code[i].line,
+                "SocErrorKind constructed ad hoc; obtain kinds via SocError::kind() so the taxonomy stays the single source of truth".to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_in_hot_path_crate_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let hot = check_file("crates/core/src/x.rs", "asgov-core", src);
+        assert_eq!(rules_of(&hot), ["hot-path-panic"]);
+        let cold = check_file("crates/cli/src/x.rs", "asgov-cli", src);
+        assert!(cold.is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "\
+fn ok() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let v: Vec<u8> = vec![]; v[0]; panic!(\"x\"); }
+}
+";
+        let findings = check_file("crates/core/src/x.rs", "asgov-core", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_used() {
+        let src = "\
+// asgov-analyze: allow(hot-path-panic): slot is provably occupied here
+fn f(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let findings = check_file("crates/core/src/x.rs", "asgov-core", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_flagged() {
+        let src = "\
+// asgov-analyze: allow(hot-path-panic)
+fn f(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let findings = check_file("crates/core/src/x.rs", "asgov-core", src);
+        assert_eq!(rules_of(&findings), ["allow-missing-reason"]);
+    }
+
+    #[test]
+    fn unused_and_unknown_allows_are_flagged() {
+        let src = "\
+// asgov-analyze: allow(float-eq): nothing here compares floats
+// asgov-analyze: allow(no-such-rule): whatever
+fn f() {}
+";
+        let findings = check_file("crates/core/src/x.rs", "asgov-core", src);
+        let mut rules = rules_of(&findings);
+        rules.sort_unstable();
+        assert_eq!(rules, ["allow-unknown-rule", "unused-allow"]);
+    }
+
+    #[test]
+    fn float_eq_catches_literal_comparisons_everywhere() {
+        let src = "fn f(x: f64) -> bool { x == 0.5 }\n";
+        let findings = check_file("crates/cli/src/x.rs", "asgov-cli", src);
+        assert_eq!(rules_of(&findings), ["float-eq"]);
+        // Integer comparison is fine.
+        let src = "fn f(x: u64) -> bool { x == 5 }\n";
+        assert!(check_file("crates/cli/src/x.rs", "asgov-cli", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_rules_skip_types_attrs_and_keywords() {
+        let ok = "\
+#[derive(Debug)]
+struct S { buf: [u8; 4] }
+fn f(v: &[u8]) -> Option<u8> { v.get(0).copied() }
+fn g() { for x in [1, 2, 3] { let _ = x; } }
+fn h() { let [a, _b] = [1, 2]; let _ = a; }
+";
+        let findings = check_file("crates/core/src/x.rs", "asgov-core", ok);
+        assert!(findings.is_empty(), "{findings:?}");
+        let bad = "fn f(v: &[u8]) -> u8 { v[0] }\n";
+        assert_eq!(
+            rules_of(&check_file("crates/core/src/x.rs", "asgov-core", bad)),
+            ["hot-path-index"]
+        );
+    }
+
+    #[test]
+    fn nondeterminism_respects_the_harness_boundary() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert_eq!(
+            rules_of(&check_file("crates/soc/src/x.rs", "asgov-soc", src)),
+            ["nondeterminism"]
+        );
+        assert!(check_file("crates/bench/src/x.rs", "asgov-bench", src).is_empty());
+        assert!(check_file("crates/util/src/par.rs", "asgov-util", src).is_empty());
+    }
+
+    #[test]
+    fn obs_emission_requires_the_gate() {
+        let bad = "fn f(d: &mut Device, r: &CycleRecord) { d.emit_cycle(r); }\n";
+        assert_eq!(
+            rules_of(&check_file("crates/core/src/x.rs", "asgov-core", bad)),
+            ["obs-gating"]
+        );
+        let good = "\
+fn f(d: &mut Device, r: &CycleRecord) {
+    let tracing = d.has_obs_sink();
+    if tracing { d.emit_cycle(r); }
+}
+";
+        assert!(check_file("crates/core/src/x.rs", "asgov-core", good).is_empty());
+    }
+
+    #[test]
+    fn error_taxonomy_permits_patterns_and_comparisons() {
+        let ok = "\
+fn f(e: SocError) -> bool {
+    match e.kind() {
+        SocErrorKind::Busy => true,
+        SocErrorKind::ReadOnly | SocErrorKind::NoSuchFile => false,
+        k => k == SocErrorKind::InvalidValue,
+    }
+}
+fn g(r: Result<(), SocErrorKind>) -> bool {
+    if let Err(SocErrorKind::Busy) = r { return true; }
+    false
+}
+";
+        let findings = check_file("crates/core/src/x.rs", "asgov-core", ok);
+        assert!(findings.is_empty(), "{findings:?}");
+        let bad = "fn f() -> SocErrorKind { SocErrorKind::Busy }\n";
+        assert_eq!(
+            rules_of(&check_file("crates/cli/src/x.rs", "asgov-cli", bad)),
+            ["error-taxonomy"]
+        );
+    }
+
+    #[test]
+    fn whole_test_files_are_exempt() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(check_file("crates/core/tests/chaos.rs", "asgov-core", src).is_empty());
+    }
+}

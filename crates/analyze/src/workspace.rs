@@ -1,0 +1,122 @@
+//! Workspace discovery: which `.rs` files to scan and which crate
+//! each belongs to.
+//!
+//! Discovery is filesystem-based (no `cargo metadata`, per the
+//! vendoring policy): every `crates/<name>/{src,tests,examples}` tree
+//! plus the root `src/` and `tests/` directories. The analyzer's own
+//! seeded-violation corpus under `crates/analyze/tests/fixtures/` is
+//! excluded — those files are *supposed* to fail.
+
+use std::path::{Path, PathBuf};
+
+/// One source file scheduled for analysis.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators (rule scoping and
+    /// report keys use this).
+    pub rel: String,
+    /// Cargo package name (`asgov-core`, …; the root package is
+    /// `asgov`).
+    pub crate_name: String,
+}
+
+/// Locate the workspace root: walk up from `start` until a directory
+/// holding both `Cargo.toml` and `crates/` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Enumerate every analyzable source file under `root`, sorted by
+/// relative path so reports are deterministic.
+pub fn discover(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for top in ["src", "tests", "examples"] {
+        collect_tree(root, &root.join(top), "asgov", &mut out)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let dir = entry?.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let crate_name = format!("asgov-{name}");
+            for top in ["src", "tests", "examples", "benches"] {
+                collect_tree(root, &dir.join(top), &crate_name, &mut out)?;
+            }
+        }
+    }
+    out.retain(|f| !f.rel.starts_with("crates/analyze/tests/fixtures/"));
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn collect_tree(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_tree(root, &path, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                path,
+                rel,
+                crate_name: crate_name.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_this_workspace() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let files = discover(&root).expect("discover");
+        assert!(
+            files.iter().any(|f| f.rel == "crates/util/src/par.rs"),
+            "par.rs not discovered"
+        );
+        assert!(
+            files.iter().any(|f| f.crate_name == "asgov-core"),
+            "core crate missing"
+        );
+        // The seeded-violation corpus must never be scanned.
+        assert!(files.iter().all(|f| !f.rel.contains("fixtures")));
+        // Deterministic order.
+        let mut sorted = files.iter().map(|f| f.rel.clone()).collect::<Vec<_>>();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            files.iter().map(|f| f.rel.clone()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,18 @@
+// Exercises the allow-annotation meta-rules. Scanned as
+// crates/core/src/allows.rs; NOT compiled.
+
+fn suppressed(x: Option<u8>) -> u8 {
+    // asgov-analyze: allow(hot-path-panic): fixture — reason present, suppression used
+    x.unwrap()
+}
+
+fn reasonless(x: Option<u8>) -> u8 {
+    // asgov-analyze: allow(hot-path-panic)
+    x.unwrap()
+}
+
+// asgov-analyze: allow(float-eq): nothing here compares floats
+fn nothing() {}
+
+// asgov-analyze: allow(not-a-rule): typo'd rule id
+fn also_nothing() {}

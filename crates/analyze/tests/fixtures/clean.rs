@@ -1,0 +1,39 @@
+// A hot-path file with zero violations: the lexical corner cases that
+// naive scanners misread. Scanned as crates/core/src/clean.rs; NOT
+// compiled. The self-test asserts the analyzer reports nothing here.
+
+/// Doc comments may show panicky idioms without tripping the lints:
+///
+/// ```
+/// let x: Option<u8> = Some(1);
+/// assert_eq!(x.unwrap(), 1);
+/// assert!(0.5 == 0.5);
+/// ```
+fn documented() {}
+
+fn raw_strings_hide_tokens() -> &'static str {
+    r#"this "string" mentions panic!("x") and v[0] and 1.0 == 2.0"#
+}
+
+/* block comments /* nest */ and may mention Instant::now() freely */
+fn block_commented() {}
+
+fn lifetimes_not_chars<'a>(s: &'a str) -> &'a str {
+    let _c = 'x';
+    let _esc = '\n';
+    s
+}
+
+fn arrays_and_slices(buf: [u8; 4], v: &[u8]) -> Option<u8> {
+    let [a, _b] = [1u8, 2u8];
+    for x in [1, 2, 3] {
+        let _ = x;
+    }
+    let _ = buf.first();
+    let _ = a;
+    v.get(2).copied()
+}
+
+fn float_compare_done_right(x: f64) -> bool {
+    (x - 0.25).abs() < f64::EPSILON
+}

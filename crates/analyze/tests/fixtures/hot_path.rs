@@ -1,0 +1,41 @@
+// Seeded violations for the hot-path rules. Scanned by the self-test
+// as if it were crates/core/src/hot_path.rs; NOT compiled.
+
+fn takes_option(x: Option<u8>) -> u8 {
+    x.unwrap() // line 5: hot-path-panic
+}
+
+fn takes_result(x: Result<u8, ()>) -> u8 {
+    x.expect("must be ok") // line 9: hot-path-panic
+}
+
+fn explodes() {
+    panic!("boom"); // line 13: hot-path-panic
+}
+
+fn never() -> u8 {
+    unreachable!() // line 17: hot-path-panic
+}
+
+fn indexes(v: &[u8]) -> u8 {
+    v[3] // line 21: hot-path-index
+}
+
+fn chained(m: &[Vec<u8>]) -> u8 {
+    m[0][1] // line 25: hot-path-index (twice)
+}
+
+fn fine(v: &[u8]) -> Option<u8> {
+    v.get(3).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v: Vec<u8> = vec![1];
+        assert_eq!(v[0], 1);
+        let x: Option<u8> = Some(2);
+        let _ = x.unwrap();
+    }
+}

@@ -1,0 +1,21 @@
+// Seeded violations for the nondeterminism rule. Scanned as
+// crates/soc/src/nondet.rs; NOT compiled.
+
+use std::collections::HashMap; // line 4: nondeterminism
+use std::time::Instant;        // line 5: nondeterminism
+
+fn timestamp() -> Instant {
+    Instant::now() // line 8: nondeterminism
+}
+
+fn tally(keys: &[u32]) -> usize {
+    let mut m = HashMap::new(); // line 12: nondeterminism
+    for k in keys {
+        m.insert(*k, ());
+    }
+    m.len()
+}
+
+fn wall_clock_free(seed: u64) -> u64 {
+    seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}

@@ -1,0 +1,19 @@
+// Seeded violation for the obs-gating rule. Scanned as
+// crates/core/src/obs_gate.rs; NOT compiled.
+
+fn ungated(device: &mut Device, rec: &CycleRecord) {
+    device.emit_cycle(rec); // line 5: obs-gating
+}
+
+fn gated(device: &mut Device, rec: &CycleRecord) {
+    let tracing = device.has_obs_sink();
+    if tracing {
+        device.emit_cycle(rec);
+    }
+}
+
+fn gated_inline(device: &mut Device, t_ms: u64) {
+    if device.has_obs_sink() {
+        device.device_event(t_ms, EventKind::GovernorReset);
+    }
+}

@@ -1,0 +1,21 @@
+// Seeded violation for the error-taxonomy rule. Scanned as
+// crates/cli/src/taxonomy.rs; NOT compiled.
+
+fn fabricate() -> SocErrorKind {
+    SocErrorKind::Busy // line 5: error-taxonomy
+}
+
+fn classify(e: &SocError) -> bool {
+    match e.kind() {
+        SocErrorKind::Busy => true,
+        SocErrorKind::ReadOnly | SocErrorKind::NoSuchFile => false,
+        k => k == SocErrorKind::InvalidValue,
+    }
+}
+
+fn pattern(r: Result<(), SocErrorKind>) -> bool {
+    if let Err(SocErrorKind::Busy) = r {
+        return true;
+    }
+    false
+}

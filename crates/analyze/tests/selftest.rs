@@ -1,0 +1,152 @@
+//! Self-test: the analyzer must flag every seeded violation in the
+//! fixture corpus — exact rule at the exact line — and stay silent on
+//! the clean fixture. If a rule regresses into silence (or into
+//! noise), this suite fails before the weakened analyzer ever gates a
+//! commit.
+
+use asgov_analyze::rules::{check_file, Finding};
+use std::path::Path;
+
+fn scan(fixture: &str, pretend_path: &str, crate_name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    check_file(pretend_path, crate_name, &source)
+}
+
+fn rule_lines(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn hot_path_fixture_violations_all_flagged() {
+    let findings = scan("hot_path.rs", "crates/core/src/hot_path.rs", "asgov-core");
+    assert_eq!(
+        rule_lines(&findings),
+        [
+            ("hot-path-panic", 5),
+            ("hot-path-panic", 9),
+            ("hot-path-panic", 13),
+            ("hot-path-panic", 17),
+            ("hot-path-index", 21),
+            ("hot-path-index", 25),
+            ("hot-path-index", 25),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn hot_path_fixture_is_quiet_outside_hot_path_crates() {
+    let findings = scan("hot_path.rs", "crates/cli/src/hot_path.rs", "asgov-cli");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn nondeterminism_fixture_violations_all_flagged() {
+    let findings = scan("nondet.rs", "crates/soc/src/nondet.rs", "asgov-soc");
+    let lines: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == "nondeterminism")
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(lines, [4, 5, 7, 8, 12], "{findings:#?}");
+}
+
+#[test]
+fn nondeterminism_fixture_exempt_in_harness_crates() {
+    let findings = scan("nondet.rs", "crates/bench/src/nondet.rs", "asgov-bench");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn float_eq_fixture_violations_all_flagged() {
+    let findings = scan(
+        "float_eq.rs",
+        "crates/linprog/src/float_eq.rs",
+        "asgov-linprog",
+    );
+    assert_eq!(
+        rule_lines(&findings),
+        [("float-eq", 5), ("float-eq", 9)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn obs_gating_fixture_flags_only_the_ungated_call() {
+    let findings = scan("obs_gate.rs", "crates/core/src/obs_gate.rs", "asgov-core");
+    assert_eq!(rule_lines(&findings), [("obs-gating", 5)], "{findings:#?}");
+}
+
+#[test]
+fn taxonomy_fixture_flags_only_the_fabrication() {
+    let findings = scan("taxonomy.rs", "crates/cli/src/taxonomy.rs", "asgov-cli");
+    assert_eq!(
+        rule_lines(&findings),
+        [("error-taxonomy", 5)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn allow_meta_rules_fire_on_the_allows_fixture() {
+    let findings = scan("allows.rs", "crates/core/src/allows.rs", "asgov-core");
+    assert_eq!(
+        rule_lines(&findings),
+        [
+            ("allow-missing-reason", 10),
+            ("unused-allow", 14),
+            ("allow-unknown-rule", 17),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_produces_zero_findings() {
+    let findings = scan("clean.rs", "crates/core/src/clean.rs", "asgov-core");
+    assert!(findings.is_empty(), "false positives:\n{findings:#?}");
+}
+
+/// End-to-end: the shipped binary over the real workspace must exit 0
+/// (the repo holds the invariants it preaches) and write a parseable
+/// report.
+#[test]
+fn workspace_is_clean_end_to_end() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report_path = std::env::temp_dir().join("asgov_analyze_selftest_report.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_asgov-analyze"))
+        .args([
+            "--workspace",
+            "--quick",
+            "--root",
+            root.to_str().expect("utf-8 root"),
+            "--report",
+            report_path.to_str().expect("utf-8 report path"),
+        ])
+        .output()
+        .expect("run asgov-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "analyzer found violations:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = std::fs::read_to_string(&report_path).expect("report written");
+    let j = asgov_util::Json::parse(&report).expect("report parses");
+    assert_eq!(
+        j.get("schema").and_then(asgov_util::Json::as_str),
+        Some("asgov-analyze/v1")
+    );
+    assert_eq!(
+        j.get("clean").and_then(asgov_util::Json::as_bool),
+        Some(true)
+    );
+    std::fs::remove_file(&report_path).ok();
+}

@@ -234,7 +234,9 @@ mod tests {
             Some("asgov-bench/v1")
         );
         assert_eq!(
-            rep.get("results").and_then(Json::as_array).map(|a| a.len()),
+            rep.get("results")
+                .and_then(Json::as_array)
+                .map(<[asgov_util::Json]>::len),
             Some(1)
         );
         // Round-trips through the parser.

@@ -327,9 +327,20 @@ pub fn run(cmd: Command) -> Result<()> {
                 sink.record_cycle(rec);
             }
             let span_ms = records.last().map_or(0, |r| r.t_ms) - records[0].t_ms;
-            let mean_abs_err =
-                records.iter().map(|r| r.error.abs()).sum::<f64>() / records.len() as f64;
-            let max_abs_err = records.iter().map(|r| r.error.abs()).fold(0.0, f64::max);
+            // Non-finite errors (serialized as JSON null, decoded as
+            // NaN) would poison the aggregates; count them separately.
+            let finite_errs: Vec<f64> = records
+                .iter()
+                .map(|r| r.error.abs())
+                .filter(|e| e.is_finite())
+                .collect();
+            let non_finite = records.len() - finite_errs.len();
+            let mean_abs_err = if finite_errs.is_empty() {
+                0.0
+            } else {
+                finite_errs.iter().sum::<f64>() / finite_errs.len() as f64
+            };
+            let max_abs_err = finite_errs.iter().copied().fold(0.0, f64::max);
             let split_cycles = records.iter().filter(|r| r.tau_upper_ms > 0).count();
             println!(
                 "{trace}: {} records spanning {:.1} s",
@@ -337,6 +348,9 @@ pub fn run(cmd: Command) -> Result<()> {
                 span_ms as f64 * 1e-3
             );
             println!("  |error|: mean {mean_abs_err:.4} GIPS, max {max_abs_err:.4} GIPS");
+            if non_finite > 0 {
+                println!("  {non_finite} record(s) with non-finite error excluded");
+            }
             println!(
                 "  dwell splits: {split_cycles}/{} cycles used two configurations",
                 records.len()

@@ -100,6 +100,114 @@ fn profile_then_control_round_trip() {
 }
 
 #[test]
+fn trace_then_stats_round_trip() {
+    let dir = std::env::temp_dir().join("asgov_cli_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("spotify.trace.jsonl");
+
+    let out = asgov()
+        .args([
+            "trace",
+            "--app",
+            "Spotify",
+            "--duration-s",
+            "10",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run trace");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cycle records"));
+
+    // Every line of the artifact is a schema-tagged record.
+    let jsonl = std::fs::read_to_string(&trace_path).unwrap();
+    let lines: Vec<&str> = jsonl.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty(), "trace file is empty");
+    for line in &lines {
+        assert!(
+            line.contains("\"schema\":\"asgov-obs/v1\""),
+            "untagged line: {line}"
+        );
+    }
+
+    let out = asgov()
+        .args(["stats", "--trace", trace_path.to_str().unwrap()])
+        .output()
+        .expect("run stats");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(&format!("{} records", lines.len())));
+    assert!(text.contains("|error|"));
+    assert!(text.contains("dwell splits"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Golden-input test: `stats` must accept a hand-written JSONL trace,
+/// including `null` float fields (the serializer's encoding of
+/// non-finite values), and exclude those from the error aggregates
+/// instead of poisoning or rejecting them.
+#[test]
+fn stats_reads_golden_jsonl_with_null_floats() {
+    let dir = std::env::temp_dir().join("asgov_cli_golden_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("golden.trace.jsonl");
+    let golden = concat!(
+        r#"{"actuation_ns":12400,"base_estimate":0.231,"cycle":0,"error":0.013,"fault":null,"innovation":-0.004,"level":"full","lower_bw":3,"lower_freq":7,"measured_gips":0.487,"required_speedup":2.16,"schema":"asgov-obs/v1","solve_ns":1850,"t_ms":2000,"target_gips":0.5,"tau_lower_ms":1200,"tau_upper_ms":800,"upper_bw":4,"upper_freq":8}"#,
+        "\n",
+        r#"{"actuation_ns":9100,"base_estimate":0.235,"cycle":1,"error":null,"fault":"busy","innovation":null,"level":"safe-config","lower_bw":3,"lower_freq":7,"measured_gips":null,"required_speedup":2.1,"schema":"asgov-obs/v1","solve_ns":1700,"t_ms":4000,"target_gips":0.5,"tau_lower_ms":2000,"tau_upper_ms":0,"upper_bw":3,"upper_freq":7}"#,
+        "\n",
+    );
+    std::fs::write(&trace_path, golden).unwrap();
+
+    let out = asgov()
+        .args(["stats", "--trace", trace_path.to_str().unwrap()])
+        .output()
+        .expect("run stats");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 records"), "{text}");
+    // The finite record's error is the whole aggregate: mean == max == 0.013.
+    assert!(text.contains("mean 0.0130"), "{text}");
+    assert!(text.contains("max 0.0130"), "{text}");
+    assert!(
+        text.contains("1 record(s) with non-finite error excluded"),
+        "{text}"
+    );
+    // Replayed metrics see the fault and the degraded level.
+    assert!(text.contains("busy"), "{text}");
+    assert!(text.contains("safe-config"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_rejects_a_malformed_trace() {
+    let dir = std::env::temp_dir().join("asgov_cli_badtrace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("bad.trace.jsonl");
+    std::fs::write(&trace_path, "{not json\n").unwrap();
+    let out = asgov()
+        .args(["stats", "--trace", trace_path.to_str().unwrap()])
+        .output()
+        .expect("run stats");
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn baseline_reports_the_four_quantities() {
     let out = asgov()
         .args(["baseline", "--app", "Spotify", "--duration-s", "5"])

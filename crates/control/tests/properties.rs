@@ -102,8 +102,8 @@ fn ewma_stays_in_hull() {
         let len = rng.gen_range_usize(1..100);
         let samples: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect();
         let mut e = Ewma::new(alpha);
-        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         for &s in &samples {
             let v = e.push(s);
             assert!(

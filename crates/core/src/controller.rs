@@ -10,6 +10,7 @@ use asgov_control::{PhaseDetector, PhaseEvent};
 use asgov_obs::CycleRecord;
 use asgov_profiler::{Config, ProfileTable};
 use asgov_soc::{sysfs, DegradationLevel, Device, HealthReport, PerfReader, Policy, SocErrorKind};
+// asgov-analyze: allow(nondeterminism): wall-clock latency is observability metadata, only read when a sink is installed
 use std::time::Instant;
 
 /// Which optimizer the controller runs each cycle.
@@ -447,6 +448,7 @@ impl EnergyController {
         match self.ladder.level() {
             DegradationLevel::SafeConfig | DegradationLevel::FallbackGovernor => {
                 self.readings.clear();
+                // asgov-analyze: allow(nondeterminism): latency probe behind the obs gate; never taken when tracing is off
                 let actuation_t = tracing.then(Instant::now);
                 if self.ladder.level() == DegradationLevel::SafeConfig {
                     self.apply_safe_config(device);
@@ -539,6 +541,7 @@ impl EnergyController {
         // 3. Optimize. (Inputs are validated; solve only fails on
         //    non-finite targets, which the clamped regulator precludes.)
         let period_s = self.period_ms as f64 * 1e-3;
+        // asgov-analyze: allow(nondeterminism): latency probe behind the obs gate; never taken when tracing is off
         let solve_t = tracing.then(Instant::now);
         let plan = match self.strategy {
             OptimizerStrategy::LinearProgram => self.optimizer.solve(s_next, period_s),
@@ -554,6 +557,7 @@ impl EnergyController {
         self.last_lower_index = self.optimizer.index_of(plan.lower).unwrap_or(0);
 
         // 4. Schedule.
+        // asgov-analyze: allow(nondeterminism): latency probe behind the obs gate; never taken when tracing is off
         let actuation_t = tracing.then(Instant::now);
         self.scheduler.install(device, &plan, self.period_ms);
 

@@ -152,12 +152,20 @@ impl EnergyOptimizer {
 
     /// The configuration at `index` (panics if out of range).
     pub fn config(&self, index: usize) -> Config {
+        // asgov-analyze: allow(hot-path-index): documented panicking accessor; callers pass indices produced by this table
         self.configs[index]
     }
 
     /// The profiled speedup at `index` (panics if out of range).
     pub fn speedup_at(&self, index: usize) -> f64 {
+        // asgov-analyze: allow(hot-path-index): documented panicking accessor; callers pass indices produced by this table
         self.speedups[index]
+    }
+
+    /// The profiled power draw at `index` (panics if out of range).
+    fn power_at(&self, index: usize) -> f64 {
+        // asgov-analyze: allow(hot-path-index): documented panicking accessor; callers pass indices produced by this table
+        self.powers[index]
     }
 
     /// Index of the maximum-speedup configuration. This is the
@@ -165,13 +173,17 @@ impl EnergyOptimizer {
     /// energy but never performance, so a degraded controller that has
     /// lost trust in its measurements falls back to it.
     pub fn max_speedup_index(&self) -> usize {
-        let mut best = 0;
-        for (i, &s) in self.speedups.iter().enumerate() {
-            if s > self.speedups[best] {
-                best = i;
-            }
-        }
-        best
+        self.speedups
+            .iter()
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |(bi, bs), (i, &s)| {
+                if s > bs {
+                    (i, s)
+                } else {
+                    (bi, bs)
+                }
+            })
+            .0
     }
 
     /// A degenerate single-configuration plan pinning `index` for the
@@ -180,25 +192,25 @@ impl EnergyOptimizer {
     pub fn pinned_plan(&self, index: usize, period_s: f64) -> Plan {
         let i = index.min(self.configs.len() - 1);
         Plan {
-            lower: self.configs[i],
-            upper: self.configs[i],
+            lower: self.config(i),
+            upper: self.config(i),
             tau_lower: period_s,
             tau_upper: 0.0,
-            speedup_lower: self.speedups[i],
-            speedup_upper: self.speedups[i],
-            speedup: self.speedups[i],
-            energy_j: self.powers[i] * period_s,
+            speedup_lower: self.speedup_at(i),
+            speedup_upper: self.speedup_at(i),
+            speedup: self.speedup_at(i),
+            energy_j: self.power_at(i) * period_s,
         }
     }
 
     fn plan_from(&self, sched: asgov_linprog::Schedule) -> Plan {
         Plan {
-            lower: self.configs[sched.lower],
-            upper: self.configs[sched.upper],
+            lower: self.config(sched.lower),
+            upper: self.config(sched.upper),
             tau_lower: sched.tau_lower,
             tau_upper: sched.tau_upper,
-            speedup_lower: self.speedups[sched.lower],
-            speedup_upper: self.speedups[sched.upper],
+            speedup_lower: self.speedup_at(sched.lower),
+            speedup_upper: self.speedup_at(sched.upper),
             speedup: sched.expected_speedup(&self.speedups),
             energy_j: sched.energy_j,
         }

@@ -281,7 +281,7 @@ impl ConfigScheduler {
                 // but the policy may have clamped the running frequency.
                 if let Ok(cur) = device.sysfs_read(&format!("{}/scaling_cur_freq", sysfs::CPUFREQ))
                 {
-                    if cur.trim().parse::<u64>().map(|c| c < khz).unwrap_or(false) {
+                    if cur.trim().parse::<u64>().is_ok_and(|c| c < khz) {
                         self.thermal_clamps_detected += 1;
                     }
                 }

@@ -123,8 +123,7 @@ fn main() {
         );
         let latency = health
             .recovery_latency_cycles
-            .map(|c| c.to_string())
-            .unwrap_or_else(|| "-".into());
+            .map_or_else(|| "-".into(), |c| c.to_string());
         println!(
             "{:<16} {:>9.4} {:>9.1} {:>7} {:>8} {:>8} {:>9} {:>18} {:>9}",
             name,

@@ -57,10 +57,7 @@ fn main() {
         }
     }
     let (c, k) = (coord_sum / counted as f64, cpu_only_sum / counted as f64);
-    println!(
-        "\nAverage savings (excl. MXPlayer): coordinated {:.1}%, cpu-only {:.1}%",
-        c, k
-    );
+    println!("\nAverage savings (excl. MXPlayer): coordinated {c:.1}%, cpu-only {k:.1}%");
     if k > 0.0 {
         println!(
             "Energy-consumption increase of CPU-only vs coordinated: {:.0}% (paper: 53%)",

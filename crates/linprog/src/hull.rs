@@ -16,11 +16,9 @@
 //! into ~8 comparisons (see `BENCH_optimizer.json`).
 //!
 //! Out-of-range targets clamp through the *same* plateau logic as the
-//! brute-force solver ([`two_point::clamp_extremes`]), so the two paths
+//! brute-force solver (`two_point::clamp_extremes`), so the two paths
 //! are differentially tested to produce equal energy on every table
 //! (`tests/hull_differential.rs`).
-//!
-//! [`two_point::optimize`]: crate::two_point::optimize
 
 use crate::two_point::{self, Schedule, PLATEAU_TOL};
 
@@ -69,7 +67,7 @@ impl HullSolver {
     /// Build the lower convex envelope of `(speedups[i], powers[i])`.
     /// `O(N log N)`. Returns `None` when the inputs are empty,
     /// mismatched, or contain non-finite values — the same rejections
-    /// as [`two_point::optimize`](crate::two_point::optimize).
+    /// as [`two_point::optimize`].
     pub fn new(speedups: &[f64], powers: &[f64]) -> Option<Self> {
         let n = speedups.len();
         if n == 0
@@ -144,7 +142,7 @@ impl HullSolver {
 
     /// Minimum-energy schedule delivering `target_speedup` over
     /// `period_s` seconds: `O(log H)`. Energy-equal to
-    /// [`two_point::optimize`](crate::two_point::optimize) on every
+    /// [`two_point::optimize`] on every
     /// input (differentially tested); `None` only for non-finite or
     /// non-positive `target_speedup`/`period_s`.
     pub fn solve(&self, target_speedup: f64, period_s: f64) -> Option<Schedule> {

@@ -76,7 +76,7 @@ pub fn solve(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Result<LpSolution, LpError
     for i in 0..m {
         if b[i] < 0.0 {
             b[i] = -b[i];
-            for v in a[i].iter_mut() {
+            for v in &mut a[i] {
                 *v = -*v;
             }
         }
@@ -132,6 +132,7 @@ pub fn solve(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Result<LpSolution, LpError
     for i in 0..m {
         if basis[i] < n {
             let cb = c[basis[i]];
+            // asgov-analyze: allow(float-eq): exact-zero skip of a no-op row update, not a tolerance comparison
             if cb != 0.0 {
                 for j in 0..cols {
                     t[m][j] -= cb * t[i][j];

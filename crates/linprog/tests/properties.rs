@@ -16,8 +16,8 @@ fn instance(rng: &mut Rng) -> (Vec<f64>, Vec<f64>, f64) {
     let n = rng.gen_range_usize(2..40);
     let speedups: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..5.0)).collect();
     let powers: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..6.0)).collect();
-    let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lo = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = speedups.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let target = lo + rng.gen_range(0.0..1.0) * (hi - lo);
     (speedups, powers, target)
 }
@@ -50,8 +50,8 @@ fn schedule_meets_target() {
         let (speedups, powers, target) = instance(&mut rng);
         let sched = two_point::optimize(&speedups, &powers, target, 2.0).unwrap();
         let achieved = sched.expected_speedup(&speedups);
-        let hi = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = speedups.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lo = speedups.iter().copied().fold(f64::INFINITY, f64::min);
         // Interior targets are met exactly; extreme targets clamp within
         // the plateau tolerance.
         let tol = (hi - lo).max(1.0) * two_point::PLATEAU_TOL + 1e-9;
@@ -70,7 +70,7 @@ fn schedule_brackets_target() {
     for case in 0..256 {
         let (speedups, powers, target) = instance(&mut rng);
         let sched = two_point::optimize(&speedups, &powers, target, 2.0).unwrap();
-        let hi = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = speedups.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let slack = hi * two_point::PLATEAU_TOL + 1e-9;
         assert!(speedups[sched.lower] <= target + slack, "case {case}");
         assert!(speedups[sched.upper] >= target - slack, "case {case}");
@@ -220,8 +220,8 @@ fn random_table(rng: &mut Rng, shape: Shape) -> (Vec<f64>, Vec<f64>) {
 /// Targets stressing every solve path: far below/above range, at the
 /// extremes, exactly on table entries, and spread through the interior.
 fn targets_for(rng: &mut Rng, speedups: &[f64]) -> Vec<f64> {
-    let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lo = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = speedups.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let mut targets = vec![lo * 0.5, lo, hi, hi * 1.5];
     for _ in 0..6 {
         targets.push(lo + rng.gen_range(0.0..1.0) * (hi - lo));

@@ -76,7 +76,9 @@ impl Histogram {
         } else {
             self.bounds.len()
         };
-        self.counts[idx] += 1;
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
     }
 
     /// Total samples recorded.

@@ -231,13 +231,24 @@ impl CycleRecord {
         if tag != SCHEMA {
             return Err(RecordError::BadSchema(tag.to_string()));
         }
-        let f64_field = |name: &'static str| {
+        // The writer degrades non-finite floats to `null` (JSON cannot
+        // express them), so a null float field decodes as NaN rather
+        // than rejecting the whole record. Integer fields stay strict:
+        // they are always finite on the wire, so `null` there means
+        // corruption, not degradation.
+        let f64_field = |name: &'static str| match j.get(name) {
+            Some(Json::Null) => Ok(f64::NAN),
+            other => other
+                .and_then(Json::as_f64)
+                .ok_or(RecordError::MissingField(name)),
+        };
+        let int_field = |name: &'static str| {
             j.get(name)
                 .and_then(Json::as_f64)
                 .ok_or(RecordError::MissingField(name))
         };
-        let u64_field = |name: &'static str| f64_field(name).map(|v| v as u64);
-        let u32_field = |name: &'static str| f64_field(name).map(|v| v as u32);
+        let u64_field = |name: &'static str| int_field(name).map(|v| v as u64);
+        let u32_field = |name: &'static str| int_field(name).map(|v| v as u32);
         let fault = match j.get("fault") {
             Some(Json::Null) | None => None,
             Some(v) => Some(
@@ -336,6 +347,36 @@ mod tests {
         let back = CycleRecord::from_jsonl_line(&rec.to_jsonl_line()).unwrap();
         assert_eq!(back.fault, None);
         assert_eq!(back.level, Level::Full);
+    }
+
+    #[test]
+    fn non_finite_floats_survive_the_wire_as_nan() {
+        // A record that picked up a NaN (e.g. a 0/0 error ratio under a
+        // fault) serializes those fields as `null`; the reader recovers
+        // NaN instead of rejecting the line, and every other field is
+        // intact.
+        let rec = CycleRecord {
+            measured_gips: f64::NAN,
+            innovation: f64::INFINITY,
+            ..sample(5)
+        };
+        let line = rec.to_jsonl_line();
+        assert!(line.contains("\"measured_gips\":null"));
+        assert!(line.contains("\"innovation\":null"));
+        let back = CycleRecord::from_jsonl_line(&line).unwrap();
+        assert!(back.measured_gips.is_nan());
+        assert!(back.innovation.is_nan()); // infinity is lossy: null → NaN
+        assert_eq!(back.cycle, rec.cycle);
+        assert_eq!(back.target_gips, rec.target_gips);
+        assert_eq!(back.fault, rec.fault);
+    }
+
+    #[test]
+    fn null_integer_fields_are_rejected() {
+        let mut j = sample(0).to_json();
+        j.set("solve_ns", asgov_util::Json::Null);
+        let err = CycleRecord::from_json(&j).unwrap_err();
+        assert!(matches!(err, RecordError::MissingField("solve_ns")));
     }
 
     #[test]

@@ -39,8 +39,8 @@ impl<T: Copy> RingBuffer<T> {
         if self.buf.len() < self.capacity {
             // Within the reserved capacity — no reallocation.
             self.buf.push(value);
-        } else {
-            self.buf[self.head] = value;
+        } else if let Some(slot) = self.buf.get_mut(self.head) {
+            *slot = value;
             self.head = (self.head + 1) % self.capacity;
         }
         self.pushed += 1;
@@ -79,12 +79,10 @@ impl<T: Copy> RingBuffer<T> {
 
     /// The newest value, if any.
     pub fn last(&self) -> Option<&T> {
-        if self.buf.is_empty() {
-            None
-        } else if self.head == 0 {
+        if self.head == 0 {
             self.buf.last()
         } else {
-            Some(&self.buf[self.head - 1])
+            self.buf.get(self.head - 1)
         }
     }
 

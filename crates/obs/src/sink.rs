@@ -92,20 +92,26 @@ impl Metrics {
         o.set("cycles", self.cycles as f64);
         let mut faults = Json::object();
         let mut recoveries = Json::object();
-        for f in FaultClass::ALL {
-            if self.faults[f.index()] > 0 {
-                faults.set(f.as_str(), self.faults[f.index()] as f64);
+        // `FaultClass::ALL` / `Level::ALL` order matches `index()`, so
+        // zipping the class list against the counter arrays avoids any
+        // indexing entirely.
+        for (f, (&n, &r)) in FaultClass::ALL
+            .iter()
+            .zip(self.faults.iter().zip(self.recoveries_by_fault.iter()))
+        {
+            if n > 0 {
+                faults.set(f.as_str(), n as f64);
             }
-            if self.recoveries_by_fault[f.index()] > 0 {
-                recoveries.set(f.as_str(), self.recoveries_by_fault[f.index()] as f64);
+            if r > 0 {
+                recoveries.set(f.as_str(), r as f64);
             }
         }
         o.set("faulted_cycles", faults);
         o.set("recoveries_by_fault", recoveries);
         let mut levels = Json::object();
-        for l in Level::ALL {
-            if self.level_cycles[l.index()] > 0 {
-                levels.set(l.as_str(), self.level_cycles[l.index()] as f64);
+        for (l, &n) in Level::ALL.iter().zip(self.level_cycles.iter()) {
+            if n > 0 {
+                levels.set(l.as_str(), n as f64);
             }
         }
         o.set("level_cycles", levels);
@@ -172,9 +178,13 @@ impl RingSink {
 impl TraceSink for RingSink {
     fn record_cycle(&mut self, rec: &CycleRecord) {
         self.metrics.cycles += 1;
-        self.metrics.level_cycles[rec.level.index()] += 1;
+        if let Some(n) = self.metrics.level_cycles.get_mut(rec.level.index()) {
+            *n += 1;
+        }
         if let Some(fault) = rec.fault {
-            self.metrics.faults[fault.index()] += 1;
+            if let Some(n) = self.metrics.faults.get_mut(fault.index()) {
+                *n += 1;
+            }
             if self.episode_fault.is_none() {
                 self.episode_fault = Some(fault);
             }
@@ -183,8 +193,11 @@ impl TraceSink for RingSink {
             self.metrics.degradations += (rec.level.index() - self.prev_level.index()) as u64;
         }
         if rec.level == Level::Full && self.prev_level != Level::Full {
-            if let Some(fault) = self.episode_fault {
-                self.metrics.recoveries_by_fault[fault.index()] += 1;
+            if let Some(n) = self
+                .episode_fault
+                .and_then(|fault| self.metrics.recoveries_by_fault.get_mut(fault.index()))
+            {
+                *n += 1;
             }
         }
         if rec.level == Level::Full && rec.fault.is_none() {

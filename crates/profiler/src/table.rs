@@ -10,7 +10,7 @@ use std::str::FromStr;
 /// memory bandwidth indices (paper §III-A). The controller framework is
 /// axis-generic in principle (the paper lists GPU frequency and network
 /// packet rate as future axes); this pair is what the paper controls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Config {
     /// CPU frequency index.
     pub freq: FreqIndex,
@@ -165,7 +165,7 @@ impl ProfileTable {
         if !(1e-4..=100.0).contains(&self.base_gips) {
             issues.push(format!("implausible base speed {} GIPS", self.base_gips));
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for e in &self.entries {
             if !e.speedup.is_finite() || e.speedup <= 0.0 {
                 issues.push(format!("bad speedup {} at {}", e.speedup, e.config));
@@ -326,6 +326,7 @@ impl ProfileTable {
             let idx = |key: &str| -> Result<usize, TableParseError> {
                 row.get(key)
                     .and_then(Json::as_f64)
+                    // asgov-analyze: allow(float-eq): exact integrality test on a parsed index, not a tolerance comparison
                     .filter(|v| *v >= 0.0 && v.fract() == 0.0)
                     .map(|v| v as usize)
                     .ok_or(bad("bad index field"))
@@ -335,6 +336,7 @@ impl ProfileTable {
                 None | Some(Json::Null) => None,
                 Some(g) => Some(GpuFreqIndex(
                     g.as_f64()
+                        // asgov-analyze: allow(float-eq): exact integrality test on a parsed index, not a tolerance comparison
                         .filter(|v| *v >= 0.0 && v.fract() == 0.0)
                         .ok_or(bad("bad gpu index"))? as usize,
                 )),

@@ -604,9 +604,8 @@ impl Device {
         // Fault-plan side effects scheduled for this tick (external
         // governor resets, hotplug churn, thermal force-down). The
         // branch is free when no injector is installed.
-        if self.faults.is_some() {
-            let now = self.now_ms;
-            let actions = self.faults.as_mut().expect("checked above").on_tick(now);
+        let now = self.now_ms;
+        if let Some(actions) = self.faults.as_mut().map(|f| f.on_tick(now)) {
             if let Some(gov) = actions.governor_reset {
                 self.set_cpu_governor(&gov);
             }
@@ -733,8 +732,12 @@ impl Device {
         self.battery.drain(total_w * dt_s);
 
         // --- statistics.
-        self.time_in_freq_ms[self.freq.0] += TICK_MS;
-        self.time_in_bw_ms[self.bw.0] += TICK_MS;
+        if let Some(t) = self.time_in_freq_ms.get_mut(self.freq.0) {
+            *t += TICK_MS;
+        }
+        if let Some(t) = self.time_in_bw_ms.get_mut(self.bw.0) {
+            *t += TICK_MS;
+        }
         if demand.touch {
             self.last_touch_ms = Some(self.now_ms);
         }

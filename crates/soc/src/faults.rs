@@ -231,13 +231,13 @@ impl FaultInjector {
     pub(crate) fn on_tick(&mut self, now_ms: u64) -> TickActions {
         let mut actions = TickActions::default();
         let mut hotplug_active = false;
-        for (i, w) in self.windows.iter().enumerate() {
+        for (w, fired) in self.windows.iter().zip(self.fired.iter_mut()) {
             if !Self::active(w, now_ms) {
                 continue;
             }
             match &w.kind {
-                FaultKind::GovernorReset(gov) if !self.fired[i] => {
-                    self.fired[i] = true;
+                FaultKind::GovernorReset(gov) if !*fired => {
+                    *fired = true;
                     if w.probability >= 1.0 || self.rng.gen_bool(w.probability) {
                         actions.governor_reset = Some(gov.clone());
                         self.stats.governor_resets += 1;

@@ -60,12 +60,13 @@ impl Gpu {
     ///
     /// Panics if `idx` is out of range.
     pub fn freq_ghz(&self, idx: GpuFreqIndex) -> f64 {
+        // asgov-analyze: allow(hot-path-index): documented panicking accessor; indices come from this ladder
         self.freqs_ghz[idx.0]
     }
 
     /// Voltage at `idx` (Adreno-like ladder).
     pub fn voltage(&self, idx: GpuFreqIndex) -> f64 {
-        0.8 + 0.5 * self.freqs_ghz[idx.0]
+        0.8 + 0.5 * self.freq_ghz(idx)
     }
 
     /// Current operating point.
@@ -126,7 +127,7 @@ impl Gpu {
     /// Returns `(throughput_fraction, power_w)` where the fraction is
     /// 1.0 when the GPU keeps up and < 1.0 when it is the bottleneck.
     pub fn tick(&mut self, gpu_work: f64) -> (f64, f64) {
-        let f = self.freqs_ghz[self.cur.0];
+        let f = self.freq_ghz(self.cur);
         let v = self.voltage(self.cur);
         let util = if gpu_work <= 0.0 {
             0.0
@@ -139,7 +140,9 @@ impl Gpu {
             f / gpu_work
         };
         self.busy_ms += util;
-        self.time_in_freq_ms[self.cur.0] += 1;
+        if let Some(t) = self.time_in_freq_ms.get_mut(self.cur.0) {
+            *t += 1;
+        }
         let power = self.leak_w_per_v * v + self.dyn_w_per_v2ghz * v * v * f * util;
         (fraction, power)
     }

@@ -112,13 +112,13 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
         (**self).name()
     }
     fn start(&mut self, device: &mut Device) {
-        (**self).start(device)
+        (**self).start(device);
     }
     fn tick(&mut self, device: &mut Device) {
-        (**self).tick(device)
+        (**self).tick(device);
     }
     fn finish(&mut self, device: &mut Device) {
-        (**self).finish(device)
+        (**self).finish(device);
     }
     fn health(&self) -> Option<HealthReport> {
         (**self).health()
@@ -130,13 +130,13 @@ impl<P: Policy + ?Sized> Policy for &mut P {
         (**self).name()
     }
     fn start(&mut self, device: &mut Device) {
-        (**self).start(device)
+        (**self).start(device);
     }
     fn tick(&mut self, device: &mut Device) {
-        (**self).tick(device)
+        (**self).tick(device);
     }
     fn finish(&mut self, device: &mut Device) {
-        (**self).finish(device)
+        (**self).finish(device);
     }
     fn health(&self) -> Option<HealthReport> {
         (**self).health()

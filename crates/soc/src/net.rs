@@ -56,6 +56,7 @@ impl Radio {
     ///
     /// Panics if `idx` is out of range.
     pub fn rate_pps(&self, idx: NetRateIndex) -> f64 {
+        // asgov-analyze: allow(hot-path-index): documented panicking accessor; indices come from this ladder
         self.rates_pps[idx.0]
     }
 
@@ -92,7 +93,7 @@ impl Radio {
     /// packets serviced this tick (1.0 when the setting suffices) and
     /// the radio power.
     pub fn tick(&mut self, offered_pps: f64) -> (f64, f64) {
-        let cap = self.rates_pps[self.cur.0];
+        let cap = self.rate_pps(self.cur);
         let serviced = offered_pps.min(cap);
         let fraction = if offered_pps <= 0.0 {
             1.0

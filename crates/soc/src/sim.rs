@@ -93,7 +93,7 @@ pub fn run(
     for p in policies.iter_mut() {
         p.finish(device);
     }
-    let health = policies.iter().find_map(|p| p.health());
+    let health = policies.iter().find_map(super::Policy::health);
 
     let stats = device.stats();
     RunReport {

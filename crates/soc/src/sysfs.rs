@@ -87,7 +87,7 @@ pub(crate) fn read(dev: &Device, path: &str) -> Result<String, SocError> {
                         format!(
                             "{} {}",
                             dev.table().freq(i).khz(),
-                            stats.time_in_freq_ms[i.0]
+                            stats.time_in_freq_ms.get(i.0).copied().unwrap_or(0)
                         )
                     })
                     .collect::<Vec<_>>()

@@ -159,7 +159,7 @@ impl Json {
             Json::Num(v) => write_number(out, *v),
             Json::Str(s) => write_string(out, s),
             Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
-                items[i].write(out, ind)
+                items[i].write(out, ind);
             }),
             Json::Obj(map) => {
                 let entries: Vec<(&String, &Json)> = map.iter().collect();
@@ -171,7 +171,7 @@ impl Json {
                         out.push(' ');
                     }
                     v.write(out, ind);
-                })
+                });
             }
         }
     }
@@ -493,6 +493,35 @@ mod tests {
         }
         // Non-finite degrades to null rather than emitting invalid JSON.
         assert_eq!(Json::from(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null_and_round_trip() {
+        // JSON has no NaN/Infinity literals; per the workspace policy
+        // (DESIGN.md §8) every non-finite number is written as `null`,
+        // and reading it back yields `Json::Null` — never a parse error.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::from(v).to_string(), "null");
+            assert_eq!(Json::parse(&Json::from(v).to_string()).unwrap(), Json::Null);
+        }
+        // Nested occurrences degrade the same way and the document
+        // stays parseable in both compact and pretty forms.
+        let mut doc = Json::object();
+        doc.set("ok", Json::from(1.5));
+        doc.set("bad", Json::from(f64::INFINITY));
+        doc.set("items", Json::from(vec![0.25, f64::NAN, -4.0]));
+        for text in [doc.to_string(), doc.to_pretty()] {
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.get("ok").and_then(Json::as_f64), Some(1.5));
+            assert_eq!(back.get("bad"), Some(&Json::Null));
+            assert_eq!(back.get("items").and_then(|a| a.at(1)), Some(&Json::Null));
+            assert_eq!(
+                back.get("items")
+                    .and_then(|a| a.at(2))
+                    .and_then(Json::as_f64),
+                Some(-4.0)
+            );
+        }
     }
 
     #[test]

@@ -17,8 +17,7 @@ use std::sync::Mutex;
 /// clamped to the number of jobs (and at least 1).
 pub fn default_threads(jobs: usize) -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZero::get)
         .clamp(1, jobs.max(1))
 }
 

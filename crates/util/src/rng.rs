@@ -77,8 +77,7 @@ impl Rng {
     pub fn gen_range(&mut self, range: Range<f64>) -> f64 {
         assert!(
             range.start.is_finite() && range.end.is_finite() && range.start < range.end,
-            "gen_range needs a non-empty finite range, got {:?}",
-            range
+            "gen_range needs a non-empty finite range, got {range:?}"
         );
         let span = range.end - range.start;
         // next_f64 < 1, and `start + span·u` rounds at most up to `end`;
@@ -98,7 +97,7 @@ impl Rng {
     ///
     /// Panics if the range is empty.
     pub fn gen_range_usize(&mut self, range: Range<usize>) -> usize {
-        assert!(range.start < range.end, "empty range {:?}", range);
+        assert!(range.start < range.end, "empty range {range:?}");
         let span = (range.end - range.start) as u64;
         // Rejection zone keeps the modulo unbiased.
         let zone = u64::MAX - u64::MAX % span;

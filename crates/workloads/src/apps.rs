@@ -596,7 +596,7 @@ mod tests {
     #[test]
     fn paper_apps_returns_all_six_in_table_order() {
         let apps = crate::paper_apps(BackgroundLoad::baseline(1));
-        let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        let names: Vec<&str> = apps.iter().map(asgov_soc::Workload::name).collect();
         assert_eq!(
             names,
             [

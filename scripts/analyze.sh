@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Run the repo's own static analyzer (asgov-analyze): invariant lints
+# over every crate plus the exhaustive interleaving checker for the
+# parallel harness. Blocking — a non-empty finding list or an
+# interleaving violation exits non-zero. Writes ANALYZE_report.json at
+# the workspace root.
+#
+# Usage: scripts/analyze.sh [--quick] [--skip-interleavings]
+#   --quick               smaller interleaving configurations (CI smoke)
+#   --skip-interleavings  lints only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p asgov-analyze -- --workspace "$@"
