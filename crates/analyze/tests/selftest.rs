@@ -150,3 +150,28 @@ fn workspace_is_clean_end_to_end() {
     );
     std::fs::remove_file(&report_path).ok();
 }
+
+#[test]
+fn event_engine_hot_path_is_covered_and_clean() {
+    // Coverage regression guard for the event-driven simulator core:
+    // `crates/soc/src/event.rs` must be discovered as part of the
+    // `asgov-soc` hot-path crate (so hot-path-panic / hot-path-index /
+    // nondeterminism all apply to it), and the real source must scan
+    // clean — the residue loops run millions of times per simulated
+    // run and may not panic, index, or draw ambient entropy.
+    let root = asgov_analyze::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let files = asgov_analyze::workspace::discover(&root).expect("discover");
+    let event = files
+        .iter()
+        .find(|f| f.rel == "crates/soc/src/event.rs")
+        .expect("event.rs not discovered by workspace scan");
+    assert_eq!(event.crate_name, "asgov-soc");
+
+    let source = std::fs::read_to_string(&event.path).expect("read event.rs");
+    let findings = check_file(&event.rel, &event.crate_name, &source);
+    assert!(
+        findings.is_empty(),
+        "event engine hot path must stay lint-clean: {findings:#?}"
+    );
+}

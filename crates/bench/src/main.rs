@@ -8,10 +8,10 @@ use asgov_core::{ControllerBuilder, EnergyController, EnergyOptimizer};
 use asgov_governors::{AdrenoTz, CpubwHwmon};
 use asgov_linprog::{two_point, HullSolver};
 use asgov_obs::{CycleRecord, RingSink, TraceSink as _};
-use asgov_soc::{sim, Device, DeviceConfig, Policy};
+use asgov_soc::{event, sim, ConstantWorkload, Device, DeviceConfig, Policy};
 use asgov_util::{Json, Rng};
 use asgov_workloads::{apps, BackgroundLoad};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
@@ -210,12 +210,21 @@ fn controller_suite(quick: bool) -> Json {
 
     let mut derived = Json::object();
     derived.set("controller_run_ns_per_sim_ms", ns_per_sim_ms);
-    derived.set(
-        "trace_overhead_pct",
-        (traced_median_ns - untraced_median_ns) / untraced_median_ns * 100.0,
-    );
+    // A faster traced run than untraced run is measurement noise, not a
+    // negative overhead: clamp at zero so the report never carries a
+    // nonsensical negative percentage.
+    let trace_overhead_pct =
+        ((traced_median_ns - untraced_median_ns) / untraced_median_ns * 100.0).max(0.0);
+    derived.set("trace_overhead_pct", trace_overhead_pct);
     derived.set("controller_run_traced_median_ns", traced_median_ns);
     derived.set("controller_run_untraced_median_ns", untraced_median_ns);
+    // Fail loudly only on a genuine budget violation (§V-A1 acceptance:
+    // tracing must stay under 5 % of the untraced loop).
+    assert!(
+        trace_overhead_pct <= 5.0,
+        "tracing overhead {trace_overhead_pct:.2}% exceeds the 5% budget \
+         (untraced {untraced_median_ns:.0} ns, traced {traced_median_ns:.0} ns)"
+    );
     suite_report("controller", quick, &results, derived)
 }
 
@@ -247,10 +256,75 @@ fn simulator_suite(quick: bool) -> Json {
     let gov_ns_per_tick = r.median_ns / sim_ms as f64;
     results.push(r);
 
+    // Event-core rows: a steady, span-friendly scenario (constant
+    // demand, no monitor noise) run through BOTH cores, so the derived
+    // speedups compare bit-identical work. The spotify rows above are
+    // per-millisecond by construction (the app and background load draw
+    // randomness every millisecond) and cannot coalesce without
+    // changing results — see DESIGN.md §9.
+    let steady_cfg = || {
+        let mut c = DeviceConfig::nexus6();
+        c.monitor_noise_w = 0.0;
+        c
+    };
+    let steady_app = || ConstantWorkload::new("steady", 0.5, 1.5, 1.0);
+
+    let r = bench(&format!("sim_tick_bare/{sim_ms}ms"), &run_cfg, || {
+        let mut device = Device::new(steady_cfg());
+        let mut app = steady_app();
+        black_box(sim::run(&mut device, &mut app, &mut [], sim_ms));
+    });
+    let tick_bare_ns = r.median_ns;
+    results.push(r);
+
+    let events = Cell::new(0u64);
+    let r = bench(&format!("sim_event_bare/{sim_ms}ms"), &run_cfg, || {
+        let mut device = Device::new(steady_cfg());
+        let mut app = steady_app();
+        let (report, engine) = event::run_counted(&mut device, &mut app, &mut [], sim_ms);
+        events.set(engine.events);
+        black_box(report);
+    });
+    let event_bare_ns = r.median_ns;
+    let bare_events = events.get();
+    results.push(r);
+
+    let r = bench(&format!("sim_tick_governors/{sim_ms}ms"), &run_cfg, || {
+        let mut device = Device::new(steady_cfg());
+        let mut app = steady_app();
+        let mut bw = CpubwHwmon::default();
+        let mut gpu = AdrenoTz::default();
+        let mut policies: [&mut dyn Policy; 2] = [&mut bw, &mut gpu];
+        black_box(sim::run(&mut device, &mut app, &mut policies, sim_ms));
+    });
+    let tick_gov_ns = r.median_ns;
+    results.push(r);
+
+    let r = bench(&format!("sim_event_governors/{sim_ms}ms"), &run_cfg, || {
+        let mut device = Device::new(steady_cfg());
+        let mut app = steady_app();
+        let mut bw = CpubwHwmon::default();
+        let mut gpu = AdrenoTz::default();
+        let mut policies: [&mut dyn Policy; 2] = [&mut bw, &mut gpu];
+        let (report, engine) = event::run_counted(&mut device, &mut app, &mut policies, sim_ms);
+        events.set(engine.events);
+        black_box(report);
+    });
+    let event_gov_ns = r.median_ns;
+    let gov_events = events.get();
+    results.push(r);
+
     let mut derived = Json::object();
     derived.set("bare_ns_per_tick", bare_ns_per_tick);
     derived.set("governors_ns_per_tick", gov_ns_per_tick);
     derived.set("bare_ticks_per_sec", 1e9 / bare_ns_per_tick);
+    // Event-core aggregates (bit-identical runs, same simulated span).
+    derived.set("event_speedup_bare", tick_bare_ns / event_bare_ns);
+    derived.set("event_speedup_governors", tick_gov_ns / event_gov_ns);
+    derived.set("event_bare_events", bare_events as f64);
+    derived.set("event_governors_events", gov_events as f64);
+    derived.set("events_per_sec", gov_events as f64 / (event_gov_ns * 1e-9));
+    derived.set("sim_ms_per_wall_ms", sim_ms as f64 / (event_bare_ns * 1e-6));
     suite_report("simulator", quick, &results, derived)
 }
 

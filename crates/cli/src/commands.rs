@@ -8,7 +8,7 @@ use asgov_profiler::{
     measure_default, profile_app, profile_app_cpu_only, profile_app_with_gpu, ProfileOptions,
     ProfileTable,
 };
-use asgov_soc::{sim, Device, DeviceConfig, Policy, Workload as _};
+use asgov_soc::{event, Device, DeviceConfig, Policy, Workload as _};
 use asgov_workloads::{apps, BackgroundLoad, LoadLevel, PhasedApp};
 use std::cell::RefCell;
 use std::error::Error;
@@ -158,7 +158,7 @@ pub fn run(cmd: Command) -> Result<()> {
             }
             policies.push(&mut gpu_gov);
             policies.push(&mut controller);
-            let report = sim::run(&mut device, &mut a, &mut policies, duration_s * 1000);
+            let report = event::run(&mut device, &mut a, &mut policies, duration_s * 1000);
 
             println!("{app} under the asgov controller (target {target:.4} GIPS, {load}):");
             println!("  achieved = {:.4} GIPS", report.avg_gips);
@@ -221,7 +221,7 @@ pub fn run(cmd: Command) -> Result<()> {
             let mut device = Device::new(dev_cfg);
             a.reset();
             eprintln!("running the controller...");
-            let report = sim::run(
+            let report = event::run(
                 &mut device,
                 &mut a,
                 &mut [&mut gpu_gov, &mut controller],
@@ -288,7 +288,7 @@ pub fn run(cmd: Command) -> Result<()> {
             let sink = Rc::new(RefCell::new(RingSink::new(capacity)));
             device.install_obs_sink(sink.clone());
             a.reset();
-            let report = sim::run(
+            let report = event::run(
                 &mut device,
                 &mut a,
                 &mut [&mut gpu_gov, &mut controller],

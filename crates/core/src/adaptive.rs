@@ -121,6 +121,12 @@ impl Policy for LoadAdaptiveController {
     fn health(&self) -> Option<asgov_soc::HealthReport> {
         self.inner.health()
     }
+
+    fn next_event_ms(&self, device: &Device) -> u64 {
+        self.next_refresh_ms
+            .min(self.inner.next_event_ms(device))
+            .max(device.now_ms() + 1)
+    }
 }
 
 #[cfg(test)]

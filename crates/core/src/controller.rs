@@ -654,6 +654,18 @@ impl Policy for EnergyController {
     fn health(&self) -> Option<HealthReport> {
         Some(self.health_report())
     }
+
+    fn next_event_ms(&self, device: &Device) -> u64 {
+        // The controller's three internal clock domains: the perf
+        // reader's sampling window, the scheduler's armed retry/switch
+        // deadlines, and the control-period boundary. `tick` is a pure
+        // no-op strictly before the nearest of them.
+        self.perf
+            .next_sample_due_ms()
+            .min(self.scheduler.next_actuation_ms())
+            .min(self.cycle_end_ms)
+            .max(device.now_ms() + 1)
+    }
 }
 
 #[cfg(test)]

@@ -204,6 +204,24 @@ impl ConfigScheduler {
         }
     }
 
+    /// Earliest millisecond at which [`ConfigScheduler::tick`] can act
+    /// — the nearer of the pending retry deadline and the armed
+    /// intra-period switch point, or [`u64::MAX`] when neither is
+    /// armed. Ticks strictly before this are pure no-ops, which is what
+    /// lets the event engine skip them.
+    pub fn next_actuation_ms(&self) -> u64 {
+        let mut next = u64::MAX;
+        if self.retry_config.is_some() {
+            next = next.min(self.retry_at_ms);
+        }
+        if self.pending_upper.is_some() {
+            if let Some(t) = self.switch_at_ms {
+                next = next.min(t);
+            }
+        }
+        next
+    }
+
     /// Per-tick: perform the armed switch when its time comes, and
     /// re-attempt any write whose backoff has elapsed.
     pub fn tick(&mut self, device: &mut Device) {

@@ -10,7 +10,7 @@ use asgov_governors::{AdrenoTz, CpubwHwmon, Interactive, MpDecision};
 use asgov_profiler::{
     measure_default, measure_fixed, profile_app, DefaultMeasurement, ProfileOptions, ProfileTable,
 };
-use asgov_soc::{sim, Device};
+use asgov_soc::{event, Device};
 use asgov_soc::{DeviceConfig, Policy};
 use asgov_workloads::{apps, BackgroundLoad, PhasedApp};
 
@@ -136,7 +136,7 @@ fn main() {
         let mut gpu = AdrenoTz::default();
         use asgov_soc::Workload as _;
         a.reset();
-        let report = sim::run(
+        let report = event::run(
             &mut idle_dev,
             &mut a,
             &mut [&mut cpu, &mut bw, &mut gpu],

@@ -18,7 +18,7 @@ use asgov_core::ControllerBuilder;
 use asgov_governors::AdrenoTz;
 use asgov_profiler::{measure_default, profile_app, ProfileOptions};
 use asgov_soc::{
-    sim, Device, DeviceConfig, FaultInjector, FaultKind, FaultPlan, HealthReport, Policy,
+    event, Device, DeviceConfig, FaultInjector, FaultKind, FaultPlan, HealthReport, Policy,
     Workload as _,
 };
 use asgov_util::Json;
@@ -115,7 +115,7 @@ fn main() {
         let mut gpu_gov = AdrenoTz::default();
         app.reset();
         let mut policies: [&mut dyn Policy; 2] = [&mut gpu_gov, &mut controller];
-        let report = sim::run(&mut device, &mut app, &mut policies, duration_ms);
+        let report = event::run(&mut device, &mut app, &mut policies, duration_ms);
         let health = report.health.expect("controller reports health");
         assert!(
             report.energy_j.is_finite() && report.avg_gips.is_finite(),

@@ -3,7 +3,7 @@
 use asgov_core::ControllerBuilder;
 use asgov_experiments::render;
 use asgov_profiler::{measure_default, profile_app, ProfileOptions};
-use asgov_soc::{sim, Device, DeviceConfig, Workload as _};
+use asgov_soc::{event, Device, DeviceConfig, Workload as _};
 use asgov_workloads::{apps, BackgroundLoad};
 
 fn main() {
@@ -58,7 +58,7 @@ fn main() {
         .build();
     let mut device = Device::new(dev_cfg.clone());
     app.reset();
-    let report = sim::run(&mut device, &mut app, &mut [&mut controller], duration);
+    let report = event::run(&mut device, &mut app, &mut [&mut controller], duration);
     println!(
         "CONTROLLER: gips={:.4} power={:.3} W energy={:.1} J dur={} ms",
         report.avg_gips, report.avg_power_w, report.energy_j, report.duration_ms

@@ -1,0 +1,87 @@
+//! Differential smoke test: run a sample of app x policy x fault
+//! configurations through both simulator cores — the retained 1 ms tick
+//! loop (`asgov_soc::sim`) and the event-driven engine
+//! (`asgov_soc::event`) — and verify the reports are bit-identical.
+//!
+//! `tests/event_core.rs` proves the full matrix under `cargo test`;
+//! this binary puts the same guarantee into the experiment pipeline so
+//! `scripts/run_all_experiments.sh` (including `--quick`) fails loudly
+//! if the two cores ever diverge on the machine producing the results.
+
+use asgov_governors::{AdrenoTz, CpubwHwmon, Interactive, Ondemand};
+use asgov_soc::{event, sim, Device, DeviceConfig, FaultInjector, FaultKind, FaultPlan, Policy};
+use asgov_workloads::{apps, BackgroundLoad, PhasedApp};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let run_ms: u64 = if quick { 2_000 } else { 10_000 };
+
+    let apps: Vec<(&str, fn(BackgroundLoad) -> PhasedApp)> = vec![
+        ("spotify", apps::spotify as fn(BackgroundLoad) -> PhasedApp),
+        ("wechat", apps::wechat),
+        ("angrybirds", apps::angrybirds),
+    ];
+    let plans: Vec<(&str, Option<FaultPlan>)> = vec![
+        ("none", None),
+        (
+            "thermal+hotplug",
+            Some(
+                FaultPlan::new()
+                    .window(run_ms / 8, run_ms / 3, FaultKind::ThermalClamp(4))
+                    .window(run_ms / 2, run_ms * 3 / 4, FaultKind::Hotplug(2.0)),
+            ),
+        ),
+    ];
+
+    println!("=== Differential smoke: tick core vs event core ({run_ms} ms runs) ===\n");
+    println!(
+        "{:<12} {:<12} {:<16} {:>12} {:>12} {:>10}",
+        "app", "policy", "faults", "energy (J)", "GIPS", "identical"
+    );
+
+    let mut checked = 0usize;
+    for (app_name, app_fn) in &apps {
+        for policy in ["none", "ondemand", "interactive"] {
+            for (plan_name, plan) in &plans {
+                let run = |use_event: bool| {
+                    let mut device = Device::new(DeviceConfig::nexus6());
+                    if let Some(plan) = plan {
+                        device.install_faults(FaultInjector::new(plan.clone(), 0x5eed));
+                    }
+                    let mut app = app_fn(BackgroundLoad::baseline(1));
+                    let mut cpu_ondemand = Ondemand::default();
+                    let mut cpu_interactive = Interactive::default();
+                    let mut bw = CpubwHwmon::default();
+                    let mut gpu = AdrenoTz::default();
+                    let mut policies: Vec<&mut dyn Policy> = match policy {
+                        "none" => vec![],
+                        "ondemand" => vec![&mut cpu_ondemand, &mut bw, &mut gpu],
+                        _ => vec![&mut cpu_interactive, &mut bw, &mut gpu],
+                    };
+                    if use_event {
+                        event::run(&mut device, &mut app, &mut policies, run_ms)
+                    } else {
+                        sim::run(&mut device, &mut app, &mut policies, run_ms)
+                    }
+                };
+                let tick = run(false);
+                let event = run(true);
+                let identical = tick == event
+                    && tick.energy_j.to_bits() == event.energy_j.to_bits()
+                    && tick.instructions.to_bits() == event.instructions.to_bits();
+                println!(
+                    "{:<12} {:<12} {:<16} {:>12.3} {:>12.4} {:>10}",
+                    app_name, policy, plan_name, tick.energy_j, tick.avg_gips, identical
+                );
+                assert!(
+                    identical,
+                    "cores diverged on {app_name}/{policy}/{plan_name}: \
+                     tick energy {:.17e} vs event {:.17e}",
+                    tick.energy_j, event.energy_j
+                );
+                checked += 1;
+            }
+        }
+    }
+    println!("\nall {checked} configurations bit-identical across both cores");
+}

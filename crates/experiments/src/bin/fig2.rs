@@ -6,7 +6,7 @@
 
 use asgov_core::ControllerBuilder;
 use asgov_profiler::{measure_default, profile_app, ProfileOptions};
-use asgov_soc::{sim, Device, DeviceConfig, Workload as _};
+use asgov_soc::{event, Device, DeviceConfig, Workload as _};
 use asgov_workloads::{apps, BackgroundLoad};
 
 const DIAGRAM: &str = r#"
@@ -48,7 +48,7 @@ fn main() {
         .build();
     let mut device = Device::new(dev_cfg);
     app.reset();
-    sim::run(&mut device, &mut app, &mut [&mut controller], 10_000);
+    event::run(&mut device, &mut app, &mut [&mut controller], 10_000);
 
     println!("one live run, r = {target:.4} GIPS; per-cycle quantities:");
     for c in controller.cycle_log() {

@@ -9,7 +9,7 @@ use asgov_core::ControllerBuilder;
 use asgov_experiments::render::csv;
 use asgov_governors::{AdrenoTz, CpubwHwmon, Interactive};
 use asgov_profiler::{measure_default, profile_app, ProfileOptions};
-use asgov_soc::{sim, Device, DeviceConfig, Policy, Workload};
+use asgov_soc::{event, Device, DeviceConfig, Policy, Workload};
 use asgov_workloads::{apps, BackgroundLoad};
 
 fn series_and_events(
@@ -22,7 +22,7 @@ fn series_and_events(
     device.trace_mut().set_enabled(true);
     device.monitor_mut().set_keep_trace(true);
     app.reset();
-    let _ = sim::run(&mut device, app, policies, duration_ms);
+    let _ = event::run(&mut device, app, policies, duration_ms);
 
     // Down-sample the 1 ms power trace to 100 ms rows with mean power.
     let trace = device.monitor().trace();

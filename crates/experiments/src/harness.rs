@@ -9,7 +9,7 @@ use asgov_profiler::{
     measure_default, measure_fixed, profile_app, DefaultMeasurement, ProfileOptions, ProfileTable,
 };
 use asgov_soc::sim::RunReport;
-use asgov_soc::{sim, Device, DeviceConfig, FaultInjector, Policy, Workload as _};
+use asgov_soc::{event, Device, DeviceConfig, FaultInjector, Policy, Workload as _};
 use asgov_workloads::{AppKind, PhasedApp};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -244,6 +244,6 @@ pub fn traced_controller_run(
     device.install_obs_sink(sink.clone());
     app.reset();
     let mut policies: [&mut dyn Policy; 2] = [&mut gpu_gov, &mut controller];
-    let report = sim::run(&mut device, app, &mut policies, duration_ms);
+    let report = event::run(&mut device, app, &mut policies, duration_ms);
     (report, sink)
 }

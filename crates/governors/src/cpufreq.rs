@@ -194,6 +194,13 @@ impl Policy for Interactive {
             self.floor_until_ms = now + p.down_step_hold_ms;
         }
     }
+    fn next_event_ms(&self, device: &Device) -> u64 {
+        if device.cpu_governor() != "interactive" {
+            u64::MAX
+        } else {
+            self.next_sample_ms.max(device.now_ms() + 1)
+        }
+    }
 }
 
 /// Tunables of the [`Ondemand`] governor.
@@ -271,6 +278,13 @@ impl Policy for Ondemand {
             device.set_cpu_freq(target);
         }
     }
+    fn next_event_ms(&self, device: &Device) -> u64 {
+        if device.cpu_governor() != "ondemand" {
+            u64::MAX
+        } else {
+            self.next_sample_ms.max(device.now_ms() + 1)
+        }
+    }
 }
 
 /// The `conservative` governor: like `ondemand` but moves one ladder
@@ -321,6 +335,13 @@ impl Policy for Conservative {
             device.set_cpu_freq(FreqIndex(cur.0 + 1));
         } else if load < 0.30 && cur.0 > 0 {
             device.set_cpu_freq(FreqIndex(cur.0 - 1));
+        }
+    }
+    fn next_event_ms(&self, device: &Device) -> u64 {
+        if device.cpu_governor() != "conservative" {
+            u64::MAX
+        } else {
+            self.next_sample_ms.max(device.now_ms() + 1)
         }
     }
 }
@@ -411,6 +432,9 @@ impl Policy for Schedutil {
             device.set_cpu_freq(target);
         }
     }
+    fn next_event_ms(&self, device: &Device) -> u64 {
+        self.next_sample_ms.max(device.now_ms() + 1)
+    }
 }
 
 /// The `userspace` governor: frequency is whatever a user-space agent
@@ -428,6 +452,11 @@ impl Policy for UserspaceCpu {
     }
 
     fn tick(&mut self, _device: &mut Device) {}
+
+    fn next_event_ms(&self, _device: &Device) -> u64 {
+        // `tick` is a no-op: the event engine never needs to wake us.
+        u64::MAX
+    }
 }
 
 /// The `performance` governor: pins the maximum frequency.
@@ -444,6 +473,11 @@ impl Policy for PerformanceCpu {
     }
 
     fn tick(&mut self, _device: &mut Device) {}
+
+    fn next_event_ms(&self, _device: &Device) -> u64 {
+        // `tick` is a no-op: the event engine never needs to wake us.
+        u64::MAX
+    }
 }
 
 /// The `powersave` governor: pins the minimum frequency.
@@ -460,6 +494,11 @@ impl Policy for PowersaveCpu {
     }
 
     fn tick(&mut self, _device: &mut Device) {}
+
+    fn next_event_ms(&self, _device: &Device) -> u64 {
+        // `tick` is a no-op: the event engine never needs to wake us.
+        u64::MAX
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,13 @@ impl Policy for CpubwHwmon {
         let idx = device.table().bw_at_least(self.vote_mbps);
         device.set_mem_bw(idx);
     }
+    fn next_event_ms(&self, device: &Device) -> u64 {
+        if device.bw_governor() != "cpubw_hwmon" {
+            u64::MAX
+        } else {
+            self.next_sample_ms.max(device.now_ms() + 1)
+        }
+    }
 }
 
 /// The devfreq `userspace` governor: bandwidth is whatever a user-space
@@ -125,6 +132,11 @@ impl Policy for UserspaceBw {
     }
 
     fn tick(&mut self, _device: &mut Device) {}
+
+    fn next_event_ms(&self, _device: &Device) -> u64 {
+        // `tick` is a no-op: the event engine never needs to wake us.
+        u64::MAX
+    }
 }
 
 /// The devfreq `performance` governor: pins the maximum bandwidth.
@@ -141,6 +153,11 @@ impl Policy for PerformanceBw {
     }
 
     fn tick(&mut self, _device: &mut Device) {}
+
+    fn next_event_ms(&self, _device: &Device) -> u64 {
+        // `tick` is a no-op: the event engine never needs to wake us.
+        u64::MAX
+    }
 }
 
 /// The devfreq `powersave` governor: pins the minimum bandwidth.
@@ -157,6 +174,11 @@ impl Policy for PowersaveBw {
     }
 
     fn tick(&mut self, _device: &mut Device) {}
+
+    fn next_event_ms(&self, _device: &Device) -> u64 {
+        // `tick` is a no-op: the event engine never needs to wake us.
+        u64::MAX
+    }
 }
 
 #[cfg(test)]

@@ -85,6 +85,13 @@ impl Policy for AdrenoTz {
             device.set_gpu_freq(GpuFreqIndex(cur.0 - 1));
         }
     }
+    fn next_event_ms(&self, device: &Device) -> u64 {
+        if device.gpu().governor() != "msm-adreno-tz" {
+            u64::MAX
+        } else {
+            self.next_sample_ms.max(device.now_ms() + 1)
+        }
+    }
 }
 
 #[cfg(test)]

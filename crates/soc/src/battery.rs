@@ -33,6 +33,7 @@ impl Battery {
     }
 
     /// Drain `joules` of charge (saturates at empty).
+    #[inline]
     pub fn drain(&mut self, joules: f64) {
         debug_assert!(joules >= 0.0);
         self.drained_j = (self.drained_j + joules).min(self.capacity_j);

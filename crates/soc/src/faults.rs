@@ -137,6 +137,32 @@ impl FaultPlan {
         });
         self
     }
+
+    /// Earliest millisecond after `now_ms` at which the plan's
+    /// tick-level behaviour may differ from its behaviour at `now_ms` —
+    /// the event engine's fault clock domain. While *any* window is
+    /// active this is the very next millisecond (active windows may draw
+    /// randomness or act on every tick, so spans collapse to the exact
+    /// per-tick sequence); otherwise it is the nearest upcoming window
+    /// start or end, or [`u64::MAX`] for an empty/exhausted plan.
+    pub fn next_event_ms(&self, now_ms: u64) -> u64 {
+        let mut next = u64::MAX;
+        for w in &self.windows {
+            if (w.start_ms..w.end_ms).contains(&now_ms) {
+                return now_ms.saturating_add(1);
+            }
+            if w.start_ms > now_ms {
+                next = next.min(w.start_ms);
+            }
+            // The first millisecond *past* a window is also a boundary:
+            // hotplug restore (and any level-triggered cleanup) fires on
+            // the first inactive tick.
+            if w.end_ms > now_ms {
+                next = next.min(w.end_ms);
+            }
+        }
+        next
+    }
 }
 
 /// Cumulative injection counters (what the injector actually did).
@@ -220,6 +246,27 @@ impl FaultInjector {
     /// What the injector has injected so far.
     pub fn stats(&self) -> &FaultStats {
         &self.stats
+    }
+
+    /// Earliest millisecond after `now_ms` at which injection behaviour
+    /// may change — see [`FaultPlan::next_event_ms`]. Used by the event
+    /// engine via [`Device::next_fault_boundary_ms`](crate::Device::next_fault_boundary_ms)
+    /// to collapse spans to single ticks inside active windows and to
+    /// land exactly on window starts and ends.
+    pub fn next_event_ms(&self, now_ms: u64) -> u64 {
+        let mut next = u64::MAX;
+        for w in &self.windows {
+            if Self::active(w, now_ms) {
+                return now_ms.saturating_add(1);
+            }
+            if w.start_ms > now_ms {
+                next = next.min(w.start_ms);
+            }
+            if w.end_ms > now_ms {
+                next = next.min(w.end_ms);
+            }
+        }
+        next
     }
 
     fn active(w: &FaultWindow, now_ms: u64) -> bool {

@@ -146,6 +146,34 @@ impl Gpu {
         let power = self.leak_w_per_v * v + self.dyn_w_per_v2ghz * v * v * f * util;
         (fraction, power)
     }
+
+    /// Execute `span_ms` consecutive ticks under constant `gpu_work` in
+    /// one call — bit-identical to calling [`Gpu::tick`] `span_ms`
+    /// times: the busy accumulator receives the exact same sequence of
+    /// per-millisecond additions, and the (time-invariant) fraction and
+    /// power of the first tick are returned.
+    pub(crate) fn tick_span(&mut self, gpu_work: f64, span_ms: u64) -> (f64, f64) {
+        let f = self.freq_ghz(self.cur);
+        let v = self.voltage(self.cur);
+        let util = if gpu_work <= 0.0 {
+            0.0
+        } else {
+            (gpu_work / f).min(1.0)
+        };
+        let fraction = if gpu_work <= f || gpu_work <= 0.0 {
+            1.0
+        } else {
+            f / gpu_work
+        };
+        for _ in 0..span_ms {
+            self.busy_ms += util;
+        }
+        if let Some(t) = self.time_in_freq_ms.get_mut(self.cur.0) {
+            *t += span_ms;
+        }
+        let power = self.leak_w_per_v * v + self.dyn_w_per_v2ghz * v * v * f * util;
+        (fraction, power)
+    }
 }
 
 impl Default for Gpu {

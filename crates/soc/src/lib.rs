@@ -46,6 +46,7 @@ mod battery;
 mod device;
 mod dvfs;
 mod error;
+pub mod event;
 pub mod faults;
 pub mod gpu;
 mod health;
@@ -105,6 +106,19 @@ pub trait Policy {
     fn health(&self) -> Option<HealthReport> {
         None
     }
+
+    /// Earliest simulated millisecond at which the next [`Policy::tick`]
+    /// may do anything other than return immediately. The event engine
+    /// ([`event::run`]) skips straight to this time; the contract is that
+    /// every `tick` strictly before it must be a pure no-op (no device
+    /// writes, no internal state change, no RNG draws). The conservative
+    /// default — the very next millisecond — keeps every existing policy
+    /// correct; sampling governors override it with their next sampling
+    /// deadline. Return [`u64::MAX`] for policies whose `tick` never does
+    /// anything.
+    fn next_event_ms(&self, device: &Device) -> u64 {
+        device.now_ms().saturating_add(1)
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -123,6 +137,9 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     fn health(&self) -> Option<HealthReport> {
         (**self).health()
     }
+    fn next_event_ms(&self, device: &Device) -> u64 {
+        (**self).next_event_ms(device)
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for &mut P {
@@ -140,5 +157,8 @@ impl<P: Policy + ?Sized> Policy for &mut P {
     }
     fn health(&self) -> Option<HealthReport> {
         (**self).health()
+    }
+    fn next_event_ms(&self, device: &Device) -> u64 {
+        (**self).next_event_ms(device)
     }
 }

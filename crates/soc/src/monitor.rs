@@ -52,6 +52,7 @@ impl PowerMonitor {
     }
 
     /// Record one tick's average power.
+    #[inline]
     pub(crate) fn record(&mut self, t_ms: u64, power_w: f64) {
         let noise = if self.noise_sigma_w > 0.0 {
             // Box-Muller transform; the RNG is deterministic per seed.

@@ -104,6 +104,25 @@ impl Radio {
         let power = self.poll_w_per_pps * cap + self.energy_per_packet_j * serviced;
         (fraction, power)
     }
+
+    /// Service `span_ms` consecutive ticks of constant `offered_pps` in
+    /// one call — bit-identical to calling [`Radio::tick`] `span_ms`
+    /// times (the serviced-packet accumulator receives the same
+    /// per-millisecond additions).
+    pub(crate) fn tick_span(&mut self, offered_pps: f64, span_ms: u64) -> (f64, f64) {
+        let cap = self.rate_pps(self.cur);
+        let serviced = offered_pps.min(cap);
+        let fraction = if offered_pps <= 0.0 {
+            1.0
+        } else {
+            serviced / offered_pps
+        };
+        for _ in 0..span_ms {
+            self.serviced_packets += serviced * 1e-3; // per 1 ms tick
+        }
+        let power = self.poll_w_per_pps * cap + self.energy_per_packet_j * serviced;
+        (fraction, power)
+    }
 }
 
 impl Default for Radio {

@@ -88,6 +88,18 @@ impl PerfReader {
         self.enabled
     }
 
+    /// Earliest millisecond at which [`PerfReader::poll`] can produce a
+    /// reading ([`u64::MAX`] while disabled) — every earlier poll
+    /// returns `None` without touching any state or RNG, so the event
+    /// engine can skip straight to this deadline.
+    pub fn next_sample_due_ms(&self) -> u64 {
+        if self.enabled {
+            self.last_sample_ms.saturating_add(self.period_ms)
+        } else {
+            u64::MAX
+        }
+    }
+
     /// Call once per tick; returns a reading when a full period has
     /// elapsed. Returns `None` while disabled or mid-window.
     ///

@@ -21,6 +21,7 @@ impl Pmu {
     }
 
     /// Record one tick of execution.
+    #[inline]
     pub(crate) fn record(&mut self, instructions: f64, cycles: f64, bus_bytes: f64) {
         debug_assert!(instructions >= 0.0 && cycles >= 0.0 && bus_bytes >= 0.0);
         self.instructions += instructions;

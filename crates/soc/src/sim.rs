@@ -11,8 +11,14 @@ use crate::Policy;
 pub struct RunReport {
     /// Application name.
     pub app: String,
+    /// Names of the policies that governed the run, joined with `+`
+    /// (`"none"` when the run used no policies).
+    pub policy: String,
     /// Wall-clock duration actually simulated, ms.
     pub duration_ms: u64,
+    /// Requested time limit, ms (`duration_ms < max_ms` means the
+    /// workload completed early).
+    pub max_ms: u64,
     /// Measured (Monsoon) energy over the run, joules.
     pub energy_j: f64,
     /// Average device power, watts.
@@ -44,7 +50,10 @@ impl RunReport {
     pub fn to_json(&self) -> asgov_util::Json {
         let mut doc = asgov_util::Json::object();
         doc.set("app", self.app.as_str());
+        doc.set("policy", self.policy.as_str());
         doc.set("duration_ms", self.duration_ms as f64);
+        doc.set("elapsed_ms", self.duration_ms as f64);
+        doc.set("max_ms", self.max_ms as f64);
         doc.set("energy_j", self.energy_j);
         doc.set("avg_power_w", self.avg_power_w);
         doc.set("instructions", self.instructions);
@@ -90,15 +99,39 @@ pub fn run(
         }
     }
 
+    collect_report(device, workload, policies, max_ms, completed)
+}
+
+/// Finish the policies and assemble the [`RunReport`] — shared by the
+/// tick core ([`run`]) and the event core ([`crate::event::run`]) so
+/// both produce structurally identical reports.
+pub(crate) fn collect_report(
+    device: &mut Device,
+    workload: &dyn Workload,
+    policies: &mut [&mut dyn Policy],
+    max_ms: u64,
+    completed: bool,
+) -> RunReport {
     for p in policies.iter_mut() {
         p.finish(device);
     }
     let health = policies.iter().find_map(super::Policy::health);
+    let policy = if policies.is_empty() {
+        "none".to_string()
+    } else {
+        policies
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    };
 
     let stats = device.stats();
     RunReport {
         app: workload.name().to_string(),
+        policy,
         duration_ms: stats.elapsed_ms,
+        max_ms,
         energy_j: stats.energy_j,
         avg_power_w: stats.avg_power_w,
         instructions: stats.instructions,
