@@ -17,7 +17,7 @@
 //! | `nondeterminism` | all but bench/experiments/analyze and the harness boundary | no wall clocks, OS entropy, or randomized-hash collections |
 //! | `float-eq` | all | no `==`/`!=` against float literals |
 //! | `obs-gating` | core, control | obs emission only behind `has_obs_sink` |
-//! | `error-taxonomy` | all | `SocErrorKind` values come from the taxonomy, not ad-hoc construction |
+//! | `error-taxonomy` | all | `SocErrorKind` / `SnapshotError` values come from their taxonomies, not ad-hoc construction |
 
 use crate::allow;
 use crate::lexer::{lex, Tok, TokKind};
@@ -122,7 +122,20 @@ pub fn check_file(rel_path: &str, crate_name: &str, source: &str) -> Vec<Finding
         rule_obs_gating(&ctx, &mut raw);
     }
     if rel_path != "crates/soc/src/error.rs" {
-        rule_error_taxonomy(&ctx, &mut raw);
+        rule_error_taxonomy(
+            &ctx,
+            &mut raw,
+            "SocErrorKind",
+            "SocErrorKind constructed ad hoc; obtain kinds via SocError::kind() so the taxonomy stays the single source of truth",
+        );
+    }
+    if rel_path != "crates/core/src/persist.rs" {
+        rule_error_taxonomy(
+            &ctx,
+            &mut raw,
+            "SnapshotError",
+            "SnapshotError constructed ad hoc; decode through SnapshotReader and map domain checks with persist::require/ensure so the taxonomy stays the single source of truth",
+        );
     }
 
     // Apply the allow list, marking each allow that earns its keep.
@@ -410,10 +423,10 @@ fn rule_obs_gating(ctx: &Ctx, out: &mut Vec<Finding>) {
     }
 }
 
-fn rule_error_taxonomy(ctx: &Ctx, out: &mut Vec<Finding>) {
+fn rule_error_taxonomy(ctx: &Ctx, out: &mut Vec<Finding>, type_name: &str, advice: &str) {
     let code = ctx.code;
     for i in 0..code.len() {
-        if code[i].text != "SocErrorKind" || code[i].kind != TokKind::Ident {
+        if code[i].text != type_name || code[i].kind != TokKind::Ident {
             continue;
         }
         let Some(variant_at) =
@@ -422,6 +435,16 @@ fn rule_error_taxonomy(ctx: &Ctx, out: &mut Vec<Finding>) {
         else {
             continue; // bare type mention (annotations, imports)
         };
+        // Associated functions (`SocErrorKind::from_wire`) are not
+        // variant fabrication; only CamelCase paths name variants.
+        if !code[variant_at]
+            .text
+            .chars()
+            .next()
+            .is_some_and(char::is_uppercase)
+        {
+            continue;
+        }
         // Comparison against a taxonomy value is fine.
         let cmp_before = i > 0 && matches!(code[i - 1].text.as_str(), "==" | "!=");
         let cmp_after = code
@@ -431,6 +454,25 @@ fn rule_error_taxonomy(ctx: &Ctx, out: &mut Vec<Finding>) {
         // or `|` (match arm), or the whole thing sits inside a `let`
         // destructure (`if let Err(SocErrorKind::Busy) = …`).
         let mut j = variant_at + 1;
+        // Struct variants (`VersionMismatch { .. }`) carry a braced
+        // field list before the arm arrow: step over it first.
+        if code.get(j).is_some_and(|t| t.text == "{") {
+            let mut depth = 0usize;
+            while let Some(t) = code.get(j) {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
         while code
             .get(j)
             .is_some_and(|t| matches!(t.text.as_str(), ")" | "]" | ","))
@@ -445,12 +487,7 @@ fn rule_error_taxonomy(ctx: &Ctx, out: &mut Vec<Finding>) {
             .take_while(|&k| code[k].text != "=" && code[k].text != ";")
             .any(|k| code[k].text == "let");
         if !(cmp_before || cmp_after || in_match_arm || in_let_pattern) {
-            ctx.push(
-                out,
-                "error-taxonomy",
-                code[i].line,
-                "SocErrorKind constructed ad hoc; obtain kinds via SocError::kind() so the taxonomy stays the single source of truth".to_string(),
-            );
+            ctx.push(out, "error-taxonomy", code[i].line, advice.to_string());
         }
     }
 }
@@ -596,6 +633,33 @@ fn g(r: Result<(), SocErrorKind>) -> bool {
             rules_of(&check_file("crates/cli/src/x.rs", "asgov-cli", bad)),
             ["error-taxonomy"]
         );
+    }
+
+    #[test]
+    fn error_taxonomy_covers_snapshot_error_with_persist_exempt() {
+        // Matching and comparing snapshot errors is fine anywhere.
+        let ok = "\
+fn f(e: SnapshotError) -> bool {
+    match e {
+        SnapshotError::Truncated => true,
+        SnapshotError::Corrupt | SnapshotError::VersionMismatch { .. } => false,
+    }
+}
+";
+        let findings = check_file("crates/core/src/x.rs", "asgov-core", ok);
+        assert!(findings.is_empty(), "{findings:?}");
+        // Hand-constructing one outside the taxonomy's home is not.
+        let bad = "fn f() -> SnapshotError { SnapshotError::Corrupt }\n";
+        assert_eq!(
+            rules_of(&check_file(
+                "crates/core/src/controller.rs",
+                "asgov-core",
+                bad
+            )),
+            ["error-taxonomy"]
+        );
+        // The taxonomy's own module is where variants are born.
+        assert!(check_file("crates/core/src/persist.rs", "asgov-core", bad).is_empty());
     }
 
     #[test]

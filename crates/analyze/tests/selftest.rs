@@ -152,6 +152,32 @@ fn workspace_is_clean_end_to_end() {
 }
 
 #[test]
+fn persist_codec_is_covered_and_clean() {
+    // Coverage regression guard for the snapshot codec:
+    // `crates/core/src/persist.rs` must be discovered as part of the
+    // `asgov-core` hot-path crate (hot-path-panic / hot-path-index /
+    // nondeterminism all apply — a decode path that panics turns a
+    // corrupt checkpoint into a supervisor crash), and the real source
+    // must scan clean. Note the file is exempt from `error-taxonomy`
+    // only: it is where `SnapshotError` variants are born.
+    let root = asgov_analyze::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let files = asgov_analyze::workspace::discover(&root).expect("discover");
+    let persist = files
+        .iter()
+        .find(|f| f.rel == "crates/core/src/persist.rs")
+        .expect("persist.rs not discovered by workspace scan");
+    assert_eq!(persist.crate_name, "asgov-core");
+
+    let source = std::fs::read_to_string(&persist.path).expect("read persist.rs");
+    let findings = check_file(&persist.rel, &persist.crate_name, &source);
+    assert!(
+        findings.is_empty(),
+        "snapshot codec must stay lint-clean: {findings:#?}"
+    );
+}
+
+#[test]
 fn event_engine_hot_path_is_covered_and_clean() {
     // Coverage regression guard for the event-driven simulator core:
     // `crates/soc/src/event.rs` must be discovered as part of the

@@ -131,7 +131,7 @@ fn trace_then_stats_round_trip() {
     assert!(!lines.is_empty(), "trace file is empty");
     for line in &lines {
         assert!(
-            line.contains("\"schema\":\"asgov-obs/v1\""),
+            line.contains("\"schema\":\"asgov-obs/v2\""),
             "untagged line: {line}"
         );
     }

@@ -124,6 +124,15 @@ impl AdaptiveIntegrator {
         self.speedup = speedup.clamp(self.min_speedup, self.max_speedup);
         self.last_error = 0.0;
     }
+
+    /// Restore the mutable state captured by [`Self::speedup`] and
+    /// [`Self::last_error`] (checkpoint/restore support). A speedup that
+    /// was read from this integrator round-trips bit-exactly, because
+    /// re-clamping an already-clamped value is the identity.
+    pub fn restore_state(&mut self, speedup: f64, last_error: f64) {
+        self.speedup = speedup.clamp(self.min_speedup, self.max_speedup);
+        self.last_error = last_error;
+    }
 }
 
 #[cfg(test)]

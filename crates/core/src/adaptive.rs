@@ -4,6 +4,7 @@
 
 use crate::controller::EnergyController;
 use crate::optimizer::EnergyOptimizer;
+use crate::persist::{self, Restartable, SnapshotError, SnapshotReader, SnapshotWriter};
 use asgov_profiler::{LoadModel, LoadSignature};
 use asgov_soc::{Device, Policy};
 
@@ -129,6 +130,59 @@ impl Policy for LoadAdaptiveController {
     }
 }
 
+impl Restartable for LoadAdaptiveController {
+    fn snapshot_bytes(&self, now_ms: u64) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(now_ms);
+        w.put_u64(self.swaps);
+        w.put_u64(self.next_refresh_ms);
+        w.put_u64(self.last_sample_ms);
+        w.put_f64(self.last_bg_util_ms);
+        w.put_f64(self.last_bg_traffic_mb);
+        w.put_bytes(&self.inner.snapshot_bytes(now_ms));
+        w.finish()
+    }
+
+    fn restore_bytes(&mut self, bytes: &[u8], now_ms: u64) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        let saved_at_ms = r.take_u64()?;
+        let swaps = r.take_u64()?;
+        let next_refresh_ms = r.take_u64()?;
+        let last_sample_ms = r.take_u64()?;
+        let last_bg_util_ms = r.take_f64()?;
+        let last_bg_traffic_mb = r.take_f64()?;
+        let inner_bytes = r.take_bytes()?.to_vec();
+        r.finish()?;
+        persist::ensure(last_bg_util_ms.is_finite() && last_bg_util_ms >= 0.0)?;
+        persist::ensure(last_bg_traffic_mb.is_finite() && last_bg_traffic_mb >= 0.0)?;
+        // The inner restore is transactional; if it fails, nothing of
+        // the wrapper has been applied either.
+        self.inner.restore_bytes(&inner_bytes, now_ms)?;
+        let delta_ms = now_ms.saturating_sub(saved_at_ms);
+        self.swaps = swaps;
+        self.next_refresh_ms = next_refresh_ms.saturating_add(delta_ms);
+        // Sampling baselines stay absolute: the device's background
+        // accounting kept running through the outage, so the next
+        // signature averages correctly over the downtime.
+        self.last_sample_ms = last_sample_ms;
+        self.last_bg_util_ms = last_bg_util_ms;
+        self.last_bg_traffic_mb = last_bg_traffic_mb;
+        Ok(())
+    }
+
+    fn restart_cold(&mut self, device: &mut Device) {
+        self.last_sample_ms = device.now_ms();
+        self.last_bg_util_ms = device.bg_util_ms();
+        self.last_bg_traffic_mb = device.bg_traffic_mb();
+        self.next_refresh_ms = device.now_ms() + self.refresh_ms;
+        self.inner.restart_cold(device);
+    }
+
+    fn note_restart_telemetry(&mut self, restarts: u64, snapshot_errors: u64) {
+        self.inner.note_restart_telemetry(restarts, snapshot_errors);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +236,61 @@ mod tests {
         let report = sim::run(&mut device, &mut app, &mut [&mut adaptive], 30_000);
         assert!(adaptive.profile_swaps() >= 2, "profile should refresh");
         assert!(report.avg_gips > 0.5, "call keeps running");
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rejects_garbage() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::spotify(BackgroundLoad::none(1));
+        let p = profile_app(&dev_cfg, &mut app, &quick());
+        let model = LoadModel::new(vec![
+            (
+                LoadSignature {
+                    cpu_util: 0.0,
+                    traffic_mbps: 0.0,
+                },
+                p.clone(),
+            ),
+            (
+                LoadSignature {
+                    cpu_util: 0.2,
+                    traffic_mbps: 100.0,
+                },
+                p.clone(),
+            ),
+        ])
+        .unwrap();
+        let base = ControllerBuilder::new(p.clone()).target_gips(0.6).build();
+        let mut adaptive = LoadAdaptiveController::new(base, model.clone(), 5_000);
+
+        let mut device = asgov_soc::Device::new(dev_cfg);
+        app.reset();
+        let _ = sim::run(&mut device, &mut app, &mut [&mut adaptive], 12_000);
+        let swaps_before = adaptive.profile_swaps();
+        let snap = adaptive.snapshot_bytes(device.now_ms());
+
+        // A fresh wrapper restored from the snapshot carries the swap
+        // count and refresh schedule across.
+        let base2 = ControllerBuilder::new(p).target_gips(0.6).build();
+        let mut restored = LoadAdaptiveController::new(base2, model, 5_000);
+        restored.start(&mut device);
+        restored
+            .restore_bytes(&snap, device.now_ms() + 400)
+            .expect("clean snapshot restores");
+        assert_eq!(restored.profile_swaps(), swaps_before);
+        assert_eq!(
+            restored.next_refresh_ms,
+            adaptive.next_refresh_ms + 400,
+            "refresh deadline re-anchored by the downtime"
+        );
+        assert_eq!(restored.last_sample_ms, adaptive.last_sample_ms);
+
+        // Damage detection covers the nested controller frame too.
+        let mut bad = snap;
+        if let Some(b) = bad.last_mut() {
+            *b ^= 0x01;
+        }
+        assert!(restored.restore_bytes(&bad, device.now_ms() + 400).is_err());
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! The online controller (paper Fig. 2) as an [`asgov_soc::Policy`].
 
 use crate::optimizer::EnergyOptimizer;
-use crate::regulator::PerformanceRegulator;
+use crate::persist::{self, Restartable, SnapshotError, SnapshotReader, SnapshotWriter};
+use crate::regulator::{PerformanceRegulator, RegulatorState};
 use crate::resilience::{
-    DegradationLadder, DivergenceGuard, LadderEvent, PerfGate, ResilienceConfig,
+    DegradationLadder, DivergenceGuard, LadderEvent, LadderState, PerfGate, ResilienceConfig,
 };
-use crate::scheduler::ConfigScheduler;
+use crate::scheduler::{ConfigScheduler, SchedulerState};
 use asgov_control::{PhaseDetector, PhaseEvent};
 use asgov_obs::CycleRecord;
 use asgov_profiler::{Config, ProfileTable};
-use asgov_soc::{sysfs, DegradationLevel, Device, HealthReport, PerfReader, Policy, SocErrorKind};
+use asgov_soc::{
+    sysfs, BwIndex, DegradationLevel, Device, FreqIndex, GpuFreqIndex, HealthReport, PerfReader,
+    Policy, SocErrorKind,
+};
 // asgov-analyze: allow(nondeterminism): wall-clock latency is observability metadata, only read when a sink is installed
 use std::time::Instant;
 
@@ -276,6 +280,8 @@ impl ControllerBuilder {
             drought_run: 0,
             perf_droughts: 0,
             cycles: 0,
+            restarts: 0,
+            snapshot_errors: 0,
         }
     }
 }
@@ -309,6 +315,11 @@ pub struct EnergyController {
     drought_run: u64,
     perf_droughts: u64,
     cycles: u64,
+    // Supervisor telemetry stamped into emitted cycle records. Owned by
+    // the supervising process, not the controller, so deliberately NOT
+    // part of the snapshot payload.
+    restarts: u64,
+    snapshot_errors: u64,
 }
 
 impl EnergyController {
@@ -363,6 +374,9 @@ impl EnergyController {
             recoveries: self.ladder.recoveries(),
             recovery_latency_cycles: self.ladder.recovery_latency(),
             climb_latency_cycles: self.ladder.climb_latency(),
+            // Restart accounting belongs to the supervisor, which
+            // merges it in; an unsupervised controller reports zeros.
+            ..HealthReport::default()
         }
     }
 
@@ -498,6 +512,8 @@ impl EnergyController {
                         actuation_ns: actuation_t.map_or(0, |t| t.elapsed().as_nanos() as u64),
                         fault: outcome.fault.map(Into::into),
                         level: self.ladder.level().into(),
+                        restarts: self.restarts,
+                        snapshot_errors: self.snapshot_errors,
                     });
                 }
                 return;
@@ -580,6 +596,8 @@ impl EnergyController {
                 actuation_ns: actuation_t.map_or(0, |t| t.elapsed().as_nanos() as u64),
                 fault: outcome.fault.map(Into::into),
                 level: self.ladder.level().into(),
+                restarts: self.restarts,
+                snapshot_errors: self.snapshot_errors,
             });
         }
 
@@ -595,6 +613,300 @@ impl EnergyController {
                 actuation_fault: outcome.fault,
             });
         }
+    }
+}
+
+/// Append one profile configuration to a snapshot payload.
+fn put_config(w: &mut SnapshotWriter, cfg: Config) {
+    w.put_u32(cfg.freq.0 as u32);
+    w.put_u32(cfg.bw.0 as u32);
+    match cfg.gpu {
+        None => w.put_u8(0),
+        Some(g) => {
+            w.put_u8(1);
+            w.put_u32(g.0 as u32);
+        }
+    }
+}
+
+/// Decode one profile configuration (indices are validated against the
+/// profile table by the caller).
+fn take_config(r: &mut SnapshotReader<'_>) -> Result<Config, SnapshotError> {
+    let freq = FreqIndex(r.take_u32()? as usize);
+    let bw = BwIndex(r.take_u32()? as usize);
+    let gpu_tag = r.take_u8()?;
+    persist::ensure(gpu_tag <= 1)?;
+    let gpu = if gpu_tag == 1 {
+        Some(GpuFreqIndex(r.take_u32()? as usize))
+    } else {
+        None
+    };
+    Ok(Config { freq, bw, gpu })
+}
+
+fn put_opt_config(w: &mut SnapshotWriter, cfg: Option<Config>) {
+    match cfg {
+        None => w.put_u8(0),
+        Some(c) => {
+            w.put_u8(1);
+            put_config(w, c);
+        }
+    }
+}
+
+fn take_opt_config(r: &mut SnapshotReader<'_>) -> Result<Option<Config>, SnapshotError> {
+    let tag = r.take_u8()?;
+    persist::ensure(tag <= 1)?;
+    if tag == 1 {
+        Ok(Some(take_config(r)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn put_opt_fault(w: &mut SnapshotWriter, fault: Option<SocErrorKind>) {
+    match fault {
+        None => w.put_u8(0),
+        Some(k) => {
+            w.put_u8(1);
+            w.put_u8(k.wire_code());
+        }
+    }
+}
+
+fn take_opt_fault(r: &mut SnapshotReader<'_>) -> Result<Option<SocErrorKind>, SnapshotError> {
+    let tag = r.take_u8()?;
+    persist::ensure(tag <= 1)?;
+    if tag == 1 {
+        Ok(Some(persist::require(SocErrorKind::from_wire(
+            r.take_u8()?,
+        ))?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// The fully decoded snapshot payload, held together so the restore can
+/// validate everything before touching the controller (transactional
+/// restore: a `Corrupt` verdict must leave the controller unchanged).
+#[derive(Debug)]
+struct DecodedSnapshot {
+    saved_at_ms: u64,
+    cycle_end_ms: u64,
+    cycles: u64,
+    last_measured: f64,
+    readings: Vec<f64>,
+    drought_run: u64,
+    perf_droughts: u64,
+    phase_changes: u64,
+    last_lower_index: u64,
+    regulator: RegulatorState,
+    scheduler: SchedulerState,
+    ladder: LadderState,
+    gate_rejected: u64,
+    guard_reseeds: u64,
+}
+
+impl EnergyController {
+    fn encode_snapshot(&self, now_ms: u64) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(now_ms);
+        w.put_u64(self.cycle_end_ms);
+        w.put_u64(self.cycles);
+        w.put_f64(self.last_measured);
+        w.put_f64_slice(&self.readings);
+        w.put_u64(self.drought_run);
+        w.put_u64(self.perf_droughts);
+        w.put_u64(self.phase_changes);
+        w.put_u64(self.last_lower_index as u64);
+
+        let reg = self.regulator.checkpoint();
+        w.put_f64(reg.base_estimate);
+        w.put_f64(reg.base_variance);
+        w.put_f64(reg.speedup);
+        w.put_f64(reg.last_error);
+        w.put_f64(reg.last_innovation);
+
+        let sched = self.scheduler.checkpoint();
+        w.put_opt_u64(sched.switch_at_ms);
+        put_opt_config(&mut w, sched.pending_upper);
+        w.put_f64(sched.applied_speedup);
+        w.put_u64(sched.last_dwell_ms.0);
+        w.put_u64(sched.last_dwell_ms.1);
+        put_opt_config(&mut w, sched.retry_config);
+        w.put_u64(sched.retry_at_ms);
+        w.put_u32(sched.retry_attempts);
+        w.put_u64(sched.writes_failed);
+        w.put_u64(sched.sysfs_busy);
+        w.put_u64(sched.wrong_governor);
+        w.put_u64(sched.other_errors);
+        w.put_u64(sched.retries);
+        w.put_u64(sched.governor_reasserts);
+        w.put_u64(sched.thermal_clamps_detected);
+        w.put_bool(sched.cycle_failed);
+        put_opt_fault(&mut w, sched.last_fault);
+
+        let ladder = self.ladder.checkpoint();
+        w.put_u8(ladder.level.wire_code());
+        w.put_u64(ladder.cycle);
+        w.put_u64(ladder.consecutive_failed);
+        w.put_u64(ladder.consecutive_clean);
+        w.put_u64(ladder.failed_cycles);
+        w.put_u64(ladder.degradations);
+        w.put_u64(ladder.recoveries);
+        w.put_opt_u64(ladder.last_failed_cycle);
+        w.put_opt_u64(ladder.episode_start);
+        w.put_opt_u64(ladder.recovery_latency);
+        w.put_opt_u64(ladder.climb_latency);
+
+        w.put_u64(self.gate.rejected());
+        w.put_u64(self.guard.reseeds());
+        w.finish()
+    }
+
+    fn decode_snapshot(&self, bytes: &[u8]) -> Result<DecodedSnapshot, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        let saved_at_ms = r.take_u64()?;
+        let cycle_end_ms = r.take_u64()?;
+        let cycles = r.take_u64()?;
+        let last_measured = r.take_f64()?;
+        let readings = r.take_f64_vec()?;
+        let drought_run = r.take_u64()?;
+        let perf_droughts = r.take_u64()?;
+        let phase_changes = r.take_u64()?;
+        let last_lower_index = r.take_u64()?;
+
+        let regulator = RegulatorState {
+            base_estimate: r.take_f64()?,
+            base_variance: r.take_f64()?,
+            speedup: r.take_f64()?,
+            last_error: r.take_f64()?,
+            last_innovation: r.take_f64()?,
+        };
+
+        let scheduler = SchedulerState {
+            switch_at_ms: r.take_opt_u64()?,
+            pending_upper: take_opt_config(&mut r)?,
+            applied_speedup: r.take_f64()?,
+            last_dwell_ms: (r.take_u64()?, r.take_u64()?),
+            retry_config: take_opt_config(&mut r)?,
+            retry_at_ms: r.take_u64()?,
+            retry_attempts: r.take_u32()?,
+            writes_failed: r.take_u64()?,
+            sysfs_busy: r.take_u64()?,
+            wrong_governor: r.take_u64()?,
+            other_errors: r.take_u64()?,
+            retries: r.take_u64()?,
+            governor_reasserts: r.take_u64()?,
+            thermal_clamps_detected: r.take_u64()?,
+            cycle_failed: r.take_bool()?,
+            last_fault: take_opt_fault(&mut r)?,
+        };
+
+        let ladder = LadderState {
+            level: persist::require(DegradationLevel::from_wire(r.take_u8()?))?,
+            cycle: r.take_u64()?,
+            consecutive_failed: r.take_u64()?,
+            consecutive_clean: r.take_u64()?,
+            failed_cycles: r.take_u64()?,
+            degradations: r.take_u64()?,
+            recoveries: r.take_u64()?,
+            last_failed_cycle: r.take_opt_u64()?,
+            episode_start: r.take_opt_u64()?,
+            recovery_latency: r.take_opt_u64()?,
+            climb_latency: r.take_opt_u64()?,
+        };
+
+        let gate_rejected = r.take_u64()?;
+        let guard_reseeds = r.take_u64()?;
+        r.finish()?;
+
+        // Domain validation: a frame can be checksum-clean yet carry
+        // values the controller must never ingest (a version-1 frame
+        // hand-crafted or written by a buggy peer). Everything below
+        // would otherwise panic deep inside the control loop.
+        persist::ensure(
+            regulator.base_variance.is_finite()
+                && regulator.base_variance >= 0.0
+                && regulator.base_estimate.is_finite()
+                && regulator.speedup.is_finite(),
+        )?;
+        persist::ensure(last_measured.is_finite())?;
+        persist::ensure(readings.iter().all(|g| g.is_finite()))?;
+        persist::ensure(scheduler.applied_speedup.is_finite())?;
+        persist::ensure((last_lower_index as usize) < self.optimizer.len())?;
+        for cfg in [scheduler.pending_upper, scheduler.retry_config]
+            .into_iter()
+            .flatten()
+        {
+            persist::ensure(self.optimizer.index_of(cfg).is_some())?;
+        }
+        Ok(DecodedSnapshot {
+            saved_at_ms,
+            cycle_end_ms,
+            cycles,
+            last_measured,
+            readings,
+            drought_run,
+            perf_droughts,
+            phase_changes,
+            last_lower_index,
+            regulator,
+            scheduler,
+            ladder,
+            gate_rejected,
+            guard_reseeds,
+        })
+    }
+
+    fn apply_snapshot(&mut self, snap: DecodedSnapshot, now_ms: u64) -> Result<(), SnapshotError> {
+        // Re-anchor absolute deadlines: the device clock kept running
+        // while the controller was dead, so everything armed for the
+        // future shifts by the downtime.
+        let delta_ms = now_ms.saturating_sub(snap.saved_at_ms);
+        // The regulator validates its own state and refuses bad input;
+        // it is applied first so a refusal leaves nothing else touched.
+        persist::ensure(self.regulator.restore(&snap.regulator))?;
+        self.scheduler.restore(&snap.scheduler, delta_ms);
+        self.ladder.restore(&snap.ladder);
+        self.gate.restore_rejected(snap.gate_rejected);
+        self.guard.restore_reseeds(snap.guard_reseeds);
+        self.cycle_end_ms = snap.cycle_end_ms.saturating_add(delta_ms);
+        self.cycles = snap.cycles;
+        self.last_measured = snap.last_measured;
+        self.readings = snap.readings;
+        self.drought_run = snap.drought_run;
+        self.perf_droughts = snap.perf_droughts;
+        self.phase_changes = snap.phase_changes;
+        self.last_lower_index = snap.last_lower_index as usize;
+        Ok(())
+    }
+}
+
+impl Restartable for EnergyController {
+    fn snapshot_bytes(&self, now_ms: u64) -> Vec<u8> {
+        self.encode_snapshot(now_ms)
+    }
+
+    fn restore_bytes(&mut self, bytes: &[u8], now_ms: u64) -> Result<(), SnapshotError> {
+        let snap = self.decode_snapshot(bytes)?;
+        self.apply_snapshot(snap, now_ms)
+    }
+
+    fn restart_cold(&mut self, device: &mut Device) {
+        // Take the device over afresh, then drop to the safe
+        // configuration: with no memory of the previous incarnation the
+        // controller cannot trust a feedback history it does not have,
+        // so it must serve a full probation before resuming
+        // optimization.
+        self.start(device);
+        self.ladder.force_level(DegradationLevel::SafeConfig);
+        self.apply_safe_config(device);
+    }
+
+    fn note_restart_telemetry(&mut self, restarts: u64, snapshot_errors: u64) {
+        self.restarts = restarts;
+        self.snapshot_errors = snapshot_errors;
     }
 }
 

@@ -60,15 +60,21 @@
 mod adaptive;
 mod controller;
 mod optimizer;
+pub mod persist;
 mod regulator;
 pub mod resilience;
 mod scheduler;
+mod supervisor;
 
 pub use adaptive::LoadAdaptiveController;
 pub use controller::{
     ControlCycleLog, ControlMode, ControllerBuilder, EnergyController, OptimizerStrategy,
 };
 pub use optimizer::EnergyOptimizer;
-pub use regulator::PerformanceRegulator;
-pub use resilience::{DegradationLadder, DivergenceGuard, LadderEvent, PerfGate, ResilienceConfig};
-pub use scheduler::{ConfigScheduler, CycleOutcome};
+pub use persist::{Restartable, SnapshotError, SnapshotReader, SnapshotWriter};
+pub use regulator::{PerformanceRegulator, RegulatorState};
+pub use resilience::{
+    DegradationLadder, DivergenceGuard, LadderEvent, LadderState, PerfGate, ResilienceConfig,
+};
+pub use scheduler::{ConfigScheduler, CycleOutcome, SchedulerState};
+pub use supervisor::{Supervisor, SupervisorConfig};

@@ -1,0 +1,512 @@
+//! Versioned, checksummed controller snapshots for warm restarts.
+//!
+//! A supervised controller (see [`crate::Supervisor`]) periodically
+//! serializes its mutable state into a self-describing binary frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"ASGV"
+//! 4       4     format version, u32 LE
+//! 8       4     payload length, u32 LE
+//! 12      4     CRC-32 (IEEE) of the payload, u32 LE
+//! 16      n     payload
+//! ```
+//!
+//! The codec is deliberately paranoid: every decode path returns a
+//! [`SnapshotError`] instead of panicking, so a truncated, bit-flipped
+//! or crafted snapshot can never take the supervisor down — the worst
+//! case is a counted cold restart. Restores are transactional: callers
+//! decode the complete payload first and only then apply it, so a
+//! failure partway through decoding leaves the controller untouched.
+//!
+//! Everything here is dependency-free; the CRC-32 is the bitwise IEEE
+//! (reflected, polynomial `0xEDB88320`) implementation, small enough to
+//! vendor and stable across platforms.
+
+use asgov_soc::{Device, Policy};
+use std::fmt;
+
+/// Frame magic: identifies a byte buffer as an asgov snapshot.
+pub const MAGIC: [u8; 4] = *b"ASGV";
+
+/// Current snapshot format version. Bump on any payload layout change;
+/// restores reject other versions rather than misinterpret bytes.
+pub const VERSION: u32 = 1;
+
+/// Size of the fixed frame header, bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Why a snapshot could not be restored.
+///
+/// The taxonomy is deliberately small: the supervisor does not care
+/// *which* byte was damaged, only that the checkpoint is unusable and a
+/// cold restart is required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer ends before the frame (or a field) is complete.
+    Truncated,
+    /// The frame is structurally damaged: bad magic, checksum mismatch,
+    /// an illegal tag or enum code, or a value outside its domain.
+    Corrupt,
+    /// The frame is intact but was written by a different format
+    /// version.
+    VersionMismatch {
+        /// The version recorded in the frame header.
+        found: u32,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => f.write_str("snapshot truncated"),
+            SnapshotError::Corrupt => f.write_str("snapshot corrupt"),
+            SnapshotError::VersionMismatch { found } => {
+                write!(f, "snapshot version {found} not supported (want {VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes`.
+/// Bitwise implementation — no table, no dependencies, identical output
+/// to zlib's `crc32`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Builds a snapshot payload field by field, then frames it with the
+/// header and checksum. All integers are little-endian; floats are
+/// stored as their IEEE-754 bit patterns, so round-trips are bit-exact
+/// (including NaN payloads and signed zeros).
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Start an empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its bit pattern, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a `bool` as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Append an optional `u64`: a one-byte tag (0 absent, 1 present)
+    /// followed by the value when present.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.put_u8(0),
+            Some(x) => {
+                self.put_u8(1);
+                self.put_u64(x);
+            }
+        }
+    }
+
+    /// Append a byte slice with a `u32` length prefix (used to nest one
+    /// snapshot — e.g. a wrapped controller's — inside another).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append an `f64` slice with a `u32` length prefix.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_u32(vs.len() as u32);
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Current payload length, bytes (pre-framing).
+    pub fn payload_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Frame the payload: header (magic, version, length, CRC-32)
+    /// followed by the payload bytes.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.buf.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&self.buf).to_le_bytes());
+        out.extend_from_slice(&self.buf);
+        out
+    }
+}
+
+/// Decodes a framed snapshot. [`SnapshotReader::new`] validates the
+/// header, length and checksum up front; the `take_*` accessors then
+/// read the payload cursor-style, each returning a [`SnapshotError`]
+/// instead of panicking when the data does not match the expected
+/// shape.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    rest: &'a [u8],
+}
+
+/// Split `n` bytes off the front of `rest`, or fail without panicking.
+fn take<'a>(rest: &mut &'a [u8], n: usize) -> Result<&'a [u8], SnapshotError> {
+    if rest.len() < n {
+        return Err(SnapshotError::Truncated);
+    }
+    let (head, tail) = rest.split_at(n);
+    *rest = tail;
+    Ok(head)
+}
+
+fn read_u32_at(bytes: &mut &[u8]) -> Result<u32, SnapshotError> {
+    let raw = take(bytes, 4)?;
+    let arr: [u8; 4] = raw.try_into().map_err(|_| SnapshotError::Truncated)?;
+    Ok(u32::from_le_bytes(arr))
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validate a framed snapshot and open a payload cursor.
+    ///
+    /// Checks, in order: the buffer holds a complete header
+    /// (`Truncated`), the magic matches (`Corrupt`), the payload is
+    /// exactly as long as the header declares (`Truncated` when short,
+    /// `Corrupt` when there are trailing bytes), the checksum matches
+    /// (`Corrupt`), and the version is [`VERSION`] (`VersionMismatch`).
+    pub fn new(bytes: &'a [u8]) -> Result<Self, SnapshotError> {
+        let mut cursor = bytes;
+        let magic = take(&mut cursor, 4)?;
+        let version = read_u32_at(&mut cursor)?;
+        let payload_len = read_u32_at(&mut cursor)? as usize;
+        let crc = read_u32_at(&mut cursor)?;
+        if magic != MAGIC {
+            return Err(SnapshotError::Corrupt);
+        }
+        if cursor.len() < payload_len {
+            return Err(SnapshotError::Truncated);
+        }
+        if cursor.len() > payload_len {
+            return Err(SnapshotError::Corrupt);
+        }
+        if crc32(cursor) != crc {
+            return Err(SnapshotError::Corrupt);
+        }
+        if version != VERSION {
+            return Err(SnapshotError::VersionMismatch { found: version });
+        }
+        Ok(Self { rest: cursor })
+    }
+
+    /// Payload bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    /// Read one byte.
+    pub fn take_u8(&mut self) -> Result<u8, SnapshotError> {
+        let raw = take(&mut self.rest, 1)?;
+        raw.first().copied().ok_or(SnapshotError::Truncated)
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, SnapshotError> {
+        read_u32_at(&mut self.rest)
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, SnapshotError> {
+        let raw = take(&mut self.rest, 8)?;
+        let arr: [u8; 8] = raw.try_into().map_err(|_| SnapshotError::Truncated)?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Read a `bool`; any byte other than 0 or 1 is `Corrupt`.
+    pub fn take_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt),
+        }
+    }
+
+    /// Read an optional `u64` (tag byte then value); any tag other than
+    /// 0 or 1 is `Corrupt`.
+    pub fn take_opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_u64()?)),
+            _ => Err(SnapshotError::Corrupt),
+        }
+    }
+
+    /// Read a length-prefixed byte slice. A declared length past the
+    /// end of the payload is `Corrupt`.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.take_u32()? as usize;
+        if n > self.rest.len() {
+            return Err(SnapshotError::Corrupt);
+        }
+        take(&mut self.rest, n)
+    }
+
+    /// Read a length-prefixed `f64` vector. A declared length that
+    /// cannot fit in the remaining payload is `Corrupt` (a crafted
+    /// length would otherwise ask for an absurd allocation).
+    pub fn take_f64_vec(&mut self) -> Result<Vec<f64>, SnapshotError> {
+        let n = self.take_u32()? as usize;
+        if n.saturating_mul(8) > self.rest.len() {
+            return Err(SnapshotError::Corrupt);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.take_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Assert the payload was fully consumed; leftover bytes mean the
+    /// payload does not match the expected shape (`Corrupt`).
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt)
+        }
+    }
+}
+
+/// `Ok(v)` when present, `Corrupt` otherwise. Decoding helper for enum
+/// wire codes (`from_wire` returning `None`) and other domain
+/// validations, so call sites outside this module never hand-construct
+/// error variants (the error-taxonomy lint polices that).
+pub fn require<T>(v: Option<T>) -> Result<T, SnapshotError> {
+    v.ok_or(SnapshotError::Corrupt)
+}
+
+/// `Ok(())` when the condition holds, `Corrupt` otherwise. Companion
+/// to [`require`] for plain boolean domain checks.
+pub fn ensure(valid: bool) -> Result<(), SnapshotError> {
+    if valid {
+        Ok(())
+    } else {
+        Err(SnapshotError::Corrupt)
+    }
+}
+
+/// A policy whose lifecycle a [`crate::Supervisor`] can manage:
+/// checkpoint its state, restore it after a crash, or start over cold.
+pub trait Restartable: Policy {
+    /// Serialize the policy's mutable state into a framed snapshot.
+    /// `now_ms` is the device clock at checkpoint time; restores use it
+    /// to re-anchor absolute deadlines after downtime.
+    fn snapshot_bytes(&self, now_ms: u64) -> Vec<u8>;
+
+    /// Restore state from [`Restartable::snapshot_bytes`] output.
+    /// `now_ms` is the device clock at restore time. Must be
+    /// transactional: on any `Err` the policy is left exactly as it
+    /// was, and must never panic regardless of the byte content.
+    fn restore_bytes(&mut self, bytes: &[u8], now_ms: u64) -> Result<(), SnapshotError>;
+
+    /// Cold restart: take over the device afresh with no memory of the
+    /// previous incarnation, in the most conservative posture the
+    /// policy has (for the hardened controller: the safe configuration,
+    /// with a full probation to serve before resuming optimization).
+    fn restart_cold(&mut self, device: &mut Device);
+
+    /// Supervisor hook: inform a freshly restarted policy of the
+    /// lifetime restart/snapshot-error totals so it can stamp them into
+    /// its own telemetry. Default: ignore.
+    fn note_restart_telemetry(&mut self, _restarts: u64, _snapshot_errors: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vectors (zlib-compatible).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    fn sample_frame() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_opt_u64(None);
+        w.put_opt_u64(Some(42));
+        w.put_f64_slice(&[1.5, -2.5, 1e300]);
+        w.put_bytes(b"nested");
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let frame = sample_frame();
+        let mut r = SnapshotReader::new(&frame).expect("valid frame");
+        assert_eq!(r.take_u8(), Ok(7));
+        assert_eq!(r.take_u32(), Ok(0xDEAD_BEEF));
+        assert_eq!(r.take_u64(), Ok(u64::MAX - 1));
+        assert_eq!(r.take_f64().map(f64::to_bits), Ok((-0.0f64).to_bits()));
+        assert_eq!(r.take_f64().map(f64::to_bits), Ok(f64::NAN.to_bits()));
+        assert_eq!(r.take_bool(), Ok(true));
+        assert_eq!(r.take_opt_u64(), Ok(None));
+        assert_eq!(r.take_opt_u64(), Ok(Some(42)));
+        let vs = r.take_f64_vec().expect("vec");
+        assert_eq!(vs, vec![1.5, -2.5, 1e300]);
+        assert_eq!(r.take_bytes(), Ok(&b"nested"[..]));
+        r.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn truncation_at_every_byte_boundary_errors_without_panicking() {
+        let frame = sample_frame();
+        for n in 0..frame.len() {
+            let prefix = frame.get(..n).expect("prefix in range");
+            let err = SnapshotReader::new(prefix).expect_err("prefix must fail");
+            assert!(
+                matches!(err, SnapshotError::Truncated | SnapshotError::Corrupt),
+                "prefix of {n} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // Flip each bit of the frame in turn: header flips break the
+        // magic/length/version/CRC checks, payload flips break the CRC.
+        // None may decode cleanly, none may panic.
+        let frame = sample_frame();
+        for i in 0..frame.len() {
+            for bit in 0..8u8 {
+                let mut bad = frame.clone();
+                if let Some(b) = bad.get_mut(i) {
+                    *b ^= 1 << bit;
+                }
+                assert!(
+                    SnapshotReader::new(&bad).is_err(),
+                    "flip of byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn future_version_is_reported_not_misread() {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(99);
+        let mut frame = w.finish();
+        // Patch the version field (bytes 4..8) to a future version.
+        let future = (VERSION + 1).to_le_bytes();
+        frame.splice(4..8, future);
+        assert_eq!(
+            SnapshotReader::new(&frame).err(),
+            Some(SnapshotError::VersionMismatch { found: VERSION + 1 })
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_corrupt() {
+        let mut frame = sample_frame();
+        frame.push(0xAB);
+        assert_eq!(
+            SnapshotReader::new(&frame).err(),
+            Some(SnapshotError::Corrupt)
+        );
+    }
+
+    #[test]
+    fn illegal_tags_are_corrupt_not_panics() {
+        let mut w = SnapshotWriter::new();
+        w.put_u8(2); // neither a valid bool nor a valid Option tag
+        let frame = w.finish();
+        let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
+        assert_eq!(r.take_bool(), Err(SnapshotError::Corrupt));
+        let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
+        assert_eq!(r.take_opt_u64(), Err(SnapshotError::Corrupt));
+    }
+
+    #[test]
+    fn crafted_vec_length_is_corrupt_not_oom() {
+        let mut w = SnapshotWriter::new();
+        w.put_u32(u32::MAX); // declares a ~34 GB vector
+        let frame = w.finish();
+        let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
+        assert_eq!(r.take_f64_vec(), Err(SnapshotError::Corrupt));
+        let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
+        assert_eq!(r.take_bytes(), Err(SnapshotError::Corrupt));
+    }
+
+    #[test]
+    fn leftover_payload_fails_finish() {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(1);
+        w.put_u64(2);
+        let frame = w.finish();
+        let mut r = SnapshotReader::new(&frame).expect("valid frame");
+        assert_eq!(r.take_u64(), Ok(1));
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.finish(), Err(SnapshotError::Corrupt));
+    }
+
+    #[test]
+    fn require_and_ensure_map_to_corrupt() {
+        assert_eq!(require(Some(5)), Ok(5));
+        assert_eq!(require::<u8>(None), Err(SnapshotError::Corrupt));
+        assert_eq!(ensure(true), Ok(()));
+        assert_eq!(ensure(false), Err(SnapshotError::Corrupt));
+    }
+
+    #[test]
+    fn error_display_names_the_cause() {
+        assert!(SnapshotError::Truncated.to_string().contains("truncated"));
+        assert!(SnapshotError::Corrupt.to_string().contains("corrupt"));
+        let v = SnapshotError::VersionMismatch { found: 9 }.to_string();
+        assert!(v.contains('9') && v.contains(&VERSION.to_string()));
+    }
+}

@@ -108,6 +108,52 @@ impl PerformanceRegulator {
     pub fn set_range(&mut self, min_speedup: f64, max_speedup: f64) {
         self.integrator.set_range(min_speedup, max_speedup);
     }
+
+    /// Capture the regulator's mutable state for a checkpoint.
+    pub fn checkpoint(&self) -> RegulatorState {
+        RegulatorState {
+            base_estimate: self.kalman.value(),
+            base_variance: self.kalman.variance(),
+            speedup: self.integrator.speedup(),
+            last_error: self.integrator.last_error(),
+            last_innovation: self.last_innovation,
+        }
+    }
+
+    /// Restore a [`checkpoint`](PerformanceRegulator::checkpoint). The
+    /// configured variances, gain and speedup range are construction
+    /// parameters and are kept; only the estimator/integrator state is
+    /// replaced. Returns `false` (leaving the regulator untouched) if
+    /// the state is not restorable — a negative variance or non-finite
+    /// estimate, as produced by a corrupted snapshot.
+    pub fn restore(&mut self, state: &RegulatorState) -> bool {
+        let variance_ok = state.base_variance.is_finite() && state.base_variance >= 0.0;
+        if !variance_ok || !state.base_estimate.is_finite() || !state.speedup.is_finite() {
+            return false;
+        }
+        self.kalman.reset(state.base_estimate, state.base_variance);
+        self.integrator
+            .restore_state(state.speedup, state.last_error);
+        self.last_innovation = state.last_innovation;
+        true
+    }
+}
+
+/// The mutable state of a [`PerformanceRegulator`], as captured by
+/// [`PerformanceRegulator::checkpoint`]. Plain data: the
+/// checkpoint codec in [`crate::persist`] serializes it field by field.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegulatorState {
+    /// Kalman posterior base-speed estimate `b_n`, GIPS.
+    pub base_estimate: f64,
+    /// Kalman posterior error variance (must be non-negative).
+    pub base_variance: f64,
+    /// Integrator speedup `s_n`.
+    pub speedup: f64,
+    /// Integrator tracking error `e_n`.
+    pub last_error: f64,
+    /// Most recent Kalman innovation.
+    pub last_innovation: f64,
 }
 
 #[cfg(test)]
@@ -182,5 +228,44 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_nonpositive_seed() {
         let _ = PerformanceRegulator::new(0.0, 1.0, 2.0);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let mut reg = PerformanceRegulator::new(0.5, 1.0, 8.0);
+        for i in 0..20 {
+            reg.step(0.8, 0.3 + 0.01 * f64::from(i), 1.5);
+        }
+        let state = reg.checkpoint();
+        let mut fresh = PerformanceRegulator::new(0.5, 1.0, 8.0);
+        assert!(fresh.restore(&state));
+        assert_eq!(fresh.base_speed().to_bits(), reg.base_speed().to_bits());
+        assert_eq!(
+            fresh.required_speedup().to_bits(),
+            reg.required_speedup().to_bits()
+        );
+        assert_eq!(fresh.innovation().to_bits(), reg.innovation().to_bits());
+        // Identical futures: the next step must produce identical bits.
+        let a = reg.step(0.8, 0.42, 1.5);
+        let b = fresh.step(0.8, 0.42, 1.5);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn restore_rejects_unrestorable_state() {
+        let mut reg = PerformanceRegulator::new(0.5, 1.0, 8.0);
+        let before = reg.checkpoint();
+        let bad = RegulatorState {
+            base_variance: -1.0,
+            ..before
+        };
+        assert!(!reg.restore(&bad));
+        let bad = RegulatorState {
+            base_estimate: f64::NAN,
+            ..before
+        };
+        assert!(!reg.restore(&bad));
+        // The failed restores left the regulator untouched.
+        assert_eq!(reg.checkpoint(), before);
     }
 }

@@ -98,6 +98,12 @@ impl PerfGate {
     pub fn rejected(&self) -> u64 {
         self.rejected
     }
+
+    /// Restore the rejected-sample counter from a checkpoint so health
+    /// reports keep counting across a supervised restart.
+    pub fn restore_rejected(&mut self, rejected: u64) {
+        self.rejected = rejected;
+    }
 }
 
 /// Watches the Kalman base-speed estimate and flags divergence (the
@@ -137,6 +143,12 @@ impl DivergenceGuard {
     /// Reseeds forced so far.
     pub fn reseeds(&self) -> u64 {
         self.reseeds
+    }
+
+    /// Restore the reseed counter from a checkpoint so health reports
+    /// keep counting across a supervised restart.
+    pub fn restore_reseeds(&mut self, reseeds: u64) {
+        self.reseeds = reseeds;
     }
 }
 
@@ -277,6 +289,80 @@ impl DegradationLadder {
         }
         LadderEvent::None
     }
+
+    /// Capture the ladder's mutable state for a checkpoint. The
+    /// thresholds (`degrade_after`, `probation_cycles`) are
+    /// construction parameters and are not part of the state.
+    pub fn checkpoint(&self) -> LadderState {
+        LadderState {
+            level: self.level,
+            cycle: self.cycle,
+            consecutive_failed: self.consecutive_failed,
+            consecutive_clean: self.consecutive_clean,
+            failed_cycles: self.failed_cycles,
+            degradations: self.degradations,
+            recoveries: self.recoveries,
+            last_failed_cycle: self.last_failed_cycle,
+            episode_start: self.episode_start,
+            recovery_latency: self.recovery_latency,
+            climb_latency: self.climb_latency,
+        }
+    }
+
+    /// Restore a [`checkpoint`](DegradationLadder::checkpoint),
+    /// replacing all mutable state.
+    pub fn restore(&mut self, state: &LadderState) {
+        self.level = state.level;
+        self.cycle = state.cycle;
+        self.consecutive_failed = state.consecutive_failed;
+        self.consecutive_clean = state.consecutive_clean;
+        self.failed_cycles = state.failed_cycles;
+        self.degradations = state.degradations;
+        self.recoveries = state.recoveries;
+        self.last_failed_cycle = state.last_failed_cycle;
+        self.episode_start = state.episode_start;
+        self.recovery_latency = state.recovery_latency;
+        self.climb_latency = state.climb_latency;
+    }
+
+    /// Force the ladder to a level, resetting the consecutive counters
+    /// so the new level must serve a full probation before climbing.
+    /// Used by cold restarts, which discard the fault history and start
+    /// over from the safe configuration.
+    pub fn force_level(&mut self, level: DegradationLevel) {
+        self.level = level;
+        self.consecutive_failed = 0;
+        self.consecutive_clean = 0;
+    }
+}
+
+/// The mutable state of a [`DegradationLadder`], as captured by
+/// [`DegradationLadder::checkpoint`]. Plain data for the checkpoint
+/// codec in [`crate::persist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LadderState {
+    /// Current degradation level.
+    pub level: DegradationLevel,
+    /// Control cycles observed.
+    pub cycle: u64,
+    /// Consecutive failed cycles toward the next step down.
+    pub consecutive_failed: u64,
+    /// Consecutive clean cycles toward the next step up.
+    pub consecutive_clean: u64,
+    /// Total cycles classified as failed.
+    pub failed_cycles: u64,
+    /// Steps taken down the ladder.
+    pub degradations: u64,
+    /// Steps taken up the ladder.
+    pub recoveries: u64,
+    /// Cycle index of the most recent failure.
+    pub last_failed_cycle: Option<u64>,
+    /// First failed cycle of the episode in progress.
+    pub episode_start: Option<u64>,
+    /// Latest full-episode recovery latency, cycles.
+    pub recovery_latency: Option<u64>,
+    /// Latest climb-out latency, cycles.
+    pub climb_latency: Option<u64>,
 }
 
 #[cfg(test)]
@@ -392,6 +478,44 @@ mod tests {
         // whole spanned 16 failed cycles + 3 clean before Full.
         assert_eq!(l.climb_latency(), Some(4));
         assert_eq!(l.recovery_latency(), Some(19));
+    }
+
+    #[test]
+    fn ladder_checkpoint_round_trips_and_force_level_resets_counters() {
+        let mut l = DegradationLadder::new(3, 2);
+        for failed in [true, true, true, false, true] {
+            l.observe(failed);
+        }
+        let state = l.checkpoint();
+        let mut fresh = DegradationLadder::new(3, 2);
+        fresh.restore(&state);
+        assert_eq!(fresh.checkpoint(), state);
+        // Identical futures after restore.
+        for failed in [false, false, false] {
+            assert_eq!(l.observe(failed), fresh.observe(failed));
+        }
+        assert_eq!(fresh.checkpoint(), l.checkpoint());
+
+        // force_level discards probation progress: a cold restart at
+        // SafeConfig must serve the full probation before climbing.
+        let mut l = DegradationLadder::new(3, 2);
+        l.observe(false);
+        l.force_level(DegradationLevel::SafeConfig);
+        assert_eq!(l.level(), DegradationLevel::SafeConfig);
+        assert_eq!(l.observe(false), LadderEvent::None);
+        assert_eq!(l.observe(false), LadderEvent::Up(DegradationLevel::Full));
+    }
+
+    #[test]
+    fn counter_restores_resume_counting() {
+        let mut g = PerfGate::new(8.0, 0.5);
+        g.restore_rejected(7);
+        assert_eq!(g.accept(f64::NAN), None);
+        assert_eq!(g.rejected(), 8);
+        let mut d = DivergenceGuard::new(50.0, 0.2);
+        d.restore_reseeds(3);
+        assert!(d.diverged(f64::NAN));
+        assert_eq!(d.reseeds(), 4);
     }
 
     #[test]

@@ -348,6 +348,95 @@ impl ConfigScheduler {
             self.retry_attempts = 0;
         }
     }
+
+    /// Capture the scheduler's mutable state for a checkpoint. The
+    /// dwell/retry tuning (`min_dwell_ms`, `cpu_only`, `max_retries`,
+    /// `backoff_base_ms`) are construction parameters and are not part
+    /// of the state. Deadlines (`switch_at_ms`, `retry_at_ms`) are
+    /// stored as the absolute device milliseconds they were armed for;
+    /// [`restore`](ConfigScheduler::restore) re-anchors them.
+    pub fn checkpoint(&self) -> SchedulerState {
+        SchedulerState {
+            switch_at_ms: self.switch_at_ms,
+            pending_upper: self.pending_upper,
+            applied_speedup: self.applied_speedup,
+            last_dwell_ms: self.last_dwell_ms,
+            retry_config: self.retry_config,
+            retry_at_ms: self.retry_at_ms,
+            retry_attempts: self.retry_attempts,
+            writes_failed: self.writes_failed,
+            sysfs_busy: self.sysfs_busy,
+            wrong_governor: self.wrong_governor,
+            other_errors: self.other_errors,
+            retries: self.retries,
+            governor_reasserts: self.governor_reasserts,
+            thermal_clamps_detected: self.thermal_clamps_detected,
+            cycle_failed: self.cycle_failed,
+            last_fault: self.last_fault,
+        }
+    }
+
+    /// Restore a [`checkpoint`](ConfigScheduler::checkpoint), shifting
+    /// every armed deadline forward by `delta_ms` (the downtime between
+    /// the snapshot and the restart) so the pending switch and retry
+    /// fire relative to the resumed clock rather than in the past.
+    pub fn restore(&mut self, state: &SchedulerState, delta_ms: u64) {
+        self.switch_at_ms = state.switch_at_ms.map(|t| t.saturating_add(delta_ms));
+        self.pending_upper = state.pending_upper;
+        self.applied_speedup = state.applied_speedup;
+        self.last_dwell_ms = state.last_dwell_ms;
+        self.retry_config = state.retry_config;
+        self.retry_at_ms = state.retry_at_ms.saturating_add(delta_ms);
+        self.retry_attempts = state.retry_attempts;
+        self.writes_failed = state.writes_failed;
+        self.sysfs_busy = state.sysfs_busy;
+        self.wrong_governor = state.wrong_governor;
+        self.other_errors = state.other_errors;
+        self.retries = state.retries;
+        self.governor_reasserts = state.governor_reasserts;
+        self.thermal_clamps_detected = state.thermal_clamps_detected;
+        self.cycle_failed = state.cycle_failed;
+        self.last_fault = state.last_fault;
+    }
+}
+
+/// The mutable state of a [`ConfigScheduler`], as captured by
+/// [`ConfigScheduler::checkpoint`]. Plain data for the checkpoint codec
+/// in [`crate::persist`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SchedulerState {
+    /// Absolute ms of the armed intra-period switch, if any.
+    pub switch_at_ms: Option<u64>,
+    /// Upper configuration awaiting the switch, if any.
+    pub pending_upper: Option<Config>,
+    /// Average speedup of the installed (rounded) schedule.
+    pub applied_speedup: f64,
+    /// Dwell split `(τ_l, τ_h)` of the installed plan, ms.
+    pub last_dwell_ms: (u64, u64),
+    /// Configuration awaiting a backed-off retry, if any.
+    pub retry_config: Option<Config>,
+    /// Absolute ms the pending retry is armed for.
+    pub retry_at_ms: u64,
+    /// Retry attempts consumed for the pending configuration.
+    pub retry_attempts: u32,
+    /// Writes that stayed failed after all recovery attempts.
+    pub writes_failed: u64,
+    /// Writes transiently rejected with `Busy`.
+    pub sysfs_busy: u64,
+    /// Writes rejected with `WrongGovernor`.
+    pub wrong_governor: u64,
+    /// Writes rejected for any other cause.
+    pub other_errors: u64,
+    /// Write retries performed.
+    pub retries: u64,
+    /// Times `userspace` was re-asserted.
+    pub governor_reasserts: u64,
+    /// Thermal clamps detected via read-back.
+    pub thermal_clamps_detected: u64,
+    /// Whether the cycle in progress has already failed.
+    pub cycle_failed: bool,
+    /// Cause of the last write failure seen this cycle.
+    pub last_fault: Option<SocErrorKind>,
 }
 
 #[cfg(test)]
@@ -543,7 +632,9 @@ mod tests {
         let mut dev = userspace_device();
         // Busy storm for the first 25 ms only: the first attempt fails,
         // a backed-off retry lands after the storm.
-        let fp = FaultPlan::new().window(0, 25, FaultKind::SysfsBusy);
+        let fp = FaultPlan::new()
+            .window(0, 25, FaultKind::SysfsBusy)
+            .expect("valid window");
         dev.install_faults(FaultInjector::new(fp, 5));
         let mut sched = ConfigScheduler::new(200, false).with_retry(3, 30);
         sched.install(&mut dev, &plan((2, 1), (8, 5), 2.0, 0.0), 2000);
@@ -565,7 +656,9 @@ mod tests {
     fn exhausted_retries_mark_the_cycle_failed() {
         use asgov_soc::{FaultInjector, FaultKind, FaultPlan};
         let mut dev = userspace_device();
-        let fp = FaultPlan::new().window(0, 60_000, FaultKind::SysfsBusy);
+        let fp = FaultPlan::new()
+            .window(0, 60_000, FaultKind::SysfsBusy)
+            .expect("valid window");
         dev.install_faults(FaultInjector::new(fp, 5));
         let mut sched = ConfigScheduler::new(200, false).with_retry(2, 5);
         sched.install(&mut dev, &plan((2, 1), (8, 5), 2.0, 0.0), 2000);
@@ -581,10 +674,42 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_round_trips_and_reanchors_deadlines() {
+        let mut dev = userspace_device();
+        let mut sched = ConfigScheduler::new(200, false);
+        sched.install(&mut dev, &plan((2, 1), (8, 5), 1.2, 0.8), 2000);
+        let state = sched.checkpoint();
+        assert_eq!(state.switch_at_ms, Some(1200));
+        assert!(state.pending_upper.is_some());
+
+        // Zero-delta restore reproduces the scheduler exactly.
+        let mut fresh = ConfigScheduler::new(200, false);
+        fresh.restore(&state, 0);
+        assert_eq!(fresh.checkpoint(), state);
+
+        // A 300 ms downtime shifts the armed switch by 300 ms.
+        let mut shifted = ConfigScheduler::new(200, false);
+        shifted.restore(&state, 300);
+        assert_eq!(shifted.checkpoint().switch_at_ms, Some(1500));
+        assert_eq!(shifted.next_actuation_ms(), 1500);
+
+        // The shifted switch still fires (against a device whose clock
+        // kept running during the downtime).
+        let idle = Demand::idle();
+        while dev.now_ms() < 1500 {
+            dev.tick(&idle);
+        }
+        shifted.tick(&mut dev);
+        assert_eq!(dev.freq(), FreqIndex(8), "re-anchored switch applied");
+    }
+
+    #[test]
     fn thermal_clamp_is_detected_via_readback() {
         use asgov_soc::{FaultInjector, FaultKind, FaultPlan};
         let mut dev = userspace_device();
-        let fp = FaultPlan::new().window(0, 60_000, FaultKind::ThermalClamp(3));
+        let fp = FaultPlan::new()
+            .window(0, 60_000, FaultKind::ThermalClamp(3))
+            .expect("valid window");
         dev.install_faults(FaultInjector::new(fp, 5));
         let mut sched = ConfigScheduler::new(200, false);
         sched.install(&mut dev, &plan((8, 5), (8, 5), 2.0, 0.0), 2000);

@@ -7,14 +7,19 @@
 //! written as `CHAOS_faultmatrix.json` at the repository root (uploaded
 //! as a CI artifact alongside the bench reports).
 //!
-//! Run: `cargo run --release -p asgov-experiments --bin chaos [-- --quick] [-- --trace]`
+//! Run: `cargo run --release -p asgov-experiments --bin chaos [-- --quick] [-- --trace] [-- --kill-matrix]`
 //!
 //! With `--trace` the sysfs-busy scenario is re-run with the
 //! observability sink installed, and the per-cycle JSONL trace is
 //! written to `CHAOS_trace.jsonl` at the repository root (uploaded as a
 //! CI artifact alongside the fault matrix).
+//!
+//! With `--kill-matrix` the supervised controller additionally runs
+//! under injected controller kills — apps × kill counts × seeds, once
+//! with cold restarts and once with warm (checkpoint) restarts — and
+//! the comparison lands in the same JSON under `"kill_matrix"`.
 
-use asgov_core::ControllerBuilder;
+use asgov_core::{ControllerBuilder, SupervisorConfig};
 use asgov_governors::AdrenoTz;
 use asgov_profiler::{measure_default, profile_app, ProfileOptions};
 use asgov_soc::{
@@ -31,36 +36,23 @@ fn repo_root() -> PathBuf {
 
 /// One row of the fault matrix: a named plan and its injection window.
 fn fault_matrix(start: u64, end: u64) -> Vec<(&'static str, FaultPlan)> {
+    let w = |p: f64, kind: FaultKind| {
+        FaultPlan::new()
+            .window_p(start, end, p, kind)
+            .expect("valid window")
+    };
     vec![
         ("none", FaultPlan::new()),
-        (
-            "sysfs-busy",
-            FaultPlan::new().window_p(start, end, 0.8, FaultKind::SysfsBusy),
-        ),
+        ("sysfs-busy", w(0.8, FaultKind::SysfsBusy)),
         (
             "governor-reset",
-            FaultPlan::new().window(start, end, FaultKind::GovernorReset("interactive".into())),
+            w(1.0, FaultKind::GovernorReset("interactive".into())),
         ),
-        (
-            "perf-dropout",
-            FaultPlan::new().window(start, end, FaultKind::PerfDropout),
-        ),
-        (
-            "perf-nan",
-            FaultPlan::new().window(start, end, FaultKind::PerfNan),
-        ),
-        (
-            "perf-spike",
-            FaultPlan::new().window_p(start, end, 0.5, FaultKind::PerfSpike(40.0)),
-        ),
-        (
-            "thermal-clamp",
-            FaultPlan::new().window(start, end, FaultKind::ThermalClamp(4)),
-        ),
-        (
-            "hotplug",
-            FaultPlan::new().window(start, end, FaultKind::Hotplug(2.0)),
-        ),
+        ("perf-dropout", w(1.0, FaultKind::PerfDropout)),
+        ("perf-nan", w(1.0, FaultKind::PerfNan)),
+        ("perf-spike", w(0.5, FaultKind::PerfSpike(40.0))),
+        ("thermal-clamp", w(1.0, FaultKind::ThermalClamp(4))),
+        ("hotplug", w(1.0, FaultKind::Hotplug(2.0))),
     ]
 }
 
@@ -71,9 +63,125 @@ struct Row {
     health: HealthReport,
 }
 
+/// A fault plan with `kills` controller-kill windows spread evenly
+/// across `[start, end)`.
+fn kill_plan(start: u64, end: u64, kills: u64) -> FaultPlan {
+    let span = (end - start) / kills.max(1);
+    let mut plan = FaultPlan::new();
+    for i in 0..kills {
+        let w_start = start + i * span;
+        plan = plan
+            .window(w_start, w_start + 500, FaultKind::ControllerKill)
+            .expect("valid kill window");
+    }
+    plan
+}
+
+struct KillRow {
+    app: &'static str,
+    kills: u64,
+    seed: u64,
+    mode: &'static str,
+    energy_j: f64,
+    avg_gips: f64,
+    health: HealthReport,
+}
+
+/// Supervised cold-vs-warm restart comparison under injected controller
+/// kills: apps × kill counts × seeds × {cold, warm}.
+fn run_kill_matrix(
+    dev_cfg: &DeviceConfig,
+    opts: &ProfileOptions,
+    duration_ms: u64,
+    f_start: u64,
+    f_end: u64,
+    seeds: &[u64],
+) -> Vec<KillRow> {
+    let mut rows = Vec::new();
+    println!("\n=== Kill matrix: supervised cold vs warm restarts ===\n");
+    println!(
+        "{:<12} {:>5} {:>8} {:>6} {:>9} {:>9} {:>9} {:>12} {:>10} {:>12}",
+        "App",
+        "kills",
+        "seed",
+        "mode",
+        "GIPS",
+        "Energy J",
+        "restarts",
+        "downtime ms",
+        "warm/err",
+        "rec ms"
+    );
+    type AppCtor = fn() -> asgov_workloads::PhasedApp;
+    let app_ctors: [(&'static str, AppCtor); 2] = [
+        ("wechat", || apps::wechat(BackgroundLoad::baseline(1))),
+        ("angrybirds", || {
+            apps::angrybirds(BackgroundLoad::baseline(1))
+        }),
+    ];
+    for (app_name, ctor) in app_ctors {
+        let mut app = ctor();
+        let profile = profile_app(dev_cfg, &mut app, opts);
+        let default = measure_default(dev_cfg, &mut app, 1, duration_ms);
+        for kills in [1u64, 3] {
+            for &seed in seeds {
+                for (mode, warm) in [("cold", false), ("warm", true)] {
+                    let plan = kill_plan(f_start, f_end, kills);
+                    let sup_cfg = SupervisorConfig {
+                        warm,
+                        ..SupervisorConfig::default()
+                    };
+                    let report = asgov_experiments::harness::supervised_run(
+                        dev_cfg,
+                        &mut app,
+                        &profile,
+                        default.gips,
+                        duration_ms,
+                        Some(FaultInjector::new(plan, seed)),
+                        sup_cfg,
+                    );
+                    let health = report.health.expect("supervisor reports health");
+                    assert!(
+                        report.energy_j.is_finite() && report.avg_gips.is_finite(),
+                        "{app_name}: supervised run must stay finite under kills"
+                    );
+                    let rec = health
+                        .restart_recovery_ms
+                        .map_or_else(|| "-".into(), |ms| ms.to_string());
+                    println!(
+                        "{:<12} {:>5} {:>8x} {:>6} {:>9.4} {:>9.1} {:>9} {:>12} {:>6}/{:>3} {:>12}",
+                        app_name,
+                        kills,
+                        seed,
+                        mode,
+                        report.avg_gips,
+                        report.energy_j,
+                        health.restarts,
+                        health.downtime_ms,
+                        health.warm_restarts,
+                        health.snapshot_errors,
+                        rec,
+                    );
+                    rows.push(KillRow {
+                        app: app_name,
+                        kills,
+                        seed,
+                        mode,
+                        energy_j: report.energy_j,
+                        avg_gips: report.avg_gips,
+                        health,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = std::env::args().any(|a| a == "--trace");
+    let kill_matrix = std::env::args().any(|a| a == "--kill-matrix");
     let dev_cfg = DeviceConfig::nexus6();
     let duration_ms: u64 = if quick { 40_000 } else { 120_000 };
     // Faults fire in the middle third of the run: the controller has
@@ -167,6 +275,46 @@ fn main() {
         matrix.push(row);
     }
     doc.set("matrix", Json::Arr(matrix));
+
+    if kill_matrix {
+        let seeds: &[u64] = if quick { &[0x5eed] } else { &[0x5eed, 0x5eee] };
+        let kill_rows = run_kill_matrix(&dev_cfg, &opts, duration_ms, f_start, f_end, seeds);
+        // Warm-vs-cold energy delta, paired per (app, kills, seed).
+        let mut deltas = Vec::new();
+        for pair in kill_rows.chunks(2) {
+            if let [cold, warm] = pair {
+                deltas.push(cold.energy_j - warm.energy_j);
+            }
+        }
+        let mean_delta = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
+        println!(
+            "\nwarm restarts saved {mean_delta:.2} J on average over cold (paired across {} scenarios)",
+            deltas.len()
+        );
+        let mut arr = Vec::new();
+        for r in &kill_rows {
+            let mut row = Json::object();
+            row.set("app", r.app);
+            row.set("kills", r.kills as f64);
+            row.set("seed", r.seed as f64);
+            row.set("mode", r.mode);
+            row.set("energy_j", r.energy_j);
+            row.set("avg_gips", r.avg_gips);
+            row.set("restarts", r.health.restarts as f64);
+            row.set("warm_restarts", r.health.warm_restarts as f64);
+            row.set("snapshot_errors", r.health.snapshot_errors as f64);
+            row.set("downtime_ms", r.health.downtime_ms as f64);
+            match r.health.restart_recovery_ms {
+                Some(ms) => row.set("recovery_ms", ms as f64),
+                None => row.set("recovery_ms", Json::Null),
+            }
+            row.set("level", r.health.level.to_string().as_str());
+            arr.push(row);
+        }
+        doc.set("kill_matrix", Json::Arr(arr));
+        doc.set("warm_vs_cold_energy_delta_j_mean", mean_delta);
+    }
+
     let path = repo_root().join("CHAOS_faultmatrix.json");
     std::fs::write(&path, doc.to_pretty()).expect("write fault-matrix report");
     println!("wrote {}", path.display());
@@ -174,7 +322,9 @@ fn main() {
     if trace {
         // Re-run the sysfs-busy scenario with the observability sink
         // installed and keep the per-cycle JSONL trace as an artifact.
-        let plan = FaultPlan::new().window_p(f_start, f_end, 0.8, FaultKind::SysfsBusy);
+        let plan = FaultPlan::new()
+            .window_p(f_start, f_end, 0.8, FaultKind::SysfsBusy)
+            .expect("valid window");
         let (report, sink) = asgov_experiments::harness::traced_controller_run(
             &dev_cfg,
             &mut app,

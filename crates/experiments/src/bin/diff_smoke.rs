@@ -12,12 +12,15 @@ use asgov_governors::{AdrenoTz, CpubwHwmon, Interactive, Ondemand};
 use asgov_soc::{event, sim, Device, DeviceConfig, FaultInjector, FaultKind, FaultPlan, Policy};
 use asgov_workloads::{apps, BackgroundLoad, PhasedApp};
 
+/// Constructor signature shared by every packaged application.
+type AppCtor = fn(BackgroundLoad) -> PhasedApp;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let run_ms: u64 = if quick { 2_000 } else { 10_000 };
 
-    let apps: Vec<(&str, fn(BackgroundLoad) -> PhasedApp)> = vec![
-        ("spotify", apps::spotify as fn(BackgroundLoad) -> PhasedApp),
+    let apps: Vec<(&str, AppCtor)> = vec![
+        ("spotify", apps::spotify as AppCtor),
         ("wechat", apps::wechat),
         ("angrybirds", apps::angrybirds),
     ];
@@ -28,7 +31,8 @@ fn main() {
             Some(
                 FaultPlan::new()
                     .window(run_ms / 8, run_ms / 3, FaultKind::ThermalClamp(4))
-                    .window(run_ms / 2, run_ms * 3 / 4, FaultKind::Hotplug(2.0)),
+                    .and_then(|p| p.window(run_ms / 2, run_ms * 3 / 4, FaultKind::Hotplug(2.0)))
+                    .expect("valid windows"),
             ),
         ),
     ];

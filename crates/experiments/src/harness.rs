@@ -2,7 +2,7 @@
 //! baseline, run the controller, and compare — the procedure behind
 //! Tables III, IV and V.
 
-use asgov_core::{ControlMode, ControllerBuilder, EnergyController};
+use asgov_core::{ControlMode, ControllerBuilder, EnergyController, Supervisor, SupervisorConfig};
 use asgov_governors::{AdrenoTz, CpubwHwmon};
 use asgov_obs::RingSink;
 use asgov_profiler::{
@@ -246,4 +246,41 @@ pub fn traced_controller_run(
     let mut policies: [&mut dyn Policy; 2] = [&mut gpu_gov, &mut controller];
     let report = event::run(&mut device, app, &mut policies, duration_ms);
     (report, sink)
+}
+
+/// Run the controller under a [`Supervisor`] (optionally with an
+/// injected fault plan), returning the run report. Same policy stack
+/// and seeding discipline as [`traced_controller_run`]; the report's
+/// health carries the supervisor's restart/downtime/recovery counters.
+///
+/// This is the leg behind the chaos binary's kill matrix: the fault
+/// plan injects controller kills, the supervisor brings the controller
+/// back (cold or warm per `sup_cfg.warm`), and the report shows what
+/// the outage cost.
+pub fn supervised_run(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    profile: &ProfileTable,
+    target_gips: f64,
+    duration_ms: u64,
+    faults: Option<FaultInjector>,
+    sup_cfg: SupervisorConfig,
+) -> RunReport {
+    let factory_profile = profile.clone();
+    let mut supervisor = Supervisor::new(
+        move || {
+            ControllerBuilder::new(factory_profile.clone())
+                .target_gips(target_gips)
+                .build()
+        },
+        sup_cfg,
+    );
+    let mut gpu_gov = AdrenoTz::default();
+    let mut device = Device::new(dev_cfg.clone());
+    if let Some(injector) = faults {
+        device.install_faults(injector);
+    }
+    app.reset();
+    let mut policies: [&mut dyn Policy; 2] = [&mut gpu_gov, &mut supervisor];
+    event::run(&mut device, app, &mut policies, duration_ms)
 }

@@ -41,6 +41,6 @@ mod ring;
 mod sink;
 
 pub use hist::Histogram;
-pub use record::{parse_jsonl, CycleRecord, FaultClass, Level, RecordError, SCHEMA};
+pub use record::{parse_jsonl, CycleRecord, FaultClass, Level, RecordError, LEGACY_SCHEMA, SCHEMA};
 pub use ring::RingBuffer;
 pub use sink::{Metrics, NullSink, RingSink, TraceSink};

@@ -5,7 +5,12 @@ use asgov_util::Json;
 /// Schema tag stamped on every serialized record. Bump the suffix when
 /// a field is added, removed, or changes meaning; readers reject lines
 /// whose tag they do not understand.
-pub const SCHEMA: &str = "asgov-obs/v1";
+pub const SCHEMA: &str = "asgov-obs/v2";
+
+/// The previous schema tag, still accepted on read: v1 records lack
+/// the supervisor fields (`restarts`, `snapshot_errors`), which decode
+/// as zero.
+pub const LEGACY_SCHEMA: &str = "asgov-obs/v1";
 
 /// Mirror of `asgov_soc::SocErrorKind` — the class of actuation fault
 /// observed during a control cycle. Lives here (below the SoC crate) so
@@ -148,6 +153,12 @@ pub struct CycleRecord {
     pub fault: Option<FaultClass>,
     /// Degradation-ladder level after this cycle's health accounting.
     pub level: Level,
+    /// Supervisor restarts of the emitting controller so far (0 when
+    /// unsupervised; v1 records decode as 0).
+    pub restarts: u64,
+    /// Checkpoints found unusable at restart so far (0 when
+    /// unsupervised; v1 records decode as 0).
+    pub snapshot_errors: u64,
 }
 
 impl Default for CycleRecord {
@@ -169,6 +180,8 @@ impl Default for CycleRecord {
             actuation_ns: 0,
             fault: None,
             level: Level::Full,
+            restarts: 0,
+            snapshot_errors: 0,
         }
     }
 }
@@ -222,13 +235,18 @@ impl CycleRecord {
             None => o.set("fault", Json::Null),
         }
         o.set("level", self.level.as_str());
+        o.set("restarts", self.restarts as f64);
+        o.set("snapshot_errors", self.snapshot_errors as f64);
         o
     }
 
     /// Decode a JSON object produced by [`CycleRecord::to_json`].
+    /// [`LEGACY_SCHEMA`] (v1) records are accepted too: they predate the
+    /// supervisor fields, which decode as zero.
     pub fn from_json(j: &Json) -> Result<Self, RecordError> {
         let tag = j.get("schema").and_then(Json::as_str).unwrap_or("");
-        if tag != SCHEMA {
+        let legacy = tag == LEGACY_SCHEMA;
+        if tag != SCHEMA && !legacy {
             return Err(RecordError::BadSchema(tag.to_string()));
         }
         // The writer degrades non-finite floats to `null` (JSON cannot
@@ -279,6 +297,12 @@ impl CycleRecord {
             actuation_ns: u64_field("actuation_ns")?,
             fault,
             level,
+            restarts: if legacy { 0 } else { u64_field("restarts")? },
+            snapshot_errors: if legacy {
+                0
+            } else {
+                u64_field("snapshot_errors")?
+            },
         })
     }
 
@@ -325,6 +349,8 @@ mod tests {
             actuation_ns: 12_400,
             fault: Some(FaultClass::Busy),
             level: Level::SafeConfig,
+            restarts: 1,
+            snapshot_errors: 0,
         }
     }
 
@@ -332,9 +358,35 @@ mod tests {
     fn round_trips_through_jsonl() {
         let rec = sample(3);
         let line = rec.to_jsonl_line();
-        assert!(line.contains("\"schema\":\"asgov-obs/v1\""));
+        assert!(line.contains("\"schema\":\"asgov-obs/v2\""));
+        assert!(line.contains("\"restarts\":1"));
         let back = CycleRecord::from_jsonl_line(&line).unwrap();
         assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn legacy_v1_lines_decode_with_zero_supervisor_fields() {
+        // A v1 record has no restarts/snapshot_errors fields at all.
+        let mut j = sample(2).to_json();
+        j.set("schema", LEGACY_SCHEMA);
+        let line = j.to_string();
+        // (leftover v2 fields in the object are simply ignored for v1;
+        // build a true v1 line by removing them)
+        let line = line
+            .replace(",\"restarts\":1", "")
+            .replace(",\"snapshot_errors\":0", "");
+        let back = CycleRecord::from_jsonl_line(&line).unwrap();
+        assert_eq!(back.restarts, 0);
+        assert_eq!(back.snapshot_errors, 0);
+        assert_eq!(back.cycle, 2);
+        assert_eq!(back.fault, Some(FaultClass::Busy));
+        // A v2 line missing the new fields is rejected, not defaulted.
+        let mut j = sample(2).to_json();
+        j.set("restarts", asgov_util::Json::Null);
+        assert!(matches!(
+            CycleRecord::from_json(&j).unwrap_err(),
+            RecordError::MissingField("restarts")
+        ));
     }
 
     #[test]

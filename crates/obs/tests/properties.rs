@@ -36,6 +36,8 @@ fn random_record(rng: &mut Rng, cycle: u64) -> CycleRecord {
         actuation_ns: rng.next_u64() % 10_000_000,
         fault,
         level,
+        restarts: rng.next_u64() % 4,
+        snapshot_errors: rng.next_u64() % 3,
     }
 }
 

@@ -196,6 +196,7 @@ pub struct Device {
     tool_power_w: f64,
     trace: Trace,
     faults: Option<FaultInjector>,
+    pending_kill: bool,
     obs: Option<Rc<RefCell<dyn TraceSink>>>,
     default_online_cores: f64,
 }
@@ -238,6 +239,7 @@ impl Device {
             tool_power_w: 0.0,
             trace: Trace::default(),
             faults: None,
+            pending_kill: false,
             obs: None,
             default_online_cores: cfg.online_cores,
             table: cfg.table,
@@ -398,6 +400,41 @@ impl Device {
     /// Remove and return the installed fault injector.
     pub fn take_faults(&mut self) -> Option<FaultInjector> {
         self.faults.take()
+    }
+
+    /// Consume a pending [`FaultKind::ControllerKill`](crate::FaultKind::ControllerKill)
+    /// event: `true` exactly once per fired kill, after which the latch
+    /// clears. A supervising harness polls this after each tick to
+    /// learn that the controller process it shepherds has just died;
+    /// with no injector (or no kill window) it is always `false` and
+    /// touches nothing.
+    pub fn take_pending_kill(&mut self) -> bool {
+        std::mem::take(&mut self.pending_kill)
+    }
+
+    /// Whether a checkpoint image written at the current millisecond is
+    /// corrupted by an active
+    /// [`FaultKind::CheckpointCorrupt`](crate::FaultKind::CheckpointCorrupt)
+    /// window. Probability-gated from the injector's RNG stream — call
+    /// it only when a checkpoint is actually written, so replays stay
+    /// aligned.
+    pub fn draw_checkpoint_corrupt(&mut self) -> bool {
+        let now = self.now_ms;
+        self.faults
+            .as_mut()
+            .is_some_and(|f| f.checkpoint_corrupt(now))
+    }
+
+    /// Whether a snapshot restore attempted at the current millisecond
+    /// observes a clock jump
+    /// ([`FaultKind::ClockJump`](crate::FaultKind::ClockJump) window) —
+    /// the checkpoint's time anchor cannot be trusted and a supervisor
+    /// must fall back to a cold restart. Probability-gated from the
+    /// injector's RNG stream — call it only when a restore is actually
+    /// attempted.
+    pub fn draw_clock_jump(&mut self) -> bool {
+        let now = self.now_ms;
+        self.faults.as_mut().is_some_and(|f| f.clock_jump(now))
     }
 
     // ---- observability ------------------------------------------------
@@ -622,6 +659,10 @@ impl Device {
                     }
                 }
             }
+            if actions.controller_kill {
+                self.pending_kill = true;
+                self.obs_event("controller-kill");
+            }
         }
         let dt_s = TICK_MS as f64 * 1e-3;
         let f_hz = self.table.freq(self.freq).hz();
@@ -796,6 +837,10 @@ impl Device {
                         f.note_thermal_clamp();
                     }
                 }
+            }
+            if actions.controller_kill {
+                self.pending_kill = true;
+                self.obs_event("controller-kill");
             }
         }
         // --- model evaluation: identical arithmetic to `tick`, done once.
@@ -1217,7 +1262,9 @@ mod tests {
         use crate::faults::{FaultInjector, FaultKind, FaultPlan};
         let mut d = quiet_device();
         d.set_cpu_governor("userspace");
-        let plan = FaultPlan::new().window(5, 10, FaultKind::SysfsBusy);
+        let plan = FaultPlan::new()
+            .window(5, 10, FaultKind::SysfsBusy)
+            .expect("valid window");
         d.install_faults(FaultInjector::new(plan, 1));
         let path = format!("{}/scaling_setspeed", crate::sysfs::CPUFREQ);
         assert!(d.sysfs_write(&path, "1497600").is_ok());
@@ -1239,7 +1286,9 @@ mod tests {
         let mut d = quiet_device();
         d.set_cpu_governor("userspace");
         d.set_cpu_freq(FreqIndex(17));
-        let plan = FaultPlan::new().window(10, 20, FaultKind::ThermalClamp(5));
+        let plan = FaultPlan::new()
+            .window(10, 20, FaultKind::ThermalClamp(5))
+            .expect("valid window");
         d.install_faults(FaultInjector::new(plan, 1));
         for _ in 0..11 {
             d.tick(&Demand::idle());
@@ -1273,7 +1322,8 @@ mod tests {
         d.set_cpu_governor("userspace");
         let plan = FaultPlan::new()
             .window(3, 4, FaultKind::GovernorReset("interactive".into()))
-            .window(5, 8, FaultKind::Hotplug(2.0));
+            .and_then(|p| p.window(5, 8, FaultKind::Hotplug(2.0)))
+            .expect("valid windows");
         d.install_faults(FaultInjector::new(plan, 1));
         for _ in 0..4 {
             d.tick(&Demand::idle());
@@ -1287,6 +1337,53 @@ mod tests {
             d.tick(&Demand::idle());
         }
         assert_eq!(d.online_cores(), 4.0, "cores restored after the window");
+    }
+
+    #[test]
+    fn controller_kill_is_latched_until_taken() {
+        use crate::faults::{FaultInjector, FaultKind, FaultPlan};
+        let mut d = quiet_device();
+        let plan = FaultPlan::new()
+            .window(3, 5, FaultKind::ControllerKill)
+            .expect("valid window");
+        d.install_faults(FaultInjector::new(plan, 1));
+        assert!(!d.take_pending_kill(), "nothing pending before the window");
+        for _ in 0..3 {
+            d.tick(&Demand::idle());
+        }
+        // The kill fired at t = 3 but was not consumed: it stays latched
+        // across later ticks until a supervisor takes it, exactly once.
+        d.tick(&Demand::idle());
+        assert!(d.take_pending_kill());
+        assert!(!d.take_pending_kill(), "the latch clears after take");
+        for _ in 0..10 {
+            d.tick(&Demand::idle());
+        }
+        assert!(!d.take_pending_kill(), "one-shot window fires once");
+        assert_eq!(d.faults().expect("installed").stats().controller_kills, 1);
+    }
+
+    #[test]
+    fn checkpoint_corrupt_and_clock_jump_draws_respect_windows() {
+        use crate::faults::{FaultInjector, FaultKind, FaultPlan};
+        let mut d = quiet_device();
+        let plan = FaultPlan::new()
+            .window(2, 4, FaultKind::CheckpointCorrupt)
+            .and_then(|p| p.window(6, 8, FaultKind::ClockJump))
+            .expect("valid windows");
+        d.install_faults(FaultInjector::new(plan, 1));
+        assert!(!d.draw_checkpoint_corrupt());
+        assert!(!d.draw_clock_jump());
+        while d.now_ms() < 2 {
+            d.tick(&Demand::idle());
+        }
+        assert!(d.draw_checkpoint_corrupt());
+        assert!(!d.draw_clock_jump());
+        while d.now_ms() < 6 {
+            d.tick(&Demand::idle());
+        }
+        assert!(!d.draw_checkpoint_corrupt());
+        assert!(d.draw_clock_jump());
     }
 
     #[test]

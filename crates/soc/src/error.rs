@@ -50,6 +50,33 @@ pub enum SocErrorKind {
     Busy,
 }
 
+impl SocErrorKind {
+    /// Stable one-byte wire code for checkpoint serialization. Codes
+    /// are append-only: existing values never change meaning.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            SocErrorKind::NoSuchFile => 0,
+            SocErrorKind::ReadOnly => 1,
+            SocErrorKind::InvalidValue => 2,
+            SocErrorKind::WrongGovernor => 3,
+            SocErrorKind::Busy => 4,
+        }
+    }
+
+    /// Decode a [`SocErrorKind::wire_code`] (`None` for unknown codes —
+    /// a corrupt or future snapshot, never a panic).
+    pub fn from_wire(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(SocErrorKind::NoSuchFile),
+            1 => Some(SocErrorKind::ReadOnly),
+            2 => Some(SocErrorKind::InvalidValue),
+            3 => Some(SocErrorKind::WrongGovernor),
+            4 => Some(SocErrorKind::Busy),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SocErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -152,6 +179,21 @@ mod tests {
         assert_eq!(busy.kind(), SocErrorKind::Busy);
         assert!(busy.to_string().contains("busy"));
         assert_eq!(SocErrorKind::Busy.to_string(), "busy");
+    }
+
+    #[test]
+    fn wire_codes_round_trip_and_reject_unknowns() {
+        for kind in [
+            SocErrorKind::NoSuchFile,
+            SocErrorKind::ReadOnly,
+            SocErrorKind::InvalidValue,
+            SocErrorKind::WrongGovernor,
+            SocErrorKind::Busy,
+        ] {
+            assert_eq!(SocErrorKind::from_wire(kind.wire_code()), Some(kind));
+        }
+        assert_eq!(SocErrorKind::from_wire(5), None);
+        assert_eq!(SocErrorKind::from_wire(255), None);
     }
 
     #[test]

@@ -240,10 +240,12 @@ mod tests {
             FaultPlan::new(),
             FaultPlan::new()
                 .window(500, 1_500, FaultKind::ThermalClamp(4))
-                .window(2_000, 2_600, FaultKind::Hotplug(2.0)),
+                .and_then(|p| p.window(2_000, 2_600, FaultKind::Hotplug(2.0)))
+                .expect("valid windows"),
             FaultPlan::new()
                 .window_p(300, 2_800, 0.8, FaultKind::SysfsBusy)
-                .window(1_000, 1_001, FaultKind::GovernorReset("userspace".into())),
+                .and_then(|p| p.window(1_000, 1_001, FaultKind::GovernorReset("userspace".into())))
+                .expect("valid windows"),
         ]
     }
 

@@ -25,7 +25,9 @@
 //! use asgov_soc::{Device, DeviceConfig};
 //!
 //! // Between t = 5 s and t = 8 s, every sysfs write fails with EBUSY.
-//! let plan = FaultPlan::new().window(5_000, 8_000, FaultKind::SysfsBusy);
+//! let plan = FaultPlan::new()
+//!     .window(5_000, 8_000, FaultKind::SysfsBusy)
+//!     .expect("valid window");
 //! let mut device = Device::new(DeviceConfig::nexus6());
 //! device.install_faults(FaultInjector::new(plan, 0xfau64));
 //! ```
@@ -62,6 +64,26 @@ pub enum FaultKind {
     /// mpdecision-style hotplug: the online core count is forced to
     /// this value while the window is active and restored afterwards.
     Hotplug(f64),
+    /// Process-level: the controller daemon is killed (LMK/OOM kill,
+    /// app-triggered restart). One-shot per window, fired at the window
+    /// start subject to the window's probability; the device latches it
+    /// and a supervising harness consumes it through
+    /// [`Device::take_pending_kill`](crate::Device::take_pending_kill).
+    /// The device hardware itself keeps running with whatever
+    /// configuration the dead controller last applied.
+    ControllerKill,
+    /// Level-triggered: checkpoint images written while the window is
+    /// active are corrupted (torn write / bad flash block). Queried by
+    /// the supervisor through
+    /// [`Device::draw_checkpoint_corrupt`](crate::Device::draw_checkpoint_corrupt)
+    /// at each checkpoint write, subject to the window's probability.
+    CheckpointCorrupt,
+    /// Level-triggered: the wall clock jumped (NTP step, timezone
+    /// change, suspend/resume drift) while the window is active, so
+    /// checkpoint timestamps cannot be trusted; a supervisor must
+    /// refuse warm restore and fall back to a cold restart. Queried
+    /// through [`Device::draw_clock_jump`](crate::Device::draw_clock_jump).
+    ClockJump,
 }
 
 impl FaultKind {
@@ -77,6 +99,9 @@ impl FaultKind {
             FaultKind::PerfSpike(_) => "perf-spike",
             FaultKind::ThermalClamp(_) => "thermal-clamp",
             FaultKind::Hotplug(_) => "hotplug",
+            FaultKind::ControllerKill => "controller-kill",
+            FaultKind::CheckpointCorrupt => "checkpoint-corrupt",
+            FaultKind::ClockJump => "clock-jump",
         }
     }
 }
@@ -98,10 +123,60 @@ pub struct FaultWindow {
     pub kind: FaultKind,
 }
 
+/// A [`FaultPlan`] construction error. Invalid windows used to be
+/// accepted silently (an inverted window simply never fired); they are
+/// now rejected at build time with a `Result`, matching the
+/// Result-not-panic precedent of `LoadModel::table_for`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// `start_ms >= end_ms`: the window could never become active.
+    InvertedWindow {
+        /// The window's first active millisecond.
+        start_ms: u64,
+        /// The window's (not-after-start) end millisecond.
+        end_ms: u64,
+    },
+    /// Windows must be appended in non-decreasing `start_ms` order:
+    /// overlapping windows draw injector randomness in vector order, so
+    /// an out-of-order plan replays a different RNG stream than its
+    /// sorted twin while describing the same schedule.
+    OutOfOrder {
+        /// Start of the previously appended window.
+        prev_start_ms: u64,
+        /// Start of the offending (earlier) window.
+        start_ms: u64,
+    },
+    /// The firing probability is NaN or infinite.
+    BadProbability(f64),
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::InvertedWindow { start_ms, end_ms } => {
+                write!(f, "inverted fault window [{start_ms}, {end_ms}) ms")
+            }
+            FaultPlanError::OutOfOrder {
+                prev_start_ms,
+                start_ms,
+            } => write!(
+                f,
+                "fault window starting at {start_ms} ms appended after one starting at \
+                 {prev_start_ms} ms (windows must be in non-decreasing start order)"
+            ),
+            FaultPlanError::BadProbability(p) => {
+                write!(f, "fault probability {p} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A declarative, replayable set of fault windows.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
-    /// The fault windows, in no particular order.
+    /// The fault windows, in non-decreasing `start_ms` order.
     pub windows: Vec<FaultWindow>,
 }
 
@@ -117,25 +192,88 @@ impl FaultPlan {
     }
 
     /// Add a window that always fires while active.
-    pub fn window(self, start_ms: u64, end_ms: u64, kind: FaultKind) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Rejects inverted (`start_ms >= end_ms`) windows and windows
+    /// appended out of `start_ms` order — see [`FaultPlanError`].
+    pub fn window(
+        self,
+        start_ms: u64,
+        end_ms: u64,
+        kind: FaultKind,
+    ) -> Result<Self, FaultPlanError> {
         self.window_p(start_ms, end_ms, 1.0, kind)
     }
 
-    /// Add a window firing with the given per-opportunity probability.
+    /// Add a window firing with the given per-opportunity probability
+    /// (clamped to `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects inverted (`start_ms >= end_ms`) windows, windows
+    /// appended out of `start_ms` order, and non-finite probabilities —
+    /// see [`FaultPlanError`].
     pub fn window_p(
         mut self,
         start_ms: u64,
         end_ms: u64,
         probability: f64,
         kind: FaultKind,
-    ) -> Self {
+    ) -> Result<Self, FaultPlanError> {
+        if start_ms >= end_ms {
+            return Err(FaultPlanError::InvertedWindow { start_ms, end_ms });
+        }
+        if !probability.is_finite() {
+            return Err(FaultPlanError::BadProbability(probability));
+        }
+        if let Some(prev) = self.windows.last() {
+            if start_ms < prev.start_ms {
+                return Err(FaultPlanError::OutOfOrder {
+                    prev_start_ms: prev.start_ms,
+                    start_ms,
+                });
+            }
+        }
         self.windows.push(FaultWindow {
             start_ms,
             end_ms,
             probability: probability.clamp(0.0, 1.0),
             kind,
         });
-        self
+        Ok(self)
+    }
+
+    /// Validate a hand-assembled plan (the `windows` field is public, so
+    /// the builder checks can be bypassed) against the same invariants
+    /// [`FaultPlan::window_p`] enforces.
+    ///
+    /// # Errors
+    ///
+    /// The first [`FaultPlanError`] found, scanning in vector order.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let mut prev_start: Option<u64> = None;
+        for w in &self.windows {
+            if w.start_ms >= w.end_ms {
+                return Err(FaultPlanError::InvertedWindow {
+                    start_ms: w.start_ms,
+                    end_ms: w.end_ms,
+                });
+            }
+            if !w.probability.is_finite() {
+                return Err(FaultPlanError::BadProbability(w.probability));
+            }
+            if let Some(prev) = prev_start {
+                if w.start_ms < prev {
+                    return Err(FaultPlanError::OutOfOrder {
+                        prev_start_ms: prev,
+                        start_ms: w.start_ms,
+                    });
+                }
+            }
+            prev_start = Some(w.start_ms);
+        }
+        Ok(())
     }
 
     /// Earliest millisecond after `now_ms` at which the plan's
@@ -180,6 +318,12 @@ pub struct FaultStats {
     pub thermal_clamps: u64,
     /// Hotplug transitions applied (enter + leave).
     pub hotplug_changes: u64,
+    /// Controller-kill events fired.
+    pub controller_kills: u64,
+    /// Checkpoint writes corrupted.
+    pub checkpoint_corruptions: u64,
+    /// Clock jumps observed by a restore attempt.
+    pub clock_jumps: u64,
 }
 
 /// A perf-reading fault drawn for one sample (consumed by
@@ -208,6 +352,9 @@ pub(crate) struct TickActions {
     /// Active thermal ceiling; the device pulls the current frequency
     /// down to it if necessary.
     pub thermal_ceiling: Option<usize>,
+    /// The controller process is killed on this tick (one-shot); the
+    /// device latches it until a supervisor consumes it.
+    pub controller_kill: bool,
 }
 
 /// Executes a [`FaultPlan`] against a device, deterministically from
@@ -290,6 +437,13 @@ impl FaultInjector {
                         self.stats.governor_resets += 1;
                     }
                 }
+                FaultKind::ControllerKill if !*fired => {
+                    *fired = true;
+                    if w.probability >= 1.0 || self.rng.gen_bool(w.probability) {
+                        actions.controller_kill = true;
+                        self.stats.controller_kills += 1;
+                    }
+                }
                 FaultKind::ThermalClamp(ceiling) => {
                     let c = actions
                         .thermal_ceiling
@@ -347,6 +501,40 @@ impl FaultInjector {
         self.stats.thermal_clamps += 1;
     }
 
+    /// Whether a checkpoint image written at `now_ms` gets corrupted
+    /// (probability-gated per active [`FaultKind::CheckpointCorrupt`]
+    /// window; draws from the injector's RNG stream, so call it only
+    /// when a checkpoint is actually being written).
+    pub(crate) fn checkpoint_corrupt(&mut self, now_ms: u64) -> bool {
+        for w in &self.windows {
+            if matches!(w.kind, FaultKind::CheckpointCorrupt)
+                && Self::active(w, now_ms)
+                && (w.probability >= 1.0 || self.rng.gen_bool(w.probability))
+            {
+                self.stats.checkpoint_corruptions += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether a restore attempted at `now_ms` observes a clock jump
+    /// (probability-gated per active [`FaultKind::ClockJump`] window;
+    /// draws from the injector's RNG stream, so call it only when a
+    /// restore is actually being attempted).
+    pub(crate) fn clock_jump(&mut self, now_ms: u64) -> bool {
+        for w in &self.windows {
+            if matches!(w.kind, FaultKind::ClockJump)
+                && Self::active(w, now_ms)
+                && (w.probability >= 1.0 || self.rng.gen_bool(w.probability))
+            {
+                self.stats.clock_jumps += 1;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Draw the fault (if any) afflicting a perf reading at `now_ms`.
     pub(crate) fn perf_fault(&mut self, now_ms: u64) -> Option<PerfFault> {
         for w in &self.windows {
@@ -386,15 +574,20 @@ mod tests {
             assert!(a.set_cores.is_none());
             assert!(a.thermal_ceiling.is_none());
             assert!(!a.restore_cores);
+            assert!(!a.controller_kill);
             assert!(inj.intercept_write(t, "/sys/x").is_none());
             assert!(inj.perf_fault(t).is_none());
+            assert!(!inj.checkpoint_corrupt(t));
+            assert!(!inj.clock_jump(t));
         }
         assert_eq!(*inj.stats(), FaultStats::default());
     }
 
     #[test]
     fn busy_window_rejects_only_inside() {
-        let plan = FaultPlan::new().window(10, 20, FaultKind::SysfsBusy);
+        let plan = FaultPlan::new()
+            .window(10, 20, FaultKind::SysfsBusy)
+            .expect("valid window");
         let mut inj = FaultInjector::new(plan, 7);
         assert!(inj.intercept_write(9, "/sys/x").is_none());
         assert!(matches!(
@@ -411,7 +604,9 @@ mod tests {
 
     #[test]
     fn governor_reset_fires_once() {
-        let plan = FaultPlan::new().window(50, 60, FaultKind::GovernorReset("interactive".into()));
+        let plan = FaultPlan::new()
+            .window(50, 60, FaultKind::GovernorReset("interactive".into()))
+            .expect("valid window");
         let mut inj = FaultInjector::new(plan, 7);
         let mut resets = 0;
         for t in 0..100 {
@@ -427,7 +622,8 @@ mod tests {
     fn thermal_ceiling_takes_the_minimum() {
         let plan = FaultPlan::new()
             .window(0, 100, FaultKind::ThermalClamp(9))
-            .window(50, 100, FaultKind::ThermalClamp(4));
+            .and_then(|p| p.window(50, 100, FaultKind::ThermalClamp(4)))
+            .expect("valid windows");
         let inj = FaultInjector::new(plan, 7);
         assert_eq!(inj.thermal_ceiling(10), Some(9));
         assert_eq!(inj.thermal_ceiling(60), Some(4));
@@ -436,7 +632,9 @@ mod tests {
 
     #[test]
     fn hotplug_sets_and_restores() {
-        let plan = FaultPlan::new().window(10, 20, FaultKind::Hotplug(2.0));
+        let plan = FaultPlan::new()
+            .window(10, 20, FaultKind::Hotplug(2.0))
+            .expect("valid window");
         let mut inj = FaultInjector::new(plan, 7);
         assert!(inj.on_tick(5).set_cores.is_none());
         assert_eq!(inj.on_tick(10).set_cores, Some(2.0));
@@ -452,9 +650,10 @@ mod tests {
     fn perf_faults_map_to_kinds() {
         let plan = FaultPlan::new()
             .window(0, 10, FaultKind::PerfNan)
-            .window(10, 20, FaultKind::PerfZero)
-            .window(20, 30, FaultKind::PerfSpike(10.0))
-            .window(30, 40, FaultKind::PerfDropout);
+            .and_then(|p| p.window(10, 20, FaultKind::PerfZero))
+            .and_then(|p| p.window(20, 30, FaultKind::PerfSpike(10.0)))
+            .and_then(|p| p.window(30, 40, FaultKind::PerfDropout))
+            .expect("valid windows");
         let mut inj = FaultInjector::new(plan, 7);
         assert_eq!(inj.perf_fault(5), Some(PerfFault::Nan));
         assert_eq!(inj.perf_fault(15), Some(PerfFault::Zero));
@@ -467,7 +666,11 @@ mod tests {
 
     #[test]
     fn stochastic_faults_replay_per_seed() {
-        let plan = || FaultPlan::new().window_p(0, 1000, 0.5, FaultKind::SysfsBusy);
+        let plan = || {
+            FaultPlan::new()
+                .window_p(0, 1000, 0.5, FaultKind::SysfsBusy)
+                .expect("valid window")
+        };
         let run = |seed| {
             let mut inj = FaultInjector::new(plan(), seed);
             (0..1000)
@@ -490,5 +693,174 @@ mod tests {
         );
         assert_eq!(FaultKind::ThermalClamp(3).label(), "thermal-clamp");
         assert_eq!(FaultKind::Hotplug(2.0).label(), "hotplug");
+        assert_eq!(FaultKind::ControllerKill.label(), "controller-kill");
+        assert_eq!(FaultKind::CheckpointCorrupt.label(), "checkpoint-corrupt");
+        assert_eq!(FaultKind::ClockJump.label(), "clock-jump");
+    }
+
+    #[test]
+    fn controller_kill_fires_once_at_window_start() {
+        let plan = FaultPlan::new()
+            .window(50, 60, FaultKind::ControllerKill)
+            .expect("valid window");
+        let mut inj = FaultInjector::new(plan, 7);
+        let mut kills = vec![];
+        for t in 0..100 {
+            if inj.on_tick(t).controller_kill {
+                kills.push(t);
+            }
+        }
+        assert_eq!(kills, vec![50], "one-shot at the window start");
+        assert_eq!(inj.stats().controller_kills, 1);
+    }
+
+    #[test]
+    fn improbable_controller_kill_may_not_fire() {
+        let plan = FaultPlan::new()
+            .window_p(10, 20, 0.0, FaultKind::ControllerKill)
+            .expect("valid window");
+        let mut inj = FaultInjector::new(plan, 7);
+        for t in 0..50 {
+            assert!(!inj.on_tick(t).controller_kill);
+        }
+        assert_eq!(inj.stats().controller_kills, 0);
+    }
+
+    #[test]
+    fn checkpoint_corrupt_and_clock_jump_are_window_scoped() {
+        let plan = FaultPlan::new()
+            .window(10, 20, FaultKind::CheckpointCorrupt)
+            .and_then(|p| p.window(30, 40, FaultKind::ClockJump))
+            .expect("valid windows");
+        let mut inj = FaultInjector::new(plan, 7);
+        assert!(!inj.checkpoint_corrupt(9));
+        assert!(inj.checkpoint_corrupt(10));
+        assert!(inj.checkpoint_corrupt(19));
+        assert!(!inj.checkpoint_corrupt(20));
+        assert!(!inj.clock_jump(29));
+        assert!(inj.clock_jump(30));
+        assert!(!inj.clock_jump(40));
+        assert_eq!(inj.stats().checkpoint_corruptions, 2);
+        assert_eq!(inj.stats().clock_jumps, 1);
+    }
+
+    #[test]
+    fn inverted_window_is_rejected() {
+        let err = FaultPlan::new()
+            .window(20, 10, FaultKind::SysfsBusy)
+            .expect_err("inverted window must be rejected");
+        assert_eq!(
+            err,
+            FaultPlanError::InvertedWindow {
+                start_ms: 20,
+                end_ms: 10
+            }
+        );
+        // An empty window (start == end) is equally impossible.
+        let err = FaultPlan::new()
+            .window(10, 10, FaultKind::SysfsBusy)
+            .expect_err("empty window must be rejected");
+        assert!(matches!(err, FaultPlanError::InvertedWindow { .. }));
+    }
+
+    #[test]
+    fn out_of_order_windows_are_rejected() {
+        let err = FaultPlan::new()
+            .window(100, 200, FaultKind::SysfsBusy)
+            .and_then(|p| p.window(50, 80, FaultKind::PerfDropout))
+            .expect_err("out-of-order windows must be rejected");
+        assert_eq!(
+            err,
+            FaultPlanError::OutOfOrder {
+                prev_start_ms: 100,
+                start_ms: 50
+            }
+        );
+        // Equal starts are fine (overlap in declaration order).
+        assert!(FaultPlan::new()
+            .window(100, 200, FaultKind::SysfsBusy)
+            .and_then(|p| p.window(100, 150, FaultKind::PerfDropout))
+            .is_ok());
+    }
+
+    #[test]
+    fn non_finite_probability_is_rejected() {
+        for p in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = FaultPlan::new()
+                .window_p(0, 10, p, FaultKind::SysfsBusy)
+                .expect_err("non-finite probability must be rejected");
+            assert!(matches!(err, FaultPlanError::BadProbability(_)));
+        }
+        // In-range finite values still clamp rather than error.
+        let plan = FaultPlan::new()
+            .window_p(0, 10, 7.5, FaultKind::SysfsBusy)
+            .expect("finite probability clamps");
+        assert!((plan.windows[0].probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_checks_hand_built_plans() {
+        let ok = FaultPlan {
+            windows: vec![
+                FaultWindow {
+                    start_ms: 0,
+                    end_ms: 10,
+                    probability: 1.0,
+                    kind: FaultKind::SysfsBusy,
+                },
+                FaultWindow {
+                    start_ms: 5,
+                    end_ms: 30,
+                    probability: 0.5,
+                    kind: FaultKind::PerfDropout,
+                },
+            ],
+        };
+        assert!(ok.validate().is_ok());
+
+        let inverted = FaultPlan {
+            windows: vec![FaultWindow {
+                start_ms: 10,
+                end_ms: 10,
+                probability: 1.0,
+                kind: FaultKind::SysfsBusy,
+            }],
+        };
+        assert!(matches!(
+            inverted.validate(),
+            Err(FaultPlanError::InvertedWindow { .. })
+        ));
+
+        let unordered = FaultPlan {
+            windows: vec![
+                FaultWindow {
+                    start_ms: 50,
+                    end_ms: 60,
+                    probability: 1.0,
+                    kind: FaultKind::SysfsBusy,
+                },
+                FaultWindow {
+                    start_ms: 0,
+                    end_ms: 10,
+                    probability: 1.0,
+                    kind: FaultKind::SysfsBusy,
+                },
+            ],
+        };
+        assert!(matches!(
+            unordered.validate(),
+            Err(FaultPlanError::OutOfOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn kill_window_is_an_event_boundary() {
+        let plan = FaultPlan::new()
+            .window(500, 510, FaultKind::ControllerKill)
+            .expect("valid window");
+        assert_eq!(plan.next_event_ms(0), 500);
+        assert_eq!(plan.next_event_ms(500), 501, "active window ⇒ 1 ms spans");
+        assert_eq!(plan.next_event_ms(509), 510);
+        assert_eq!(plan.next_event_ms(510), u64::MAX);
     }
 }

@@ -42,6 +42,26 @@ impl DegradationLevel {
             _ => DegradationLevel::Full,
         }
     }
+
+    /// Stable one-byte wire code for checkpoint serialization.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            DegradationLevel::Full => 0,
+            DegradationLevel::SafeConfig => 1,
+            DegradationLevel::FallbackGovernor => 2,
+        }
+    }
+
+    /// Decode a [`DegradationLevel::wire_code`] (`None` for unknown
+    /// codes).
+    pub fn from_wire(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(DegradationLevel::Full),
+            1 => Some(DegradationLevel::SafeConfig),
+            2 => Some(DegradationLevel::FallbackGovernor),
+            _ => None,
+        }
+    }
 }
 
 impl From<DegradationLevel> for asgov_obs::Level {
@@ -110,6 +130,20 @@ pub struct HealthReport {
     /// cleared. This is the quantity bounded by the chaos suite's
     /// M = 5 contract.
     pub climb_latency_cycles: Option<u64>,
+    /// Controller restarts performed by a supervisor after injected
+    /// crashes (0 when unsupervised or never killed).
+    pub restarts: u64,
+    /// Restarts that successfully resumed from a checkpoint (the rest
+    /// were cold restarts from the safe configuration).
+    pub warm_restarts: u64,
+    /// Checkpoints that could not be used at restart: corrupt,
+    /// truncated, version-mismatched, or invalidated by a clock jump.
+    pub snapshot_errors: u64,
+    /// Total milliseconds the controller was dead (kill to restart).
+    pub downtime_ms: u64,
+    /// Worst-case milliseconds from a restart back to `Full` operation
+    /// (`None` if never restarted, or not yet recovered).
+    pub restart_recovery_ms: Option<u64>,
 }
 
 impl HealthReport {
@@ -171,6 +205,15 @@ impl HealthReport {
                 self.degradations, self.recoveries
             ));
         }
+        if self.restarts > 0 || self.snapshot_errors > 0 {
+            let recovery = self
+                .restart_recovery_ms
+                .map_or_else(|| "not recovered".to_string(), |ms| format!("{ms} ms"));
+            parts.push(format!(
+                "{} restarts ({} warm, {} snapshot errors), {} ms downtime, back to full in {recovery}",
+                self.restarts, self.warm_restarts, self.snapshot_errors, self.downtime_ms
+            ));
+        }
         format!("level {}: {}", self.level, parts.join("; "))
     }
 
@@ -204,6 +247,14 @@ impl HealthReport {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 (a, b) => a.or(b),
             },
+            restarts: self.restarts + other.restarts,
+            warm_restarts: self.warm_restarts + other.warm_restarts,
+            snapshot_errors: self.snapshot_errors + other.snapshot_errors,
+            downtime_ms: self.downtime_ms + other.downtime_ms,
+            restart_recovery_ms: match (self.restart_recovery_ms, other.restart_recovery_ms) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
         }
     }
 
@@ -234,6 +285,14 @@ impl HealthReport {
         match self.climb_latency_cycles {
             Some(c) => doc.set("climb_latency_cycles", c as f64),
             None => doc.set("climb_latency_cycles", asgov_util::Json::Null),
+        }
+        doc.set("restarts", self.restarts as f64);
+        doc.set("warm_restarts", self.warm_restarts as f64);
+        doc.set("snapshot_errors", self.snapshot_errors as f64);
+        doc.set("downtime_ms", self.downtime_ms as f64);
+        match self.restart_recovery_ms {
+            Some(ms) => doc.set("restart_recovery_ms", ms as f64),
+            None => doc.set("restart_recovery_ms", asgov_util::Json::Null),
         }
         doc
     }
@@ -324,6 +383,76 @@ mod tests {
         assert!(HealthReport::default()
             .merge(&HealthReport::default())
             .is_clean());
+    }
+
+    #[test]
+    fn degradation_wire_codes_round_trip_and_reject_unknowns() {
+        for level in [
+            DegradationLevel::Full,
+            DegradationLevel::SafeConfig,
+            DegradationLevel::FallbackGovernor,
+        ] {
+            assert_eq!(DegradationLevel::from_wire(level.wire_code()), Some(level));
+        }
+        assert_eq!(DegradationLevel::from_wire(3), None);
+        assert_eq!(DegradationLevel::from_wire(255), None);
+    }
+
+    #[test]
+    fn restart_fields_flow_through_summary_merge_and_json() {
+        let a = HealthReport {
+            restarts: 2,
+            warm_restarts: 1,
+            snapshot_errors: 1,
+            downtime_ms: 350,
+            restart_recovery_ms: Some(4000),
+            ..HealthReport::default()
+        };
+        let s = a.summary();
+        for needle in [
+            "2 restarts",
+            "1 warm",
+            "1 snapshot errors",
+            "350 ms downtime",
+            "4000 ms",
+        ] {
+            assert!(s.contains(needle), "summary {s:?} misses {needle:?}");
+        }
+        assert!(!a.is_clean());
+
+        let b = HealthReport {
+            restarts: 1,
+            downtime_ms: 100,
+            restart_recovery_ms: Some(6000),
+            ..HealthReport::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.restarts, 3);
+        assert_eq!(m.warm_restarts, 1);
+        assert_eq!(m.snapshot_errors, 1);
+        assert_eq!(m.downtime_ms, 450);
+        assert_eq!(m.restart_recovery_ms, Some(6000));
+
+        let json = m.to_json();
+        assert_eq!(
+            json.get("restarts").and_then(asgov_util::Json::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            json.get("downtime_ms").and_then(asgov_util::Json::as_f64),
+            Some(450.0)
+        );
+        assert_eq!(
+            json.get("restart_recovery_ms")
+                .and_then(asgov_util::Json::as_f64),
+            Some(6000.0)
+        );
+        // Never-restarted runs serialize a null recovery time.
+        let clean = HealthReport::default().to_json();
+        assert!(matches!(
+            clean.get("restart_recovery_ms"),
+            Some(asgov_util::Json::Null)
+        ));
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub use dvfs::{
     BwIndex, CpuFreq, DvfsTable, FreqIndex, MemBw, NEXUS6_CPU_FREQS_GHZ, NEXUS6_MEM_BWS_MBPS,
 };
 pub use error::{SocError, SocErrorKind};
-pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultStats, FaultWindow, PerfFault};
+pub use faults::{
+    FaultInjector, FaultKind, FaultPlan, FaultPlanError, FaultStats, FaultWindow, PerfFault,
+};
 pub use gpu::{Gpu, GpuFreqIndex};
 pub use health::{DegradationLevel, HealthReport};
 pub use monitor::{PowerMonitor, PowerSample};

@@ -236,9 +236,10 @@ mod tests {
         let mut dev = device();
         let plan = FaultPlan::new()
             .window(0, 150, FaultKind::PerfNan)
-            .window(150, 250, FaultKind::PerfDropout)
-            .window(250, 350, FaultKind::PerfSpike(10.0))
-            .window(350, 450, FaultKind::PerfZero);
+            .and_then(|p| p.window(150, 250, FaultKind::PerfDropout))
+            .and_then(|p| p.window(250, 350, FaultKind::PerfSpike(10.0)))
+            .and_then(|p| p.window(350, 450, FaultKind::PerfZero))
+            .expect("valid windows");
         dev.install_faults(FaultInjector::new(plan, 7));
         let mut reader = PerfReader::new(100, 0.0, 1);
         reader.enable(&mut dev);

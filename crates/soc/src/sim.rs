@@ -121,7 +121,7 @@ pub(crate) fn collect_report(
     } else {
         policies
             .iter()
-            .map(|p| p.name())
+            .map(super::Policy::name)
             .collect::<Vec<_>>()
             .join("+")
     };

@@ -15,9 +15,10 @@ cargo run --release -p asgov-experiments --bin diff_smoke -- $QUICK \
 for bin in table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5 \
            ablations scope related_work traces chaos; do
   echo "=== $bin ==="
-  # The chaos study also writes the per-cycle CHAOS_trace.jsonl artifact.
+  # The chaos study also writes the per-cycle CHAOS_trace.jsonl artifact
+  # and the supervised cold-vs-warm restart kill matrix.
   EXTRA=""
-  [ "$bin" = "chaos" ] && EXTRA="--trace"
+  [ "$bin" = "chaos" ] && EXTRA="--trace --kill-matrix"
   if [ "$QUICK" = "--quick" ]; then
     cargo run --release -p asgov-experiments --bin "$bin" -- --quick $EXTRA \
       > "results/$bin.txt" 2>&1 || true

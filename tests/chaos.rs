@@ -96,35 +96,19 @@ fn every_fault_class_recovers_within_five_cycles() {
     let default = measure_default(&dev_cfg, &mut app, 1, 42_000);
     let (start, end) = (14_000, 28_000);
 
+    let w = |p: f64, kind: FaultKind| {
+        FaultPlan::new()
+            .window_p(start, end, p, kind)
+            .expect("valid window")
+    };
     let matrix: Vec<(&str, FaultPlan)> = vec![
-        (
-            "sysfs-busy",
-            FaultPlan::new().window_p(start, end, 0.8, FaultKind::SysfsBusy),
-        ),
-        (
-            "perf-dropout",
-            FaultPlan::new().window(start, end, FaultKind::PerfDropout),
-        ),
-        (
-            "perf-nan",
-            FaultPlan::new().window(start, end, FaultKind::PerfNan),
-        ),
-        (
-            "perf-zero",
-            FaultPlan::new().window(start, end, FaultKind::PerfZero),
-        ),
-        (
-            "perf-spike",
-            FaultPlan::new().window_p(start, end, 0.5, FaultKind::PerfSpike(40.0)),
-        ),
-        (
-            "thermal-clamp",
-            FaultPlan::new().window(start, end, FaultKind::ThermalClamp(4)),
-        ),
-        (
-            "hotplug",
-            FaultPlan::new().window(start, end, FaultKind::Hotplug(2.0)),
-        ),
+        ("sysfs-busy", w(0.8, FaultKind::SysfsBusy)),
+        ("perf-dropout", w(1.0, FaultKind::PerfDropout)),
+        ("perf-nan", w(1.0, FaultKind::PerfNan)),
+        ("perf-zero", w(1.0, FaultKind::PerfZero)),
+        ("perf-spike", w(0.5, FaultKind::PerfSpike(40.0))),
+        ("thermal-clamp", w(1.0, FaultKind::ThermalClamp(4))),
+        ("hotplug", w(1.0, FaultKind::Hotplug(2.0))),
     ];
 
     for (name, plan) in matrix {
@@ -194,11 +178,13 @@ fn governor_reset_is_reasserted_within_one_period() {
         0x5eed,
         40_000,
     );
-    let plan = FaultPlan::new().window(
-        20_000,
-        21_000,
-        FaultKind::GovernorReset("interactive".into()),
-    );
+    let plan = FaultPlan::new()
+        .window(
+            20_000,
+            21_000,
+            FaultKind::GovernorReset("interactive".into()),
+        )
+        .expect("valid window");
     let (report, device) =
         run_with_plan(&dev_cfg, &mut app, &profile, target, plan, 0x5eed, 40_000);
 
@@ -230,6 +216,155 @@ fn governor_reset_is_reasserted_within_one_period() {
     );
 }
 
+/// Run the supervised controller with `faults`; returns the report.
+fn supervised_with_plan(
+    dev_cfg: &DeviceConfig,
+    app: &mut PhasedApp,
+    profile: &asgov::profiler::ProfileTable,
+    target: f64,
+    faults: FaultInjector,
+    duration_ms: u64,
+    warm: bool,
+) -> asgov::soc::sim::RunReport {
+    use asgov::core::{Supervisor, SupervisorConfig};
+    let p = profile.clone();
+    let mut supervisor = Supervisor::new(
+        move || {
+            ControllerBuilder::new(p.clone())
+                .target_gips(target)
+                .build()
+        },
+        SupervisorConfig {
+            warm,
+            ..SupervisorConfig::default()
+        },
+    );
+    let mut gpu = AdrenoTz::default();
+    let mut device = Device::new(dev_cfg.clone());
+    device.install_faults(faults);
+    app.reset();
+    sim::run(
+        &mut device,
+        app,
+        &mut [&mut gpu, &mut supervisor],
+        duration_ms,
+    )
+}
+
+#[test]
+fn warm_restart_recovers_strictly_faster_than_cold() {
+    // A controller kill mid-run, once under cold restarts (safe config +
+    // full probation) and once under warm restarts (checkpoint restore).
+    // Warm must be back at Full strictly sooner: the restored Kalman
+    // state and ladder level skip the probation climb entirely.
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut app = apps::wechat(BackgroundLoad::baseline(1));
+    let profile = profile_app(&dev_cfg, &mut app, &quick_profile());
+    let target = measure_default(&dev_cfg, &mut app, 1, 40_000).gips;
+
+    let kill = || {
+        FaultPlan::new()
+            .window(20_000, 20_500, FaultKind::ControllerKill)
+            .expect("valid window")
+    };
+    let cold = supervised_with_plan(
+        &dev_cfg,
+        &mut app,
+        &profile,
+        target,
+        FaultInjector::new(kill(), 0x5eed),
+        40_000,
+        false,
+    );
+    let warm = supervised_with_plan(
+        &dev_cfg,
+        &mut app,
+        &profile,
+        target,
+        FaultInjector::new(kill(), 0x5eed),
+        40_000,
+        true,
+    );
+
+    let cold_h = cold.health.expect("supervisor reports health");
+    let warm_h = warm.health.expect("supervisor reports health");
+    assert_eq!(cold_h.restarts, 1);
+    assert_eq!(warm_h.restarts, 1);
+    assert_eq!(warm_h.warm_restarts, 1, "warm restart must restore");
+    assert_eq!(cold_h.warm_restarts, 0);
+    assert_eq!(warm_h.snapshot_errors, 0);
+
+    // Restarts stay within the backoff bound: a single kill waits at
+    // most backoff_base_ms (100 ms at attempt 0) before coming back.
+    for (name, h) in [("cold", &cold_h), ("warm", &warm_h)] {
+        assert!(
+            h.downtime_ms >= 100 && h.downtime_ms <= 5_000,
+            "{name}: downtime {} ms outside the backoff bound",
+            h.downtime_ms
+        );
+        assert_eq!(h.level, DegradationLevel::Full, "{name}: must end at Full");
+    }
+
+    let cold_rec = cold_h.restart_recovery_ms.expect("cold run recovered");
+    let warm_rec = warm_h.restart_recovery_ms.expect("warm run recovered");
+    assert!(
+        warm_rec < cold_rec,
+        "warm recovery ({warm_rec} ms) must be strictly faster than cold ({cold_rec} ms)"
+    );
+    // Cold serves the safe-config probation (2 clean 2 s cycles); warm
+    // restores a Full, converged controller and skips it entirely.
+    assert_eq!(
+        warm_rec, 0,
+        "a healthy checkpoint restores straight to Full"
+    );
+    assert!(
+        cold_rec >= 4_000,
+        "cold must serve the probation ({cold_rec} ms)"
+    );
+}
+
+#[test]
+fn corrupted_checkpoint_falls_back_cold_without_panicking() {
+    // Every checkpoint written before the kill is damaged on its way to
+    // storage. The warm-preferring supervisor must detect this at
+    // restore time (CRC), count it, fall back to a cold start, and
+    // still finish the run at Full — never panic, never load garbage.
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut app = apps::wechat(BackgroundLoad::baseline(1));
+    let profile = profile_app(&dev_cfg, &mut app, &quick_profile());
+    let target = measure_default(&dev_cfg, &mut app, 1, 40_000).gips;
+
+    let plan = FaultPlan::new()
+        .window(0, 21_000, FaultKind::CheckpointCorrupt)
+        .and_then(|p| p.window(20_000, 20_500, FaultKind::ControllerKill))
+        .expect("valid windows");
+    let report = supervised_with_plan(
+        &dev_cfg,
+        &mut app,
+        &profile,
+        target,
+        FaultInjector::new(plan, 0x5eed),
+        40_000,
+        true,
+    );
+    assert!(report.energy_j.is_finite() && report.avg_gips.is_finite());
+    let health = report.health.expect("supervisor reports health");
+    assert_eq!(health.restarts, 1);
+    assert_eq!(
+        health.warm_restarts, 0,
+        "a damaged checkpoint must never restore"
+    );
+    assert!(
+        health.snapshot_errors >= 1,
+        "the fallback must be counted, not silent"
+    );
+    assert_eq!(
+        health.level,
+        DegradationLevel::Full,
+        "cold fallback still climbs back to full operation"
+    );
+}
+
 #[test]
 fn fault_replay_is_deterministic() {
     // The same (plan, seed) pair replays bit-for-bit: identical run
@@ -242,7 +377,8 @@ fn fault_replay_is_deterministic() {
     let plan = || {
         FaultPlan::new()
             .window_p(12_000, 26_000, 0.8, FaultKind::SysfsBusy)
-            .window_p(12_000, 26_000, 0.3, FaultKind::PerfSpike(25.0))
+            .and_then(|p| p.window_p(12_000, 26_000, 0.3, FaultKind::PerfSpike(25.0)))
+            .expect("valid windows")
     };
     let (a, _) = run_with_plan(&dev_cfg, &mut app, &profile, target, plan(), 0xfeed, 40_000);
     let (b, _) = run_with_plan(&dev_cfg, &mut app, &profile, target, plan(), 0xfeed, 40_000);

@@ -10,12 +10,16 @@
 use asgov::governors::{AdrenoTz, CpubwHwmon, Interactive, Ondemand};
 use asgov::prelude::*;
 use asgov::soc::{event, FaultInjector, FaultKind, FaultPlan};
+use asgov::util::Json;
 use asgov::workloads::PhasedApp;
 
+/// Constructor signature shared by every packaged application.
+type AppCtor = fn(BackgroundLoad) -> PhasedApp;
+
 /// Every packaged application, by constructor.
-fn all_apps() -> Vec<(&'static str, fn(BackgroundLoad) -> PhasedApp)> {
+fn all_apps() -> Vec<(&'static str, AppCtor)> {
     vec![
-        ("vidcon", apps::vidcon as fn(BackgroundLoad) -> PhasedApp),
+        ("vidcon", apps::vidcon as AppCtor),
         ("mobilebench", apps::mobilebench),
         ("angrybirds", apps::angrybirds),
         ("wechat", apps::wechat),
@@ -36,7 +40,10 @@ fn fault_plans() -> Vec<(&'static str, Option<FaultPlan>)> {
             Some(
                 FaultPlan::new()
                     .window(500, 1_500, FaultKind::ThermalClamp(4))
-                    .window(1_800, 1_801, FaultKind::GovernorReset("interactive".into())),
+                    .and_then(|p| {
+                        p.window(1_800, 1_801, FaultKind::GovernorReset("interactive".into()))
+                    })
+                    .expect("valid windows"),
             ),
         ),
         (
@@ -44,8 +51,9 @@ fn fault_plans() -> Vec<(&'static str, Option<FaultPlan>)> {
             Some(
                 FaultPlan::new()
                     .window(400, 1_200, FaultKind::Hotplug(2.0))
-                    .window(1_000, 2_000, FaultKind::PerfSpike(40.0))
-                    .window(2_200, 2_800, FaultKind::SysfsBusy),
+                    .and_then(|p| p.window(1_000, 2_000, FaultKind::PerfSpike(40.0)))
+                    .and_then(|p| p.window(2_200, 2_800, FaultKind::SysfsBusy))
+                    .expect("valid windows"),
             ),
         ),
     ]
@@ -196,7 +204,8 @@ fn golden_pins_from_pre_refactor_tick_core() {
         let mut device = Device::new(cfg.clone());
         let plan = FaultPlan::new()
             .window(1_000, 2_500, FaultKind::Hotplug(2.0))
-            .window(3_000, 4_500, FaultKind::ThermalClamp(4));
+            .and_then(|p| p.window(3_000, 4_500, FaultKind::ThermalClamp(4)))
+            .expect("valid windows");
         device.install_faults(FaultInjector::new(plan, 0x5eed));
         let mut app = apps::angrybirds(BackgroundLoad::heavy(3));
         let mut cpu = Interactive::default();
@@ -217,6 +226,122 @@ fn golden_pins_from_pre_refactor_tick_core() {
             0x400e10c56ac2936d,
             "{core} fault power"
         );
+    }
+}
+
+/// A supervised controller killed mid-run (twice) must restart and
+/// produce bit-identical reports under both cores, in both warm and
+/// cold restart modes: kills latch inside forced-tick fault windows,
+/// checkpoints land on supervisor-advertised event times, and restarts
+/// wake the event core at exactly the backoff deadline.
+#[test]
+fn supervised_kill_restart_is_bit_identical_across_cores() {
+    use asgov::core::{Supervisor, SupervisorConfig};
+    let profile_opts = ProfileOptions {
+        runs_per_config: 1,
+        run_ms: 2_000,
+        freq_stride: 4,
+        interpolate: true,
+    };
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut profile_src = apps::wechat(BackgroundLoad::baseline(1));
+    let profile = profile_app(&dev_cfg, &mut profile_src, &profile_opts);
+
+    let run = |core: &str, warm: bool| {
+        let mut device = Device::new(dev_cfg.clone().with_seed(4));
+        let plan = FaultPlan::new()
+            .window(2_500, 3_000, FaultKind::ControllerKill)
+            .and_then(|p| p.window(6_200, 6_700, FaultKind::ControllerKill))
+            .expect("valid windows");
+        device.install_faults(FaultInjector::new(plan, 0x5eed));
+        let mut app = apps::wechat(BackgroundLoad::baseline(4));
+        let mut gpu = AdrenoTz::default();
+        let p = profile.clone();
+        let mut supervisor = Supervisor::new(
+            move || ControllerBuilder::new(p.clone()).target_gips(0.5).build(),
+            SupervisorConfig {
+                warm,
+                ..SupervisorConfig::default()
+            },
+        );
+        let mut policies: [&mut dyn Policy; 2] = [&mut gpu, &mut supervisor];
+        if core == "tick" {
+            sim::run(&mut device, &mut app, &mut policies, 10_000)
+        } else {
+            event::run(&mut device, &mut app, &mut policies, 10_000)
+        }
+    };
+
+    for warm in [true, false] {
+        let tick = run("tick", warm);
+        let event = run("event", warm);
+        let label = if warm { "warm" } else { "cold" };
+        let health = tick.health.expect("supervisor reports health");
+        assert_eq!(health.restarts, 2, "{label}: both kills must restart");
+        if warm {
+            assert_eq!(health.warm_restarts, 2, "warm restarts must restore");
+        } else {
+            assert_eq!(health.warm_restarts, 0, "cold mode never restores");
+        }
+        assert!(health.downtime_ms > 0, "{label}: downtime accounted");
+        assert_eq!(
+            tick.energy_j.to_bits(),
+            event.energy_j.to_bits(),
+            "{label}: energy bits diverged"
+        );
+        assert_eq!(
+            tick.instructions.to_bits(),
+            event.instructions.to_bits(),
+            "{label}: instruction bits diverged"
+        );
+        assert_eq!(tick, event, "{label}: reports diverged");
+    }
+}
+
+/// With no kills injected, wrapping the controller in a supervisor must
+/// change nothing: same report, bit for bit, as the unsupervised stack,
+/// under both cores. (Checkpoints still happen — they must be pure
+/// reads.)
+#[test]
+fn supervisor_without_kills_is_transparent() {
+    use asgov::core::{Supervisor, SupervisorConfig};
+    let profile_opts = ProfileOptions {
+        runs_per_config: 1,
+        run_ms: 2_000,
+        freq_stride: 4,
+        interpolate: true,
+    };
+    let dev_cfg = DeviceConfig::nexus6();
+    let mut profile_src = apps::spotify(BackgroundLoad::baseline(1));
+    let profile = profile_app(&dev_cfg, &mut profile_src, &profile_opts);
+
+    let run = |core: &str, supervised: bool| {
+        let mut device = Device::new(dev_cfg.clone().with_seed(2));
+        let mut app = apps::spotify(BackgroundLoad::baseline(2));
+        let mut gpu = AdrenoTz::default();
+        let p = profile.clone();
+        let build = move || ControllerBuilder::new(p.clone()).target_gips(0.5).build();
+        let mut controller = build();
+        let mut supervisor = Supervisor::new(build, SupervisorConfig::default());
+        let mut policies: [&mut dyn Policy; 2] = if supervised {
+            [&mut gpu, &mut supervisor]
+        } else {
+            [&mut gpu, &mut controller]
+        };
+        if core == "tick" {
+            sim::run(&mut device, &mut app, &mut policies, 8_000)
+        } else {
+            event::run(&mut device, &mut app, &mut policies, 8_000)
+        }
+    };
+
+    for core in ["tick", "event"] {
+        let bare = run(core, false);
+        let supervised = run(core, true);
+        let health = supervised.health.expect("health present");
+        assert_eq!(health.restarts, 0, "{core}: no kills, no restarts");
+        assert_eq!(health.downtime_ms, 0, "{core}: no downtime");
+        assert_eq!(bare, supervised, "{core}: supervision must be free");
     }
 }
 
@@ -266,24 +391,21 @@ fn report_json_shape() {
         doc.get("policy").and_then(|v| v.as_str()),
         Some("ondemand+cpubw_hwmon")
     );
-    assert_eq!(
-        doc.get("elapsed_ms").and_then(|v| v.as_f64()),
-        Some(2_000.0)
-    );
-    assert_eq!(doc.get("max_ms").and_then(|v| v.as_f64()), Some(2_000.0));
+    assert_eq!(doc.get("elapsed_ms").and_then(Json::as_f64), Some(2_000.0));
+    assert_eq!(doc.get("max_ms").and_then(Json::as_f64), Some(2_000.0));
     // `duration_ms` is kept for backward compatibility with existing
     // result files and must equal `elapsed_ms`.
     assert_eq!(
-        doc.get("duration_ms").and_then(|v| v.as_f64()),
-        doc.get("elapsed_ms").and_then(|v| v.as_f64())
+        doc.get("duration_ms").and_then(Json::as_f64),
+        doc.get("elapsed_ms").and_then(Json::as_f64)
     );
     for key in ["energy_j", "avg_power_w", "instructions", "avg_gips"] {
         assert!(
-            doc.get(key).and_then(|v| v.as_f64()).is_some(),
+            doc.get(key).and_then(Json::as_f64).is_some(),
             "missing scalar {key}"
         );
     }
-    assert_eq!(doc.get("completed").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(doc.get("completed").and_then(Json::as_bool), Some(false));
 
     // A policy-free run reports "none".
     let mut device = Device::new(DeviceConfig::nexus6());
