@@ -12,8 +12,8 @@
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
-//! | `hot-path-panic` | core, control, soc, obs | no `unwrap`/`expect`/`panic!`-family in the 2 s control loop |
-//! | `hot-path-index` | core, control, soc, obs | no `x[i]` indexing that can panic; use `.get()` |
+//! | `hot-path-panic` | core, control, soc, obs, fleet | no `unwrap`/`expect`/`panic!`-family in the 2 s control loop |
+//! | `hot-path-index` | core, control, soc, obs, fleet | no `x[i]` indexing that can panic; use `.get()` |
 //! | `nondeterminism` | all but bench/experiments/analyze and the harness boundary | no wall clocks, OS entropy, or randomized-hash collections |
 //! | `float-eq` | all | no `==`/`!=` against float literals |
 //! | `obs-gating` | core, control | obs emission only behind `has_obs_sink` |
@@ -59,8 +59,16 @@ pub const RULE_IDS: [&str; 9] = [
 ];
 
 /// Crates whose control path runs inside the 2 s cycle and must stay
-/// panic-free (see DESIGN.md §8).
-const HOT_PATH_CRATES: [&str; 4] = ["asgov-core", "asgov-control", "asgov-soc", "asgov-obs"];
+/// panic-free (see DESIGN.md §8). The fleet's shard loop runs one such
+/// cycle per device-epoch, 10⁵ times per run, so it is held to the
+/// same standard.
+const HOT_PATH_CRATES: [&str; 5] = [
+    "asgov-core",
+    "asgov-control",
+    "asgov-soc",
+    "asgov-obs",
+    "asgov-fleet",
+];
 
 /// Crates allowed to observe wall clocks and machine parallelism: the
 /// measurement harnesses themselves, plus this analyzer.

@@ -201,3 +201,33 @@ fn event_engine_hot_path_is_covered_and_clean() {
         "event engine hot path must stay lint-clean: {findings:#?}"
     );
 }
+
+#[test]
+fn fleet_shard_loop_is_covered_and_clean() {
+    // Coverage regression guard for the fleet: `crates/fleet` must be
+    // discovered as the `asgov-fleet` hot-path crate (hot-path-panic /
+    // hot-path-index / nondeterminism all apply — the shard loop runs
+    // a device-epoch 10⁵ times per run and must neither panic nor
+    // draw ambient entropy), and the real sources must scan clean.
+    let root = asgov_analyze::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let files = asgov_analyze::workspace::discover(&root).expect("discover");
+    let fleet: Vec<_> = files
+        .iter()
+        .filter(|f| f.rel.starts_with("crates/fleet/src/"))
+        .collect();
+    assert!(
+        fleet.iter().any(|f| f.rel == "crates/fleet/src/shard.rs"),
+        "shard.rs not discovered by workspace scan"
+    );
+    for file in fleet {
+        assert_eq!(file.crate_name, "asgov-fleet");
+        let source = std::fs::read_to_string(&file.path).expect("read fleet source");
+        let findings = check_file(&file.rel, &file.crate_name, &source);
+        assert!(
+            findings.is_empty(),
+            "{} must stay lint-clean: {findings:#?}",
+            file.rel
+        );
+    }
+}

@@ -131,7 +131,7 @@ impl Policy for LoadAdaptiveController {
 }
 
 impl Restartable for LoadAdaptiveController {
-    fn snapshot_bytes(&self, now_ms: u64) -> Vec<u8> {
+    fn snapshot_bytes(&self, now_ms: u64) -> Result<Vec<u8>, SnapshotError> {
         let mut w = SnapshotWriter::new();
         w.put_u64(now_ms);
         w.put_u64(self.swaps);
@@ -139,7 +139,7 @@ impl Restartable for LoadAdaptiveController {
         w.put_u64(self.last_sample_ms);
         w.put_f64(self.last_bg_util_ms);
         w.put_f64(self.last_bg_traffic_mb);
-        w.put_bytes(&self.inner.snapshot_bytes(now_ms));
+        w.put_bytes(&self.inner.snapshot_bytes(now_ms)?)?;
         w.finish()
     }
 
@@ -267,7 +267,9 @@ mod tests {
         app.reset();
         let _ = sim::run(&mut device, &mut app, &mut [&mut adaptive], 12_000);
         let swaps_before = adaptive.profile_swaps();
-        let snap = adaptive.snapshot_bytes(device.now_ms());
+        let snap = adaptive
+            .snapshot_bytes(device.now_ms())
+            .expect("in-range snapshot");
 
         // A fresh wrapper restored from the snapshot carries the swap
         // count and refresh schedule across.

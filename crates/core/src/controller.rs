@@ -708,13 +708,13 @@ struct DecodedSnapshot {
 }
 
 impl EnergyController {
-    fn encode_snapshot(&self, now_ms: u64) -> Vec<u8> {
+    fn encode_snapshot(&self, now_ms: u64) -> Result<Vec<u8>, SnapshotError> {
         let mut w = SnapshotWriter::new();
         w.put_u64(now_ms);
         w.put_u64(self.cycle_end_ms);
         w.put_u64(self.cycles);
         w.put_f64(self.last_measured);
-        w.put_f64_slice(&self.readings);
+        w.put_f64_slice(&self.readings)?;
         w.put_u64(self.drought_run);
         w.put_u64(self.perf_droughts);
         w.put_u64(self.phase_changes);
@@ -884,7 +884,7 @@ impl EnergyController {
 }
 
 impl Restartable for EnergyController {
-    fn snapshot_bytes(&self, now_ms: u64) -> Vec<u8> {
+    fn snapshot_bytes(&self, now_ms: u64) -> Result<Vec<u8>, SnapshotError> {
         self.encode_snapshot(now_ms)
     }
 

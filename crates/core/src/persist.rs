@@ -54,6 +54,14 @@ pub enum SnapshotError {
         /// The version recorded in the frame header.
         found: u32,
     },
+    /// A payload or length-prefixed field is too large for the frame's
+    /// `u32` length prefix. Writing it would silently truncate the
+    /// length and round-trip corrupt data, so the writer refuses it
+    /// up front.
+    TooLarge {
+        /// The offending length, bytes (fields) or elements (slices).
+        len: u64,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -63,6 +71,9 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Corrupt => f.write_str("snapshot corrupt"),
             SnapshotError::VersionMismatch { found } => {
                 write!(f, "snapshot version {found} not supported (want {VERSION})")
+            }
+            SnapshotError::TooLarge { len } => {
+                write!(f, "snapshot field of length {len} overflows the u32 prefix")
             }
         }
     }
@@ -139,17 +150,33 @@ impl SnapshotWriter {
 
     /// Append a byte slice with a `u32` length prefix (used to nest one
     /// snapshot — e.g. a wrapped controller's — inside another).
-    pub fn put_bytes(&mut self, bytes: &[u8]) {
-        self.put_u32(bytes.len() as u32);
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TooLarge`] when the slice is longer than the
+    /// `u32` prefix can record (≥ 4 GiB). Writing `len as u32` would
+    /// silently truncate and round-trip corrupt data; on error the
+    /// writer is left unchanged.
+    pub fn put_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let len = encode_len(bytes.len())?;
+        self.put_u32(len);
         self.buf.extend_from_slice(bytes);
+        Ok(())
     }
 
     /// Append an `f64` slice with a `u32` length prefix.
-    pub fn put_f64_slice(&mut self, vs: &[f64]) {
-        self.put_u32(vs.len() as u32);
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TooLarge`] when the element count overflows the
+    /// `u32` prefix; the writer is left unchanged.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) -> Result<(), SnapshotError> {
+        let len = encode_len(vs.len())?;
+        self.put_u32(len);
         for &v in vs {
             self.put_f64(v);
         }
+        Ok(())
     }
 
     /// Current payload length, bytes (pre-framing).
@@ -159,15 +186,29 @@ impl SnapshotWriter {
 
     /// Frame the payload: header (magic, version, length, CRC-32)
     /// followed by the payload bytes.
-    pub fn finish(self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TooLarge`] when the accumulated payload exceeds
+    /// the header's `u32` length field (≥ 4 GiB); such a frame could
+    /// never decode and must not be written.
+    pub fn finish(self) -> Result<Vec<u8>, SnapshotError> {
+        let len = encode_len(self.buf.len())?;
         let mut out = Vec::with_capacity(HEADER_LEN + self.buf.len());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
-        out.extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(&crc32(&self.buf).to_le_bytes());
         out.extend_from_slice(&self.buf);
-        out
+        Ok(out)
     }
+}
+
+/// Validate a length against the `u32` wire prefix. Factored out so
+/// the oversize rejection is testable without materializing a real
+/// 4 GiB buffer — tests feed lengths directly.
+fn encode_len(len: usize) -> Result<u32, SnapshotError> {
+    u32::try_from(len).map_err(|_| SnapshotError::TooLarge { len: len as u64 })
 }
 
 /// Decodes a framed snapshot. [`SnapshotReader::new`] validates the
@@ -335,7 +376,13 @@ pub trait Restartable: Policy {
     /// Serialize the policy's mutable state into a framed snapshot.
     /// `now_ms` is the device clock at checkpoint time; restores use it
     /// to re-anchor absolute deadlines after downtime.
-    fn snapshot_bytes(&self, now_ms: u64) -> Vec<u8>;
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TooLarge`] when some field overflows the wire
+    /// format's `u32` length prefixes. A supervisor treats a failed
+    /// checkpoint like a corrupt one: counted, never fatal.
+    fn snapshot_bytes(&self, now_ms: u64) -> Result<Vec<u8>, SnapshotError>;
 
     /// Restore state from [`Restartable::snapshot_bytes`] output.
     /// `now_ms` is the device clock at restore time. Must be
@@ -380,9 +427,9 @@ mod tests {
         w.put_bool(true);
         w.put_opt_u64(None);
         w.put_opt_u64(Some(42));
-        w.put_f64_slice(&[1.5, -2.5, 1e300]);
-        w.put_bytes(b"nested");
-        w.finish()
+        w.put_f64_slice(&[1.5, -2.5, 1e300]).expect("small slice");
+        w.put_bytes(b"nested").expect("small field");
+        w.finish().expect("small frame")
     }
 
     #[test]
@@ -440,7 +487,7 @@ mod tests {
     fn future_version_is_reported_not_misread() {
         let mut w = SnapshotWriter::new();
         w.put_u64(99);
-        let mut frame = w.finish();
+        let mut frame = w.finish().expect("small frame");
         // Patch the version field (bytes 4..8) to a future version.
         let future = (VERSION + 1).to_le_bytes();
         frame.splice(4..8, future);
@@ -464,7 +511,7 @@ mod tests {
     fn illegal_tags_are_corrupt_not_panics() {
         let mut w = SnapshotWriter::new();
         w.put_u8(2); // neither a valid bool nor a valid Option tag
-        let frame = w.finish();
+        let frame = w.finish().expect("small frame");
         let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
         assert_eq!(r.take_bool(), Err(SnapshotError::Corrupt));
         let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
@@ -475,7 +522,7 @@ mod tests {
     fn crafted_vec_length_is_corrupt_not_oom() {
         let mut w = SnapshotWriter::new();
         w.put_u32(u32::MAX); // declares a ~34 GB vector
-        let frame = w.finish();
+        let frame = w.finish().expect("small frame");
         let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
         assert_eq!(r.take_f64_vec(), Err(SnapshotError::Corrupt));
         let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
@@ -487,11 +534,36 @@ mod tests {
         let mut w = SnapshotWriter::new();
         w.put_u64(1);
         w.put_u64(2);
-        let frame = w.finish();
+        let frame = w.finish().expect("small frame");
         let mut r = SnapshotReader::new(&frame).expect("valid frame");
         assert_eq!(r.take_u64(), Ok(1));
         assert_eq!(r.remaining(), 8);
         assert_eq!(r.finish(), Err(SnapshotError::Corrupt));
+    }
+
+    #[test]
+    fn oversize_lengths_are_rejected_not_truncated() {
+        // Regression: the writer used to stamp `len as u32`, so a field
+        // or payload of ≥ 4 GiB silently truncated its length prefix
+        // and round-tripped corrupt data. The check is factored into
+        // `encode_len` exactly so this can be pinned with faked lengths
+        // instead of materializing a real 4 GiB buffer.
+        assert_eq!(encode_len(u32::MAX as usize), Ok(u32::MAX));
+        assert_eq!(
+            encode_len(u32::MAX as usize + 1),
+            Err(SnapshotError::TooLarge {
+                len: u64::from(u32::MAX) + 1
+            })
+        );
+        assert_eq!(
+            encode_len(1usize << 33),
+            Err(SnapshotError::TooLarge { len: 1 << 33 })
+        );
+        // In-range writer paths are unaffected.
+        let mut w = SnapshotWriter::new();
+        w.put_bytes(b"ok").expect("small field");
+        w.put_f64_slice(&[1.0]).expect("small slice");
+        w.finish().expect("small frame");
     }
 
     #[test]
@@ -508,5 +580,7 @@ mod tests {
         assert!(SnapshotError::Corrupt.to_string().contains("corrupt"));
         let v = SnapshotError::VersionMismatch { found: 9 }.to_string();
         assert!(v.contains('9') && v.contains(&VERSION.to_string()));
+        let t = SnapshotError::TooLarge { len: 1 << 33 }.to_string();
+        assert!(t.contains(&(1u64 << 33).to_string()));
     }
 }

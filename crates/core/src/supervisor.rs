@@ -84,6 +84,10 @@ pub struct Supervisor<P: Restartable> {
     state: State,
     attempt: u32,
     snapshot: Option<Vec<u8>>,
+    /// Snapshot handed in from outside ([`Supervisor::migrate_in`]),
+    /// restored at the next `start`.
+    pending_migration: Option<Vec<u8>>,
+    warm_migrations: u64,
     next_checkpoint_ms: u64,
     /// Health counters of dead incarnations, folded in at restart time
     /// (not at kill time, so the live inner is never double counted).
@@ -123,6 +127,8 @@ impl<P: Restartable> Supervisor<P> {
             state: State::Running,
             attempt: 0,
             snapshot: None,
+            pending_migration: None,
+            warm_migrations: 0,
             next_checkpoint_ms: 0,
             carried: HealthReport::default(),
             restarts: 0,
@@ -165,13 +171,63 @@ impl<P: Restartable> Supervisor<P> {
         matches!(self.state, State::Down { .. })
     }
 
+    /// Migrations that successfully warm-started the policy at `start`.
+    pub fn warm_migrations(&self) -> u64 {
+        self.warm_migrations
+    }
+
+    /// Stage a snapshot migrated in from elsewhere (a previous serving
+    /// epoch, another host) to be restored at the next
+    /// [`Policy::start`]. Fleet shards use this to warm-start a
+    /// device's controller from the state it checkpointed when its last
+    /// epoch ended.
+    ///
+    /// The restore runs after the fresh inner policy has taken the
+    /// device over, so a corrupt, truncated or version-mismatched
+    /// snapshot degrades to the regular cold path and is counted in
+    /// [`Supervisor::snapshot_errors`] — never fatal. With
+    /// `config.warm == false` the snapshot is discarded (a cold-only
+    /// supervisor never restores).
+    pub fn migrate_in(&mut self, snapshot: Vec<u8>) {
+        self.pending_migration = Some(snapshot);
+    }
+
+    /// The freshest usable checkpoint of the supervised policy, for
+    /// migration to the next epoch/host: a snapshot taken from the live
+    /// inner policy now, or the last periodic checkpoint when the
+    /// policy is down or its state cannot be encoded. `None` when
+    /// nothing usable exists.
+    pub fn migrate_out(&mut self, now_ms: u64) -> Option<Vec<u8>> {
+        match self.state {
+            State::Running => match self.inner.snapshot_bytes(now_ms) {
+                Ok(snap) => Some(snap),
+                Err(_) => {
+                    self.snapshot_errors += 1;
+                    self.snapshot.clone()
+                }
+            },
+            State::Down { .. } => self.snapshot.clone(),
+        }
+    }
+
     fn inner_level(&self) -> DegradationLevel {
         self.inner.health().map(|h| h.level).unwrap_or_default()
     }
 
     fn backoff_ms(&self) -> u64 {
-        let shift = self.attempt.min(16);
-        (self.config.backoff_base_ms << shift).min(self.config.backoff_max_ms)
+        // Saturate instead of shifting blindly: a long kill storm can
+        // push `attempt` past 63, and a base near the top of the u64
+        // range overflows far earlier — `base << shift` would panic in
+        // debug builds and wrap to a near-zero backoff in release.
+        // Overflow always means "longer than any ceiling".
+        let base = self.config.backoff_base_ms;
+        let shift = self.attempt.min(63);
+        let raw = if shift > base.leading_zeros() {
+            u64::MAX
+        } else {
+            base << shift
+        };
+        raw.min(self.config.backoff_max_ms)
     }
 
     /// Bring up a fresh incarnation at `now_ms` (device time).
@@ -238,6 +294,21 @@ impl<P: Restartable> Policy for Supervisor<P> {
 
     fn start(&mut self, device: &mut Device) {
         self.inner.start(device);
+        if let Some(snap) = self.pending_migration.take() {
+            if self.config.warm {
+                match self.inner.restore_bytes(&snap, device.now_ms()) {
+                    Ok(()) => {
+                        self.warm_migrations += 1;
+                        self.snapshot = Some(snap);
+                    }
+                    Err(_) => {
+                        // Unusable migrated state: stay on the fresh
+                        // cold-started incarnation, count the loss.
+                        self.snapshot_errors += 1;
+                    }
+                }
+            }
+        }
         self.next_checkpoint_ms = device.now_ms() + self.config.checkpoint_period_ms;
     }
 
@@ -281,15 +352,25 @@ impl<P: Restartable> Policy for Supervisor<P> {
             self.attempt = 0;
         }
         if now >= self.next_checkpoint_ms {
-            let mut snap = self.inner.snapshot_bytes(now);
-            if device.draw_checkpoint_corrupt() {
-                // Torn write / bit rot on the checkpoint medium: damage
-                // the stored copy so the next restore fails its CRC.
-                if let Some(b) = snap.last_mut() {
-                    *b ^= 0xFF;
+            match self.inner.snapshot_bytes(now) {
+                Ok(mut snap) => {
+                    if device.draw_checkpoint_corrupt() {
+                        // Torn write / bit rot on the checkpoint
+                        // medium: damage the stored copy so the next
+                        // restore fails its CRC.
+                        if let Some(b) = snap.last_mut() {
+                            *b ^= 0xFF;
+                        }
+                    }
+                    self.snapshot = Some(snap);
+                }
+                Err(_) => {
+                    // A state too large for the wire format cannot be
+                    // checkpointed; counted like a corrupt image. The
+                    // previous checkpoint stays usable.
+                    self.snapshot_errors += 1;
                 }
             }
-            self.snapshot = Some(snap);
             self.next_checkpoint_ms = now + self.config.checkpoint_period_ms;
         }
     }
@@ -377,7 +458,7 @@ mod tests {
     }
 
     impl Restartable for FakePolicy {
-        fn snapshot_bytes(&self, _now_ms: u64) -> Vec<u8> {
+        fn snapshot_bytes(&self, _now_ms: u64) -> Result<Vec<u8>, SnapshotError> {
             let mut w = SnapshotWriter::new();
             w.put_u64(self.counter);
             w.finish()
@@ -539,6 +620,112 @@ mod tests {
         assert_eq!(sup.backoff_ms(), 32);
         sup.attempt = 30; // shift clamp + ceiling
         assert_eq!(sup.backoff_ms(), 64);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // Regression: `base << shift` used to be computed with only the
+        // shift *count* clamped, so a base near the top of the u64
+        // range overflowed (debug panic / release wrap-to-tiny).
+        let cfg = SupervisorConfig {
+            backoff_base_ms: 1 << 62,
+            backoff_max_ms: u64::MAX,
+            ..config()
+        };
+        let mut sup = Supervisor::new(FakePolicy::new, cfg);
+        sup.attempt = 1; // still in range: exactly 2^63
+        assert_eq!(sup.backoff_ms(), 1 << 63);
+        sup.attempt = 2; // one doubling past u64::MAX: saturate
+        assert_eq!(sup.backoff_ms(), u64::MAX);
+        sup.attempt = 200; // attempt counts past 64 must not panic either
+        assert_eq!(sup.backoff_ms(), u64::MAX);
+        // And the ceiling still applies to the saturated value.
+        sup.config.backoff_max_ms = 5_000;
+        assert_eq!(sup.backoff_ms(), 5_000);
+    }
+
+    #[test]
+    fn kill_storm_past_the_overflow_point_never_panics_or_zeroes_backoff() {
+        // A storm of kills, each landing before the cold probation
+        // completes, drives `attempt` monotonically upward while the
+        // backoff base is already too large to shift. Before the clamp
+        // this panicked in debug builds; in release it wrapped the
+        // backoff to ~0 so restarts fired with no delay at all.
+        let max = 64;
+        let mut plan = FaultPlan::new();
+        for i in 1..=70u64 {
+            // Restart fires `max` ms after each kill; the next window
+            // opens one tick later, well inside the 3-tick probation.
+            let t = i * (max + 2);
+            plan = plan
+                .window(t, t + 1, FaultKind::ControllerKill)
+                .expect("valid window");
+        }
+        let mut d = device_with(plan, 11);
+        let cfg = SupervisorConfig {
+            backoff_base_ms: 1 << 62,
+            backoff_max_ms: max,
+            max_restarts: 200,
+            ..config()
+        };
+        let mut sup = Supervisor::new(FakePolicy::new, cfg);
+        sup.start(&mut d);
+        step(&mut sup, &mut d, 71 * (max + 2));
+        assert!(
+            sup.restarts() >= 60,
+            "the storm kept killing: {}",
+            sup.restarts()
+        );
+        // Every restart waited out the full (saturated, then ceilinged)
+        // backoff — the release-mode wrap would have made this 0.
+        assert!(
+            sup.downtime_ms() >= max * sup.restarts(),
+            "downtime {} must cover {} restarts at the {} ms ceiling",
+            sup.downtime_ms(),
+            sup.restarts(),
+            max
+        );
+    }
+
+    #[test]
+    fn migrate_out_then_in_warm_starts_the_next_incarnation() {
+        let mut d = device();
+        let mut sup = Supervisor::new(FakePolicy::new, config());
+        sup.start(&mut d);
+        step(&mut sup, &mut d, 25);
+        let snap = sup.migrate_out(d.now_ms()).expect("live policy encodes");
+
+        // A brand-new supervisor (next epoch: fresh device, fresh
+        // incarnation) resumes from the migrated state at start.
+        let mut d2 = device();
+        let mut sup2 = Supervisor::new(FakePolicy::new, config());
+        sup2.migrate_in(snap);
+        sup2.start(&mut d2);
+        assert_eq!(sup2.warm_migrations(), 1);
+        assert_eq!(sup2.snapshot_errors(), 0);
+        assert_eq!(sup2.inner().counter, 25, "state carried across epochs");
+    }
+
+    #[test]
+    fn corrupt_migration_falls_back_cold_and_is_counted() {
+        let mut d = device();
+        let mut sup = Supervisor::new(FakePolicy::new, config());
+        sup.migrate_in(vec![0xBA; 7]);
+        sup.start(&mut d);
+        assert_eq!(sup.warm_migrations(), 0);
+        assert_eq!(sup.snapshot_errors(), 1);
+        assert_eq!(sup.inner().counter, 0, "fresh incarnation kept");
+        // Cold-only supervisors discard migrations without counting.
+        let cfg = SupervisorConfig {
+            warm: false,
+            ..config()
+        };
+        let mut cold = Supervisor::new(FakePolicy::new, cfg);
+        cold.migrate_in(vec![0xBA; 7]);
+        let mut d2 = device();
+        cold.start(&mut d2);
+        assert_eq!(cold.warm_migrations(), 0);
+        assert_eq!(cold.snapshot_errors(), 0);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Fleet experiment — N simulated devices under supervised controllers
+//! in sharded epochs (ROADMAP item 2, DESIGN.md §11).
+//!
+//! Prints the aggregate energy-savings distributions per application
+//! and per fault class, and writes `BENCH_fleet.json` at the repository
+//! root with throughput figures (devices/sec, controller-cycles/sec,
+//! peak RSS).
+//!
+//! Run: `cargo run --release -p asgov-experiments --bin fleet -- [--smoke | --bench]
+//!       [--devices N] [--shards N] [--epochs N] [--epoch-ms N] [--threads N] [--seed N]`
+//!
+//! `--smoke` (default) runs 10³ devices; `--bench` runs 10⁵.
+
+use asgov_fleet::{Fleet, FleetConfig, PolicyStore};
+use asgov_soc::DeviceConfig;
+use asgov_util::Json;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn parse_args() -> FleetConfig {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--bench") {
+        FleetConfig::bench()
+    } else {
+        FleetConfig::smoke()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |field: &mut u64| {
+            if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                *field = v;
+            }
+        };
+        match a.as_str() {
+            "--devices" => num(&mut cfg.devices),
+            "--shards" => num(&mut cfg.shards),
+            "--epochs" => num(&mut cfg.epochs),
+            "--epoch-ms" => num(&mut cfg.epoch_ms),
+            "--seed" => num(&mut cfg.seed),
+            "--threads" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.threads = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Keep the partition sane if the user shrank the device count
+    // below the preset shard count.
+    cfg.shards = cfg.shards.min(cfg.devices).max(1);
+    cfg
+}
+
+/// Peak resident set size from `/proc/self/status` (`VmHWM`), KiB.
+/// `0` where the procfs field is unavailable.
+fn peak_rss_kib() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let cfg = parse_args();
+    if let Err(e) = cfg.validate() {
+        eprintln!("fleet: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "=== Fleet: {} devices, {} shards, {} epochs x {} ms (seed {:#x}) ===\n",
+        cfg.devices, cfg.shards, cfg.epochs, cfg.epoch_ms, cfg.seed
+    );
+
+    let dev_cfg = DeviceConfig::nexus6();
+    let t_store = Instant::now();
+    let store = PolicyStore::resolve(&cfg, &dev_cfg);
+    let store_secs = t_store.elapsed().as_secs_f64();
+    println!(
+        "policy store: {} signatures resolved in {store_secs:.2} s",
+        store.len()
+    );
+
+    let mut fleet = match Fleet::new(cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            std::process::exit(2);
+        }
+    };
+    let t_run = Instant::now();
+    let report = match fleet.run(&store) {
+        Ok(r) => r.clone(),
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            std::process::exit(1);
+        }
+    };
+    let run_secs = t_run.elapsed().as_secs_f64();
+
+    let device_epochs = report.totals.online + report.totals.offline;
+    let devices_per_sec = device_epochs as f64 / run_secs.max(1e-9);
+    let cycles_per_sec = report.controller_cycles() as f64 / run_secs.max(1e-9);
+    let rss_kib = peak_rss_kib();
+
+    println!("\nenergy savings vs default governor, percent (mean ± std [min, max], n):");
+    println!("\nper application:");
+    for (app, s) in &report.totals.per_app {
+        println!(
+            "  {app:<12} {:>6.1} ± {:>5.1}  [{:>6.1}, {:>6.1}]  n={}{}",
+            s.mean(),
+            s.std(),
+            if s.count == 0 { 0.0 } else { s.min },
+            if s.count == 0 { 0.0 } else { s.max },
+            s.count,
+            if s.degenerate > 0 {
+                format!("  ({} degenerate excluded)", s.degenerate)
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!("\nper fault class:");
+    for (class, s) in &report.totals.per_fault {
+        println!(
+            "  {class:<18} {:>6.1} ± {:>5.1}  n={}",
+            s.mean(),
+            s.std(),
+            s.count
+        );
+    }
+    let t = &report.totals;
+    println!(
+        "\nsupervision: {} restarts ({} warm), {} warm migrations, {} snapshot errors, {} ms downtime",
+        t.restarts, t.warm_restarts, t.warm_migrations, t.snapshot_errors, t.downtime_ms
+    );
+    println!(
+        "\nthroughput: {devices_per_sec:.0} device-epochs/sec, {cycles_per_sec:.0} controller-cycles/sec, peak RSS {:.1} MiB",
+        rss_kib as f64 / 1024.0
+    );
+
+    let mut bench = Json::object();
+    bench.set("devices", cfg.devices as f64);
+    bench.set("shards", cfg.shards as f64);
+    bench.set("epochs", cfg.epochs as f64);
+    bench.set("epoch_ms", cfg.epoch_ms as f64);
+    bench.set("seed", cfg.seed as f64);
+    bench.set("store_resolve_secs", store_secs);
+    bench.set("run_secs", run_secs);
+    bench.set("device_epochs", device_epochs as f64);
+    bench.set("devices_per_sec", devices_per_sec);
+    bench.set("controller_cycles_per_sec", cycles_per_sec);
+    bench.set("peak_rss_kib", rss_kib as f64);
+    bench.set("report", report.to_json());
+
+    let path = repo_root().join("BENCH_fleet.json");
+    match std::fs::write(&path, bench.to_pretty() + "\n") {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("fleet: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

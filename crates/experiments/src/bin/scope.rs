@@ -4,7 +4,7 @@
 //! without losing performance).
 
 use asgov_experiments::harness::{compare, ExperimentOptions};
-use asgov_experiments::render::pct;
+use asgov_experiments::render::pct_flagged;
 use asgov_soc::DeviceConfig;
 use asgov_workloads::{apps, BackgroundLoad};
 
@@ -29,8 +29,8 @@ fn main() {
         println!(
             "{:<12} {:>12} {:>9}",
             c.app,
-            pct(c.performance_delta_pct()),
-            pct(c.energy_savings_pct()),
+            pct_flagged(c.performance_delta_pct(), c.baseline_degenerate()),
+            pct_flagged(c.energy_savings_pct(), c.baseline_degenerate()),
         );
     }
     println!("\nA reference point from Table III (controller in scope):");
@@ -39,8 +39,8 @@ fn main() {
     println!(
         "{:<12} {:>12} {:>9}",
         c.app,
-        pct(c.performance_delta_pct()),
-        pct(c.energy_savings_pct()),
+        pct_flagged(c.performance_delta_pct(), c.baseline_degenerate()),
+        pct_flagged(c.energy_savings_pct(), c.baseline_degenerate()),
     );
     println!("\nThe paper (\u{00a7}V-B): for the idle type \"it is hard to obtain additional");
     println!("energy savings through CPU DVFS\"; for the compute type \"it is hard to");

@@ -2,7 +2,7 @@
 //! controller vs the default governors, six applications.
 
 use asgov_experiments::harness::{compare_all, ExperimentOptions};
-use asgov_experiments::render::pct;
+use asgov_experiments::render::pct_flagged;
 use asgov_experiments::stats::Summary;
 use asgov_soc::DeviceConfig;
 use asgov_workloads::{paper_apps, BackgroundLoad};
@@ -36,8 +36,8 @@ fn main() {
         println!(
             "{:<18} {:>12} {:>8} {:>16}   ({:>6}, {:>6})",
             c.app,
-            pct(c.performance_delta_pct()),
-            pct(c.energy_savings_pct()),
+            pct_flagged(c.performance_delta_pct(), c.baseline_degenerate()),
+            pct_flagged(c.energy_savings_pct(), c.baseline_degenerate()),
             Summary::of(&powers).display(3),
             paper[i].0,
             paper[i].1,

@@ -3,7 +3,7 @@
 
 use asgov_core::ControlMode;
 use asgov_experiments::harness::{compare_all, ExperimentOptions};
-use asgov_experiments::render::pct;
+use asgov_experiments::render::pct_flagged;
 use asgov_soc::DeviceConfig;
 use asgov_workloads::{paper_apps, BackgroundLoad};
 
@@ -42,19 +42,33 @@ fn main() {
         println!(
             "{:<18} {:>12} {:>10} {:>14}   ({:>6}, {:>6})",
             cpu_only.app,
-            pct(cpu_only.performance_delta_pct()),
-            pct(cpu_only.energy_savings_pct()),
-            pct(coord.energy_savings_pct()),
+            pct_flagged(
+                cpu_only.performance_delta_pct(),
+                cpu_only.baseline_degenerate()
+            ),
+            pct_flagged(
+                cpu_only.energy_savings_pct(),
+                cpu_only.baseline_degenerate()
+            ),
+            pct_flagged(coord.energy_savings_pct(), coord.baseline_degenerate()),
             paper[i].0,
             paper[i].1,
         );
         // The paper excludes MX Player ("practically does not save
-        // energy") from the average.
-        if cpu_only.app != "MXPlayer" {
+        // energy") from the average; degenerate baselines would drag
+        // the mean toward 0 with rows that measured nothing.
+        if cpu_only.app != "MXPlayer"
+            && !cpu_only.baseline_degenerate()
+            && !coord.baseline_degenerate()
+        {
             cpu_only_sum += cpu_only.energy_savings_pct();
             coord_sum += coord.energy_savings_pct();
             counted += 1;
         }
+    }
+    if counted == 0 {
+        println!("\nAverage savings: n/a (no usable baselines)");
+        return;
     }
     let (c, k) = (coord_sum / counted as f64, cpu_only_sum / counted as f64);
     println!("\nAverage savings (excl. MXPlayer): coordinated {c:.1}%, cpu-only {k:.1}%");

@@ -30,22 +30,48 @@ pub struct Comparison {
 }
 
 impl Comparison {
+    /// `true` when the default-governor baseline cannot anchor a
+    /// percent comparison: zero or non-finite energy, GIPS (rate-based
+    /// apps) or duration (deadline-based apps). A whole-run perf
+    /// dropout or a zero-length measurement window produces such legs;
+    /// dividing by them used to leak NaN/inf into experiment JSON.
+    /// Reports must flag or exclude rows where this is set.
+    pub fn baseline_degenerate(&self) -> bool {
+        let perf_base = if self.deadline_based {
+            self.default.duration_ms
+        } else {
+            self.default.gips
+        };
+        !usable_baseline(self.default.energy_j) || !usable_baseline(perf_base)
+    }
+
     /// Performance difference in percent, positive = controller better.
     /// Deadline-critical apps (VidCon, MobileBench, MX Player in the
     /// paper) compare execution time; the rest compare GIPS.
+    ///
+    /// A degenerate baseline (see [`Comparison::baseline_degenerate`])
+    /// yields a defined `0.0` instead of NaN/inf.
     pub fn performance_delta_pct(&self) -> f64 {
         if self.deadline_based {
             // Shorter is better.
-            (self.default.duration_ms - self.controller.duration_ms) / self.default.duration_ms
-                * 100.0
+            percent_delta(
+                self.default.duration_ms - self.controller.duration_ms,
+                self.default.duration_ms,
+            )
         } else {
-            (self.controller.gips - self.default.gips) / self.default.gips * 100.0
+            percent_delta(self.controller.gips - self.default.gips, self.default.gips)
         }
     }
 
     /// Energy savings in percent, positive = controller saves energy.
+    ///
+    /// A degenerate baseline (see [`Comparison::baseline_degenerate`])
+    /// yields a defined `0.0` instead of NaN/inf.
     pub fn energy_savings_pct(&self) -> f64 {
-        (self.default.energy_j - self.controller.energy_j) / self.default.energy_j * 100.0
+        percent_delta(
+            self.default.energy_j - self.controller.energy_j,
+            self.default.energy_j,
+        )
     }
 
     /// Health counters aggregated over the controller runs (`None`
@@ -64,6 +90,23 @@ impl Comparison {
         self.health()
             .filter(|h| !h.is_clean())
             .map(|h| format!("{}: {}", self.app, h.summary()))
+    }
+}
+
+/// A baseline denominator is usable when it is finite and positive
+/// (energies, GIPS and durations are all non-negative quantities).
+fn usable_baseline(v: f64) -> bool {
+    v.is_finite() && v > 0.0
+}
+
+/// `delta / base * 100`, with a defined `0.0` when `base` is zero or
+/// non-finite so degenerate baselines never propagate NaN/inf into
+/// report output.
+fn percent_delta(delta: f64, base: f64) -> f64 {
+    if usable_baseline(base) {
+        delta / base * 100.0
+    } else {
+        0.0
     }
 }
 
@@ -283,4 +326,65 @@ pub fn supervised_run(
     app.reset();
     let mut policies: [&mut dyn Policy; 2] = [&mut gpu_gov, &mut supervisor];
     event::run(&mut device, app, &mut policies, duration_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgov_workloads::{apps, BackgroundLoad};
+
+    /// Regression: a baseline leg that measured nothing (the outcome of
+    /// a whole-run perf dropout, reproduced here by a zero-length
+    /// measurement window through the real measurement pipeline) used
+    /// to make both percentage methods return NaN or inf, which leaked
+    /// into experiment JSON. They must now return a defined 0.0 and the
+    /// comparison must self-identify as degenerate so reports can flag
+    /// the row.
+    #[test]
+    fn zero_baseline_yields_defined_flagged_percentages() {
+        let dev_cfg = DeviceConfig::nexus6();
+        let mut app = apps::spotify(BackgroundLoad::baseline(1));
+        let degenerate = measure_default(&dev_cfg, &mut app, 1, 0);
+        assert!(
+            degenerate.energy_j <= 0.0 || degenerate.gips <= 0.0,
+            "a zero-length window must produce an unusable baseline"
+        );
+        let healthy = measure_default(&dev_cfg, &mut app, 1, 2_000);
+
+        for deadline_based in [false, true] {
+            let c = Comparison {
+                app: "Spotify".to_string(),
+                profile: ProfileTable {
+                    app: "Spotify".to_string(),
+                    base_gips: 0.1,
+                    entries: Vec::new(),
+                },
+                default: degenerate.clone(),
+                controller: healthy.clone(),
+                deadline_based,
+            };
+            assert!(c.baseline_degenerate());
+            let perf = c.performance_delta_pct();
+            let energy = c.energy_savings_pct();
+            assert!(perf.is_finite(), "perf delta must be defined, got {perf}");
+            assert!(energy.is_finite(), "savings must be defined, got {energy}");
+            assert_eq!(perf, 0.0);
+            assert_eq!(energy, 0.0);
+        }
+
+        // A healthy baseline is not flagged and keeps real percentages.
+        let c = Comparison {
+            app: "Spotify".to_string(),
+            profile: ProfileTable {
+                app: "Spotify".to_string(),
+                base_gips: 0.1,
+                entries: Vec::new(),
+            },
+            default: healthy.clone(),
+            controller: healthy,
+            deadline_based: false,
+        };
+        assert!(!c.baseline_degenerate());
+        assert!(c.performance_delta_pct().is_finite());
+    }
 }

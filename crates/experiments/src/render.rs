@@ -43,6 +43,17 @@ pub fn pct(v: f64) -> String {
     format!("{v:+.1}%")
 }
 
+/// Format a percentage cell, flagging comparisons whose baseline is
+/// degenerate (see `Comparison::baseline_degenerate`) as `n/a` rather
+/// than printing a misleading `+0.0%`.
+pub fn pct_flagged(v: f64, degenerate: bool) -> String {
+    if degenerate {
+        "n/a".to_string()
+    } else {
+        pct(v)
+    }
+}
+
 /// Render rows as CSV with a header. Fields are escaped minimally
 /// (quotes around fields containing commas or quotes).
 pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
@@ -88,6 +99,12 @@ mod tests {
     fn pct_signs() {
         assert_eq!(pct(4.2), "+4.2%");
         assert_eq!(pct(-0.4), "-0.4%");
+    }
+
+    #[test]
+    fn pct_flagged_marks_degenerate_baselines() {
+        assert_eq!(pct_flagged(4.2, false), "+4.2%");
+        assert_eq!(pct_flagged(0.0, true), "n/a");
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! # asgov-fleet — fleet-scale controller simulation
+//!
+//! Spawns N simulated devices with distinct apps, seeds and fault
+//! plans drawn deterministically from a fleet seed, and runs
+//! supervised controllers over them in batched, sharded epochs
+//! (ROADMAP item 2, DESIGN.md §11).
+//!
+//! Structure:
+//! - [`FleetConfig`] / [`DeviceSpec`] — run description and the pure
+//!   derivation of per-device identity ([`spec`]).
+//! - [`PolicyStore`] — profiles and baselines resolved once per
+//!   `(app, load)` signature and shared by every device ([`store`]).
+//! - [`ShardState`] / [`shard::run_epoch`] — the per-shard epoch
+//!   engine with warm controller migration ([`shard`]).
+//! - [`FleetReport`] — per-app / per-fault-class savings
+//!   distributions ([`report`]).
+//! - [`Fleet`] — the epoch loop: shards fan out over
+//!   `asgov_util::par::ordered_map`, with an epoch barrier between
+//!   rounds and a checkpoint/restore codec for warm mid-run migration.
+//!
+//! Determinism contract: the aggregate report is **bit-identical** for
+//! any thread count and across a mid-run checkpoint/restore — every
+//! random draw derives from `(seed, device_id, epoch)` and every merge
+//! happens in shard order. The differential suite in
+//! `tests/fleet_determinism.rs` pins both properties.
+
+pub mod report;
+pub mod shard;
+pub mod spec;
+pub mod store;
+
+pub use report::{EpochStats, FleetReport, SavingsStat};
+pub use shard::ShardState;
+pub use spec::{DeviceSpec, FaultClass, FleetConfig, FleetError};
+pub use store::{PolicyStore, StoredPolicy};
+
+use asgov_core::{SnapshotError, SnapshotReader, SnapshotWriter};
+use asgov_util::par::ordered_map;
+
+/// A fleet run in progress: shard states plus the accumulated report.
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    shards: Vec<ShardState>,
+    report: FleetReport,
+}
+
+impl Fleet {
+    /// Set up a fleet run (epoch 0, no controller state yet).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::BadConfig`] when `config` violates an invariant.
+    pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
+        config.validate()?;
+        let shards = (0..config.shards)
+            .map(|s| ShardState::new(&config, s))
+            .collect();
+        Ok(Self {
+            config,
+            shards,
+            report: FleetReport::new(config),
+        })
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.report.epochs_run
+    }
+
+    /// `true` once every configured epoch has run.
+    pub fn done(&self) -> bool {
+        self.report.epochs_run >= self.config.epochs
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &FleetReport {
+        &self.report
+    }
+
+    /// Run one epoch: every shard advances one epoch in parallel
+    /// (deterministic fan-out, epoch barrier on return), then the
+    /// shard statistics merge into the report **in shard order**.
+    ///
+    /// # Errors
+    ///
+    /// The first shard error in shard order; the fleet state is left
+    /// unchanged on error.
+    pub fn step(&mut self, store: &PolicyStore) -> Result<(), FleetError> {
+        if self.done() {
+            return Ok(());
+        }
+        let threads = store::resolve_threads(self.config.threads, self.shards.len());
+        let config = &self.config;
+        let prev = &self.shards;
+        let results = ordered_map(prev.len(), threads, |s| {
+            prev.get(s)
+                .map(|state| shard::run_epoch(config, store, state))
+        });
+        let mut next = Vec::with_capacity(self.shards.len());
+        let mut merged = EpochStats::default();
+        for r in results {
+            let (state, stats) = match r {
+                Some(Ok(pair)) => pair,
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(FleetError::BadConfig(
+                        "shard index out of range in fan-out".into(),
+                    ))
+                }
+            };
+            merged.merge(&stats);
+            next.push(state);
+        }
+        self.shards = next;
+        self.report.totals.merge(&merged);
+        self.report.epochs_run += 1;
+        Ok(())
+    }
+
+    /// Run all remaining epochs and return the final report.
+    ///
+    /// # Errors
+    ///
+    /// The first [`FleetError`] any epoch surfaces.
+    pub fn run(&mut self, store: &PolicyStore) -> Result<&FleetReport, FleetError> {
+        while !self.done() {
+            self.step(store)?;
+        }
+        Ok(&self.report)
+    }
+
+    /// Encode the whole run — shard states *and* the report so far —
+    /// as one framed snapshot, suitable for warm-migrating a mid-run
+    /// fleet to another process.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TooLarge`] if any component overflows the u32
+    /// length prefix.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.config.devices);
+        w.put_u64(self.config.shards);
+        w.put_u64(self.config.epochs);
+        w.put_u64(self.config.epoch_ms);
+        w.put_u64(self.config.seed);
+        w.put_u64(self.report.epochs_run);
+        encode_stats(&mut w, &self.report.totals)?;
+        for shard in &self.shards {
+            w.put_bytes(&shard.snapshot_bytes()?)?;
+        }
+        w.finish()
+    }
+
+    /// Restore a fleet from a [`Fleet::checkpoint`] frame, resuming at
+    /// the epoch the checkpoint was taken at. The frame must match
+    /// `config`'s identity fields (devices, shards, epochs, epoch_ms,
+    /// seed); `threads` is free to differ — it cannot change results.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Snapshot`] on damage or a config mismatch,
+    /// [`FleetError::BadConfig`] when `config` itself is invalid.
+    pub fn restore(config: FleetConfig, bytes: &[u8]) -> Result<Self, FleetError> {
+        config.validate()?;
+        let mut r = SnapshotReader::new(bytes)?;
+        let same = r.take_u64()? == config.devices
+            && r.take_u64()? == config.shards
+            && r.take_u64()? == config.epochs
+            && r.take_u64()? == config.epoch_ms
+            && r.take_u64()? == config.seed;
+        asgov_core::persist::ensure(same)?;
+        let epochs_run = r.take_u64()?;
+        asgov_core::persist::ensure(epochs_run <= config.epochs)?;
+        let totals = decode_stats(&mut r)?;
+        let mut shards = Vec::with_capacity(config.shards as usize);
+        for _ in 0..config.shards {
+            let frame = r.take_bytes()?;
+            shards.push(ShardState::restore_bytes(&config, frame)?);
+        }
+        r.finish()?;
+        let mut report = FleetReport::new(config);
+        report.epochs_run = epochs_run;
+        report.totals = totals;
+        Ok(Self {
+            config,
+            shards,
+            report,
+        })
+    }
+
+    /// Borrow the shard states (diagnostics, tests).
+    pub fn shards(&self) -> &[ShardState] {
+        &self.shards
+    }
+}
+
+fn encode_stats(w: &mut SnapshotWriter, s: &EpochStats) -> Result<(), SnapshotError> {
+    w.put_u64(s.online);
+    w.put_u64(s.offline);
+    w.put_f64(s.energy_j);
+    w.put_u64(s.restarts);
+    w.put_u64(s.warm_restarts);
+    w.put_u64(s.warm_migrations);
+    w.put_u64(s.snapshot_errors);
+    w.put_u64(s.downtime_ms);
+    for map in [&s.per_app, &s.per_fault] {
+        w.put_u64(map.len() as u64);
+        for (k, v) in map {
+            w.put_bytes(k.as_bytes())?;
+            w.put_u64(v.count);
+            w.put_u64(v.degenerate);
+            w.put_f64(v.sum);
+            w.put_f64(v.sumsq);
+            w.put_f64(v.min);
+            w.put_f64(v.max);
+        }
+    }
+    Ok(())
+}
+
+fn decode_stats(r: &mut SnapshotReader) -> Result<EpochStats, SnapshotError> {
+    let mut s = EpochStats {
+        online: r.take_u64()?,
+        offline: r.take_u64()?,
+        energy_j: r.take_f64()?,
+        restarts: r.take_u64()?,
+        warm_restarts: r.take_u64()?,
+        warm_migrations: r.take_u64()?,
+        snapshot_errors: r.take_u64()?,
+        downtime_ms: r.take_u64()?,
+        ..EpochStats::default()
+    };
+    asgov_core::persist::ensure(s.energy_j.is_finite())?;
+    for which in 0..2u8 {
+        let len = r.take_u64()?;
+        for _ in 0..len {
+            let key = String::from_utf8(r.take_bytes()?.to_vec());
+            let key = asgov_core::persist::require(key.ok())?;
+            let stat = SavingsStat {
+                count: r.take_u64()?,
+                degenerate: r.take_u64()?,
+                sum: r.take_f64()?,
+                sumsq: r.take_f64()?,
+                min: r.take_f64()?,
+                max: r.take_f64()?,
+            };
+            if which == 0 {
+                s.per_app.insert(key, stat);
+            } else {
+                s.per_fault.insert(key, stat);
+            }
+        }
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_invalid_configs() {
+        let bad = FleetConfig {
+            devices: 0,
+            ..FleetConfig::smoke()
+        };
+        assert!(matches!(Fleet::new(bad), Err(FleetError::BadConfig(_))));
+    }
+
+    #[test]
+    fn fresh_checkpoint_round_trips() {
+        let cfg = FleetConfig {
+            devices: 12,
+            shards: 4,
+            ..FleetConfig::smoke()
+        };
+        let fleet = Fleet::new(cfg).expect("valid config");
+        let bytes = fleet.checkpoint().expect("small frame");
+        let back = Fleet::restore(cfg, &bytes).expect("clean frame");
+        assert_eq!(back.epochs_run(), 0);
+        assert_eq!(back.shards(), fleet.shards());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_identity() {
+        let cfg = FleetConfig {
+            devices: 12,
+            shards: 4,
+            ..FleetConfig::smoke()
+        };
+        let fleet = Fleet::new(cfg).expect("valid config");
+        let bytes = fleet.checkpoint().expect("small frame");
+        let other = FleetConfig { seed: 99, ..cfg };
+        assert!(Fleet::restore(other, &bytes).is_err());
+    }
+}

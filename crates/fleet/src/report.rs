@@ -1,0 +1,279 @@
+//! Aggregate fleet results: energy-savings distributions per
+//! application and per fault class, plus supervision telemetry.
+//!
+//! Aggregation is order-deterministic: shards are merged in shard
+//! order and devices in id order, so floating-point sums are
+//! bit-identical across thread counts.
+
+use crate::spec::FleetConfig;
+use asgov_util::Json;
+use std::collections::BTreeMap;
+
+/// Running moments of an energy-savings distribution (percent).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SavingsStat {
+    /// Samples recorded.
+    pub count: u64,
+    /// Device-epochs excluded for a degenerate baseline (zero or
+    /// non-finite baseline energy) — flagged, never averaged.
+    pub degenerate: u64,
+    /// Sum of savings, percent.
+    pub sum: f64,
+    /// Sum of squared savings.
+    pub sumsq: f64,
+    /// Smallest sample (`0` when empty).
+    pub min: f64,
+    /// Largest sample (`0` when empty).
+    pub max: f64,
+}
+
+impl SavingsStat {
+    /// Record one savings sample (percent).
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        self.sumsq += v * v;
+    }
+
+    /// Flag (and exclude) a degenerate-baseline device-epoch.
+    pub fn record_degenerate(&mut self) {
+        self.degenerate += 1;
+    }
+
+    /// Fold another stat into this one (used when merging shards; the
+    /// caller fixes the merge order).
+    pub fn merge(&mut self, other: &SavingsStat) {
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.degenerate += other.degenerate;
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+    }
+
+    /// Mean savings, percent (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population standard deviation (`0` when empty).
+    pub fn std(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let var = (self.sumsq / n - (self.sum / n) * (self.sum / n)).max(0.0);
+        var.sqrt()
+    }
+
+    /// JSON object with the derived distribution figures.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        j.set("count", self.count as f64);
+        j.set("degenerate", self.degenerate as f64);
+        j.set("mean_pct", self.mean());
+        j.set("std_pct", self.std());
+        j.set("min_pct", if self.count == 0 { 0.0 } else { self.min });
+        j.set("max_pct", if self.count == 0 { 0.0 } else { self.max });
+        j
+    }
+}
+
+/// One shard-epoch's contribution to the fleet report.
+#[derive(Debug, Clone, Default)]
+pub struct EpochStats {
+    /// Device-epochs simulated.
+    pub online: u64,
+    /// Device-epochs skipped by offline churn.
+    pub offline: u64,
+    /// Simulated energy over all online device-epochs, joules.
+    pub energy_j: f64,
+    /// Controller restarts performed by supervisors.
+    pub restarts: u64,
+    /// Restarts that resumed from a checkpoint.
+    pub warm_restarts: u64,
+    /// Epoch handovers that warm-started from a migrated snapshot.
+    pub warm_migrations: u64,
+    /// Unusable checkpoints (each forced a cold start).
+    pub snapshot_errors: u64,
+    /// Milliseconds controllers spent dead.
+    pub downtime_ms: u64,
+    /// Savings distribution per application.
+    pub per_app: BTreeMap<String, SavingsStat>,
+    /// Savings distribution per fault class.
+    pub per_fault: BTreeMap<String, SavingsStat>,
+}
+
+impl EpochStats {
+    /// Fold another epoch/shard contribution into this one.
+    pub fn merge(&mut self, other: &EpochStats) {
+        self.online += other.online;
+        self.offline += other.offline;
+        self.energy_j += other.energy_j;
+        self.restarts += other.restarts;
+        self.warm_restarts += other.warm_restarts;
+        self.warm_migrations += other.warm_migrations;
+        self.snapshot_errors += other.snapshot_errors;
+        self.downtime_ms += other.downtime_ms;
+        for (k, v) in &other.per_app {
+            self.per_app.entry(k.clone()).or_default().merge(v);
+        }
+        for (k, v) in &other.per_fault {
+            self.per_fault.entry(k.clone()).or_default().merge(v);
+        }
+    }
+}
+
+/// The aggregate fleet report: configuration echo, telemetry, and the
+/// savings distributions.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The configuration that produced this report.
+    pub config: FleetConfig,
+    /// Epochs completed so far.
+    pub epochs_run: u64,
+    /// Accumulated statistics over all epochs and shards.
+    pub totals: EpochStats,
+}
+
+impl FleetReport {
+    /// An empty report for `config`.
+    pub fn new(config: FleetConfig) -> Self {
+        Self {
+            config,
+            epochs_run: 0,
+            totals: EpochStats::default(),
+        }
+    }
+
+    /// Estimated controller cycles simulated (one per 2 000 ms control
+    /// period per online device-epoch).
+    pub fn controller_cycles(&self) -> u64 {
+        self.totals.online * (self.config.epoch_ms / 2_000).max(1)
+    }
+
+    /// The full report as JSON (stable key order, deterministic
+    /// serialization).
+    pub fn to_json(&self) -> Json {
+        let mut cfg = Json::object();
+        cfg.set("devices", self.config.devices as f64);
+        cfg.set("shards", self.config.shards as f64);
+        cfg.set("epochs", self.config.epochs as f64);
+        cfg.set("epoch_ms", self.config.epoch_ms as f64);
+        cfg.set("seed", self.config.seed as f64);
+        cfg.set("offline_rate", self.config.offline_rate);
+
+        let mut tel = Json::object();
+        tel.set("restarts", self.totals.restarts as f64);
+        tel.set("warm_restarts", self.totals.warm_restarts as f64);
+        tel.set("warm_migrations", self.totals.warm_migrations as f64);
+        tel.set("snapshot_errors", self.totals.snapshot_errors as f64);
+        tel.set("downtime_ms", self.totals.downtime_ms as f64);
+
+        let mut per_app = Json::object();
+        for (k, v) in &self.totals.per_app {
+            per_app.set(k, v.to_json());
+        }
+        let mut per_fault = Json::object();
+        for (k, v) in &self.totals.per_fault {
+            per_fault.set(k, v.to_json());
+        }
+
+        let mut j = Json::object();
+        j.set("config", cfg);
+        j.set("epochs_run", self.epochs_run as f64);
+        j.set("device_epochs_online", self.totals.online as f64);
+        j.set("device_epochs_offline", self.totals.offline as f64);
+        j.set("controller_cycles", self.controller_cycles() as f64);
+        j.set("energy_j", self.totals.energy_j);
+        j.set("telemetry", tel);
+        j.set("savings_per_app", per_app);
+        j.set("savings_per_fault", per_fault);
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_moments_match_direct_computation() {
+        let mut s = SavingsStat::default();
+        for v in [10.0, 20.0, 30.0] {
+            s.record(v);
+        }
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        assert!((s.std() - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert!((s.min - 10.0).abs() < 1e-12);
+        assert!((s.max - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_two_stats_equals_recording_all_samples() {
+        let (mut a, mut b, mut all) = (
+            SavingsStat::default(),
+            SavingsStat::default(),
+            SavingsStat::default(),
+        );
+        for v in [1.0, -2.0, 3.5] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [7.0, 0.25] {
+            b.record(v);
+            all.record(v);
+        }
+        b.record_degenerate();
+        a.merge(&b);
+        assert_eq!(a.count, all.count);
+        assert_eq!(a.degenerate, 1);
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.min - all.min).abs() < 1e-12);
+        assert!((a.max - all.max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stat_serializes_finite_numbers() {
+        let s = SavingsStat::default();
+        let text = s.to_json().to_pretty();
+        assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn report_json_has_the_documented_top_level_keys() {
+        let r = FleetReport::new(FleetConfig::smoke());
+        let j = r.to_json();
+        for key in [
+            "config",
+            "epochs_run",
+            "device_epochs_online",
+            "device_epochs_offline",
+            "controller_cycles",
+            "energy_j",
+            "telemetry",
+            "savings_per_app",
+            "savings_per_fault",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Differential determinism suite for the fleet (ISSUE/ROADMAP item
+//! 2): the aggregate report must be **bit-identical** across thread
+//! counts and across a mid-run shard checkpoint + warm restore, and
+//! damaged fleet snapshots must always decode to `SnapshotError` —
+//! never panic.
+
+use asgov_fleet::{Fleet, FleetConfig, PolicyStore};
+use asgov_soc::DeviceConfig;
+use asgov_util::Rng;
+
+fn small_cfg(threads: usize) -> FleetConfig {
+    FleetConfig {
+        devices: 48,
+        shards: 8,
+        epochs: 3,
+        epoch_ms: 3_000,
+        seed: 0xf1ee7,
+        threads,
+        offline_rate: 0.08,
+    }
+}
+
+/// Resolve the store once for every scenario in this file (it is
+/// itself thread-count invariant, pinned by a store unit test).
+fn store() -> PolicyStore {
+    PolicyStore::resolve(&small_cfg(0), &DeviceConfig::nexus6())
+}
+
+fn final_report_json(store: &PolicyStore, threads: usize) -> String {
+    let mut fleet = Fleet::new(small_cfg(threads)).expect("valid config");
+    let report = fleet.run(store).expect("run completes");
+    report.to_json().to_pretty()
+}
+
+#[test]
+fn report_is_bit_identical_across_thread_counts() {
+    let store = store();
+    let serial = final_report_json(&store, 1);
+    for threads in [2, 4, 8] {
+        let parallel = final_report_json(&store, threads);
+        assert_eq!(
+            serial, parallel,
+            "thread count {threads} changed the aggregate report"
+        );
+    }
+    // The report actually contains work, not a degenerate empty run.
+    assert!(serial.contains("savings_per_app"));
+    let fleet = {
+        let mut f = Fleet::new(small_cfg(1)).expect("valid config");
+        f.run(&store).expect("run completes");
+        f
+    };
+    assert!(fleet.report().totals.online > 0, "devices simulated");
+    assert!(
+        fleet.report().totals.warm_migrations > 0,
+        "controller state migrated across epochs"
+    );
+}
+
+#[test]
+fn mid_run_checkpoint_and_warm_restore_reproduce_the_straight_run() {
+    let store = store();
+
+    // Straight run: all 3 epochs in one fleet.
+    let mut straight = Fleet::new(small_cfg(2)).expect("valid config");
+    straight.run(&store).expect("straight run");
+
+    // Interrupted run: one epoch, checkpoint, restore into a fresh
+    // fleet (different thread count on purpose), finish there.
+    let mut first = Fleet::new(small_cfg(2)).expect("valid config");
+    first.step(&store).expect("epoch 0");
+    let frame = first.checkpoint().expect("checkpoint encodes");
+    drop(first);
+
+    let mut resumed = Fleet::restore(small_cfg(7), &frame).expect("checkpoint restores");
+    assert_eq!(resumed.epochs_run(), 1);
+    resumed.run(&store).expect("resumed run");
+
+    assert_eq!(
+        straight.report().to_json().to_pretty(),
+        resumed.report().to_json().to_pretty(),
+        "a warm-restored fleet must finish with the identical report"
+    );
+}
+
+#[test]
+fn damaged_fleet_snapshots_error_and_never_panic() {
+    let store = store();
+    let cfg = small_cfg(2);
+    let mut fleet = Fleet::new(cfg).expect("valid config");
+    fleet.step(&store).expect("epoch 0");
+    let frame = fleet.checkpoint().expect("checkpoint encodes");
+
+    // The pristine frame restores.
+    assert!(Fleet::restore(cfg, &frame).is_ok());
+
+    let mut rng = Rng::seed_from_u64(0xdead);
+    // Random truncations: every prefix length must decode to an error.
+    for _ in 0..200 {
+        let cut = rng.gen_range_usize(0..frame.len());
+        let truncated = frame.get(..cut).unwrap_or(&[]);
+        assert!(
+            Fleet::restore(cfg, truncated).is_err(),
+            "truncation to {cut} bytes must be rejected"
+        );
+    }
+    // Random single-bit flips: the CRC (or a domain check) must catch
+    // every one.
+    for _ in 0..200 {
+        let mut damaged = frame.clone();
+        let byte = rng.gen_range_usize(0..damaged.len());
+        let bit = rng.gen_range_usize(0..8) as u8;
+        if let Some(b) = damaged.get_mut(byte) {
+            *b ^= 1 << bit;
+        }
+        assert!(
+            Fleet::restore(cfg, &damaged).is_err(),
+            "bit flip at byte {byte} bit {bit} must be rejected"
+        );
+    }
+}

@@ -27,6 +27,17 @@ for bin in table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5 \
       > "results/$bin.txt" 2>&1
   fi
 done
+# The fleet study scales with device count rather than a --quick flag:
+# smoke (10^3 devices) for the quick pass, the full 10^5-device bench
+# otherwise. Both write ./BENCH_fleet.json.
+echo "=== fleet ==="
+if [ "$QUICK" = "--quick" ]; then
+  cargo run --release -p asgov-experiments --bin fleet -- --smoke \
+    > "results/fleet.txt" 2>&1 || true
+else
+  cargo run --release -p asgov-experiments --bin fleet -- --bench \
+    > "results/fleet.txt" 2>&1
+fi
 echo "=== bench ==="
 if [ "$QUICK" = "--quick" ]; then
   cargo run --release -p asgov-bench -- --quick \
