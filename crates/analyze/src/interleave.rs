@@ -274,33 +274,349 @@ pub fn default_configs(quick: bool) -> Vec<Config> {
     cfgs
 }
 
+// ---------------------------------------------------------------------
+// Pool handoff model — `asgov_util::par::WorkerPool::broadcast`.
+//
+// The persistent pool's skeleton, as implemented in `par.rs`:
+// workers park on a condvar and watch a generation counter; the
+// caller publishes `{generation += 1, remaining = workers, task}` in
+// one critical section, runs the task itself, then blocks until
+// `remaining == 0` (the batch barrier that makes the erased task
+// borrow sound). Model ↔ implementation correspondence:
+//
+// | model step        | implementation |
+// |-------------------|----------------|
+// | `Publish`         | the critical section bumping `generation` |
+// | caller/worker Run | `task(worker)` |
+// | `Dec`             | `remaining -= 1` + `work_done` notify |
+// | `Wait`            | `while remaining > 0 { wait(work_done) }` |
+// | `Park`            | `while generation == seen { wait(work_ready) }` |
+//
+// The broken [`PoolModel::NoBarrier`] variant lets the caller return
+// from a batch without draining `remaining` — the model then catches a
+// worker invoking a task whose owning frame is gone (the
+// use-after-free the barrier exists to prevent), keeping teeth on the
+// pool checker too.
+
+/// Which pool skeleton to explore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolModel {
+    /// The real `WorkerPool` design: generation handoff + batch barrier.
+    Handoff,
+    /// Broken: the caller skips the `remaining == 0` drain, so a slow
+    /// worker can run a task after its batch frame died.
+    NoBarrier,
+}
+
+/// One pool-checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Parked worker threads (the caller is one extra executor).
+    pub workers: usize,
+    /// Consecutive `broadcast` batches to model (the cross-batch
+    /// generation handoff is where the interesting schedules live).
+    pub batches: usize,
+    /// Maximum preemptions per schedule (`None` = exhaustive).
+    pub preemption_bound: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerPc {
+    /// Parked on `work_ready`, watching the generation counter.
+    Park,
+    /// Observed generation `g`; about to run its task.
+    Run(u64),
+    /// Ran the task; about to decrement `remaining`.
+    Dec,
+    /// Saw shutdown and exited.
+    Exited,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallerPc {
+    /// About to publish batch `b` (generation bump + task + counter).
+    Publish(usize),
+    /// Running batch `b`'s task as the last executor.
+    Run(usize),
+    /// Parked on `work_done` until batch `b` drains.
+    Wait(usize),
+    /// All batches done; shutdown broadcast.
+    Done,
+}
+
+#[derive(Clone)]
+struct PoolSimState {
+    generation: u64,
+    remaining: usize,
+    shutdown: bool,
+    /// Which batch's `broadcast` frame (and thus task borrow) is alive.
+    batch_live: Option<usize>,
+    seen: Vec<u64>,
+    wpc: Vec<WorkerPc>,
+    cpc: CallerPc,
+    /// Executions per `[batch][executor]`; executor `workers` is the
+    /// caller.
+    executed: Vec<Vec<u32>>,
+}
+
+struct PoolExplorer {
+    model: PoolModel,
+    workers: usize,
+    batches: usize,
+    bound: Option<usize>,
+    schedules: u64,
+    violation: Option<String>,
+}
+
+impl PoolExplorer {
+    /// Thread ids: `0..workers` are pool workers, `workers` is the
+    /// caller.
+    fn runnable(&self, s: &PoolSimState, t: usize) -> bool {
+        if t == self.workers {
+            match s.cpc {
+                CallerPc::Publish(_) | CallerPc::Run(_) => true,
+                // The batch barrier: blocked until the batch drains
+                // (the broken variant never blocks here).
+                CallerPc::Wait(_) => self.model == PoolModel::NoBarrier || s.remaining == 0,
+                CallerPc::Done => false,
+            }
+        } else {
+            match s.wpc.get(t).copied() {
+                Some(WorkerPc::Park) => {
+                    s.shutdown || s.seen.get(t).copied() != Some(s.generation)
+                }
+                Some(WorkerPc::Run(_)) | Some(WorkerPc::Dec) => true,
+                _ => false,
+            }
+        }
+    }
+
+    fn step(&self, s: &mut PoolSimState, t: usize) -> Result<(), String> {
+        if t == self.workers {
+            match s.cpc {
+                CallerPc::Publish(b) => {
+                    s.generation = s.generation.wrapping_add(1);
+                    s.remaining = self.workers;
+                    s.batch_live = Some(b);
+                    s.cpc = CallerPc::Run(b);
+                }
+                CallerPc::Run(b) => {
+                    if let Some(row) = s.executed.get_mut(b) {
+                        if let Some(n) = row.get_mut(self.workers) {
+                            *n += 1;
+                        }
+                    }
+                    s.cpc = CallerPc::Wait(b);
+                }
+                CallerPc::Wait(b) => {
+                    // `broadcast` returns: the task borrow dies here.
+                    s.batch_live = None;
+                    if b + 1 < self.batches {
+                        s.cpc = CallerPc::Publish(b + 1);
+                    } else {
+                        s.cpc = CallerPc::Done;
+                        s.shutdown = true;
+                    }
+                }
+                CallerPc::Done => unreachable!("done caller is never scheduled"),
+            }
+        } else {
+            match s.wpc.get(t).copied() {
+                Some(WorkerPc::Park) => {
+                    // Mirrors the worker loop's check order: shutdown
+                    // first, then the generation watch.
+                    if s.shutdown {
+                        s.wpc[t] = WorkerPc::Exited;
+                    } else {
+                        s.seen[t] = s.generation;
+                        s.wpc[t] = WorkerPc::Run(s.generation);
+                    }
+                }
+                Some(WorkerPc::Run(gen)) => {
+                    let batch = gen.wrapping_sub(1) as usize;
+                    if s.batch_live != Some(batch) {
+                        return Err(format!(
+                            "worker {t} ran batch {batch}'s task after its frame died"
+                        ));
+                    }
+                    if let Some(row) = s.executed.get_mut(batch) {
+                        if let Some(n) = row.get_mut(t) {
+                            *n += 1;
+                        }
+                    }
+                    s.wpc[t] = WorkerPc::Dec;
+                }
+                Some(WorkerPc::Dec) => {
+                    s.remaining = s.remaining.saturating_sub(1);
+                    s.wpc[t] = WorkerPc::Park;
+                }
+                _ => unreachable!("exited workers are never scheduled"),
+            }
+        }
+        Ok(())
+    }
+
+    fn terminal_check(&self, s: &PoolSimState) -> Result<(), String> {
+        for (b, row) in s.executed.iter().enumerate() {
+            for (e, &n) in row.iter().enumerate() {
+                if n != 1 {
+                    return Err(format!("batch {b}: executor {e} ran {n} times"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn explore(
+        &mut self,
+        state: &PoolSimState,
+        last: Option<usize>,
+        preemptions: usize,
+        schedule: &mut Vec<usize>,
+    ) {
+        if self.violation.is_some() {
+            return;
+        }
+        let threads = self.workers + 1;
+        let runnable: Vec<usize> = (0..threads).filter(|&t| self.runnable(state, t)).collect();
+        if runnable.is_empty() {
+            let finished = state.cpc == CallerPc::Done
+                && state.wpc.iter().all(|&pc| pc == WorkerPc::Exited);
+            self.schedules += 1;
+            let check = if finished {
+                self.terminal_check(state)
+            } else {
+                Err("deadlock: no runnable thread".to_string())
+            };
+            if let Err(why) = check {
+                self.violation = Some(format!("{why} under schedule {schedule:?}"));
+            }
+            return;
+        }
+        let last_still_runnable = last.is_some_and(|t| runnable.contains(&t));
+        for &t in &runnable {
+            let cost = usize::from(last_still_runnable && last != Some(t));
+            if let Some(bound) = self.bound {
+                if preemptions + cost > bound {
+                    continue;
+                }
+            }
+            let mut next = state.clone();
+            schedule.push(t);
+            match self.step(&mut next, t) {
+                Err(why) => {
+                    self.violation = Some(format!("{why} under schedule {schedule:?}"));
+                }
+                Ok(()) => self.explore(&next, Some(t), preemptions + cost, schedule),
+            }
+            schedule.pop();
+            if self.violation.is_some() {
+                return;
+            }
+        }
+    }
+}
+
+/// Exhaustively explore the pool `model` under `cfg`.
+pub fn check_pool(model: PoolModel, cfg: &PoolConfig) -> Outcome {
+    let mut explorer = PoolExplorer {
+        model,
+        workers: cfg.workers,
+        batches: cfg.batches,
+        bound: cfg.preemption_bound,
+        schedules: 0,
+        violation: None,
+    };
+    let state = PoolSimState {
+        generation: 0,
+        remaining: 0,
+        shutdown: false,
+        batch_live: None,
+        seen: vec![0; cfg.workers],
+        wpc: vec![WorkerPc::Park; cfg.workers],
+        cpc: CallerPc::Publish(0),
+        executed: vec![vec![0; cfg.workers + 1]; cfg.batches],
+    };
+    let mut schedule = Vec::new();
+    explorer.explore(&state, None, 0, &mut schedule);
+    Outcome {
+        schedules: explorer.schedules,
+        violation: explorer.violation,
+    }
+}
+
+/// The pool configurations the CI gate explores. Multi-batch configs
+/// exercise the generation handoff a parked worker must not miss.
+pub fn default_pool_configs(quick: bool) -> Vec<PoolConfig> {
+    let mut cfgs = vec![
+        PoolConfig {
+            workers: 1,
+            batches: 2,
+            preemption_bound: None,
+        },
+        PoolConfig {
+            workers: 2,
+            batches: 1,
+            preemption_bound: None,
+        },
+        PoolConfig {
+            workers: 2,
+            batches: 2,
+            preemption_bound: None,
+        },
+    ];
+    if !quick {
+        cfgs.push(PoolConfig {
+            workers: 3,
+            batches: 2,
+            preemption_bound: Some(3),
+        });
+        cfgs.push(PoolConfig {
+            workers: 2,
+            batches: 3,
+            preemption_bound: Some(3),
+        });
+    }
+    cfgs
+}
+
 /// Aggregate result of the full interleaving gate.
 #[derive(Debug, Clone)]
 pub struct InterleaveReport {
     /// Per-config outcomes for the real [`Model::OrderedSlots`] design.
     pub ordered: Vec<(Config, Outcome)>,
+    /// Per-config outcomes for the real [`PoolModel::Handoff`] design.
+    pub pool: Vec<(PoolConfig, Outcome)>,
     /// Whether the checker found the seeded bug in every broken model
     /// (its "teeth" self-test).
     pub teeth_ok: bool,
+    /// Whether the pool checker caught the broken no-barrier variant.
+    pub pool_teeth_ok: bool,
     /// Whether the real `ordered_map` matched its serial run bit-for-bit
     /// across thread counts.
     pub real_harness_ok: bool,
+    /// Whether a real persistent `WorkerPool` matched the serial run
+    /// bit-for-bit across batches and thread counts.
+    pub real_pool_ok: bool,
 }
 
 impl InterleaveReport {
-    /// True when every ordered config verified, the teeth test passed
-    /// and the real harness differential passed.
+    /// True when every modeled config verified, both teeth tests
+    /// passed and both real-harness differentials passed.
     pub fn ok(&self) -> bool {
         self.ordered.iter().all(|(_, o)| o.violation.is_none())
+            && self.pool.iter().all(|(_, o)| o.violation.is_none())
             && self.teeth_ok
+            && self.pool_teeth_ok
             && self.real_harness_ok
+            && self.real_pool_ok
     }
 }
 
-/// Run the whole interleaving gate: verify the real design over the
-/// default configs, confirm the checker still catches both seeded
-/// bugs, and differentially test the real `ordered_map` against its
-/// serial path.
+/// Run the whole interleaving gate: verify the real designs (job
+/// claiming and pool handoff) over the default configs, confirm the
+/// checker still catches every seeded bug, and differentially test
+/// the real `ordered_map` and `WorkerPool` against their serial paths.
 pub fn run_all(quick: bool) -> InterleaveReport {
     let ordered = default_configs(quick)
         .into_iter()
@@ -314,6 +630,19 @@ pub fn run_all(quick: bool) -> InterleaveReport {
     let teeth_ok = check(Model::UnorderedPush, &teeth_cfg).violation.is_some()
         && check(Model::TornCounter, &teeth_cfg).violation.is_some();
 
+    let pool = default_pool_configs(quick)
+        .into_iter()
+        .map(|cfg| (cfg, check_pool(PoolModel::Handoff, &cfg)))
+        .collect();
+    let pool_teeth_cfg = PoolConfig {
+        workers: 2,
+        batches: 2,
+        preemption_bound: None,
+    };
+    let pool_teeth_ok = check_pool(PoolModel::NoBarrier, &pool_teeth_cfg)
+        .violation
+        .is_some();
+
     let f = |i: usize| (i as f64).sqrt().mul_add(1e-3, job_value(i) as f64);
     let serial = asgov_util::par::ordered_map(64, 1, f);
     let real_harness_ok = (2..=8).all(|threads| {
@@ -324,10 +653,29 @@ pub fn run_all(quick: bool) -> InterleaveReport {
             .all(|(a, b)| a.to_bits() == b.to_bits())
     });
 
+    // The persistent pool must match serial across *repeated* batches
+    // on one pool instance (the generation handoff the model above
+    // verifies in the abstract).
+    let real_pool_ok = (2..=4).all(|threads| {
+        let mut pool = asgov_util::par::WorkerPool::new(threads);
+        (0..5).all(|batch| {
+            let g = |i: usize| f(i ^ (batch * 131));
+            let serial: Vec<f64> = (0..48).map(g).collect();
+            let parallel = pool.ordered_map(48, g);
+            parallel
+                .iter()
+                .zip(&serial)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        })
+    });
+
     InterleaveReport {
         ordered,
+        pool,
         teeth_ok,
+        pool_teeth_ok,
         real_harness_ok,
+        real_pool_ok,
     }
 }
 
@@ -420,12 +768,75 @@ mod tests {
     }
 
     #[test]
+    fn pool_handoff_is_sound_under_every_interleaving() {
+        for cfg in default_pool_configs(false) {
+            let out = check_pool(PoolModel::Handoff, &cfg);
+            assert!(out.violation.is_none(), "{cfg:?}: {:?}", out.violation);
+            assert!(out.schedules > 0, "{cfg:?} explored nothing");
+        }
+    }
+
+    #[test]
+    fn pool_checker_catches_the_missing_barrier() {
+        // Without the `remaining == 0` drain, a parked worker can run a
+        // batch's task after `broadcast` returned — the use-after-free
+        // the barrier exists to prevent. One batch suffices.
+        let out = check_pool(
+            PoolModel::NoBarrier,
+            &PoolConfig {
+                workers: 1,
+                batches: 1,
+                preemption_bound: None,
+            },
+        );
+        let why = out.violation.expect("must catch the dead-frame run");
+        assert!(why.contains("frame died"), "{why}");
+    }
+
+    #[test]
+    fn pool_exhaustive_small_config_explores_many_schedules() {
+        let out = check_pool(
+            PoolModel::Handoff,
+            &PoolConfig {
+                workers: 2,
+                batches: 2,
+                preemption_bound: None,
+            },
+        );
+        // Caller (3 steps/batch) × 2 workers (3 steps/batch + exit)
+        // over 2 batches interleave into far more than a handful of
+        // schedules; a tiny count would mean the explorer is broken.
+        assert!(out.schedules >= 100, "only {} schedules", out.schedules);
+    }
+
+    #[test]
+    fn pool_generation_handoff_survives_slow_parkers() {
+        // Three batches through one worker exercises the seen-counter
+        // watch across repeated publishes (a stale `seen` would either
+        // deadlock or double-run a batch — both are violations).
+        let out = check_pool(
+            PoolModel::Handoff,
+            &PoolConfig {
+                workers: 1,
+                batches: 3,
+                preemption_bound: None,
+            },
+        );
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+    }
+
+    #[test]
     fn full_gate_passes_and_has_teeth() {
         let report = run_all(true);
         assert!(report.teeth_ok, "checker lost its teeth");
+        assert!(report.pool_teeth_ok, "pool checker lost its teeth");
         assert!(
             report.real_harness_ok,
             "real ordered_map diverged from serial"
+        );
+        assert!(
+            report.real_pool_ok,
+            "real WorkerPool diverged from serial across batches"
         );
         assert!(report.ok());
     }

@@ -141,10 +141,27 @@ fn main() -> ExitCode {
                 ),
             }
         }
+        for (cfg, out) in &il.pool {
+            let bound = cfg
+                .preemption_bound
+                .map_or("exhaustive".to_string(), |b| format!("≤{b} preemptions"));
+            match &out.violation {
+                None => println!(
+                    "interleave: pool workers={} batches={} ({bound}): {} schedules, handoff sound",
+                    cfg.workers, cfg.batches, out.schedules
+                ),
+                Some(v) => println!(
+                    "interleave: pool workers={} batches={} ({bound}): VIOLATION: {v}",
+                    cfg.workers, cfg.batches
+                ),
+            }
+        }
         println!(
-            "interleave: checker teeth {}, real-harness differential {}",
+            "interleave: checker teeth {}, pool teeth {}, real-harness differential {}, real-pool differential {}",
             if il.teeth_ok { "ok" } else { "LOST" },
+            if il.pool_teeth_ok { "ok" } else { "LOST" },
             if il.real_harness_ok { "ok" } else { "FAILED" },
+            if il.real_pool_ok { "ok" } else { "FAILED" },
         );
     }
 

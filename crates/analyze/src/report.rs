@@ -52,7 +52,9 @@ impl Report {
         if let Some(il) = &self.interleave {
             let mut o = Json::object();
             o.set("teeth_ok", il.teeth_ok);
+            o.set("pool_teeth_ok", il.pool_teeth_ok);
             o.set("real_harness_ok", il.real_harness_ok);
+            o.set("real_pool_ok", il.real_pool_ok);
             o.set("ok", il.ok());
             let configs: Vec<Json> = il
                 .ordered
@@ -74,6 +76,26 @@ impl Report {
                 })
                 .collect();
             o.set("configs", Json::Arr(configs));
+            let pool_configs: Vec<Json> = il
+                .pool
+                .iter()
+                .map(|(cfg, out)| {
+                    let mut c = Json::object();
+                    c.set("workers", cfg.workers);
+                    c.set("batches", cfg.batches);
+                    match cfg.preemption_bound {
+                        Some(b) => c.set("preemption_bound", b),
+                        None => c.set("preemption_bound", Json::Null),
+                    }
+                    c.set("schedules", out.schedules as usize);
+                    match &out.violation {
+                        Some(v) => c.set("violation", v.as_str()),
+                        None => c.set("violation", Json::Null),
+                    }
+                    c
+                })
+                .collect();
+            o.set("pool_configs", Json::Arr(pool_configs));
             doc.set("interleave", o);
         }
         doc
@@ -118,6 +140,9 @@ mod tests {
         let j = report.to_json();
         let gate = j.get("interleave").expect("interleave section");
         assert_eq!(gate.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(gate.get("pool_teeth_ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(gate.get("real_pool_ok").and_then(Json::as_bool), Some(true));
         assert!(gate.get("configs").and_then(|c| c.at(0)).is_some());
+        assert!(gate.get("pool_configs").and_then(|c| c.at(0)).is_some());
     }
 }

@@ -12,8 +12,8 @@
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
-//! | `hot-path-panic` | core, control, soc, obs, fleet | no `unwrap`/`expect`/`panic!`-family in the 2 s control loop |
-//! | `hot-path-index` | core, control, soc, obs, fleet | no `x[i]` indexing that can panic; use `.get()` |
+//! | `hot-path-panic` | core, control, soc, obs, fleet + pinned files | no `unwrap`/`expect`/`panic!`-family in the 2 s control loop |
+//! | `hot-path-index` | core, control, soc, obs, fleet + pinned files | no `x[i]` indexing that can panic; use `.get()` |
 //! | `nondeterminism` | all but bench/experiments/analyze and the harness boundary | no wall clocks, OS entropy, or randomized-hash collections |
 //! | `float-eq` | all | no `==`/`!=` against float literals |
 //! | `obs-gating` | core, control | obs emission only behind `has_obs_sink` |
@@ -70,6 +70,13 @@ const HOT_PATH_CRATES: [&str; 5] = [
     "asgov-fleet",
 ];
 
+/// Individual modules pinned into the hot-path scope regardless of
+/// their crate: the persistent worker pool every fleet epoch runs
+/// through, and the columnar savings aggregator every device-epoch
+/// records into. (`agg.rs` is already covered via `asgov-obs`; the pin
+/// keeps it covered even if the crate list ever changes.)
+const HOT_PATH_FILES: [&str; 2] = ["crates/util/src/par.rs", "crates/obs/src/agg.rs"];
+
 /// Crates allowed to observe wall clocks and machine parallelism: the
 /// measurement harnesses themselves, plus this analyzer.
 const HARNESS_CRATES: [&str; 3] = ["asgov-bench", "asgov-experiments", "asgov-analyze"];
@@ -118,7 +125,7 @@ pub fn check_file(rel_path: &str, crate_name: &str, source: &str) -> Vec<Finding
         test_lines: &test_lines,
     };
 
-    if HOT_PATH_CRATES.contains(&crate_name) {
+    if HOT_PATH_CRATES.contains(&crate_name) || HOT_PATH_FILES.contains(&rel_path) {
         rule_hot_path_panic(&ctx, &mut raw);
         rule_hot_path_index(&ctx, &mut raw);
     }
@@ -668,6 +675,24 @@ fn f(e: SnapshotError) -> bool {
         );
         // The taxonomy's own module is where variants are born.
         assert!(check_file("crates/core/src/persist.rs", "asgov-core", bad).is_empty());
+    }
+
+    #[test]
+    fn pool_and_aggregator_modules_are_pinned_hot_path() {
+        // Neither file's *crate* puts it in scope by itself (par.rs
+        // lives in asgov-util), yet both must be held to the hot-path
+        // rules: the fleet funnels every epoch through them.
+        let src = "fn f(x: Option<u8>, v: &[u8]) -> u8 { v[0] + x.unwrap() }\n";
+        for (path, krate) in [
+            ("crates/util/src/par.rs", "asgov-util"),
+            ("crates/obs/src/agg.rs", "asgov-obs"),
+        ] {
+            let mut rules = rules_of(&check_file(path, krate, src));
+            rules.sort_unstable();
+            assert_eq!(rules, ["hot-path-index", "hot-path-panic"], "{path}");
+        }
+        // A sibling module in the same non-hot crate stays out of scope.
+        assert!(check_file("crates/util/src/json.rs", "asgov-util", src).is_empty());
     }
 
     #[test]

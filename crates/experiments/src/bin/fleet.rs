@@ -1,18 +1,25 @@
 //! Fleet experiment — N simulated devices under supervised controllers
-//! in sharded epochs (ROADMAP item 2, DESIGN.md §11).
+//! in pipelined sharded epochs (ROADMAP item 2, DESIGN.md §11–§12).
 //!
 //! Prints the aggregate energy-savings distributions per application
 //! and per fault class, and writes `BENCH_fleet.json` at the repository
-//! root with throughput figures (devices/sec, controller-cycles/sec,
-//! peak RSS).
+//! root with throughput figures (devices/sec, pool speedup over the
+//! scoped-thread engine, peak RSS), keyed per tier so the 10³/10⁵/10⁶
+//! rows accumulate across invocations.
 //!
-//! Run: `cargo run --release -p asgov-experiments --bin fleet -- [--smoke | --bench]
-//!       [--devices N] [--shards N] [--epochs N] [--epoch-ms N] [--threads N] [--seed N]`
+//! Run: `cargo run --release -p asgov-experiments --bin fleet --
+//!       [--tier smoke|bench|bench-1m] [--devices N] [--shards N]
+//!       [--epochs N] [--epoch-ms N] [--threads N] [--seed N]
+//!       [--quantum-ms N]`
 //!
-//! `--smoke` (default) runs 10³ devices; `--bench` runs 10⁵.
+//! `--smoke` / `--bench` / `--bench-1m` are shorthands for `--tier`.
+//! Invalid input (zero devices or threads, malformed numbers, unknown
+//! flags) is rejected with a diagnostic on stderr and exit code 2 —
+//! never a panic.
 
 use asgov_fleet::{Fleet, FleetConfig, PolicyStore};
 use asgov_soc::DeviceConfig;
+use asgov_util::par::{scoped_ordered_map, WorkerPool};
 use asgov_util::Json;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -21,38 +28,79 @@ fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
 }
 
-fn parse_args() -> FleetConfig {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = if args.iter().any(|a| a == "--bench") {
-        FleetConfig::bench()
-    } else {
-        FleetConfig::smoke()
-    };
+/// Parsed invocation: the run configuration plus the tier label its
+/// benchmark row is filed under ("custom" when a preset was edited).
+struct Invocation {
+    cfg: FleetConfig,
+    tier: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    let mut tier = "smoke".to_string();
+    let mut overrides: Vec<(String, u64)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut num = |field: &mut u64| {
-            if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                *field = v;
-            }
-        };
-        match a.as_str() {
-            "--devices" => num(&mut cfg.devices),
-            "--shards" => num(&mut cfg.shards),
-            "--epochs" => num(&mut cfg.epochs),
-            "--epoch-ms" => num(&mut cfg.epoch_ms),
-            "--seed" => num(&mut cfg.seed),
-            "--threads" => {
-                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                    cfg.threads = v;
+        let flag = a.as_str();
+        match flag {
+            "--smoke" => tier = "smoke".into(),
+            "--bench" => tier = "bench".into(),
+            "--bench-1m" => tier = "bench-1m".into(),
+            "--tier" => {
+                let v = it.next().ok_or("--tier needs a value".to_string())?;
+                match v.as_str() {
+                    "smoke" | "bench" | "bench-1m" => tier = v.clone(),
+                    other => {
+                        return Err(format!(
+                            "unknown tier {other:?} (expected smoke, bench or bench-1m)"
+                        ))
+                    }
                 }
             }
+            "--devices" | "--shards" | "--epochs" | "--epoch-ms" | "--seed" | "--threads"
+            | "--quantum-ms" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                let v: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("{flag}: {raw:?} is not a non-negative integer"))?;
+                if v == 0 && flag != "--seed" {
+                    return Err(format!("{flag} must be at least 1"));
+                }
+                overrides.push((flag.to_string(), v));
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help in the doc header)")),
+        }
+    }
+    let mut cfg = match tier.as_str() {
+        "bench" => FleetConfig::bench(),
+        "bench-1m" => FleetConfig::bench_1m(),
+        _ => FleetConfig::smoke(),
+    };
+    for (flag, v) in &overrides {
+        match flag.as_str() {
+            "--devices" => cfg.devices = *v,
+            "--shards" => cfg.shards = *v,
+            "--epochs" => cfg.epochs = *v,
+            "--epoch-ms" => cfg.epoch_ms = *v,
+            "--seed" => cfg.seed = *v,
+            "--threads" => cfg.threads = *v as usize,
+            "--quantum-ms" => cfg.demand_quantum_ms = *v,
             _ => {}
         }
+    }
+    // Benchmark rows stay comparable: any override that changes the
+    // simulated workload files the run under "custom" instead of
+    // overwriting a preset tier's row. Thread count does not change
+    // results, so it keeps the tier label.
+    if overrides.iter().any(|(f, _)| f != "--threads") {
+        tier = "custom".into();
     }
     // Keep the partition sane if the user shrank the device count
     // below the preset shard count.
     cfg.shards = cfg.shards.min(cfg.devices).max(1);
-    cfg
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(Invocation { cfg, tier })
 }
 
 /// Peak resident set size from `/proc/self/status` (`VmHWM`), KiB.
@@ -69,15 +117,53 @@ fn peak_rss_kib() -> u64 {
         .unwrap_or(0)
 }
 
-fn main() {
-    let cfg = parse_args();
-    if let Err(e) = cfg.validate() {
-        eprintln!("fleet: {e}");
-        std::process::exit(2);
+/// Micro-benchmark the persistent pool against the scoped-thread
+/// engine it replaced: identical small fork-join batches through both,
+/// ratio of wall-clocks (> 1 means the pool is faster).
+fn pool_speedup_vs_scoped(threads: usize) -> f64 {
+    let jobs = threads.max(1) * 4;
+    let batches = 300usize;
+    let work = |i: usize| -> u64 {
+        let mut acc = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        for k in 0..2_000u64 {
+            acc = acc
+                .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+                .rotate_left(17)
+                .wrapping_add(k);
+        }
+        acc
+    };
+    let mut pool = WorkerPool::new(threads);
+    // Warm both paths once so thread spawn-up noise lands outside the
+    // measured region for the pool (spawn cost is exactly what the
+    // scoped engine pays per batch — that is the comparison).
+    std::hint::black_box(pool.ordered_map(jobs, work));
+    std::hint::black_box(scoped_ordered_map(jobs, threads, work));
+    let t = Instant::now();
+    for _ in 0..batches {
+        std::hint::black_box(pool.ordered_map(jobs, work));
     }
+    let pool_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..batches {
+        std::hint::black_box(scoped_ordered_map(jobs, threads, work));
+    }
+    let scoped_secs = t.elapsed().as_secs_f64();
+    scoped_secs / pool_secs.max(1e-12)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Invocation { cfg, tier } = match parse_args(&args) {
+        Ok(inv) => inv,
+        Err(msg) => {
+            eprintln!("fleet: {msg}");
+            std::process::exit(2);
+        }
+    };
     println!(
-        "=== Fleet: {} devices, {} shards, {} epochs x {} ms (seed {:#x}) ===\n",
-        cfg.devices, cfg.shards, cfg.epochs, cfg.epoch_ms, cfg.seed
+        "=== Fleet [{tier}]: {} devices, {} shards, {} epochs x {} ms, quantum {} ms (seed {:#x}) ===\n",
+        cfg.devices, cfg.shards, cfg.epochs, cfg.epoch_ms, cfg.demand_quantum_ms, cfg.seed
     );
 
     let dev_cfg = DeviceConfig::nexus6();
@@ -110,32 +196,24 @@ fn main() {
     let devices_per_sec = device_epochs as f64 / run_secs.max(1e-9);
     let cycles_per_sec = report.controller_cycles() as f64 / run_secs.max(1e-9);
     let rss_kib = peak_rss_kib();
+    let threads = if cfg.threads == 0 {
+        asgov_util::par::default_threads(cfg.shards as usize)
+    } else {
+        cfg.threads
+    };
+    let speedup = pool_speedup_vs_scoped(threads);
 
+    let s = &report.totals.savings;
     println!("\nenergy savings vs default governor, percent (mean ± std [min, max], n):");
     println!("\nper application:");
-    for (app, s) in &report.totals.per_app {
-        println!(
-            "  {app:<12} {:>6.1} ± {:>5.1}  [{:>6.1}, {:>6.1}]  n={}{}",
-            s.mean(),
-            s.std(),
-            if s.count == 0 { 0.0 } else { s.min },
-            if s.count == 0 { 0.0 } else { s.max },
-            s.count,
-            if s.degenerate > 0 {
-                format!("  ({} degenerate excluded)", s.degenerate)
-            } else {
-                String::new()
-            }
-        );
+    for (idx, app) in asgov_fleet::spec::roster_names().into_iter().enumerate() {
+        let st = asgov_fleet::app_stream(idx);
+        print_stream(app, s, st, true);
     }
     println!("\nper fault class:");
-    for (class, s) in &report.totals.per_fault {
-        println!(
-            "  {class:<18} {:>6.1} ± {:>5.1}  n={}",
-            s.mean(),
-            s.std(),
-            s.count
-        );
+    for class in asgov_fleet::FaultClass::all() {
+        let st = asgov_fleet::fault_stream(class);
+        print_stream(class.label(), s, st, false);
     }
     let t = &report.totals;
     println!(
@@ -143,30 +221,96 @@ fn main() {
         t.restarts, t.warm_restarts, t.warm_migrations, t.snapshot_errors, t.downtime_ms
     );
     println!(
-        "\nthroughput: {devices_per_sec:.0} device-epochs/sec, {cycles_per_sec:.0} controller-cycles/sec, peak RSS {:.1} MiB",
+        "\nthroughput: {devices_per_sec:.0} device-epochs/sec, {cycles_per_sec:.0} controller-cycles/sec, \
+         pool speedup {speedup:.2}x vs scoped, peak RSS {:.1} MiB",
         rss_kib as f64 / 1024.0
     );
 
-    let mut bench = Json::object();
-    bench.set("devices", cfg.devices as f64);
-    bench.set("shards", cfg.shards as f64);
-    bench.set("epochs", cfg.epochs as f64);
-    bench.set("epoch_ms", cfg.epoch_ms as f64);
-    bench.set("seed", cfg.seed as f64);
-    bench.set("store_resolve_secs", store_secs);
-    bench.set("run_secs", run_secs);
-    bench.set("device_epochs", device_epochs as f64);
-    bench.set("devices_per_sec", devices_per_sec);
-    bench.set("controller_cycles_per_sec", cycles_per_sec);
-    bench.set("peak_rss_kib", rss_kib as f64);
-    bench.set("report", report.to_json());
+    let mut row = Json::object();
+    row.set("devices", cfg.devices as f64);
+    row.set("shards", cfg.shards as f64);
+    row.set("epochs", cfg.epochs as f64);
+    row.set("epoch_ms", cfg.epoch_ms as f64);
+    row.set("seed", cfg.seed as f64);
+    row.set("demand_quantum_ms", cfg.demand_quantum_ms as f64);
+    row.set("threads", threads as f64);
+    row.set("store_resolve_secs", store_secs);
+    row.set("run_secs", run_secs);
+    row.set("device_epochs", device_epochs as f64);
+    row.set("devices_per_sec", devices_per_sec);
+    row.set("controller_cycles_per_sec", cycles_per_sec);
+    row.set("pool_speedup_vs_scoped", speedup);
+    row.set("peak_rss_kib", rss_kib as f64);
+    row.set("report", report.to_json());
 
+    // Top level mirrors this run (back-compat for the regression gate,
+    // which reads `devices_per_sec` of the smoke tier) and keys every
+    // tier's latest row under "tiers" so the 10³/10⁵/10⁶ results
+    // accumulate across invocations.
     let path = repo_root().join("BENCH_fleet.json");
+    let mut tiers = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|old| old.get("tiers").cloned())
+        .unwrap_or_else(Json::object);
+    tiers.set(&tier, row.clone());
+
+    let mut bench = Json::object();
+    bench.set("tier", tier.as_str());
+    for key in [
+        "devices",
+        "shards",
+        "epochs",
+        "epoch_ms",
+        "seed",
+        "demand_quantum_ms",
+        "threads",
+        "store_resolve_secs",
+        "run_secs",
+        "device_epochs",
+        "devices_per_sec",
+        "controller_cycles_per_sec",
+        "pool_speedup_vs_scoped",
+        "peak_rss_kib",
+        "report",
+    ] {
+        if let Some(v) = row.get(key) {
+            bench.set(key, v.clone());
+        }
+    }
+    bench.set("tiers", tiers);
+
     match std::fs::write(&path, bench.to_pretty() + "\n") {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => {
             eprintln!("fleet: writing {}: {e}", path.display());
             std::process::exit(1);
         }
+    }
+}
+
+/// One savings stream as a human-readable row.
+fn print_stream(label: &str, s: &asgov_obs::FleetStats, stream: usize, full: bool) {
+    let n = s.included(stream);
+    let degenerate = s.excluded(stream);
+    let suffix = if degenerate > 0 {
+        format!("  ({degenerate} degenerate excluded)")
+    } else {
+        String::new()
+    };
+    if full {
+        println!(
+            "  {label:<12} {:>6.1} ± {:>5.1}  [{:>6.1}, {:>6.1}]  n={n}{suffix}",
+            s.mean(stream),
+            s.std(stream),
+            s.min(stream).unwrap_or(0.0),
+            s.max(stream).unwrap_or(0.0),
+        );
+    } else {
+        println!(
+            "  {label:<18} {:>6.1} ± {:>5.1}  n={n}{suffix}",
+            s.mean(stream),
+            s.std(stream),
+        );
     }
 }

@@ -2,64 +2,81 @@
 //!
 //! Spawns N simulated devices with distinct apps, seeds and fault
 //! plans drawn deterministically from a fleet seed, and runs
-//! supervised controllers over them in batched, sharded epochs
-//! (ROADMAP item 2, DESIGN.md §11).
+//! supervised controllers over them in sharded epochs (ROADMAP
+//! item 2, DESIGN.md §11–§12).
 //!
 //! Structure:
 //! - [`FleetConfig`] / [`DeviceSpec`] — run description and the pure
 //!   derivation of per-device identity ([`spec`]).
 //! - [`PolicyStore`] — profiles and baselines resolved once per
 //!   `(app, load)` signature and shared by every device ([`store`]).
-//! - [`ShardState`] / [`shard::run_epoch`] — the per-shard epoch
+//! - [`ShardState`] / [`shard::run_epoch_into`] — the per-shard epoch
 //!   engine with warm controller migration ([`shard`]).
 //! - [`FleetReport`] — per-app / per-fault-class savings
-//!   distributions ([`report`]).
-//! - [`Fleet`] — the epoch loop: shards fan out over
-//!   `asgov_util::par::ordered_map`, with an epoch barrier between
-//!   rounds and a checkpoint/restore codec for warm mid-run migration.
+//!   distributions over a columnar `FleetStats` aggregator
+//!   ([`report`]).
+//! - [`Fleet`] — the epoch engines. [`Fleet::step`] is the barriered
+//!   path: every shard advances exactly one epoch, then merges. The
+//!   hot path, [`Fleet::run`], pipelines shard epochs over a
+//!   persistent `asgov_util::par::WorkerPool`: each shard enters
+//!   epoch `e + 1` as soon as its *own* epoch `e` lands — no global
+//!   barrier — and completed `(epoch, shard)` statistics are buffered
+//!   and folded in barriered order afterward.
 //!
-//! Determinism contract: the aggregate report is **bit-identical** for
-//! any thread count and across a mid-run checkpoint/restore — every
-//! random draw derives from `(seed, device_id, epoch)` and every merge
-//! happens in shard order. The differential suite in
-//! `tests/fleet_determinism.rs` pins both properties.
+//! Determinism contract: the aggregate report is **bit-identical**
+//! for any thread count, across the barriered and pipelined engines,
+//! and across a mid-run checkpoint/restore — every random draw
+//! derives from `(seed, device_id, epoch)`, the savings columns merge
+//! exactly (integer fixed-point), and the one floating-point total
+//! folds in a fixed (epoch-major, shard-minor) order. The
+//! differential suite in `tests/fleet_determinism.rs` pins all three
+//! properties.
 
 pub mod report;
 pub mod shard;
 pub mod spec;
 pub mod store;
 
-pub use report::{EpochStats, FleetReport, SavingsStat};
+pub use report::{app_stream, fault_stream, savings_agg, EpochStats, FleetReport};
 pub use shard::ShardState;
 pub use spec::{DeviceSpec, FaultClass, FleetConfig, FleetError};
 pub use store::{PolicyStore, StoredPolicy};
 
+use asgov_core::persist::{ensure, require};
 use asgov_core::{SnapshotError, SnapshotReader, SnapshotWriter};
-use asgov_util::par::ordered_map;
+use asgov_obs::FleetStats;
+use asgov_util::par::WorkerPool;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
-/// A fleet run in progress: shard states plus the accumulated report.
+/// A fleet run in progress: shard states, the accumulated report, and
+/// the persistent worker pool the epoch engines fan out over.
 #[derive(Debug)]
 pub struct Fleet {
     config: FleetConfig,
     shards: Vec<ShardState>,
     report: FleetReport,
+    pool: WorkerPool,
 }
 
 impl Fleet {
-    /// Set up a fleet run (epoch 0, no controller state yet).
+    /// Set up a fleet run (epoch 0, no controller state yet). Spawns
+    /// the worker pool once; both epoch engines reuse it.
     ///
     /// # Errors
     ///
     /// [`FleetError::BadConfig`] when `config` violates an invariant.
     pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
         config.validate()?;
-        let shards = (0..config.shards)
+        let shards: Vec<ShardState> = (0..config.shards)
             .map(|s| ShardState::new(&config, s))
             .collect();
+        let threads = store::resolve_threads(config.threads, shards.len());
         Ok(Self {
             config,
             shards,
             report: FleetReport::new(config),
+            pool: WorkerPool::new(threads),
         })
     }
 
@@ -95,12 +112,11 @@ impl Fleet {
         if self.done() {
             return Ok(());
         }
-        let threads = store::resolve_threads(self.config.threads, self.shards.len());
-        let config = &self.config;
+        let config = self.config;
         let prev = &self.shards;
-        let results = ordered_map(prev.len(), threads, |s| {
+        let results = self.pool.ordered_map(prev.len(), |s| {
             prev.get(s)
-                .map(|state| shard::run_epoch(config, store, state))
+                .map(|state| shard::run_epoch(&config, store, state))
         });
         let mut next = Vec::with_capacity(self.shards.len());
         let mut merged = EpochStats::default();
@@ -114,23 +130,162 @@ impl Fleet {
                     ))
                 }
             };
-            merged.merge(&stats);
+            merged
+                .merge(&stats)
+                .map_err(|_| FleetError::StatsLayout)?;
             next.push(state);
         }
         self.shards = next;
-        self.report.totals.merge(&merged);
+        self.report
+            .totals
+            .merge(&merged)
+            .map_err(|_| FleetError::StatsLayout)?;
         self.report.epochs_run += 1;
         Ok(())
     }
 
-    /// Run all remaining epochs and return the final report.
+    /// Run all remaining epochs **pipelined** and return the final
+    /// report: one pool broadcast covers every remaining shard-epoch,
+    /// and a shard re-enters the ready queue for epoch `e + 1` the
+    /// moment its own epoch `e` lands — workers never idle at a
+    /// global epoch barrier. Completed `(epoch, shard)` statistics
+    /// are buffered and folded epoch-major/shard-minor afterward, so
+    /// the report is bit-identical to running [`Fleet::step`] in a
+    /// loop.
     ///
     /// # Errors
     ///
-    /// The first [`FleetError`] any epoch surfaces.
+    /// The earliest `(epoch, shard)` error any worker hit. The fleet
+    /// is left partially advanced and must be discarded — unlike
+    /// [`Fleet::step`], a failed pipelined run does not roll back
+    /// (errors are deterministic, so a retry would fail identically).
     pub fn run(&mut self, store: &PolicyStore) -> Result<&FleetReport, FleetError> {
-        while !self.done() {
-            self.step(store)?;
+        if self.done() {
+            return Ok(&self.report);
+        }
+        let config = self.config;
+        let total_epochs = config.epochs;
+        let start_epoch = self.report.epochs_run;
+        let nshards = self.shards.len() as u64;
+        for shard in &self.shards {
+            if shard.next_epoch != start_epoch {
+                return Err(FleetError::BadConfig(
+                    "shard epochs out of alignment; cannot pipeline".into(),
+                ));
+            }
+        }
+
+        let slots: Vec<Mutex<Option<ShardState>>> = self
+            .shards
+            .drain(..)
+            .map(|s| Mutex::new(Some(s)))
+            .collect();
+        let queue = Mutex::new(PipelineQueue {
+            ready: (0..nshards).collect(),
+            remaining: nshards * (total_epochs - start_epoch),
+            abort: false,
+        });
+        let work_ready = Condvar::new();
+        let results: Mutex<BTreeMap<(u64, u64), EpochStats>> = Mutex::new(BTreeMap::new());
+        let first_error: Mutex<Option<((u64, u64), FleetError)>> = Mutex::new(None);
+
+        let fail = |at: (u64, u64), e: FleetError| {
+            let mut slot = lock(&first_error);
+            let replace = match &*slot {
+                None => true,
+                Some((prev_at, _)) => at < *prev_at,
+            };
+            if replace {
+                *slot = Some((at, e));
+            }
+            lock(&queue).abort = true;
+            work_ready.notify_all();
+        };
+
+        self.pool.broadcast(&|_worker| loop {
+            let shard = {
+                let mut q = lock(&queue);
+                loop {
+                    if q.abort || q.remaining == 0 {
+                        return;
+                    }
+                    if let Some(s) = q.ready.pop_front() {
+                        break s;
+                    }
+                    q = wait(&work_ready, q);
+                }
+            };
+            let Some(slot) = slots.get(shard as usize) else {
+                fail((start_epoch, shard), internal_error("shard slot missing"));
+                return;
+            };
+            let Some(mut state) = lock(slot).take() else {
+                fail((start_epoch, shard), internal_error("shard slot empty"));
+                return;
+            };
+            let epoch = state.next_epoch;
+            match shard::run_epoch_into(&config, store, &mut state) {
+                Ok(stats) => {
+                    let more = state.next_epoch < total_epochs;
+                    *lock(slot) = Some(state);
+                    lock(&results).insert((epoch, shard), stats);
+                    let finished = {
+                        let mut q = lock(&queue);
+                        q.remaining = q.remaining.saturating_sub(1);
+                        if more {
+                            q.ready.push_back(shard);
+                        }
+                        q.remaining == 0
+                    };
+                    if finished {
+                        work_ready.notify_all();
+                    } else if more {
+                        work_ready.notify_one();
+                    }
+                }
+                Err(e) => {
+                    *lock(slot) = Some(state);
+                    fail((epoch, shard), e);
+                    return;
+                }
+            }
+        });
+
+        // Reassemble shard states (every worker put its state back
+        // before returning, on both the success and error paths).
+        let mut shards = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                Some(state) => shards.push(state),
+                None => return Err(internal_error("shard state lost in pipeline")),
+            }
+        }
+        self.shards = shards;
+
+        if let Some((_, e)) = lock(&first_error).take() {
+            return Err(e);
+        }
+
+        // Fold the buffered statistics exactly as the barriered loop
+        // would: per epoch, merge shards in shard order into a fresh
+        // accumulator, then fold that into the totals — the f64
+        // energy sum sees the identical grouping.
+        let results = results.into_inner().unwrap_or_else(|e| e.into_inner());
+        for epoch in start_epoch..total_epochs {
+            let mut merged = EpochStats::default();
+            for shard in 0..nshards {
+                let Some(stats) = results.get(&(epoch, shard)) else {
+                    return Err(internal_error("missing shard-epoch result"));
+                };
+                merged
+                    .merge(stats)
+                    .map_err(|_| FleetError::StatsLayout)?;
+            }
+            self.report
+                .totals
+                .merge(&merged)
+                .map_err(|_| FleetError::StatsLayout)?;
+            self.report.epochs_run += 1;
         }
         Ok(&self.report)
     }
@@ -150,6 +305,7 @@ impl Fleet {
         w.put_u64(self.config.epochs);
         w.put_u64(self.config.epoch_ms);
         w.put_u64(self.config.seed);
+        w.put_u64(self.config.demand_quantum_ms);
         w.put_u64(self.report.epochs_run);
         encode_stats(&mut w, &self.report.totals)?;
         for shard in &self.shards {
@@ -161,7 +317,8 @@ impl Fleet {
     /// Restore a fleet from a [`Fleet::checkpoint`] frame, resuming at
     /// the epoch the checkpoint was taken at. The frame must match
     /// `config`'s identity fields (devices, shards, epochs, epoch_ms,
-    /// seed); `threads` is free to differ — it cannot change results.
+    /// seed, demand_quantum_ms); `threads` is free to differ — it
+    /// cannot change results.
     ///
     /// # Errors
     ///
@@ -174,24 +331,32 @@ impl Fleet {
             && r.take_u64()? == config.shards
             && r.take_u64()? == config.epochs
             && r.take_u64()? == config.epoch_ms
-            && r.take_u64()? == config.seed;
-        asgov_core::persist::ensure(same)?;
+            && r.take_u64()? == config.seed
+            && r.take_u64()? == config.demand_quantum_ms;
+        ensure(same)?;
         let epochs_run = r.take_u64()?;
-        asgov_core::persist::ensure(epochs_run <= config.epochs)?;
+        ensure(epochs_run <= config.epochs)?;
         let totals = decode_stats(&mut r)?;
         let mut shards = Vec::with_capacity(config.shards as usize);
         for _ in 0..config.shards {
             let frame = r.take_bytes()?;
-            shards.push(ShardState::restore_bytes(&config, frame)?);
+            let state = ShardState::restore_bytes(&config, frame)?;
+            // Checkpoints are taken at epoch boundaries: every shard
+            // must sit at exactly the fleet's resume epoch, or the
+            // pipelined engine could not schedule it.
+            ensure(state.next_epoch == epochs_run)?;
+            shards.push(state);
         }
         r.finish()?;
         let mut report = FleetReport::new(config);
         report.epochs_run = epochs_run;
         report.totals = totals;
+        let threads = store::resolve_threads(config.threads, shards.len());
         Ok(Self {
             config,
             shards,
             report,
+            pool: WorkerPool::new(threads),
         })
     }
 
@@ -199,6 +364,32 @@ impl Fleet {
     pub fn shards(&self) -> &[ShardState] {
         &self.shards
     }
+}
+
+/// Scheduling state of the pipelined engine, all under one mutex so
+/// ready-queue pushes, the remaining-work counter and the abort flag
+/// change atomically with respect to waiting workers.
+struct PipelineQueue {
+    ready: VecDeque<u64>,
+    remaining: u64,
+    abort: bool,
+}
+
+/// Lock that ignores poisoning: a panicking worker (itself a bug the
+/// pool propagates) must not cascade into opaque poison panics here.
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Condvar wait with the same poison policy as [`lock`].
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// An invariant the pipeline itself maintains was violated — always a
+/// bug in this crate, surfaced as an error instead of a panic.
+fn internal_error(what: &str) -> FleetError {
+    FleetError::BadConfig(format!("internal pipeline invariant broken: {what}"))
 }
 
 fn encode_stats(w: &mut SnapshotWriter, s: &EpochStats) -> Result<(), SnapshotError> {
@@ -210,17 +401,10 @@ fn encode_stats(w: &mut SnapshotWriter, s: &EpochStats) -> Result<(), SnapshotEr
     w.put_u64(s.warm_migrations);
     w.put_u64(s.snapshot_errors);
     w.put_u64(s.downtime_ms);
-    for map in [&s.per_app, &s.per_fault] {
-        w.put_u64(map.len() as u64);
-        for (k, v) in map {
-            w.put_bytes(k.as_bytes())?;
-            w.put_u64(v.count);
-            w.put_u64(v.degenerate);
-            w.put_f64(v.sum);
-            w.put_f64(v.sumsq);
-            w.put_f64(v.min);
-            w.put_f64(v.max);
-        }
+    let words = s.savings.serialize_words();
+    w.put_u64(words.len() as u64);
+    for word in words {
+        w.put_u64(word);
     }
     Ok(())
 }
@@ -237,27 +421,19 @@ fn decode_stats(r: &mut SnapshotReader) -> Result<EpochStats, SnapshotError> {
         downtime_ms: r.take_u64()?,
         ..EpochStats::default()
     };
-    asgov_core::persist::ensure(s.energy_j.is_finite())?;
-    for which in 0..2u8 {
-        let len = r.take_u64()?;
-        for _ in 0..len {
-            let key = String::from_utf8(r.take_bytes()?.to_vec());
-            let key = asgov_core::persist::require(key.ok())?;
-            let stat = SavingsStat {
-                count: r.take_u64()?,
-                degenerate: r.take_u64()?,
-                sum: r.take_f64()?,
-                sumsq: r.take_f64()?,
-                min: r.take_f64()?,
-                max: r.take_f64()?,
-            };
-            if which == 0 {
-                s.per_app.insert(key, stat);
-            } else {
-                s.per_fault.insert(key, stat);
-            }
-        }
+    ensure(s.energy_j.is_finite())?;
+    let nwords = r.take_u64()?;
+    ensure(nwords <= 1 << 22)?;
+    let mut words = Vec::with_capacity(nwords as usize);
+    for _ in 0..nwords {
+        words.push(r.take_u64()?);
     }
+    let savings = require(FleetStats::deserialize_words(&words))?;
+    // The decoded aggregator must carry the fleet's fixed stream
+    // layout, or later merges would fail far from the codec.
+    let mut probe = report::savings_agg();
+    ensure(probe.merge(&savings).is_ok())?;
+    s.savings = savings;
     Ok(s)
 }
 
@@ -299,5 +475,10 @@ mod tests {
         let bytes = fleet.checkpoint().expect("small frame");
         let other = FleetConfig { seed: 99, ..cfg };
         assert!(Fleet::restore(other, &bytes).is_err());
+        let other_quantum = FleetConfig {
+            demand_quantum_ms: 5,
+            ..cfg
+        };
+        assert!(Fleet::restore(other_quantum, &bytes).is_err());
     }
 }

@@ -1,104 +1,43 @@
 //! Aggregate fleet results: energy-savings distributions per
 //! application and per fault class, plus supervision telemetry.
 //!
-//! Aggregation is order-deterministic: shards are merged in shard
-//! order and devices in id order, so floating-point sums are
-//! bit-identical across thread counts.
+//! Savings distributions live in one columnar [`FleetStats`]
+//! aggregator with a fixed stream layout — roster applications first
+//! (in roster order), then fault classes (in [`FaultClass::all`]
+//! order). Its integer fixed-point moments and histograms merge
+//! bit-exactly in any order; the one floating-point total
+//! (`energy_j`) is folded in a fixed (epoch-major, shard-minor)
+//! order, so reports are bit-identical across thread counts and
+//! across the barriered and pipelined execution paths.
 
-use crate::spec::FleetConfig;
+use crate::spec::{roster_names, FaultClass, FleetConfig};
+use asgov_obs::{FleetStats, LayoutMismatch};
 use asgov_util::Json;
-use std::collections::BTreeMap;
 
-/// Running moments of an energy-savings distribution (percent).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct SavingsStat {
-    /// Samples recorded.
-    pub count: u64,
-    /// Device-epochs excluded for a degenerate baseline (zero or
-    /// non-finite baseline energy) — flagged, never averaged.
-    pub degenerate: u64,
-    /// Sum of savings, percent.
-    pub sum: f64,
-    /// Sum of squared savings.
-    pub sumsq: f64,
-    /// Smallest sample (`0` when empty).
-    pub min: f64,
-    /// Largest sample (`0` when empty).
-    pub max: f64,
+/// Number of per-application savings streams (the roster size).
+pub const APP_STREAMS: usize = 6;
+/// Number of per-fault-class savings streams.
+pub const FAULT_STREAMS: usize = 7;
+/// Total savings streams in every fleet aggregator.
+pub const SAVINGS_STREAMS: usize = APP_STREAMS + FAULT_STREAMS;
+
+/// The aggregator stream for a roster application (by roster index).
+pub fn app_stream(app_idx: usize) -> usize {
+    app_idx.min(APP_STREAMS - 1)
 }
 
-impl SavingsStat {
-    /// Record one savings sample (percent).
-    pub fn record(&mut self, v: f64) {
-        if self.count == 0 {
-            self.min = v;
-            self.max = v;
-        } else {
-            self.min = self.min.min(v);
-            self.max = self.max.max(v);
-        }
-        self.count += 1;
-        self.sum += v;
-        self.sumsq += v * v;
-    }
+/// The aggregator stream for a fault class.
+pub fn fault_stream(class: FaultClass) -> usize {
+    APP_STREAMS + class.index()
+}
 
-    /// Flag (and exclude) a degenerate-baseline device-epoch.
-    pub fn record_degenerate(&mut self) {
-        self.degenerate += 1;
-    }
-
-    /// Fold another stat into this one (used when merging shards; the
-    /// caller fixes the merge order).
-    pub fn merge(&mut self, other: &SavingsStat) {
-        if other.count > 0 {
-            if self.count == 0 {
-                self.min = other.min;
-                self.max = other.max;
-            } else {
-                self.min = self.min.min(other.min);
-                self.max = self.max.max(other.max);
-            }
-        }
-        self.count += other.count;
-        self.degenerate += other.degenerate;
-        self.sum += other.sum;
-        self.sumsq += other.sumsq;
-    }
-
-    /// Mean savings, percent (`0` when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-
-    /// Population standard deviation (`0` when empty).
-    pub fn std(&self) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let n = self.count as f64;
-        let var = (self.sumsq / n - (self.sum / n) * (self.sum / n)).max(0.0);
-        var.sqrt()
-    }
-
-    /// JSON object with the derived distribution figures.
-    pub fn to_json(&self) -> Json {
-        let mut j = Json::object();
-        j.set("count", self.count as f64);
-        j.set("degenerate", self.degenerate as f64);
-        j.set("mean_pct", self.mean());
-        j.set("std_pct", self.std());
-        j.set("min_pct", if self.count == 0 { 0.0 } else { self.min });
-        j.set("max_pct", if self.count == 0 { 0.0 } else { self.max });
-        j
-    }
+/// A fresh savings aggregator with the fleet's fixed stream layout.
+pub fn savings_agg() -> FleetStats {
+    FleetStats::savings_pct(SAVINGS_STREAMS)
 }
 
 /// One shard-epoch's contribution to the fleet report.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EpochStats {
     /// Device-epochs simulated.
     pub online: u64,
@@ -116,15 +55,40 @@ pub struct EpochStats {
     pub snapshot_errors: u64,
     /// Milliseconds controllers spent dead.
     pub downtime_ms: u64,
-    /// Savings distribution per application.
-    pub per_app: BTreeMap<String, SavingsStat>,
-    /// Savings distribution per fault class.
-    pub per_fault: BTreeMap<String, SavingsStat>,
+    /// Columnar savings distributions: streams `0..APP_STREAMS` are
+    /// per-application, the rest per-fault-class. Degenerate-baseline
+    /// device-epochs are recorded as excluded samples (counted, never
+    /// averaged).
+    pub savings: FleetStats,
+}
+
+impl Default for EpochStats {
+    fn default() -> Self {
+        Self {
+            online: 0,
+            offline: 0,
+            energy_j: 0.0,
+            restarts: 0,
+            warm_restarts: 0,
+            warm_migrations: 0,
+            snapshot_errors: 0,
+            downtime_ms: 0,
+            savings: savings_agg(),
+        }
+    }
 }
 
 impl EpochStats {
-    /// Fold another epoch/shard contribution into this one.
-    pub fn merge(&mut self, other: &EpochStats) {
+    /// Fold another epoch/shard contribution into this one. The
+    /// savings columns merge bit-exactly in any order; `energy_j` is
+    /// an f64 sum, so the caller fixes the merge order.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutMismatch`] if the aggregators disagree on layout — only
+    /// possible for stats rebuilt from a foreign checkpoint.
+    pub fn merge(&mut self, other: &EpochStats) -> Result<(), LayoutMismatch> {
+        self.savings.merge(&other.savings)?;
         self.online += other.online;
         self.offline += other.offline;
         self.energy_j += other.energy_j;
@@ -133,12 +97,7 @@ impl EpochStats {
         self.warm_migrations += other.warm_migrations;
         self.snapshot_errors += other.snapshot_errors;
         self.downtime_ms += other.downtime_ms;
-        for (k, v) in &other.per_app {
-            self.per_app.entry(k.clone()).or_default().merge(v);
-        }
-        for (k, v) in &other.per_fault {
-            self.per_fault.entry(k.clone()).or_default().merge(v);
-        }
+        Ok(())
     }
 }
 
@@ -180,6 +139,7 @@ impl FleetReport {
         cfg.set("epoch_ms", self.config.epoch_ms as f64);
         cfg.set("seed", self.config.seed as f64);
         cfg.set("offline_rate", self.config.offline_rate);
+        cfg.set("demand_quantum_ms", self.config.demand_quantum_ms as f64);
 
         let mut tel = Json::object();
         tel.set("restarts", self.totals.restarts as f64);
@@ -189,12 +149,12 @@ impl FleetReport {
         tel.set("downtime_ms", self.totals.downtime_ms as f64);
 
         let mut per_app = Json::object();
-        for (k, v) in &self.totals.per_app {
-            per_app.set(k, v.to_json());
+        for (idx, name) in roster_names().into_iter().enumerate() {
+            per_app.set(name, self.savings_json(app_stream(idx)));
         }
         let mut per_fault = Json::object();
-        for (k, v) in &self.totals.per_fault {
-            per_fault.set(k, v.to_json());
+        for class in FaultClass::all() {
+            per_fault.set(class.label(), self.savings_json(fault_stream(class)));
         }
 
         let mut j = Json::object();
@@ -209,6 +169,35 @@ impl FleetReport {
         j.set("savings_per_fault", per_fault);
         j
     }
+
+    /// One stream's distribution with the report's historical key
+    /// names (`count` = usable samples, `degenerate` = excluded
+    /// device-epochs) plus the histogram-derived quantiles and
+    /// non-empty buckets the columnar aggregator adds.
+    fn savings_json(&self, stream: usize) -> Json {
+        let s = &self.totals.savings;
+        let mut j = Json::object();
+        j.set("count", s.included(stream) as f64);
+        j.set("degenerate", s.excluded(stream) as f64);
+        j.set("mean_pct", s.mean(stream));
+        j.set("std_pct", s.std(stream));
+        j.set("min_pct", s.min(stream).unwrap_or(0.0));
+        j.set("max_pct", s.max(stream).unwrap_or(0.0));
+        for (key, q) in [("p50_pct", 0.5), ("p95_pct", 0.95), ("p99_pct", 0.99)] {
+            j.set(key, s.quantile(stream, q).unwrap_or(0.0));
+        }
+        let buckets: Vec<Json> = s
+            .buckets(stream)
+            .map(|(le, n)| {
+                let mut e = Json::object();
+                e.set("le", le);
+                e.set("n", n as f64);
+                e
+            })
+            .collect();
+        j.set("buckets", buckets);
+        j
+    }
 }
 
 #[cfg(test)]
@@ -216,46 +205,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn stat_moments_match_direct_computation() {
-        let mut s = SavingsStat::default();
-        for v in [10.0, 20.0, 30.0] {
-            s.record(v);
+    fn stream_layout_is_dense_and_disjoint() {
+        assert_eq!(roster_names().len(), APP_STREAMS);
+        assert_eq!(FaultClass::all().len(), FAULT_STREAMS);
+        let mut seen = std::collections::BTreeSet::new();
+        for idx in 0..APP_STREAMS {
+            assert!(seen.insert(app_stream(idx)));
         }
-        assert!((s.mean() - 20.0).abs() < 1e-12);
-        assert!((s.std() - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
-        assert!((s.min - 10.0).abs() < 1e-12);
-        assert!((s.max - 30.0).abs() < 1e-12);
+        for class in FaultClass::all() {
+            assert!(seen.insert(fault_stream(class)));
+        }
+        assert_eq!(seen.len(), SAVINGS_STREAMS);
+        assert_eq!(*seen.iter().max().unwrap_or(&0), SAVINGS_STREAMS - 1);
+        assert_eq!(savings_agg().streams(), SAVINGS_STREAMS);
     }
 
     #[test]
-    fn merging_two_stats_equals_recording_all_samples() {
-        let (mut a, mut b, mut all) = (
-            SavingsStat::default(),
-            SavingsStat::default(),
-            SavingsStat::default(),
-        );
-        for v in [1.0, -2.0, 3.5] {
-            a.record(v);
-            all.record(v);
-        }
-        for v in [7.0, 0.25] {
-            b.record(v);
-            all.record(v);
-        }
-        b.record_degenerate();
-        a.merge(&b);
-        assert_eq!(a.count, all.count);
-        assert_eq!(a.degenerate, 1);
-        assert!((a.mean() - all.mean()).abs() < 1e-12);
-        assert!((a.min - all.min).abs() < 1e-12);
-        assert!((a.max - all.max).abs() < 1e-12);
-    }
-
-    #[test]
-    fn empty_stat_serializes_finite_numbers() {
-        let s = SavingsStat::default();
-        let text = s.to_json().to_pretty();
-        assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
+    fn merging_epoch_stats_sums_counters_and_savings() {
+        let mut a = EpochStats::default();
+        a.online = 3;
+        a.energy_j = 1.5;
+        a.savings.record(app_stream(0), 10.0);
+        a.savings.record(app_stream(0), 20.0);
+        let mut b = EpochStats::default();
+        b.online = 2;
+        b.offline = 1;
+        b.energy_j = 0.5;
+        b.savings.record(app_stream(0), 30.0);
+        b.savings.record_excluded(fault_stream(FaultClass::Healthy));
+        a.merge(&b).unwrap();
+        assert_eq!(a.online, 5);
+        assert_eq!(a.offline, 1);
+        assert!((a.energy_j - 2.0).abs() < 1e-12);
+        assert_eq!(a.savings.included(app_stream(0)), 3);
+        assert!((a.savings.mean(app_stream(0)) - 20.0).abs() < 1e-9);
+        assert_eq!(a.savings.excluded(fault_stream(FaultClass::Healthy)), 1);
     }
 
     #[test]
@@ -275,5 +259,18 @@ mod tests {
         ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
+        let per_app = j.get("savings_per_app").expect("per_app");
+        for name in roster_names() {
+            let entry = per_app.get(name).expect(name);
+            for key in ["count", "degenerate", "mean_pct", "std_pct", "min_pct", "max_pct"] {
+                assert!(entry.get(key).is_some(), "missing {name}.{key}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_report_serializes_finite_numbers() {
+        let text = FleetReport::new(FleetConfig::smoke()).to_json().to_pretty();
+        assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
     }
 }

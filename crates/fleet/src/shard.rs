@@ -8,7 +8,7 @@
 //! non-`Send` observability handles, so devices are constructed fresh
 //! inside each shard-epoch job).
 
-use crate::report::EpochStats;
+use crate::report::{app_stream, fault_stream, EpochStats};
 use crate::spec::{DeviceSpec, FleetConfig, FleetError};
 use crate::store::PolicyStore;
 use asgov_core::{
@@ -115,13 +115,10 @@ impl ShardState {
     }
 }
 
-/// Run one epoch of `prev`'s shard: simulate every online device for
-/// `cfg.epoch_ms`, returning the successor state (snapshots advanced,
-/// `next_epoch + 1`) and the shard's statistics contribution.
-///
-/// Pure per shard: every draw derives from
-/// `(cfg.seed, device_id, epoch)`, so the result is independent of
-/// which worker thread runs it.
+/// Run one epoch of `prev`'s shard without mutating it: clones the
+/// state and delegates to [`run_epoch_into`]. Convenience wrapper for
+/// callers that want value semantics; the hot pipelined path mutates
+/// shard state in place instead.
 ///
 /// # Errors
 ///
@@ -132,23 +129,46 @@ pub fn run_epoch(
     store: &PolicyStore,
     prev: &ShardState,
 ) -> Result<(ShardState, EpochStats), FleetError> {
-    let (start, count) = cfg.shard_range(prev.shard);
-    let epoch = prev.next_epoch;
-    let mut snapshots = Vec::with_capacity(count as usize);
+    let mut state = prev.clone();
+    let stats = run_epoch_into(cfg, store, &mut state)?;
+    Ok((state, stats))
+}
+
+/// Run one epoch of `state`'s shard in place: simulate every online
+/// device for `cfg.epoch_ms`, moving each carried controller snapshot
+/// out of its slot and the successor snapshot back in (no per-device
+/// clones), then advance `state.next_epoch`.
+///
+/// Pure per shard: every draw derives from
+/// `(cfg.seed, device_id, epoch)`, so the result is independent of
+/// which worker thread runs it and identical to the value-semantics
+/// [`run_epoch`].
+///
+/// # Errors
+///
+/// [`FleetError::UnknownSignature`] if a device's `(app, load)` pair
+/// is missing from `store`. On error `state` is left partially
+/// advanced (some snapshots replaced, `next_epoch` unchanged) and
+/// must be discarded.
+pub fn run_epoch_into(
+    cfg: &FleetConfig,
+    store: &PolicyStore,
+    state: &mut ShardState,
+) -> Result<EpochStats, FleetError> {
+    let (start, count) = cfg.shard_range(state.shard);
+    let epoch = state.next_epoch;
     let mut stats = EpochStats::default();
 
     for i in 0..count {
         let device_id = start + i;
         let spec = DeviceSpec::derive(cfg.seed, device_id);
-        let carried = prev.snapshots.get(i as usize).cloned().flatten();
         let epoch_seed = spec.epoch_seed(cfg.seed, epoch);
         let mut rng = Rng::seed_from_u64(epoch_seed);
 
         // Offline churn: the device misses this epoch entirely; its
-        // controller snapshot rides along unchanged.
+        // controller snapshot stays in its slot unchanged.
         if rng.gen_bool(cfg.offline_rate) {
             stats.offline += 1;
-            snapshots.push(carried);
             continue;
         }
 
@@ -160,6 +180,7 @@ pub fn run_epoch(
         let Some(mut app) = crate::spec::build_app(
             spec.app,
             BackgroundLoad::with_level(spec.load, rng.next_u64()),
+            cfg.demand_quantum_ms,
         ) else {
             return Err(FleetError::UnknownSignature(sig));
         };
@@ -180,6 +201,9 @@ pub fn run_epoch(
             },
             supervisor_config(),
         );
+        // Move the carried snapshot out of its slot — the successor
+        // snapshot is written back below, so nothing is cloned.
+        let carried = state.snapshots.get_mut(i as usize).and_then(Option::take);
         if let Some(snapshot) = carried {
             supervisor.migrate_in(snapshot);
         }
@@ -190,7 +214,9 @@ pub fn run_epoch(
             let mut policies: [&mut dyn Policy; 2] = [&mut gpu_gov, &mut supervisor];
             event::run(&mut device, &mut app, &mut policies, cfg.epoch_ms)
         };
-        snapshots.push(supervisor.migrate_out(device.now_ms()));
+        if let Some(slot) = state.snapshots.get_mut(i as usize) {
+            *slot = supervisor.migrate_out(device.now_ms());
+        }
 
         stats.online += 1;
         stats.energy_j += report.energy_j;
@@ -201,34 +227,18 @@ pub fn run_epoch(
         stats.downtime_ms += supervisor.downtime_ms();
 
         let base = policy.baseline_energy_j;
-        let app_stat = stats.per_app.entry(spec.app.to_string()).or_default();
-        let usable = base.is_finite() && base > 0.0;
-        if usable {
+        if base.is_finite() && base > 0.0 {
             let savings = (base - report.energy_j) / base * 100.0;
-            app_stat.record(savings);
-            stats
-                .per_fault
-                .entry(spec.fault_class.label().to_string())
-                .or_default()
-                .record(savings);
+            stats.savings.record(app_stream(spec.app_idx), savings);
+            stats.savings.record(fault_stream(spec.fault_class), savings);
         } else {
-            app_stat.record_degenerate();
-            stats
-                .per_fault
-                .entry(spec.fault_class.label().to_string())
-                .or_default()
-                .record_degenerate();
+            stats.savings.record_excluded(app_stream(spec.app_idx));
+            stats.savings.record_excluded(fault_stream(spec.fault_class));
         }
     }
 
-    Ok((
-        ShardState {
-            shard: prev.shard,
-            next_epoch: epoch + 1,
-            snapshots,
-        },
-        stats,
-    ))
+    state.next_epoch = epoch + 1;
+    Ok(stats)
 }
 
 #[cfg(test)]

@@ -36,6 +36,12 @@ pub struct FleetConfig {
     /// Per-epoch probability that a device is offline (powered down,
     /// out of coverage) and skips the epoch entirely.
     pub offline_rate: f64,
+    /// Demand quantum for device workloads, simulated ms (`1` = the
+    /// exact per-ms arrival model; larger values run rate-based apps
+    /// on the coarse windowed model — see `PhasedApp::with_quantum`).
+    /// Part of the run's deterministic identity: it changes simulated
+    /// trajectories, so checkpoints pin it like the seed.
+    pub demand_quantum_ms: u64,
 }
 
 impl FleetConfig {
@@ -49,6 +55,7 @@ impl FleetConfig {
             seed: 0xf1ee7,
             threads: 0,
             offline_rate: 0.05,
+            demand_quantum_ms: 1,
         }
     }
 
@@ -57,6 +64,18 @@ impl FleetConfig {
         Self {
             devices: 100_000,
             shards: 256,
+            ..Self::smoke()
+        }
+    }
+
+    /// The million-device tier: 10⁶ devices over 1 024 shards with a
+    /// 20 ms demand quantum (the coarse workload model is what makes
+    /// this tier tractable; smoke/bench keep the exact per-ms model).
+    pub fn bench_1m() -> Self {
+        Self {
+            devices: 1_000_000,
+            shards: 1_024,
+            demand_quantum_ms: 20,
             ..Self::smoke()
         }
     }
@@ -84,6 +103,11 @@ impl FleetConfig {
         if !(self.offline_rate.is_finite() && (0.0..1.0).contains(&self.offline_rate)) {
             return Err(FleetError::BadConfig(
                 "offline_rate must be finite and in [0, 1)".into(),
+            ));
+        }
+        if self.demand_quantum_ms == 0 {
+            return Err(FleetError::BadConfig(
+                "demand_quantum_ms must be positive".into(),
             ));
         }
         Ok(())
@@ -115,6 +139,10 @@ pub enum FleetError {
     UnknownSignature(String),
     /// A snapshot frame failed to encode or decode.
     Snapshot(asgov_core::SnapshotError),
+    /// Columnar savings aggregates disagreed on stream layout while
+    /// merging — only possible when a checkpoint from an incompatible
+    /// version survives frame validation.
+    StatsLayout,
 }
 
 impl std::fmt::Display for FleetError {
@@ -125,6 +153,7 @@ impl std::fmt::Display for FleetError {
                 write!(f, "no stored policy for signature {sig:?}")
             }
             FleetError::Snapshot(e) => write!(f, "fleet snapshot: {e}"),
+            FleetError::StatsLayout => write!(f, "savings aggregator layout mismatch"),
         }
     }
 }
@@ -172,6 +201,12 @@ const ROSTER: [(&str, AppCtor); 6] = [
     ("Spotify", apps::spotify),
 ];
 
+/// Roster application names, in roster order. This order defines the
+/// per-app stream indices of the columnar savings aggregator.
+pub fn roster_names() -> [&'static str; 6] {
+    ROSTER.map(|(name, _)| name)
+}
+
 /// Every `(app, load)` signature a fleet device can draw, in roster
 /// order. The policy store must resolve exactly this set.
 pub fn roster_signatures() -> Vec<(String, &'static str, LoadLevel)> {
@@ -190,12 +225,15 @@ pub fn signature(app: &str, load: LoadLevel) -> String {
 }
 
 /// Construct the roster app named `app` with the given background
-/// load. `None` for names outside the roster.
-pub fn build_app(app: &str, load: BackgroundLoad) -> Option<PhasedApp> {
+/// load and demand quantum. `None` for names outside the roster.
+/// `quantum_ms == 1` is the exact per-ms model; larger quanta switch
+/// rate-based apps to the coarse windowed model (batch apps ignore the
+/// quantum — see `PhasedApp::with_quantum`).
+pub fn build_app(app: &str, load: BackgroundLoad, quantum_ms: u64) -> Option<PhasedApp> {
     ROSTER
         .iter()
         .find(|(name, _)| *name == app)
-        .map(|(_, ctor)| ctor(load))
+        .map(|(_, ctor)| ctor(load).with_quantum(quantum_ms))
 }
 
 /// The fault environment a device lives in, fixed for its lifetime.
@@ -229,6 +267,20 @@ impl FaultClass {
             FaultClass::SysfsBusy => "sysfs-busy",
             FaultClass::ThermalClamp => "thermal-clamp",
             FaultClass::GovernorReset => "governor-reset",
+        }
+    }
+
+    /// This class's position in [`FaultClass::all`] — the per-fault
+    /// stream offset of the columnar savings aggregator.
+    pub fn index(self) -> usize {
+        match self {
+            FaultClass::Healthy => 0,
+            FaultClass::ControllerKill => 1,
+            FaultClass::CheckpointCorrupt => 2,
+            FaultClass::PerfDropout => 3,
+            FaultClass::SysfsBusy => 4,
+            FaultClass::ThermalClamp => 5,
+            FaultClass::GovernorReset => 6,
         }
     }
 
@@ -269,6 +321,8 @@ pub struct DeviceSpec {
     pub device_id: u64,
     /// Roster application name.
     pub app: &'static str,
+    /// Roster index of `app` (the aggregator's per-app stream).
+    pub app_idx: usize,
     /// Background-load scenario.
     pub load: LoadLevel,
     /// Fault environment.
@@ -279,9 +333,8 @@ impl DeviceSpec {
     /// Derive device `device_id`'s identity under `fleet_seed`.
     pub fn derive(fleet_seed: u64, device_id: u64) -> Self {
         let mut rng = Rng::seed_from_u64(mix3(fleet_seed, device_id, SALT_IDENTITY));
-        let app = ROSTER
-            .get(rng.gen_range_usize(0..ROSTER.len()))
-            .map_or("WeChat", |(name, _)| *name);
+        let app_idx = rng.gen_range_usize(0..ROSTER.len());
+        let app = ROSTER.get(app_idx).map_or("WeChat", |(name, _)| *name);
         let load = match rng.gen_range_usize(0..3) {
             0 => LoadLevel::Baseline,
             1 => LoadLevel::None,
@@ -291,6 +344,7 @@ impl DeviceSpec {
         Self {
             device_id,
             app,
+            app_idx,
             load,
             fault_class,
         }
@@ -370,8 +424,38 @@ mod tests {
                 offline_rate: f64::NAN,
                 ..ok
             },
+            FleetConfig {
+                demand_quantum_ms: 0,
+                ..ok
+            },
         ] {
             assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn presets_validate_and_tier_sizes_are_ordered() {
+        for cfg in [
+            FleetConfig::smoke(),
+            FleetConfig::bench(),
+            FleetConfig::bench_1m(),
+        ] {
+            assert!(cfg.validate().is_ok(), "{cfg:?}");
+        }
+        assert!(FleetConfig::smoke().devices < FleetConfig::bench().devices);
+        assert!(FleetConfig::bench().devices < FleetConfig::bench_1m().devices);
+        assert_eq!(FleetConfig::bench_1m().devices, 1_000_000);
+        // Smoke and bench stay on the exact per-ms model so their
+        // committed results remain comparable across versions.
+        assert_eq!(FleetConfig::smoke().demand_quantum_ms, 1);
+        assert_eq!(FleetConfig::bench().demand_quantum_ms, 1);
+        assert!(FleetConfig::bench_1m().demand_quantum_ms > 1);
+    }
+
+    #[test]
+    fn fault_index_matches_all_order() {
+        for (i, class) in FaultClass::all().into_iter().enumerate() {
+            assert_eq!(class.index(), i, "{}", class.label());
         }
     }
 
@@ -430,6 +514,7 @@ mod tests {
             let spec = DeviceSpec {
                 device_id: i as u64,
                 app: "WeChat",
+                app_idx: 3,
                 load: LoadLevel::Baseline,
                 fault_class: class,
             };

@@ -99,8 +99,14 @@ fn resolve_one(
     load: LoadLevel,
 ) -> StoredPolicy {
     // The canonical profiling seed is the fleet seed: profiles are
-    // shared state, not per-device state.
-    let Some(mut app) = build_app(app_name, BackgroundLoad::with_level(load, cfg.seed)) else {
+    // shared state, not per-device state. Profiling runs the same
+    // demand quantum as the epochs so baselines match the model the
+    // devices actually execute.
+    let Some(mut app) = build_app(
+        app_name,
+        BackgroundLoad::with_level(load, cfg.seed),
+        cfg.demand_quantum_ms,
+    ) else {
         // Unreachable for roster signatures; an empty profile would be
         // rejected downstream, so return an inert placeholder rather
         // than panicking in library code.

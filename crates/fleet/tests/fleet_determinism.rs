@@ -1,10 +1,12 @@
 //! Differential determinism suite for the fleet (ISSUE/ROADMAP item
 //! 2): the aggregate report must be **bit-identical** across thread
-//! counts and across a mid-run shard checkpoint + warm restore, and
+//! counts, across the barriered (`step`) and pipelined (`run`) epoch
+//! engines, and across a mid-run shard checkpoint + warm restore; and
 //! damaged fleet snapshots must always decode to `SnapshotError` —
 //! never panic.
 
-use asgov_fleet::{Fleet, FleetConfig, PolicyStore};
+use asgov_fleet::{savings_agg, Fleet, FleetConfig, PolicyStore};
+use asgov_obs::FleetStats;
 use asgov_soc::DeviceConfig;
 use asgov_util::Rng;
 
@@ -17,6 +19,7 @@ fn small_cfg(threads: usize) -> FleetConfig {
         seed: 0xf1ee7,
         threads,
         offline_rate: 0.08,
+        demand_quantum_ms: 1,
     }
 }
 
@@ -55,6 +58,108 @@ fn report_is_bit_identical_across_thread_counts() {
         fleet.report().totals.warm_migrations > 0,
         "controller state migrated across epochs"
     );
+}
+
+#[test]
+fn pipelined_run_is_bit_identical_to_the_barriered_step_loop() {
+    let store = store();
+    // Barriered reference: `step` holds a global epoch barrier and is
+    // the engine the checkpoint codec is defined against.
+    let mut barriered = Fleet::new(small_cfg(1)).expect("valid config");
+    while !barriered.done() {
+        barriered.step(&store).expect("barriered epoch");
+    }
+    let reference = barriered.report().to_json().to_pretty();
+    // Pipelined engine at several worker counts: shards cross epoch
+    // boundaries independently, yet the folded report must match the
+    // barriered one bit for bit.
+    for threads in [1, 2, 4, 8] {
+        let mut pipelined = Fleet::new(small_cfg(threads)).expect("valid config");
+        pipelined.run(&store).expect("pipelined run");
+        assert_eq!(
+            reference,
+            pipelined.report().to_json().to_pretty(),
+            "pipelined report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn coarse_quantum_tier_is_thread_invariant_and_warm_restorable() {
+    // The bench-1m tier runs a coarse demand quantum; its determinism
+    // guarantees are the same as the exact tier's.
+    let cfg = |threads: usize| FleetConfig {
+        demand_quantum_ms: 20,
+        epochs: 2,
+        threads,
+        ..small_cfg(threads)
+    };
+    let store = PolicyStore::resolve(&cfg(0), &DeviceConfig::nexus6());
+
+    let mut straight = Fleet::new(cfg(1)).expect("valid config");
+    straight.run(&store).expect("straight coarse run");
+    assert!(straight.report().totals.online > 0, "devices simulated");
+
+    let mut interrupted = Fleet::new(cfg(4)).expect("valid config");
+    interrupted.step(&store).expect("epoch 0");
+    let frame = interrupted.checkpoint().expect("checkpoint encodes");
+    let mut resumed = Fleet::restore(cfg(3), &frame).expect("checkpoint restores");
+    resumed.run(&store).expect("resumed pipelined run");
+
+    assert_eq!(
+        straight.report().to_json().to_pretty(),
+        resumed.report().to_json().to_pretty(),
+        "coarse-quantum restore must reproduce the straight run"
+    );
+}
+
+#[test]
+fn fleet_stats_merge_is_associative_over_random_partitions() {
+    // Partition a stream of savings samples into K partial aggregates
+    // at random, then fold them left-to-right and as a pairwise tree:
+    // the columnar state must come out bit-identical (the fixed-point
+    // moments make merge exactly associative), which is what lets the
+    // pipelined engine buffer and fold shard stats in any grouping.
+    let mut rng = Rng::seed_from_u64(0xa55e7);
+    for trial in 0..25 {
+        let parts_n = 2 + rng.gen_range_usize(0..7);
+        let mut parts: Vec<FleetStats> = (0..parts_n).map(|_| savings_agg()).collect();
+        for _ in 0..400 {
+            let p = rng.gen_range_usize(0..parts_n);
+            let part = parts.get_mut(p).expect("partition in range");
+            let stream = rng.gen_range_usize(0..part.streams());
+            if rng.gen_bool(0.05) {
+                part.record_excluded(stream);
+            } else {
+                part.record(stream, rng.gen_range(-150.0..150.0));
+            }
+        }
+
+        let mut fold_left = savings_agg();
+        for p in &parts {
+            fold_left.merge(p).expect("same layout");
+        }
+
+        let mut layer = parts;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                let mut m = pair.first().expect("chunk non-empty").clone();
+                if let Some(right) = pair.get(1) {
+                    m.merge(right).expect("same layout");
+                }
+                next.push(m);
+            }
+            layer = next;
+        }
+        let tree = layer.pop().expect("reduced to one");
+
+        assert_eq!(
+            fold_left.serialize_words(),
+            tree.serialize_words(),
+            "trial {trial}: fold-left and pairwise-tree merges diverged"
+        );
+    }
 }
 
 #[test]

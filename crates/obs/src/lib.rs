@@ -15,6 +15,11 @@
 //!   the newest N records and counts what it dropped.
 //! - [`Histogram`] — fixed-bucket (log-spaced) histograms for solve
 //!   time, actuation latency and innovation magnitude.
+//! - [`FleetStats`] — columnar (struct-of-arrays) streaming aggregator
+//!   for fleet-scale runs: per-stream counts, exact fixed-point
+//!   moments and shared-bounds log histograms with a bit-exactly
+//!   associative `merge`, so sharded partial aggregates fold in any
+//!   order without materializing per-device rows.
 //! - [`TraceSink`] — the trait the device and controller emit into;
 //!   [`NullSink`] discards everything (and is bit-identical to no sink
 //!   at all), [`RingSink`] retains records and aggregates [`Metrics`].
@@ -35,11 +40,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod agg;
 mod hist;
 mod record;
 mod ring;
 mod sink;
 
+pub use agg::{FleetStats, LayoutMismatch};
 pub use hist::Histogram;
 pub use record::{parse_jsonl, CycleRecord, FaultClass, Level, RecordError, LEGACY_SCHEMA, SCHEMA};
 pub use ring::RingBuffer;

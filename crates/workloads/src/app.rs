@@ -179,6 +179,17 @@ pub struct PhasedApp {
     next_frame_ms: u64,
     active_events: Vec<(usize, u64)>, // (event index, end time)
     seed: u64,
+    /// Demand quantum, ms. `1` (the default) is the exact per-ms model;
+    /// larger values switch rate-based apps to the coarse windowed
+    /// model (see [`PhasedApp::with_quantum`]).
+    quantum_ms: u64,
+    /// Exclusive end of the currently cached demand window.
+    window_until_ms: u64,
+    /// Demand cached for the current window (quantum mode).
+    window_demand: Option<Demand>,
+    /// Active event instances in quantum mode: `(index, start, end)`,
+    /// kept with their starts so partial window overlap can be scaled.
+    active_windows: Vec<(usize, u64, u64)>,
 }
 
 impl PhasedApp {
@@ -206,7 +217,41 @@ impl PhasedApp {
             next_frame_ms: 0,
             active_events: Vec::new(),
             seed,
+            quantum_ms: 1,
+            window_until_ms: 0,
+            window_demand: None,
+            active_windows: Vec::new(),
         }
+    }
+
+    /// Switch to a coarse demand quantum of `quantum_ms` (clamped to
+    /// ≥ 1; `1` keeps the exact per-ms model).
+    ///
+    /// In quantum mode a rate-based app's stochastic bookkeeping —
+    /// frame arrivals, periodic events, Poisson touches, background
+    /// wander — happens once per *window* of `quantum_ms` simulated
+    /// milliseconds, anchored to absolute multiples of the quantum, and
+    /// [`Workload::next_event_ms`] advertises the window boundary so
+    /// the event engine can execute the whole window in one span. This
+    /// trades arrival granularity (frames become one macro-frame per
+    /// window; event power is pro-rated by window overlap) for a large
+    /// reduction in per-simulated-ms work. Determinism is unchanged:
+    /// every draw derives from the seed and absolute window position.
+    /// Batch apps keep the exact model regardless (their finish time
+    /// must stay ms-accurate).
+    pub fn with_quantum(mut self, quantum_ms: u64) -> Self {
+        self.quantum_ms = quantum_ms.max(1);
+        self
+    }
+
+    /// The demand quantum, ms (`1` = exact per-ms model).
+    pub fn quantum_ms(&self) -> u64 {
+        self.quantum_ms
+    }
+
+    /// Whether the coarse windowed model is active for this app.
+    fn coarse(&self) -> bool {
+        self.quantum_ms > 1 && !matches!(self.spec.kind, AppKind::Batch { .. })
     }
 
     /// The specification.
@@ -240,6 +285,130 @@ impl PhasedApp {
             self.phase_idx = (self.phase_idx + 1) % self.spec.phases.len();
         }
     }
+
+    /// Advance the phase clock by `ms` simulated milliseconds at once,
+    /// crossing as many phase boundaries as the span covers (same
+    /// cycle structure as `ms` calls to [`Self::advance_phase_clock`]).
+    fn advance_phase_clock_by(&mut self, mut ms: u64) {
+        while ms > 0 {
+            let dur = self.current_phase().duration_ms.max(1);
+            let rem = dur - self.phase_elapsed_ms.min(dur - 1);
+            if ms >= rem {
+                ms -= rem;
+                self.phase_elapsed_ms = 0;
+                self.phase_idx = (self.phase_idx + 1) % self.spec.phases.len();
+            } else {
+                self.phase_elapsed_ms += ms;
+                ms = 0;
+            }
+        }
+    }
+
+    /// Batched work delivery for the coarse model: one accumulator
+    /// update for the whole span instead of a per-ms replay.
+    fn coarse_deliver(&mut self, gi: f64, span_ms: u64) {
+        self.executed_gi += gi;
+        let from_events = gi.min(self.event_backlog_gi);
+        self.event_backlog_gi -= from_events;
+        self.frame_backlog_gi = (self.frame_backlog_gi - (gi - from_events)).max(0.0);
+        self.advance_phase_clock_by(span_ms);
+    }
+
+    /// Demand under the coarse windowed model: all bookkeeping happens
+    /// once per window `[w0, w0 + quantum)` (anchored to absolute
+    /// multiples of the quantum) and the resulting [`Demand`] is cached
+    /// and returned unchanged for every call inside the window — the
+    /// piecewise-constancy the event engine's span contract requires.
+    fn coarse_demand(&mut self, now_ms: u64) -> Demand {
+        let q = self.quantum_ms;
+        if now_ms >= self.window_until_ms || self.window_demand.is_none() {
+            let w0 = now_ms - now_ms % q;
+            let w1 = w0 + q;
+            self.window_until_ms = w1;
+            let phase = self.current_phase().clone();
+
+            // Window arrival: the window is one macro-frame (one jitter
+            // draw covers it).
+            let jitter = if phase.rate_jitter > 0.0 {
+                1.0 + self.rng.gen_range(-phase.rate_jitter..phase.rate_jitter)
+            } else {
+                1.0
+            };
+            self.frame_backlog_gi += phase.rate_gips * jitter * q as f64 * 1e-3;
+            if let Some(max_frames) = self.spec.max_backlog_frames {
+                let granule = phase.frame_period_ms.max(q).max(1) as f64;
+                let cap = phase.rate_gips * granule * 1e-3 * max_frames;
+                if self.frame_backlog_gi > cap {
+                    self.frame_backlog_gi = cap;
+                }
+            }
+
+            // Events whose period boundaries fall inside the window,
+            // anchored to absolute time exactly like the per-ms model.
+            let mut touch = false;
+            for (i, ev) in self.spec.events.iter().enumerate() {
+                if ev.period_ms == 0 {
+                    continue;
+                }
+                // Multiples of the period in [1, x].
+                let starts_through = |x: u64| x / ev.period_ms;
+                let n0 = starts_through(w0.saturating_sub(1));
+                let n1 = starts_through(w1 - 1);
+                for k in n0 + 1..=n1 {
+                    let start = k * ev.period_ms;
+                    self.active_windows.push((i, start, start + ev.duration_ms));
+                    self.event_backlog_gi += ev.work_gi;
+                    if ev.touch {
+                        touch = true;
+                    }
+                }
+            }
+            self.active_windows.retain(|&(_, _, end)| end > w0);
+
+            let mut extra_power = phase.extra_power_w;
+            let mut extra_traffic = phase.extra_traffic_mbps;
+            for &(i, start, end) in &self.active_windows {
+                let Some(ev) = self.spec.events.get(i) else {
+                    continue;
+                };
+                let overlap = end.min(w1).saturating_sub(start.max(w0));
+                let frac = overlap as f64 / q as f64;
+                extra_power += ev.power_w * frac;
+                extra_traffic += ev.extra_traffic_mbps * frac;
+            }
+
+            // Touches: one Poisson draw for the whole window.
+            if let Some(t) = self.spec.touch {
+                let p = (t.rate_per_s * 1e-3 * q as f64).clamp(0.0, 1.0);
+                if self.rng.gen_bool(p) {
+                    touch = true;
+                    self.event_backlog_gi += t.work_gi;
+                }
+            }
+
+            // Drain the backlog over the window: delivering exactly
+            // `backlog / window` for the window clears it, and carried
+            // backlog raises the request above the steady rate until
+            // the app catches up.
+            let desired = (self.backlog_gi() / (q as f64 * 1e-3)).max(0.0);
+            let mut bg = self.background.demand_window(w0, q);
+            bg.traffic_mbps += extra_traffic;
+            self.window_demand = Some(Demand {
+                ipc0: phase.ipc0,
+                bytes_per_instr: phase.bytes_per_instr,
+                gips_cap: phase.gips_cap,
+                cap_busy: phase.cap_busy,
+                desired_gips: Some(desired),
+                active_cores: phase.active_cores,
+                extra_power_w: extra_power,
+                gpu_work: phase.gpu_work_ghz,
+                net_pps: phase.net_pps,
+                touch,
+                bg,
+            });
+        }
+        self.window_demand.unwrap_or_default()
+    }
 }
 
 impl Workload for PhasedApp {
@@ -248,6 +417,9 @@ impl Workload for PhasedApp {
     }
 
     fn demand(&mut self, now_ms: u64) -> Demand {
+        if self.coarse() {
+            return self.coarse_demand(now_ms);
+        }
         let is_batch = matches!(self.spec.kind, AppKind::Batch { .. });
         let phase = self.current_phase().clone();
 
@@ -332,6 +504,10 @@ impl Workload for PhasedApp {
     }
 
     fn deliver(&mut self, _now_ms: u64, executed: Executed) {
+        if self.coarse() {
+            self.coarse_deliver(executed.instructions / 1e9, 1);
+            return;
+        }
         let gi = executed.instructions / 1e9;
         self.executed_gi += gi;
         if !matches!(self.spec.kind, AppKind::Batch { .. }) {
@@ -360,7 +536,33 @@ impl Workload for PhasedApp {
         self.executed_gi = 0.0;
         self.next_frame_ms = 0;
         self.active_events.clear();
+        self.window_until_ms = 0;
+        self.window_demand = None;
+        self.active_windows.clear();
         self.background.reset();
+    }
+
+    fn next_event_ms(&self, now_ms: u64) -> u64 {
+        if self.coarse() {
+            // The cached demand is constant (and draw-free) until the
+            // next absolute quantum boundary.
+            (now_ms / self.quantum_ms + 1).saturating_mul(self.quantum_ms)
+        } else {
+            now_ms.saturating_add(1)
+        }
+    }
+
+    fn deliver_span(&mut self, now_ms: u64, executed: Executed, span_ms: u64) {
+        if self.coarse() {
+            self.coarse_deliver(executed.instructions * span_ms as f64 / 1e9, span_ms);
+        } else {
+            // Exact model: replay the per-ms delivery sequence so
+            // accumulator order (and bit-identity with the tick core)
+            // is preserved.
+            for j in 0..span_ms {
+                self.deliver(now_ms + j, executed);
+            }
+        }
     }
 }
 
@@ -568,6 +770,143 @@ mod tests {
         app.reset();
         assert_eq!(app.executed_gi(), 0.0);
         assert_eq!(app.backlog_gi(), 0.0);
+    }
+
+    #[test]
+    fn quantum_app_delivers_its_rate_when_hardware_suffices() {
+        // The coarse model must conserve the delivered rate of the
+        // exact model when the hardware can keep up.
+        let mut dev = device();
+        dev.set_cpu_governor("userspace");
+        dev.set_cpu_freq(asgov_soc::FreqIndex(17));
+        dev.set_mem_bw(asgov_soc::BwIndex(12));
+        let mut app =
+            PhasedApp::new(steady_spec(0.3), BackgroundLoad::none(1), 1).with_quantum(16);
+        let report = asgov_soc::event::run(&mut dev, &mut app, &mut [], 5_000);
+        assert!(
+            (report.avg_gips - 0.3).abs() < 0.02,
+            "expected ~0.3 GIPS, got {}",
+            report.avg_gips
+        );
+    }
+
+    #[test]
+    fn quantum_run_is_deterministic_and_resettable() {
+        let run = || {
+            let mut dev = device();
+            let mut app =
+                PhasedApp::new(steady_spec(0.4), BackgroundLoad::heavy(9), 7).with_quantum(32);
+            let r = asgov_soc::event::run(&mut dev, &mut app, &mut [], 4_000);
+            (r.energy_j.to_bits(), r.avg_gips.to_bits())
+        };
+        assert_eq!(run(), run(), "same seed, same coarse trajectory");
+        // reset() must replay the identical sequence on the same app.
+        let mut app =
+            PhasedApp::new(steady_spec(0.4), BackgroundLoad::heavy(9), 7).with_quantum(32);
+        let mut dev = device();
+        let a = asgov_soc::event::run(&mut dev, &mut app, &mut [], 4_000);
+        app.reset();
+        let mut dev2 = device();
+        let b = asgov_soc::event::run(&mut dev2, &mut app, &mut [], 4_000);
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    }
+
+    #[test]
+    fn quantum_touches_fire_at_roughly_the_configured_rate() {
+        let mut spec = steady_spec(0.05);
+        spec.touch = Some(TouchSpec {
+            rate_per_s: 2.0,
+            work_gi: 0.001,
+        });
+        let q = 20u64;
+        let mut app = PhasedApp::new(spec, BackgroundLoad::none(1), 42).with_quantum(q);
+        let mut touch_windows = 0;
+        let mut now = 0u64;
+        while now < 60_000 {
+            if app.demand(now).touch {
+                touch_windows += 1;
+            }
+            app.deliver_span(now, Executed::default(), q);
+            now += q;
+        }
+        // p(touch per window) = 2/s · 20 ms = 0.04 → ~120 windows.
+        let rate = touch_windows as f64 / 60.0;
+        assert!((rate - 2.0).abs() < 0.6, "expected ~2 touch windows/s, got {rate}");
+    }
+
+    #[test]
+    fn quantum_is_inert_for_batch_apps_and_quantum_one() {
+        // Batch apps keep the exact model: identical finish behavior.
+        let spec = AppSpec {
+            name: "batch",
+            kind: AppKind::Batch { total_gi: 0.5 },
+            phases: vec![PhaseSpec {
+                ipc0: 1.8,
+                bytes_per_instr: 0.3,
+                active_cores: 3.0,
+                ..PhaseSpec::default()
+            }],
+            touch: None,
+            events: vec![],
+            profile_freq_range: (0, 17),
+            max_backlog_frames: None,
+            test_duration_ms: 60_000,
+        };
+        let mut a = PhasedApp::new(spec.clone(), BackgroundLoad::none(1), 1);
+        let mut b = PhasedApp::new(spec, BackgroundLoad::none(1), 1).with_quantum(64);
+        assert_eq!(b.next_event_ms(100), 101, "batch stays ms-exact");
+        for now in 0..200u64 {
+            assert_eq!(a.demand(now), b.demand(now));
+            let e = Executed {
+                instructions: 1e6,
+                ..Executed::default()
+            };
+            a.deliver(now, e);
+            b.deliver(now, e);
+        }
+        // quantum(1) is the legacy model verbatim.
+        let mut c = PhasedApp::new(steady_spec(0.3), BackgroundLoad::baseline(5), 3);
+        let mut d =
+            PhasedApp::new(steady_spec(0.3), BackgroundLoad::baseline(5), 3).with_quantum(1);
+        for now in 0..500u64 {
+            assert_eq!(c.demand(now), d.demand(now));
+            c.deliver(now, Executed::default());
+            d.deliver(now, Executed::default());
+        }
+    }
+
+    #[test]
+    fn quantum_events_still_arrive_and_add_power() {
+        let mut spec = steady_spec(0.05);
+        spec.events.push(EventSpec {
+            name: "ad",
+            period_ms: 2_000,
+            duration_ms: 500,
+            power_w: 0.5,
+            work_gi: 0.05,
+            extra_traffic_mbps: 300.0,
+            touch: false,
+        });
+        let q = 25u64;
+        let mut app = PhasedApp::new(spec, BackgroundLoad::none(1), 1).with_quantum(q);
+        let mut peak_power = 0.0f64;
+        let mut quiet_power = f64::INFINITY;
+        let mut now = 0u64;
+        while now < 6_000 {
+            let d = app.demand(now);
+            if (2_000..2_500).contains(&now) {
+                peak_power = peak_power.max(d.extra_power_w);
+            }
+            if (1_000..2_000).contains(&now) {
+                quiet_power = quiet_power.min(d.extra_power_w);
+            }
+            app.deliver_span(now, Executed::default(), q);
+            now += q;
+        }
+        assert!(
+            peak_power > quiet_power + 0.4,
+            "event power visible in coarse windows: {peak_power} vs {quiet_power}"
+        );
     }
 
     #[test]

@@ -145,6 +145,43 @@ impl BackgroundLoad {
         }
     }
 
+    /// Background demand averaged over the window
+    /// `[now_ms, now_ms + window_ms)`, for quantized (coarse-step)
+    /// simulation: one wander draw per *window* (step scaled by √window
+    /// so the random-walk diffusion matches the per-ms walk), and sync
+    /// bursts contribute pro rata to their overlap with the window.
+    ///
+    /// With `window_ms == 1` this is the same model as
+    /// [`BackgroundLoad::demand`] (one draw, full burst in or out) but
+    /// the two methods advance the RNG identically either way, so a
+    /// generator must be driven through one of them consistently.
+    pub fn demand_window(&mut self, now_ms: u64, window_ms: u64) -> BackgroundDemand {
+        let window_ms = window_ms.max(1);
+        let step: f64 = self.rng.gen_range(-0.002..0.002) * (window_ms as f64).sqrt();
+        self.wander = (self.wander + step).clamp(-0.2, 0.2);
+        let scale = 1.0 + self.wander;
+
+        let overlap = self.sync_overlap_ms(now_ms, now_ms.saturating_add(window_ms));
+        let frac = overlap as f64 / window_ms as f64;
+        BackgroundDemand {
+            cpu_util: (self.base_util * scale + self.sync_util * frac).clamp(0.0, 0.9),
+            traffic_mbps: (self.base_traffic_mbps * scale + self.sync_traffic_mbps * frac).max(0.0),
+            power_w: (self.base_power_w * scale + self.sync_power_w * frac).max(0.0),
+        }
+    }
+
+    /// Milliseconds of `[a, b)` that fall inside a sync burst.
+    fn sync_overlap_ms(&self, a: u64, b: u64) -> u64 {
+        if self.sync_period_ms == u64::MAX || self.sync_duration_ms == 0 || b <= a {
+            return 0;
+        }
+        let p = self.sync_period_ms;
+        let d = self.sync_duration_ms.min(p);
+        // Count of t in [0, x) with t % p < d.
+        let burst_ms_before = |x: u64| (x / p) * d + (x % p).min(d);
+        burst_ms_before(b) - burst_ms_before(a)
+    }
+
     /// Restart the generator: replays the exact same sequence.
     pub fn reset(&mut self) {
         self.rng = Rng::seed_from_u64(self.seed);
@@ -207,6 +244,51 @@ mod tests {
             let d = nl.demand(ms);
             assert!(d.cpu_util < 0.02);
         }
+    }
+
+    #[test]
+    fn window_demand_matches_per_ms_on_average() {
+        // Quantized windows must conserve the long-run averages of the
+        // per-ms model (same base draw, pro-rata sync bursts).
+        let q = 16u64;
+        let horizon = 360_000u64;
+        let mut per_ms = BackgroundLoad::baseline(3);
+        let mut windowed = BackgroundLoad::baseline(3);
+        let mut a = (0.0, 0.0, 0.0);
+        for ms in 0..horizon {
+            let d = per_ms.demand(ms);
+            a = (a.0 + d.cpu_util, a.1 + d.traffic_mbps, a.2 + d.power_w);
+        }
+        let mut b = (0.0, 0.0, 0.0);
+        let mut now = 0;
+        while now < horizon {
+            let d = windowed.demand_window(now, q);
+            let w = q as f64;
+            b = (b.0 + d.cpu_util * w, b.1 + d.traffic_mbps * w, b.2 + d.power_w * w);
+            now += q;
+        }
+        let n = horizon as f64;
+        assert!((a.0 / n - b.0 / n).abs() < 0.01, "util {} vs {}", a.0 / n, b.0 / n);
+        assert!((a.1 / n - b.1 / n).abs() / (a.1 / n) < 0.1, "traffic");
+        assert!((a.2 / n - b.2 / n).abs() < 0.05, "power");
+    }
+
+    #[test]
+    fn window_demand_is_deterministic_and_burst_fractional() {
+        let mut x = BackgroundLoad::heavy(9);
+        let mut y = BackgroundLoad::heavy(9);
+        for i in 0..100u64 {
+            let a = x.demand_window(i * 50, 50);
+            let b = y.demand_window(i * 50, 50);
+            assert_eq!(a, b);
+        }
+        // A window strictly inside a sync burst sees the full burst
+        // contribution; one strictly outside sees none.
+        let mut z = BackgroundLoad::heavy(9);
+        let inside = z.demand_window(20_000, 100); // burst at 20 s lasts 3 s
+        let mut z2 = BackgroundLoad::heavy(9);
+        let outside = z2.demand_window(10_000, 100);
+        assert!(inside.traffic_mbps > outside.traffic_mbps + 100.0);
     }
 
     #[test]
