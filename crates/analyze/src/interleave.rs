@@ -382,9 +382,7 @@ impl PoolExplorer {
             }
         } else {
             match s.wpc.get(t).copied() {
-                Some(WorkerPc::Park) => {
-                    s.shutdown || s.seen.get(t).copied() != Some(s.generation)
-                }
+                Some(WorkerPc::Park) => s.shutdown || s.seen.get(t).copied() != Some(s.generation),
                 Some(WorkerPc::Run(_)) | Some(WorkerPc::Dec) => true,
                 _ => false,
             }
@@ -480,8 +478,8 @@ impl PoolExplorer {
         let threads = self.workers + 1;
         let runnable: Vec<usize> = (0..threads).filter(|&t| self.runnable(state, t)).collect();
         if runnable.is_empty() {
-            let finished = state.cpc == CallerPc::Done
-                && state.wpc.iter().all(|&pc| pc == WorkerPc::Exited);
+            let finished =
+                state.cpc == CallerPc::Done && state.wpc.iter().all(|&pc| pc == WorkerPc::Exited);
             self.schedules += 1;
             let check = if finished {
                 self.terminal_check(state)

@@ -98,6 +98,11 @@ impl Lexer {
                     self.pos += 1;
                     self.string();
                 }
+                'b' if self.peek(1) == Some('\'') => {
+                    // Byte literal `b'x'`: one Str token, not ident + char.
+                    self.pos += 1;
+                    self.char_or_lifetime();
+                }
                 'r' | 'b' if self.raw_string_ahead() => self.raw_string(),
                 'r' if self.peek(1) == Some('#') && is_ident_start(self.peek(2)) => {
                     // Raw identifier `r#match`: skip the sigil, lex the rest.
@@ -420,6 +425,62 @@ mod tests {
     fn raw_idents_lex_as_idents() {
         let toks = kinds("let r#match = 1;");
         assert!(toks.contains(&(TokKind::Ident, "match".into())));
+    }
+
+    #[test]
+    fn raw_ident_type_does_not_split() {
+        // Regression: `r#type` must come out as one identifier, not as
+        // ident `r` + punct `#` + keyword `type` — a split would let a
+        // field named `r#type` derail statement scans in the rules.
+        let toks = kinds("struct S { r#type: u32 } let v = s.r#type + 1;");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokKind::Ident && t == "type")
+                .count(),
+            2,
+            "{toks:?}"
+        );
+        assert!(!toks.contains(&(TokKind::Punct, "#".into())), "{toks:?}");
+        assert!(!toks.contains(&(TokKind::Ident, "r".into())), "{toks:?}");
+    }
+
+    #[test]
+    fn byte_char_literals_are_one_token() {
+        // Regression: `b'x'` used to lex as ident `b` + char `'x'`,
+        // which made `matches!(c, b' ' | b'\t')` look like identifier
+        // soup to the rules.
+        let toks = kinds(r"matches!(c, b' ' | b'\n' | b'\\')");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            3,
+            "{toks:?}"
+        );
+        assert!(!toks.contains(&(TokKind::Ident, "b".into())), "{toks:?}");
+        // Byte strings still lex as a single Str token.
+        let toks = kinds(r#"w.write(b"ASGV")"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("ASGV")));
+    }
+
+    #[test]
+    fn nested_generic_closers_stay_single() {
+        // `>>` must NOT join into a shift token: generic depth tracking
+        // throughout the analyses balances `<`/`>` one at a time, so
+        // `Vec<Vec<u8>>` has to close with two separate `>` puncts.
+        let toks = kinds("let v: Vec<Vec<u8>> = make();");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokKind::Punct && t == ">")
+                .count(),
+            2,
+            "{toks:?}"
+        );
+        assert!(!toks.contains(&(TokKind::Punct, ">>".into())), "{toks:?}");
+        // `>=` does join — `while deadline_ms >= now_ms` must not leave
+        // a stray `>` that unbalances generic tracking.
+        let toks = kinds("if a >= b {}");
+        assert!(toks.contains(&(TokKind::Punct, ">=".into())), "{toks:?}");
     }
 
     #[test]

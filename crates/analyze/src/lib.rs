@@ -14,14 +14,26 @@
 //!    bit-identical-to-serial guarantee over every (bounded-preemption)
 //!    thread interleaving, not just the ones the OS produces.
 //!
+//! The lint engine has two tiers. Token-level rules work straight off
+//! the lexer. Semantic rules work off an item-level parser ([`parse`])
+//! that recovers functions, signatures, and impl blocks: snapshot-codec
+//! symmetry ([`codec`]) proves every persist writer/reader pair agrees
+//! on the wire layout, the units-of-measure lint ([`units`]) makes the
+//! `_ms`/`_ticks`/`_j` suffix convention machine-checked, and the
+//! call-graph pass ([`graph`]) chases panic reachability across files.
+//!
 //! The binary (`cargo run -p asgov-analyze -- --workspace`) runs both
 //! engines, writes `ANALYZE_report.json` ([`report`]) and exits
 //! non-zero on any finding; CI runs it as a blocking job. See
 //! DESIGN.md §8 for the rule catalog and the allow-annotation policy.
 
 pub mod allow;
+pub mod codec;
+pub mod graph;
 pub mod interleave;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod units;
 pub mod workspace;

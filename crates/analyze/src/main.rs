@@ -7,6 +7,7 @@
 //! uploaded unconditionally.
 
 use asgov_analyze::{interleave, report::Report, rules, workspace};
+use asgov_util::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,19 +16,24 @@ asgov-analyze — invariant lints + interleaving checker
 
 USAGE:
   asgov-analyze --workspace [--root <DIR>] [--report <FILE>]
-                [--skip-interleavings] [--quick]
+                [--baseline <FILE>] [--skip-interleavings] [--quick]
 
 OPTIONS:
   --workspace           Scan every crate in the workspace (required)
   --root <DIR>          Workspace root (default: discovered upward
                         from the current directory)
   --report <FILE>       Report path (default: <root>/ANALYZE_report.json)
+  --baseline <FILE>     Diff findings against a committed report; any
+                        finding not in the baseline fails the run. The
+                        diff is written next to the report as
+                        <report>.diff
   --skip-interleavings  Lint only; skip the interleaving checker
   --quick               Smaller interleaving configurations (CI smoke)";
 
 struct Args {
     root: Option<PathBuf>,
     report: Option<PathBuf>,
+    baseline: Option<PathBuf>,
     workspace: bool,
     skip_interleavings: bool,
     quick: bool,
@@ -37,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         report: None,
+        baseline: None,
         workspace: false,
         skip_interleavings: false,
         quick: false,
@@ -53,6 +60,9 @@ fn parse_args() -> Result<Args, String> {
             "--report" => {
                 args.report = Some(PathBuf::from(it.next().ok_or("--report needs a path")?));
             }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -64,6 +74,51 @@ fn parse_args() -> Result<Args, String> {
         return Err("pass --workspace to select the analysis target".into());
     }
     Ok(args)
+}
+
+/// One finding key for baseline comparison. Line numbers shift under
+/// unrelated edits, so the key is (rule, file, message) — a finding
+/// that merely moved is not "new", one that changed substance is.
+fn finding_keys(findings: &Json) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(f) = findings.at(i) {
+        let s = |k: &str| {
+            f.get(k)
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        out.push((s("rule"), s("file"), s("message")));
+        i += 1;
+    }
+    out
+}
+
+/// Compare the current report against a committed baseline. Returns
+/// the diff text and whether any *new* finding appeared.
+fn baseline_diff(baseline_raw: &str, current: &Json) -> (String, bool) {
+    let empty = Json::Arr(vec![]);
+    let baseline = Json::parse(baseline_raw).unwrap_or(Json::Null);
+    let base_keys = finding_keys(baseline.get("findings").unwrap_or(&empty));
+    let cur_keys = finding_keys(current.get("findings").unwrap_or(&empty));
+    let mut diff = String::new();
+    let mut new_count = 0usize;
+    for k in &cur_keys {
+        if !base_keys.contains(k) {
+            new_count += 1;
+            diff.push_str(&format!("+ [{}] {}: {}\n", k.0, k.1, k.2));
+        }
+    }
+    for k in &base_keys {
+        if !cur_keys.contains(k) {
+            diff.push_str(&format!("- [{}] {}: {}\n", k.0, k.1, k.2));
+        }
+    }
+    if diff.is_empty() {
+        diff.push_str("no finding drift against baseline\n");
+    }
+    (diff, new_count > 0)
 }
 
 fn main() -> ExitCode {
@@ -92,11 +147,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for file in &files {
         match std::fs::read_to_string(&file.path) {
             Ok(source) => {
-                findings.extend(rules::check_file(&file.rel, &file.crate_name, &source));
+                sources.push((file.rel.clone(), file.crate_name.clone(), source));
             }
             Err(e) => {
                 eprintln!("error: reading {}: {e}", file.path.display());
@@ -104,6 +159,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    let analysis = rules::check_workspace(&sources);
 
     let interleave = if args.skip_interleavings {
         None
@@ -112,9 +168,10 @@ fn main() -> ExitCode {
     };
 
     let report = Report {
-        findings,
+        findings: analysis.findings,
         files_scanned: files.len(),
         interleave,
+        codec_pairs: analysis.codec_pairs,
     };
 
     for f in &report.findings {
@@ -124,6 +181,13 @@ fn main() -> ExitCode {
         "asgov-analyze: {} files, {} finding(s)",
         report.files_scanned,
         report.findings.len()
+    );
+    let verified = report.codec_pairs.iter().filter(|p| p.verified).count();
+    println!(
+        "codec-symmetry: {}/{} pairs verified ({} Restartable impls)",
+        verified,
+        report.codec_pairs.len(),
+        report.codec_pairs.iter().filter(|p| p.restartable).count()
     );
     if let Some(il) = &report.interleave {
         for (cfg, out) in &il.ordered {
@@ -168,15 +232,102 @@ fn main() -> ExitCode {
     let report_path = args
         .report
         .unwrap_or_else(|| root.join("ANALYZE_report.json"));
-    if let Err(e) = std::fs::write(&report_path, report.to_json().to_pretty()) {
+    let report_json = report.to_json();
+    if let Err(e) = std::fs::write(&report_path, report_json.to_pretty()) {
         eprintln!("error: writing {}: {e}", report_path.display());
         return ExitCode::FAILURE;
     }
     println!("report: {}", report_path.display());
 
-    if report.clean() {
+    let mut regressed = false;
+    if let Some(baseline_path) = &args.baseline {
+        let baseline_raw = match std::fs::read_to_string(baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: reading baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let (diff, has_new) = baseline_diff(&baseline_raw, &report_json);
+        let diff_path = report_path.with_extension("json.diff");
+        if let Err(e) = std::fs::write(&diff_path, &diff) {
+            eprintln!("error: writing {}: {e}", diff_path.display());
+            return ExitCode::FAILURE;
+        }
+        print!("baseline: {diff}");
+        println!("baseline diff: {}", diff_path.display());
+        if has_new {
+            eprintln!("error: new findings relative to the committed baseline");
+            regressed = true;
+        }
+    }
+
+    if report.clean() && !regressed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(findings: &[(&str, &str, &str)]) -> Json {
+        let arr = findings
+            .iter()
+            .map(|(r, f, m)| {
+                Json::Obj(
+                    [
+                        ("rule".to_string(), Json::Str((*r).into())),
+                        ("file".to_string(), Json::Str((*f).into())),
+                        ("message".to_string(), Json::Str((*m).into())),
+                    ]
+                    .into_iter()
+                    .collect(),
+                )
+            })
+            .collect();
+        Json::Obj(
+            [("findings".to_string(), Json::Arr(arr))]
+                .into_iter()
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_reports_have_no_drift() {
+        let base = report_with(&[("float-eq", "a.rs", "x == y")]);
+        let (diff, has_new) = baseline_diff(&base.to_pretty(), &base);
+        assert!(!has_new);
+        assert!(diff.contains("no finding drift"));
+    }
+
+    #[test]
+    fn new_finding_fails_and_is_listed() {
+        let base = report_with(&[]);
+        let cur = report_with(&[("unit-mismatch", "b.rs", "ms + ticks")]);
+        let (diff, has_new) = baseline_diff(&base.to_pretty(), &cur);
+        assert!(has_new);
+        assert!(
+            diff.contains("+ [unit-mismatch] b.rs: ms + ticks"),
+            "{diff}"
+        );
+    }
+
+    #[test]
+    fn fixed_finding_is_reported_but_passes() {
+        let base = report_with(&[("float-eq", "a.rs", "x == y")]);
+        let cur = report_with(&[]);
+        let (diff, has_new) = baseline_diff(&base.to_pretty(), &cur);
+        assert!(!has_new, "removals must not fail the gate");
+        assert!(diff.contains("- [float-eq] a.rs: x == y"), "{diff}");
+    }
+
+    #[test]
+    fn unreadable_baseline_counts_everything_as_new() {
+        let cur = report_with(&[("float-eq", "a.rs", "x == y")]);
+        let (_, has_new) = baseline_diff("not json at all", &cur);
+        assert!(has_new, "a garbage baseline must not silently pass");
     }
 }

@@ -6,11 +6,13 @@
 //! bytes are stable for identical inputs.
 
 use crate::interleave::InterleaveReport;
-use crate::rules::Finding;
+use crate::rules::{CodecPairReport, Finding, RULE_IDS};
 use asgov_util::Json;
 
-/// Schema tag for the analyzer report artifact.
-pub const SCHEMA: &str = "asgov-analyze/v1";
+/// Schema tag for the analyzer report artifact. v2 adds the per-rule
+/// finding counts (`rules`) and the codec-pair inventory
+/// (`codec_pairs`) from the semantic analysis layer.
+pub const SCHEMA: &str = "asgov-analyze/v2";
 
 /// Everything one analyzer run produced.
 #[derive(Debug)]
@@ -21,6 +23,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Interleaving-checker outcome, when that engine ran.
     pub interleave: Option<InterleaveReport>,
+    /// Codec-pair inventory from the symmetry pass: every writer/reader
+    /// pair in the tree, with its verification status.
+    pub codec_pairs: Vec<CodecPairReport>,
 }
 
 impl Report {
@@ -49,6 +54,33 @@ impl Report {
             })
             .collect();
         doc.set("findings", Json::Arr(findings));
+        // Per-rule finding counts: every known rule appears, zero or not,
+        // so baseline diffs see rule additions explicitly.
+        let mut rules = Json::object();
+        for rule in RULE_IDS {
+            let n = self.findings.iter().filter(|f| f.rule == rule).count();
+            rules.set(rule, n);
+        }
+        doc.set("rules", rules);
+        let pairs: Vec<Json> = self
+            .codec_pairs
+            .iter()
+            .map(|p| {
+                let mut o = Json::object();
+                o.set("file", p.file.as_str());
+                match &p.impl_type {
+                    Some(t) => o.set("impl_type", t.as_str()),
+                    None => o.set("impl_type", Json::Null),
+                }
+                o.set("writer", p.writer.as_str());
+                o.set("reader", p.reader.as_str());
+                o.set("restartable", p.restartable);
+                o.set("ops", p.ops);
+                o.set("verified", p.verified);
+                o
+            })
+            .collect();
+        doc.set("codec_pairs", Json::Arr(pairs));
         if let Some(il) = &self.interleave {
             let mut o = Json::object();
             o.set("teeth_ok", il.teeth_ok);
@@ -117,12 +149,37 @@ mod tests {
             }],
             files_scanned: 42,
             interleave: None,
+            codec_pairs: vec![CodecPairReport {
+                file: "crates/core/src/controller.rs".into(),
+                impl_type: Some("EnergyController".into()),
+                writer: "snapshot_bytes".into(),
+                reader: "restore_bytes".into(),
+                restartable: true,
+                ops: 9,
+                verified: true,
+            }],
         };
         let j = report.to_json();
         assert_eq!(j.get("schema").and_then(Json::as_str), Some(SCHEMA));
         assert_eq!(j.get("clean").and_then(Json::as_bool), Some(false));
         let f = j.get("findings").and_then(|f| f.at(0)).expect("finding");
         assert_eq!(f.get("line").and_then(Json::as_f64), Some(7.0));
+        // v2 sections: per-rule counts cover every known rule; the
+        // codec inventory round-trips with its verification bit.
+        let rules = j.get("rules").expect("rules section");
+        assert_eq!(rules.get("float-eq").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            rules.get("codec-symmetry").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(rules.get("unit-mismatch").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            rules.get("hot-path-transitive").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        let p = j.get("codec_pairs").and_then(|p| p.at(0)).expect("pair");
+        assert_eq!(p.get("verified").and_then(Json::as_bool), Some(true));
+        assert_eq!(p.get("restartable").and_then(Json::as_bool), Some(true));
         // Parse back — the artifact must be valid JSON.
         let back = Json::parse(&j.to_pretty()).expect("round trip");
         assert_eq!(back.get("files_scanned").and_then(Json::as_f64), Some(42.0));
@@ -135,12 +192,16 @@ mod tests {
             findings: vec![],
             files_scanned: 1,
             interleave: Some(il),
+            codec_pairs: vec![],
         };
         assert!(report.clean());
         let j = report.to_json();
         let gate = j.get("interleave").expect("interleave section");
         assert_eq!(gate.get("ok").and_then(Json::as_bool), Some(true));
-        assert_eq!(gate.get("pool_teeth_ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            gate.get("pool_teeth_ok").and_then(Json::as_bool),
+            Some(true)
+        );
         assert_eq!(gate.get("real_pool_ok").and_then(Json::as_bool), Some(true));
         assert!(gate.get("configs").and_then(|c| c.at(0)).is_some());
         assert!(gate.get("pool_configs").and_then(|c| c.at(0)).is_some());

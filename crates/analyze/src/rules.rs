@@ -18,9 +18,19 @@
 //! | `float-eq` | all | no `==`/`!=` against float literals |
 //! | `obs-gating` | core, control | obs emission only behind `has_obs_sink` |
 //! | `error-taxonomy` | all | `SocErrorKind` / `SnapshotError` values come from their taxonomies, not ad-hoc construction |
+//! | `codec-symmetry` | all | every persist writer/reader pair encodes and decodes the same wire layout ([`crate::codec`]) |
+//! | `unit-mismatch` | all | no cross-unit arithmetic/comparison under the `_ms`/`_ticks`/`_j` suffix convention ([`crate::units`]) |
+//! | `hot-path-transitive` | workspace runs | hot-path code must not *call into* panicking helpers anywhere in the workspace ([`crate::graph`]) |
+//!
+//! The first six rules are token-level and run per file through
+//! [`check_file`]. The three semantic rules need the item parser; the
+//! codec and units passes are still per-file, while
+//! `hot-path-transitive` is inherently cross-file and only runs in
+//! [`check_workspace`] — its allows are therefore only policed for
+//! staleness there.
 
-use crate::allow;
 use crate::lexer::{lex, Tok, TokKind};
+use crate::{allow, codec, graph, parse, units};
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -46,13 +56,16 @@ impl std::fmt::Display for Finding {
 }
 
 /// Every rule the analyzer knows, including the allow meta-rules.
-pub const RULE_IDS: [&str; 9] = [
+pub const RULE_IDS: [&str; 12] = [
     "hot-path-panic",
     "hot-path-index",
     "nondeterminism",
     "float-eq",
     "obs-gating",
     "error-taxonomy",
+    "codec-symmetry",
+    "unit-mismatch",
+    "hot-path-transitive",
     "allow-missing-reason",
     "allow-unknown-rule",
     "unused-allow",
@@ -108,97 +121,304 @@ const KEYWORDS: [&str; 29] = [
     "return", "static", "trait", "use", "while",
 ];
 
-/// Analyze one file: lex, evaluate every applicable rule, apply allow
-/// annotations, and report the allow meta-findings.
+/// Analyze one file standalone: lex, evaluate every per-file rule,
+/// apply allow annotations, and report the allow meta-findings. The
+/// cross-file `hot-path-transitive` pass does not run here (it needs
+/// the whole workspace — see [`check_workspace`]), so allows naming it
+/// are not policed for staleness in this mode.
 pub fn check_file(rel_path: &str, crate_name: &str, source: &str) -> Vec<Finding> {
     let tokens = lex(source);
-    let allows = allow::collect(&tokens);
-    let test_lines = TestLines::compute(rel_path, &tokens);
-    let code: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let fa = FileAnalysis::new(rel_path, crate_name, &tokens);
+    let rules_run: Vec<&str> = RULE_IDS
+        .iter()
+        .copied()
+        .filter(|r| *r != "hot-path-transitive")
+        .collect();
+    fa.finalize(&rules_run)
+}
 
-    let mut raw: Vec<Finding> = Vec::new();
-    let file = rel_path.to_string();
-    let ctx = Ctx {
-        file: &file,
-        crate_name,
-        code: &code,
-        test_lines: &test_lines,
-    };
+/// One row of the codec-pair inventory published in the report: every
+/// writer/reader pair the symmetry pass found, verified or not.
+#[derive(Debug, Clone)]
+pub struct CodecPairReport {
+    /// Workspace-relative file holding the pair.
+    pub file: String,
+    /// Impl type both sides belong to, when any.
+    pub impl_type: Option<String>,
+    /// Writer function name.
+    pub writer: String,
+    /// Reader function name.
+    pub reader: String,
+    /// Whether the pair is a `Restartable` impl (`snapshot_bytes` /
+    /// `restore_bytes`).
+    pub restartable: bool,
+    /// Normalized top-level codec ops on the writer side.
+    pub ops: usize,
+    /// True when both sides proved symmetric.
+    pub verified: bool,
+}
 
-    if HOT_PATH_CRATES.contains(&crate_name) || HOT_PATH_FILES.contains(&rel_path) {
-        rule_hot_path_panic(&ctx, &mut raw);
-        rule_hot_path_index(&ctx, &mut raw);
-    }
-    if !HARNESS_CRATES.contains(&crate_name) && !HARNESS_BOUNDARY_FILES.contains(&rel_path) {
-        rule_nondeterminism(&ctx, &mut raw);
-    }
-    rule_float_eq(&ctx, &mut raw);
-    if matches!(crate_name, "asgov-core" | "asgov-control") {
-        rule_obs_gating(&ctx, &mut raw);
-    }
-    if rel_path != "crates/soc/src/error.rs" {
-        rule_error_taxonomy(
-            &ctx,
-            &mut raw,
-            "SocErrorKind",
-            "SocErrorKind constructed ad hoc; obtain kinds via SocError::kind() so the taxonomy stays the single source of truth",
-        );
-    }
-    if rel_path != "crates/core/src/persist.rs" {
-        rule_error_taxonomy(
-            &ctx,
-            &mut raw,
-            "SnapshotError",
-            "SnapshotError constructed ad hoc; decode through SnapshotReader and map domain checks with persist::require/ensure so the taxonomy stays the single source of truth",
-        );
-    }
+/// Everything a whole-workspace analysis produced.
+#[derive(Debug)]
+pub struct WorkspaceAnalysis {
+    /// Findings across all files, all rules (including the cross-file
+    /// `hot-path-transitive` pass), post-allow.
+    pub findings: Vec<Finding>,
+    /// Codec-pair inventory for the report.
+    pub codec_pairs: Vec<CodecPairReport>,
+}
 
-    // Apply the allow list, marking each allow that earns its keep.
-    let mut findings: Vec<Finding> = raw
-        .into_iter()
-        .filter(|f| {
-            let covered = allows.iter().find(|a| a.covers(f.rule, f.line));
-            if let Some(a) = covered {
-                a.used.set(true);
-            }
-            covered.is_none()
-        })
+/// Analyze a whole workspace: run every per-file rule on every file,
+/// then the cross-file transitive-panic pass over the shared call
+/// graph, and apply each file's allow list to the union.
+///
+/// `files` entries are `(rel_path, crate_name, source)`.
+pub fn check_workspace(files: &[(String, String, String)]) -> WorkspaceAnalysis {
+    let lexed: Vec<Vec<Tok>> = files.iter().map(|(_, _, src)| lex(src)).collect();
+    let mut fas: Vec<FileAnalysis> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((rel, krate, _), toks)| FileAnalysis::new(rel, krate, toks))
         .collect();
 
-    // Meta-rules: the allow list polices itself.
-    for a in &allows {
-        if !RULE_IDS.contains(&a.rule.as_str()) {
-            findings.push(Finding {
-                rule: "allow-unknown-rule",
-                file: file.clone(),
-                line: a.line,
-                message: format!("allow names unknown rule {:?}", a.rule),
-            });
-            continue;
-        }
-        if a.reason.is_empty() {
-            findings.push(Finding {
-                rule: "allow-missing-reason",
-                file: file.clone(),
-                line: a.line,
-                message: format!(
-                    "allow({}) carries no reason; write `allow({}): <why>`",
-                    a.rule, a.rule
-                ),
-            });
-        }
-        if !a.used.get() {
-            findings.push(Finding {
-                rule: "unused-allow",
-                file: file.clone(),
-                line: a.line,
-                message: format!("allow({}) suppresses nothing; delete it", a.rule),
+    // Cross-file pass: transitive panic reachability.
+    let (tfindings, used_source_allows) = {
+        let testers: Vec<Box<dyn Fn(u32) -> bool + '_>> = fas
+            .iter()
+            .map(|fa| {
+                let tl = &fa.test_lines;
+                Box::new(move |l: u32| tl.contains(l)) as Box<dyn Fn(u32) -> bool + '_>
+            })
+            .collect();
+        let gfiles: Vec<graph::GraphFile> = fas
+            .iter()
+            .zip(&testers)
+            .map(|(fa, tester)| graph::GraphFile {
+                rel: &fa.file,
+                hot: fa.hot,
+                code: &fa.code,
+                parsed: &fa.parsed,
+                is_test_line: tester.as_ref(),
+                source_allow_lines: fa
+                    .allows
+                    .iter()
+                    .filter(|a| a.rule == "hot-path-transitive")
+                    .map(|a| a.line)
+                    .collect(),
+            })
+            .collect();
+        let rep = graph::check_transitive(&gfiles);
+        (rep.findings, rep.used_source_allows)
+    };
+    for (fi, line, message) in tfindings {
+        if !fas[fi].test_lines.contains(line) {
+            let file = fas[fi].file.clone();
+            fas[fi].raw.push(Finding {
+                rule: "hot-path-transitive",
+                file,
+                line,
+                message,
             });
         }
     }
+    for (fi, line) in used_source_allows {
+        if let Some(a) = fas[fi]
+            .allows
+            .iter()
+            .find(|a| a.line == line && a.rule == "hot-path-transitive")
+        {
+            a.used.set(true);
+        }
+    }
 
-    findings.sort_by_key(|f| f.line);
-    findings
+    let mut findings = Vec::new();
+    let mut codec_pairs = Vec::new();
+    for fa in fas {
+        for p in &fa.pairs {
+            if fa.test_lines.contains(p.line) {
+                continue;
+            }
+            codec_pairs.push(CodecPairReport {
+                file: fa.file.clone(),
+                impl_type: p.impl_type.clone(),
+                writer: p.writer.clone(),
+                reader: p.reader.clone(),
+                restartable: p.restartable,
+                ops: p.ops,
+                verified: p.mismatch.is_none(),
+            });
+        }
+        findings.extend(fa.finalize(&RULE_IDS));
+    }
+    findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    WorkspaceAnalysis {
+        findings,
+        codec_pairs,
+    }
+}
+
+/// Per-file analysis state: raw (pre-allow) findings plus everything
+/// the cross-file passes need. [`FileAnalysis::finalize`] applies the
+/// allow list and the meta-rules.
+struct FileAnalysis<'a> {
+    file: String,
+    hot: bool,
+    allows: Vec<allow::Allow>,
+    test_lines: TestLines,
+    code: Vec<&'a Tok>,
+    parsed: parse::ParsedFile,
+    raw: Vec<Finding>,
+    pairs: Vec<codec::CodecPair>,
+}
+
+impl<'a> FileAnalysis<'a> {
+    /// Run every per-file rule (token-level and semantic).
+    fn new(rel_path: &str, crate_name: &str, tokens: &'a [Tok]) -> Self {
+        let allows = allow::collect(tokens);
+        let test_lines = TestLines::compute(rel_path, tokens);
+        let code: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+        let parsed = parse::parse_items(&code);
+        let hot = HOT_PATH_CRATES.contains(&crate_name) || HOT_PATH_FILES.contains(&rel_path);
+
+        let mut raw: Vec<Finding> = Vec::new();
+        let file = rel_path.to_string();
+        {
+            let ctx = Ctx {
+                file: &file,
+                crate_name,
+                code: &code,
+                test_lines: &test_lines,
+            };
+
+            if hot {
+                rule_hot_path_panic(&ctx, &mut raw);
+                rule_hot_path_index(&ctx, &mut raw);
+            }
+            if !HARNESS_CRATES.contains(&crate_name) && !HARNESS_BOUNDARY_FILES.contains(&rel_path)
+            {
+                rule_nondeterminism(&ctx, &mut raw);
+            }
+            rule_float_eq(&ctx, &mut raw);
+            if matches!(crate_name, "asgov-core" | "asgov-control") {
+                rule_obs_gating(&ctx, &mut raw);
+            }
+            if rel_path != "crates/soc/src/error.rs" {
+                rule_error_taxonomy(
+                    &ctx,
+                    &mut raw,
+                    "SocErrorKind",
+                    "SocErrorKind constructed ad hoc; obtain kinds via SocError::kind() so the taxonomy stays the single source of truth",
+                );
+            }
+            if rel_path != "crates/core/src/persist.rs" {
+                rule_error_taxonomy(
+                    &ctx,
+                    &mut raw,
+                    "SnapshotError",
+                    "SnapshotError constructed ad hoc; decode through SnapshotReader and map domain checks with persist::require/ensure so the taxonomy stays the single source of truth",
+                );
+            }
+        }
+
+        // Semantic per-file rules, off the item parser. The codec pass
+        // skips persist.rs itself: that file *implements* the primitive
+        // vocabulary (its `put_bytes` body legitimately differs from
+        // `take_bytes`'s), and its correctness is proven by round-trip
+        // tests instead.
+        let pairs = if rel_path == "crates/core/src/persist.rs" {
+            Vec::new()
+        } else {
+            codec::check_codec(&code, &parsed)
+        };
+        for p in &pairs {
+            if let Some(m) = &p.mismatch {
+                if !test_lines.contains(p.line) {
+                    raw.push(Finding {
+                        rule: "codec-symmetry",
+                        file: file.clone(),
+                        line: p.line,
+                        message: m.clone(),
+                    });
+                }
+            }
+        }
+        for (line, message) in units::check_units(&code, &parsed, &|l| test_lines.contains(l)) {
+            if !test_lines.contains(line) {
+                raw.push(Finding {
+                    rule: "unit-mismatch",
+                    file: file.clone(),
+                    line,
+                    message,
+                });
+            }
+        }
+
+        Self {
+            file,
+            hot,
+            allows,
+            test_lines,
+            code,
+            parsed,
+            raw,
+            pairs,
+        }
+    }
+
+    /// Apply the allow list to the raw findings and run the meta-rules.
+    /// `rules_run` lists the rules that actually executed this run: an
+    /// allow naming a known rule that did *not* run is left alone
+    /// rather than reported as unused.
+    fn finalize(self, rules_run: &[&str]) -> Vec<Finding> {
+        let FileAnalysis {
+            file, allows, raw, ..
+        } = self;
+        let mut findings: Vec<Finding> = raw
+            .into_iter()
+            .filter(|f| {
+                let covered = allows.iter().find(|a| a.covers(f.rule, f.line));
+                if let Some(a) = covered {
+                    a.used.set(true);
+                }
+                covered.is_none()
+            })
+            .collect();
+
+        // Meta-rules: the allow list polices itself.
+        for a in &allows {
+            if !RULE_IDS.contains(&a.rule.as_str()) {
+                findings.push(Finding {
+                    rule: "allow-unknown-rule",
+                    file: file.clone(),
+                    line: a.line,
+                    message: format!("allow names unknown rule {:?}", a.rule),
+                });
+                continue;
+            }
+            if a.reason.is_empty() {
+                findings.push(Finding {
+                    rule: "allow-missing-reason",
+                    file: file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "allow({}) carries no reason; write `allow({}): <why>`",
+                        a.rule, a.rule
+                    ),
+                });
+            }
+            if !a.used.get() && rules_run.contains(&a.rule.as_str()) {
+                findings.push(Finding {
+                    rule: "unused-allow",
+                    file: file.clone(),
+                    line: a.line,
+                    message: format!("allow({}) suppresses nothing; delete it", a.rule),
+                });
+            }
+        }
+
+        findings.sort_by_key(|f| f.line);
+        findings
+    }
 }
 
 struct Ctx<'a> {

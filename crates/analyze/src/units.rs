@@ -1,0 +1,692 @@
+//! Units-of-measure lint: suffix-convention dimensional analysis.
+//!
+//! The whole tree names quantities by unit suffix — `deadline_ms`,
+//! `budget_j`, `cap_mw`, `demand_gips`, `level_q32`, `epoch_ticks` —
+//! because the controller mixes four clock domains (wall ms, sim ns,
+//! scheduler ticks, fleet epochs) and three physical dimensions
+//! (energy, power, throughput). An `_ms`-vs-`_ticks` mixup type-checks
+//! (everything is `u64`/`f64`) and silently skews every number
+//! downstream, which after the fleet tier means 10⁶ devices drift
+//! together. This pass makes the suffix convention machine-checked:
+//!
+//! - a name's **unit** is its trailing suffix when that suffix is in
+//!   the unit table (`_ms`, `_ns`, `_ticks`, `_j`, `_mw`, `_gips`,
+//!   `_q32`, `_epochs`);
+//! - units propagate through `let`-bindings (`let t = deadline_ms;`
+//!   gives `t` unit `ms`), through call results by callee-name suffix
+//!   (`elapsed_ms(…)` is `ms`), and through function signatures
+//!   (same-file call arguments are checked against parameter
+//!   suffixes);
+//! - `+`, `-`, `+=`, `-=` and comparisons between operands of two
+//!   *different known* units are findings, as are `let`/`=`
+//!   assignments binding a known unit to a name carrying a different
+//!   suffix;
+//! - conversions launder units only through a named `*_to_*` helper
+//!   (`ms_to_ticks(x)` has unit `ticks` and its arguments are exempt)
+//!   or an `allow(unit-mismatch)` with a reason.
+//!
+//! The analysis is deliberately one-sided: a unit is only inferred
+//! when the evidence is unambiguous (multiplicative chains `a * b / c`
+//! change dimension, so any operand adjacent to `*` `/` `%` becomes
+//! unknown; a name bound with conflicting units becomes unknown), so
+//! every finding is a real cross-unit operation on same-dimension
+//! spelling — false negatives over false positives, like the rest of
+//! the analyzer.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parse::ParsedFile;
+use std::collections::BTreeMap;
+
+/// The unit suffix table. Order is irrelevant; lookup is exact on the
+/// segment after the last `_`.
+const UNITS: [&str; 8] = ["ms", "ns", "ticks", "j", "mw", "gips", "q32", "epochs"];
+
+/// Binary operators that require same-unit operands.
+const CROSS_OPS: [&str; 8] = ["+", "-", "<", ">", "<=", ">=", "==", "!="];
+
+/// Unit of a name by suffix convention, when it has one.
+pub fn unit_of_name(name: &str) -> Option<&'static str> {
+    let (_, suffix) = name.rsplit_once('_')?;
+    UNITS.iter().find(|u| **u == suffix).copied()
+}
+
+/// Unit of a call result by callee name: `*_to_<unit>` converters win,
+/// otherwise the callee's own suffix.
+fn unit_of_call(callee: &str) -> Option<&'static str> {
+    if let Some(pos) = callee.rfind("_to_") {
+        let target = &callee[pos + 4..];
+        if let Some(u) = UNITS.iter().find(|u| **u == target) {
+            return Some(u);
+        }
+    }
+    unit_of_name(callee)
+}
+
+fn is_converter(callee: &str) -> bool {
+    callee
+        .rfind("_to_")
+        .is_some_and(|pos| UNITS.contains(&&callee[pos + 4..]))
+}
+
+/// Environment: binding name → unit; `None` marks a conflicted name
+/// whose unit must be treated as unknown.
+type Env = BTreeMap<String, Option<&'static str>>;
+
+/// Check one file. Returns `(line, message)` findings for the
+/// `unit-mismatch` rule; the caller routes them through the allow
+/// machinery.
+pub fn check_units(
+    code: &[&Tok],
+    parsed: &ParsedFile,
+    is_test_line: &dyn Fn(u32) -> bool,
+) -> Vec<(u32, String)> {
+    let mut findings = Vec::new();
+    for f in &parsed.fns {
+        if f.body.0 == f.body.1 || (is_test_line)(f.line) {
+            continue;
+        }
+        let body = &code[f.body.0..f.body.1];
+        let mut env: Env = BTreeMap::new();
+        for p in &f.params {
+            if let Some(u) = unit_of_name(&p.name) {
+                env.insert(p.name.clone(), Some(u));
+            }
+        }
+        bind_lets(body, &mut env, is_test_line, &mut findings);
+        check_ops(body, &env, is_test_line, &mut findings);
+        check_call_args(body, &env, parsed, is_test_line, &mut findings);
+    }
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// Walk `let` statements: seed/propagate the environment and flag
+/// suffix-vs-value unit disagreement.
+fn bind_lets(
+    body: &[&Tok],
+    env: &mut Env,
+    is_test_line: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<(u32, String)>,
+) {
+    let mut i = 0;
+    while i < body.len() {
+        if body[i].text != "let" || body[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // `if let` / `while let` are pattern matches, not bindings with
+        // a `;`-terminated initializer; the statement scan below would
+        // run past the block and skip real `let`s behind it.
+        if i > 0 && matches!(body[i - 1].text.as_str(), "if" | "while") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if body.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        let Some(name_tok) = body.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue; // destructuring / `if let` patterns: no single binding
+        };
+        let name = name_tok.text.clone();
+        // Scan to `=` at depth 0 (skipping a type annotation), then to
+        // the terminating `;` at depth 0.
+        let mut depth = 0usize;
+        let mut eq = None;
+        let mut k = j + 1;
+        while k < body.len() {
+            match body[k].text.as_str() {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth = depth.saturating_sub(1),
+                "=" if depth == 0 => {
+                    eq = Some(k);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(eq) = eq else {
+            i = k + 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut end = eq + 1;
+        while end < body.len() {
+            match body[end].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let value_unit = infer_simple(&body[eq + 1..end], env);
+        let name_unit = unit_of_name(&name);
+        match (name_unit, value_unit) {
+            (Some(nu), Some(vu)) if nu != vu && !(is_test_line)(name_tok.line) => {
+                findings.push((
+                    name_tok.line,
+                    format!(
+                        "binding `{name}` (unit {nu}) from a {vu}-valued expression \
+                         crosses units; convert through a named *_to_{nu} helper"
+                    ),
+                ));
+            }
+            _ => {}
+        }
+        // Suffix wins; otherwise propagate the inferred value unit.
+        let unit = name_unit.or(value_unit);
+        if let Some(u) = unit {
+            match env.get(&name) {
+                Some(Some(prev)) if *prev != u => {
+                    env.insert(name, None); // conflicting rebind: unknown
+                }
+                _ => {
+                    env.insert(name, Some(u));
+                }
+            }
+        } else {
+            env.remove(&name); // unknown value shadows any earlier unit
+        }
+        i = end + 1;
+    }
+}
+
+/// Unit of a *simple* expression token range: a path, a call, either
+/// optionally wrapped in `&`/`mut`, trailing `?`, and `as` casts.
+/// Anything structurally richer is unknown.
+fn infer_simple(expr: &[&Tok], env: &Env) -> Option<&'static str> {
+    let mut s = 0usize;
+    while expr
+        .get(s)
+        .is_some_and(|t| matches!(t.text.as_str(), "&" | "mut" | "*"))
+    {
+        s += 1;
+    }
+    let mut e = expr.len();
+    loop {
+        if e >= 2 && expr[e - 1].kind == TokKind::Ident && expr[e - 2].text == "as" {
+            e -= 2;
+            continue;
+        }
+        if e >= 1 && expr[e - 1].text == "?" {
+            e -= 1;
+            continue;
+        }
+        break;
+    }
+    let expr = &expr[s..e];
+    if expr.is_empty() {
+        return None;
+    }
+    // Call form: `…name ( … )` with the parens covering the tail.
+    if expr.last().is_some_and(|t| t.text == ")") {
+        let open = matching_open(expr, expr.len() - 1)?;
+        let callee = expr.get(open.checked_sub(1)?)?;
+        if callee.kind != TokKind::Ident {
+            return None;
+        }
+        // Everything before the callee must be a path/receiver chain.
+        if !is_path(&expr[..open - 1], true) {
+            return None;
+        }
+        return unit_of_call(&callee.text);
+    }
+    // Path form: `a`, `a.b`, `self.cfg.epoch_ms`, `E::V`.
+    if !is_path(expr, false) {
+        return None;
+    }
+    let last = expr.last()?;
+    if expr.len() == 1 {
+        return env
+            .get(&last.text)
+            .copied()
+            .flatten()
+            .or_else(|| unit_of_name(&last.text));
+    }
+    unit_of_name(&last.text)
+}
+
+/// True when `toks` is an ident/`.`/`::`/`self` chain (possibly empty
+/// when `allow_empty`).
+fn is_path(toks: &[&Tok], allow_empty: bool) -> bool {
+    if toks.is_empty() {
+        return allow_empty;
+    }
+    toks.iter().all(|t| {
+        t.kind == TokKind::Ident || t.kind == TokKind::Int || matches!(t.text.as_str(), "." | "::")
+    })
+}
+
+/// Index of the `(` matching the `)` at `close`.
+fn matching_open(toks: &[&Tok], close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = close;
+    loop {
+        match toks[i].text.as_str() {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i = i.checked_sub(1)?;
+    }
+}
+
+/// One operand of a binary operator, resolved leftwards or rightwards
+/// from the operator token.
+struct Operand {
+    name: String,
+    unit: &'static str,
+}
+
+/// Check every cross-unit-sensitive operator in the body.
+fn check_ops(
+    body: &[&Tok],
+    env: &Env,
+    is_test_line: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<(u32, String)>,
+) {
+    for i in 0..body.len() {
+        let t = body[i];
+        if t.kind != TokKind::Punct || !CROSS_OPS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if (is_test_line)(t.line) {
+            continue;
+        }
+        // `<<`/`>>` shifts lex as two tokens; `::<` turbofish; skip both.
+        if matches!(t.text.as_str(), "<" | ">") {
+            let tt = t.text.as_str();
+            if body.get(i + 1).is_some_and(|n| n.text == tt)
+                || i.checked_sub(1).is_some_and(|p| body[p].text == tt)
+                || i.checked_sub(1).is_some_and(|p| body[p].text == "::")
+            {
+                continue;
+            }
+        }
+        // Compound assignment `+=` / `-=` lexes as `+` `=`.
+        let compound =
+            matches!(t.text.as_str(), "+" | "-") && body.get(i + 1).is_some_and(|n| n.text == "=");
+        let rhs_at = if compound { i + 2 } else { i + 1 };
+        let (Some(l), Some(r)) = (left_operand(body, i, env), right_operand(body, rhs_at, env))
+        else {
+            continue;
+        };
+        if l.unit != r.unit {
+            let op = if compound {
+                format!("{}=", t.text)
+            } else {
+                t.text.clone()
+            };
+            findings.push((
+                t.line,
+                format!(
+                    "`{}` ({}) {} `{}` ({}) mixes units; convert through a named \
+                     *_to_* helper",
+                    l.name, l.unit, op, r.name, r.unit
+                ),
+            ));
+        }
+    }
+}
+
+/// Resolve the operand ending at `at - 1`, when it has a known unit.
+fn left_operand(body: &[&Tok], at: usize, env: &Env) -> Option<Operand> {
+    let mut j = at.checked_sub(1)?;
+    // Strip `as ty` casts.
+    while j >= 2 && body[j].kind == TokKind::Ident && body[j - 1].text == "as" {
+        j -= 2;
+    }
+    let t = body[j];
+    let (name, unit, start) = if t.text == ")" {
+        let open = matching_open(&body[..=j], j)?;
+        let callee = body.get(open.checked_sub(1)?)?;
+        if callee.kind != TokKind::Ident {
+            return None;
+        }
+        let unit = unit_of_call(&callee.text)?;
+        (format!("{}(…)", callee.text), unit, open - 1)
+    } else if t.kind == TokKind::Ident {
+        // Walk the path back to its start for the multiplicative check.
+        let mut s = j;
+        while s >= 2 && matches!(body[s - 1].text.as_str(), "." | "::") {
+            s -= 2;
+        }
+        let unit = if s == j {
+            env.get(&t.text)
+                .copied()
+                .flatten()
+                .or_else(|| unit_of_name(&t.text))?
+        } else {
+            unit_of_name(&t.text)?
+        };
+        (t.text.clone(), unit, s)
+    } else {
+        return None;
+    };
+    // A multiplicative neighbor changes dimension: unknown.
+    if start
+        .checked_sub(1)
+        .is_some_and(|p| matches!(body[p].text.as_str(), "*" | "/" | "%"))
+    {
+        return None;
+    }
+    Some(Operand { name, unit })
+}
+
+/// Resolve the operand starting at `at`, when it has a known unit.
+fn right_operand(body: &[&Tok], at: usize, env: &Env) -> Option<Operand> {
+    let mut j = at;
+    while body
+        .get(j)
+        .is_some_and(|t| matches!(t.text.as_str(), "&" | "mut"))
+    {
+        j += 1;
+    }
+    let t = body.get(j)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    // Walk the path forward to its final segment.
+    let mut last = j;
+    while body
+        .get(last + 1)
+        .is_some_and(|t| matches!(t.text.as_str(), "." | "::"))
+        && body.get(last + 2).is_some_and(|t| t.kind == TokKind::Ident)
+    {
+        last += 2;
+    }
+    let (name, unit, mut end) = if body.get(last + 1).is_some_and(|t| t.text == "(") {
+        let callee = body[last];
+        let unit = unit_of_call(&callee.text)?;
+        // End of the call: matching close paren.
+        let mut depth = 0usize;
+        let mut k = last + 1;
+        while k < body.len() {
+            match body[k].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        (format!("{}(…)", callee.text), unit, k)
+    } else {
+        let final_tok = body[last];
+        let unit = if last == j {
+            env.get(&final_tok.text)
+                .copied()
+                .flatten()
+                .or_else(|| unit_of_name(&final_tok.text))?
+        } else {
+            unit_of_name(&final_tok.text)?
+        };
+        (final_tok.text.clone(), unit, last)
+    };
+    // Skip trailing casts before the multiplicative check.
+    while body.get(end + 1).is_some_and(|t| t.text == "as")
+        && body.get(end + 2).is_some_and(|t| t.kind == TokKind::Ident)
+    {
+        end += 2;
+    }
+    if body
+        .get(end + 1)
+        .is_some_and(|t| matches!(t.text.as_str(), "*" | "/" | "%"))
+    {
+        return None;
+    }
+    Some(Operand { name, unit })
+}
+
+/// Check same-file call arguments against the callee's parameter
+/// suffixes. Converters (`*_to_*`) are exempt by design.
+fn check_call_args(
+    body: &[&Tok],
+    env: &Env,
+    parsed: &ParsedFile,
+    is_test_line: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<(u32, String)>,
+) {
+    for i in 0..body.len() {
+        let t = body[i];
+        if t.kind != TokKind::Ident
+            || body.get(i + 1).is_none_or(|n| n.text != "(")
+            || (is_test_line)(t.line)
+        {
+            continue;
+        }
+        if i > 0 && body[i - 1].text == "fn" {
+            continue;
+        }
+        if is_converter(&t.text) {
+            continue;
+        }
+        let Some(callee) = parsed.fn_named(&t.text) else {
+            continue;
+        };
+        // Method-call syntax skips the explicit receiver argument.
+        let method = i > 0 && body[i - 1].text == ".";
+        let offset = usize::from(method && callee.params.first().is_some_and(|p| p.name == "self"));
+        // Split the argument list on top-level commas.
+        let mut depth = 0usize;
+        let mut k = i + 1;
+        let mut arg_start = i + 2;
+        let mut arg_idx = 0usize;
+        while k < body.len() {
+            match body[k].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        check_one_arg(
+                            body,
+                            arg_start,
+                            k,
+                            arg_idx + offset,
+                            callee,
+                            env,
+                            t.line,
+                            findings,
+                        );
+                        break;
+                    }
+                }
+                "," if depth == 1 => {
+                    check_one_arg(
+                        body,
+                        arg_start,
+                        k,
+                        arg_idx + offset,
+                        callee,
+                        env,
+                        t.line,
+                        findings,
+                    );
+                    arg_idx += 1;
+                    arg_start = k + 1;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_one_arg(
+    body: &[&Tok],
+    start: usize,
+    end: usize,
+    param_idx: usize,
+    callee: &crate::parse::FnItem,
+    env: &Env,
+    line: u32,
+    findings: &mut Vec<(u32, String)>,
+) {
+    if start >= end {
+        return;
+    }
+    let Some(param) = callee.params.get(param_idx) else {
+        return;
+    };
+    let Some(pu) = unit_of_name(&param.name) else {
+        return;
+    };
+    let Some(au) = infer_simple(&body[start..end], env) else {
+        return;
+    };
+    if au != pu {
+        let arg: Vec<&str> = body[start..end].iter().map(|t| t.text.as_str()).collect();
+        findings.push((
+            line,
+            format!(
+                "argument `{}` ({au}) passed to `{}` parameter `{}` ({pu}) crosses \
+                 units; convert through a named *_to_{pu} helper",
+                arg.join(""),
+                callee.name,
+                param.name
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_items;
+
+    fn check(src: &str) -> Vec<(u32, String)> {
+        let toks = lex(src);
+        let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
+        let parsed = parse_items(&code);
+        check_units(&code, &parsed, &|_| false)
+    }
+
+    #[test]
+    fn suffix_table_resolves_names() {
+        assert_eq!(unit_of_name("deadline_ms"), Some("ms"));
+        assert_eq!(unit_of_name("budget_j"), Some("j"));
+        assert_eq!(unit_of_name("level_q32"), Some("q32"));
+        assert_eq!(unit_of_name("plain"), None);
+        assert_eq!(unit_of_name("jitter"), None); // no underscore split
+        assert_eq!(unit_of_call("ms_to_ticks"), Some("ticks"));
+        assert_eq!(unit_of_call("elapsed_ms"), Some("ms"));
+    }
+
+    #[test]
+    fn cross_unit_addition_is_flagged() {
+        let f = check("fn f(a_ms: u64, b_ticks: u64) -> u64 { a_ms + b_ticks }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].1.contains("a_ms"), "{}", f[0].1);
+        assert!(f[0].1.contains("ticks"), "{}", f[0].1);
+    }
+
+    #[test]
+    fn same_unit_arithmetic_is_clean() {
+        assert!(check("fn f(a_ms: u64, b_ms: u64) -> u64 { a_ms + b_ms }").is_empty());
+    }
+
+    #[test]
+    fn comparisons_cross_units() {
+        let f = check("fn f(a_ms: u64, e_epochs: u64) -> bool { a_ms >= e_epochs }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn units_propagate_through_let_bindings() {
+        let f = check("fn f(a_ms: u64, b_ticks: u64) -> u64 { let t = a_ms; t - b_ticks }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].1.contains("`t` (ms)"), "{}", f[0].1);
+    }
+
+    #[test]
+    fn converters_launder_units() {
+        assert!(
+            check("fn f(a_ms: u64, b_ticks: u64) -> u64 { ms_to_ticks(a_ms) + b_ticks }")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn multiplicative_chains_are_unknown() {
+        // rate conversion by multiply: dimensionally fine, not flagged.
+        assert!(
+            check("fn f(a_ms: u64, per: u64, b_ticks: u64) -> u64 { a_ms * per + b_ticks }")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn literals_are_unitless() {
+        assert!(check("fn f(a_ms: u64) -> bool { a_ms > 0 }").is_empty());
+    }
+
+    #[test]
+    fn unit_erasing_let_binding_is_flagged() {
+        let f = check("fn f(a_ticks: u64) { let deadline_ms = a_ticks; }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].1.contains("deadline_ms"), "{}", f[0].1);
+    }
+
+    #[test]
+    fn field_paths_carry_their_suffix_unit() {
+        let f = check("fn f(s: &S, b_ns: u64) -> u64 { s.cfg.epoch_ms - b_ns }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn compound_assignment_crosses_units() {
+        let f = check("fn f(mut a_ms: u64, b_ticks: u64) { a_ms += b_ticks; }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].1.contains("+="), "{}", f[0].1);
+    }
+
+    #[test]
+    fn call_results_carry_callee_suffix_units() {
+        let f = check("fn now_ms() -> u64 { 0 }\nfn f(b_ticks: u64) -> u64 { now_ms() + b_ticks }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn call_arguments_check_against_parameter_suffixes() {
+        let f = check("fn step(dt_ms: u64) {}\nfn f(t_ticks: u64) { step(t_ticks); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].1.contains("dt_ms"), "{}", f[0].1);
+    }
+
+    #[test]
+    fn matching_call_arguments_are_clean() {
+        assert!(check("fn step(dt_ms: u64) {}\nfn f(t_ms: u64) { step(t_ms); }").is_empty());
+    }
+
+    #[test]
+    fn shifts_and_turbofish_are_not_comparisons() {
+        assert!(
+            check("fn f(a_q32: u64) -> u64 { let v = x.collect::<Vec<u64>>(); a_q32 << 2 }")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn conflicting_rebinding_degrades_to_unknown() {
+        assert!(check(
+            "fn f(a_ms: u64, b_ticks: u64, c_j: u64) { let t = a_ms; let t = c_j; let u = t + b_ticks; }"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture (workspace pair, see `transitive_hot.rs`): a panicking
+//! helper in a file *outside* hot-path lint scope. The per-file rules
+//! say nothing here; only the cross-file graph pass can connect it to
+//! a hot caller.
+
+pub fn pick(xs: &[f64], i: usize) -> f64 {
+    xs[i]
+}

@@ -1,0 +1,11 @@
+//! Fixture (workspace pair, see `transitive_cold.rs`): hot-path code
+//! that reaches a panic only through a cross-file call chain — nothing
+//! in this file panics directly.
+
+pub fn hot_total(xs: &[f64]) -> f64 {
+    relay(xs)
+}
+
+fn relay(xs: &[f64]) -> f64 {
+    pick(xs, 0)
+}

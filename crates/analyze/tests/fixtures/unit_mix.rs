@@ -1,0 +1,28 @@
+//! Fixture: units-of-measure violations under the suffix convention,
+//! next to spellings that must stay quiet (same-unit arithmetic and a
+//! named `*_to_*` converter).
+
+pub fn mixed(budget_ms: u64, spent_ticks: u64, price_j: f64, power_mw: f64) -> u64 {
+    let total = budget_ms + spent_ticks;
+    let cheap = price_j < power_mw;
+    let window_ticks = budget_ms;
+    if cheap {
+        total + window_ticks
+    } else {
+        total
+    }
+}
+
+pub fn fine(budget_ms: u64, extra_ms: u64) -> u64 {
+    let total_ms = budget_ms + extra_ms;
+    total_ms
+}
+
+pub fn converted(window_ms: u64) -> u64 {
+    let window_ticks = ms_to_ticks(window_ms);
+    window_ticks + 1
+}
+
+fn ms_to_ticks(v_ms: u64) -> u64 {
+    v_ms * 10
+}

@@ -106,6 +106,99 @@ fn allow_meta_rules_fire_on_the_allows_fixture() {
 }
 
 #[test]
+fn codec_drift_fixture_flags_only_the_drifted_pair() {
+    // Teeth: a reordered/narrowed reader must be caught at the writer's
+    // definition line; the symmetric `Clean` pair in the same file must
+    // stay quiet (precision).
+    let findings = scan(
+        "codec_drift.rs",
+        "crates/core/src/codec_drift.rs",
+        "asgov-core",
+    );
+    assert_eq!(
+        rule_lines(&findings),
+        [("codec-symmetry", 11)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn unit_mix_fixture_flags_each_cross_unit_op() {
+    // Teeth: cross-unit `+`, cross-unit `<`, and a cross-suffix
+    // binding each produce exactly one finding; the same-unit function
+    // and the `ms_to_ticks` laundering path stay quiet.
+    let findings = scan("unit_mix.rs", "crates/core/src/unit_mix.rs", "asgov-core");
+    let lines: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == "unit-mismatch")
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(lines, [6, 7, 8], "{findings:#?}");
+    assert_eq!(findings.len(), 3, "only unit findings: {findings:#?}");
+}
+
+#[test]
+fn transitive_fixture_pair_connects_hot_caller_to_cold_panic() {
+    // Teeth for the cross-file pass: nothing in the hot fixture panics
+    // directly — the finding exists only because the graph connects
+    // `hot_total -> relay -> pick` into the non-hot file. Per-file
+    // scanning of either fixture alone must stay silent.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let read = |name: &str| {
+        std::fs::read_to_string(dir.join(name))
+            .unwrap_or_else(|e| panic!("reading fixture {name}: {e}"))
+    };
+    let files = vec![
+        (
+            "crates/core/src/transitive_hot.rs".to_string(),
+            "asgov-core".to_string(),
+            read("transitive_hot.rs"),
+        ),
+        (
+            "crates/linprog/src/transitive_cold.rs".to_string(),
+            "asgov-linprog".to_string(),
+            read("transitive_cold.rs"),
+        ),
+    ];
+    let analysis = asgov_analyze::rules::check_workspace(&files);
+    let keys: Vec<(&str, &str, u32)> = analysis
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.file.as_str(), f.line))
+        .collect();
+    assert_eq!(
+        keys,
+        [
+            (
+                "hot-path-transitive",
+                "crates/core/src/transitive_hot.rs",
+                6
+            ),
+            (
+                "hot-path-transitive",
+                "crates/core/src/transitive_hot.rs",
+                10
+            ),
+        ],
+        "{:#?}",
+        analysis.findings
+    );
+    // Per-file mode cannot see the connection: both files scan clean.
+    assert!(scan(
+        "transitive_hot.rs",
+        "crates/core/src/transitive_hot.rs",
+        "asgov-core"
+    )
+    .is_empty());
+    assert!(scan(
+        "transitive_cold.rs",
+        "crates/linprog/src/transitive_cold.rs",
+        "asgov-linprog"
+    )
+    .is_empty());
+}
+
+#[test]
 fn clean_fixture_produces_zero_findings() {
     let findings = scan("clean.rs", "crates/core/src/clean.rs", "asgov-core");
     assert!(findings.is_empty(), "false positives:\n{findings:#?}");
@@ -142,11 +235,41 @@ fn workspace_is_clean_end_to_end() {
     let j = asgov_util::Json::parse(&report).expect("report parses");
     assert_eq!(
         j.get("schema").and_then(asgov_util::Json::as_str),
-        Some("asgov-analyze/v1")
+        Some("asgov-analyze/v2")
     );
     assert_eq!(
         j.get("clean").and_then(asgov_util::Json::as_bool),
         Some(true)
+    );
+    // v2 additions: a per-rule count section covering every rule id,
+    // and a codec-pair inventory in which every Restartable impl is
+    // verified.
+    let rules = j.get("rules").expect("v2 report has a rules section");
+    for rule in asgov_analyze::rules::RULE_IDS {
+        assert_eq!(
+            rules.get(rule).and_then(asgov_util::Json::as_f64),
+            Some(0.0),
+            "clean tree must report zero {rule} findings"
+        );
+    }
+    let pairs = j.get("codec_pairs").expect("v2 report has codec_pairs");
+    let mut i = 0;
+    let mut restartable_seen = 0;
+    while let Some(p) = pairs.at(i) {
+        assert_eq!(
+            p.get("verified").and_then(asgov_util::Json::as_bool),
+            Some(true),
+            "unverified codec pair in a clean tree: {p:?}"
+        );
+        if p.get("restartable").and_then(asgov_util::Json::as_bool) == Some(true) {
+            restartable_seen += 1;
+        }
+        i += 1;
+    }
+    assert!(i >= 2, "codec-pair inventory looks truncated: {i} pairs");
+    assert!(
+        restartable_seen >= 2,
+        "every Restartable impl must appear in the inventory (saw {restartable_seen})"
     );
     std::fs::remove_file(&report_path).ok();
 }

@@ -616,17 +616,13 @@ impl EnergyController {
     }
 }
 
-/// Append one profile configuration to a snapshot payload.
+/// Append one profile configuration to a snapshot payload. The GPU
+/// index rides in a typed `put_opt_u32` field, so the presence tag is
+/// persist.rs's 0/1 convention rather than a hand-rolled byte.
 fn put_config(w: &mut SnapshotWriter, cfg: Config) {
     w.put_u32(cfg.freq.0 as u32);
     w.put_u32(cfg.bw.0 as u32);
-    match cfg.gpu {
-        None => w.put_u8(0),
-        Some(g) => {
-            w.put_u8(1);
-            w.put_u32(g.0 as u32);
-        }
-    }
+    w.put_opt_u32(cfg.gpu.map(|g| g.0 as u32));
 }
 
 /// Decode one profile configuration (indices are validated against the
@@ -634,30 +630,19 @@ fn put_config(w: &mut SnapshotWriter, cfg: Config) {
 fn take_config(r: &mut SnapshotReader<'_>) -> Result<Config, SnapshotError> {
     let freq = FreqIndex(r.take_u32()? as usize);
     let bw = BwIndex(r.take_u32()? as usize);
-    let gpu_tag = r.take_u8()?;
-    persist::ensure(gpu_tag <= 1)?;
-    let gpu = if gpu_tag == 1 {
-        Some(GpuFreqIndex(r.take_u32()? as usize))
-    } else {
-        None
-    };
+    let gpu = r.take_opt_u32()?.map(|g| GpuFreqIndex(g as usize));
     Ok(Config { freq, bw, gpu })
 }
 
 fn put_opt_config(w: &mut SnapshotWriter, cfg: Option<Config>) {
-    match cfg {
-        None => w.put_u8(0),
-        Some(c) => {
-            w.put_u8(1);
-            put_config(w, c);
-        }
+    w.put_bool(cfg.is_some());
+    if let Some(c) = cfg {
+        put_config(w, c);
     }
 }
 
 fn take_opt_config(r: &mut SnapshotReader<'_>) -> Result<Option<Config>, SnapshotError> {
-    let tag = r.take_u8()?;
-    persist::ensure(tag <= 1)?;
-    if tag == 1 {
+    if r.take_bool()? {
         Ok(Some(take_config(r)?))
     } else {
         Ok(None)
@@ -665,24 +650,13 @@ fn take_opt_config(r: &mut SnapshotReader<'_>) -> Result<Option<Config>, Snapsho
 }
 
 fn put_opt_fault(w: &mut SnapshotWriter, fault: Option<SocErrorKind>) {
-    match fault {
-        None => w.put_u8(0),
-        Some(k) => {
-            w.put_u8(1);
-            w.put_u8(k.wire_code());
-        }
-    }
+    w.put_opt_u8(fault.map(asgov_soc::SocErrorKind::wire_code));
 }
 
 fn take_opt_fault(r: &mut SnapshotReader<'_>) -> Result<Option<SocErrorKind>, SnapshotError> {
-    let tag = r.take_u8()?;
-    persist::ensure(tag <= 1)?;
-    if tag == 1 {
-        Ok(Some(persist::require(SocErrorKind::from_wire(
-            r.take_u8()?,
-        ))?))
-    } else {
-        Ok(None)
+    match r.take_opt_u8()? {
+        Some(code) => Ok(Some(persist::require(SocErrorKind::from_wire(code))?)),
+        None => Ok(None),
     }
 }
 

@@ -62,6 +62,16 @@ pub enum SnapshotError {
         /// The offending length, bytes (fields) or elements (slices).
         len: u64,
     },
+    /// The frame is intact and well-formed but was written under a
+    /// different run configuration than the one it is being restored
+    /// into (e.g. a fleet checkpoint taken with a different demand
+    /// quantum or device partition). Unlike `Corrupt`, the bytes are
+    /// fine — the operator changed a parameter between runs, and the
+    /// named field tells them which one.
+    ConfigMismatch {
+        /// The configuration field that does not match.
+        field: &'static str,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -74,6 +84,12 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::TooLarge { len } => {
                 write!(f, "snapshot field of length {len} overflows the u32 prefix")
+            }
+            SnapshotError::ConfigMismatch { field } => {
+                write!(
+                    f,
+                    "snapshot was written under a different configuration: {field} does not match"
+                )
             }
         }
     }
@@ -144,6 +160,51 @@ impl SnapshotWriter {
             Some(x) => {
                 self.put_u8(1);
                 self.put_u64(x);
+            }
+        }
+    }
+
+    /// Append an optional `u8` (tag byte then value). Same wire shape
+    /// as [`SnapshotWriter::put_opt_u64`] with a one-byte payload.
+    pub fn put_opt_u8(&mut self, v: Option<u8>) {
+        match v {
+            None => self.put_u8(0),
+            Some(x) => {
+                self.put_u8(1);
+                self.put_u8(x);
+            }
+        }
+    }
+
+    /// Append an optional `u32` (tag byte then little-endian value).
+    pub fn put_opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.put_u8(0),
+            Some(x) => {
+                self.put_u8(1);
+                self.put_u32(x);
+            }
+        }
+    }
+
+    /// Append an optional length-prefixed byte slice (tag byte, then
+    /// the slice as [`SnapshotWriter::put_bytes`] when present).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TooLarge`] when the present slice overflows the
+    /// `u32` length prefix; the writer is left unchanged (the tag is
+    /// only written once the length is known to fit).
+    pub fn put_opt_bytes(&mut self, v: Option<&[u8]>) -> Result<(), SnapshotError> {
+        match v {
+            None => {
+                self.put_u8(0);
+                Ok(())
+            }
+            Some(bytes) => {
+                encode_len(bytes.len())?;
+                self.put_u8(1);
+                self.put_bytes(bytes)
             }
         }
     }
@@ -316,6 +377,34 @@ impl<'a> SnapshotReader<'a> {
         }
     }
 
+    /// Read an optional `u8`; any tag other than 0 or 1 is `Corrupt`.
+    pub fn take_opt_u8(&mut self) -> Result<Option<u8>, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_u8()?)),
+            _ => Err(SnapshotError::Corrupt),
+        }
+    }
+
+    /// Read an optional `u32`; any tag other than 0 or 1 is `Corrupt`.
+    pub fn take_opt_u32(&mut self) -> Result<Option<u32>, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_u32()?)),
+            _ => Err(SnapshotError::Corrupt),
+        }
+    }
+
+    /// Read an optional length-prefixed byte slice; any tag other than
+    /// 0 or 1 is `Corrupt`.
+    pub fn take_opt_bytes(&mut self) -> Result<Option<&'a [u8]>, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_bytes()?)),
+            _ => Err(SnapshotError::Corrupt),
+        }
+    }
+
     /// Read a length-prefixed byte slice. A declared length past the
     /// end of the payload is `Corrupt`.
     pub fn take_bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
@@ -367,6 +456,20 @@ pub fn ensure(valid: bool) -> Result<(), SnapshotError> {
         Ok(())
     } else {
         Err(SnapshotError::Corrupt)
+    }
+}
+
+/// `Ok(())` when a decoded value matches the run configuration it is
+/// being restored into, [`SnapshotError::ConfigMismatch`] naming
+/// `field` otherwise. Use this — not [`ensure`] — for checks that
+/// compare intact snapshot contents against caller-supplied
+/// configuration: the distinction tells an operator "you changed a
+/// parameter" instead of "your checkpoint is damaged".
+pub fn ensure_config(matches: bool, field: &'static str) -> Result<(), SnapshotError> {
+    if matches {
+        Ok(())
+    } else {
+        Err(SnapshotError::ConfigMismatch { field })
     }
 }
 
@@ -427,6 +530,12 @@ mod tests {
         w.put_bool(true);
         w.put_opt_u64(None);
         w.put_opt_u64(Some(42));
+        w.put_opt_u8(None);
+        w.put_opt_u8(Some(9));
+        w.put_opt_u32(None);
+        w.put_opt_u32(Some(0xFEED_F00D));
+        w.put_opt_bytes(None).expect("tag only");
+        w.put_opt_bytes(Some(b"inner")).expect("small field");
         w.put_f64_slice(&[1.5, -2.5, 1e300]).expect("small slice");
         w.put_bytes(b"nested").expect("small field");
         w.finish().expect("small frame")
@@ -444,6 +553,12 @@ mod tests {
         assert_eq!(r.take_bool(), Ok(true));
         assert_eq!(r.take_opt_u64(), Ok(None));
         assert_eq!(r.take_opt_u64(), Ok(Some(42)));
+        assert_eq!(r.take_opt_u8(), Ok(None));
+        assert_eq!(r.take_opt_u8(), Ok(Some(9)));
+        assert_eq!(r.take_opt_u32(), Ok(None));
+        assert_eq!(r.take_opt_u32(), Ok(Some(0xFEED_F00D)));
+        assert_eq!(r.take_opt_bytes(), Ok(None));
+        assert_eq!(r.take_opt_bytes(), Ok(Some(&b"inner"[..])));
         let vs = r.take_f64_vec().expect("vec");
         assert_eq!(vs, vec![1.5, -2.5, 1e300]);
         assert_eq!(r.take_bytes(), Ok(&b"nested"[..]));
@@ -516,6 +631,36 @@ mod tests {
         assert_eq!(r.take_bool(), Err(SnapshotError::Corrupt));
         let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
         assert_eq!(r.take_opt_u64(), Err(SnapshotError::Corrupt));
+        let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
+        assert_eq!(r.take_opt_u8(), Err(SnapshotError::Corrupt));
+        let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
+        assert_eq!(r.take_opt_u32(), Err(SnapshotError::Corrupt));
+        let mut r = SnapshotReader::new(&frame).expect("frame itself is valid");
+        assert_eq!(r.take_opt_bytes(), Err(SnapshotError::Corrupt));
+    }
+
+    #[test]
+    fn opt_fields_error_without_consuming_ambiguity() {
+        // A present-tagged option whose payload is missing is Truncated.
+        let mut w = SnapshotWriter::new();
+        w.put_u8(1);
+        let frame = w.finish().expect("small frame");
+        let mut r = SnapshotReader::new(&frame).expect("valid frame");
+        assert_eq!(r.take_opt_u64(), Err(SnapshotError::Truncated));
+        let mut r = SnapshotReader::new(&frame).expect("valid frame");
+        assert_eq!(r.take_opt_u8(), Err(SnapshotError::Truncated));
+        let mut r = SnapshotReader::new(&frame).expect("valid frame");
+        assert_eq!(r.take_opt_u32(), Err(SnapshotError::Truncated));
+        let mut r = SnapshotReader::new(&frame).expect("valid frame");
+        assert_eq!(r.take_opt_bytes(), Err(SnapshotError::Truncated));
+        // A present-tagged byte field declaring more than remains is
+        // Corrupt (crafted length), mirroring take_bytes.
+        let mut w = SnapshotWriter::new();
+        w.put_u8(1);
+        w.put_u32(u32::MAX);
+        let frame = w.finish().expect("small frame");
+        let mut r = SnapshotReader::new(&frame).expect("valid frame");
+        assert_eq!(r.take_opt_bytes(), Err(SnapshotError::Corrupt));
     }
 
     #[test]
@@ -575,6 +720,15 @@ mod tests {
     }
 
     #[test]
+    fn ensure_config_names_the_field() {
+        assert_eq!(ensure_config(true, "seed"), Ok(()));
+        assert_eq!(
+            ensure_config(false, "seed"),
+            Err(SnapshotError::ConfigMismatch { field: "seed" })
+        );
+    }
+
+    #[test]
     fn error_display_names_the_cause() {
         assert!(SnapshotError::Truncated.to_string().contains("truncated"));
         assert!(SnapshotError::Corrupt.to_string().contains("corrupt"));
@@ -582,5 +736,7 @@ mod tests {
         assert!(v.contains('9') && v.contains(&VERSION.to_string()));
         let t = SnapshotError::TooLarge { len: 1 << 33 }.to_string();
         assert!(t.contains(&(1u64 << 33).to_string()));
+        let c = SnapshotError::ConfigMismatch { field: "epoch_ms" }.to_string();
+        assert!(c.contains("epoch_ms") && c.contains("configuration"));
     }
 }

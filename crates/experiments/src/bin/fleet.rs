@@ -58,9 +58,7 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
             }
             "--devices" | "--shards" | "--epochs" | "--epoch-ms" | "--seed" | "--threads"
             | "--quantum-ms" => {
-                let raw = it
-                    .next()
-                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
                 let v: u64 = raw
                     .parse()
                     .map_err(|_| format!("{flag}: {raw:?} is not a non-negative integer"))?;
@@ -69,7 +67,11 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 }
                 overrides.push((flag.to_string(), v));
             }
-            other => return Err(format!("unknown flag {other:?} (see --help in the doc header)")),
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?} (see --help in the doc header)"
+                ))
+            }
         }
     }
     let mut cfg = match tier.as_str() {

@@ -42,7 +42,7 @@ pub use shard::ShardState;
 pub use spec::{DeviceSpec, FaultClass, FleetConfig, FleetError};
 pub use store::{PolicyStore, StoredPolicy};
 
-use asgov_core::persist::{ensure, require};
+use asgov_core::persist::{ensure, ensure_config, require};
 use asgov_core::{SnapshotError, SnapshotReader, SnapshotWriter};
 use asgov_obs::FleetStats;
 use asgov_util::par::WorkerPool;
@@ -130,9 +130,7 @@ impl Fleet {
                     ))
                 }
             };
-            merged
-                .merge(&stats)
-                .map_err(|_| FleetError::StatsLayout)?;
+            merged.merge(&stats).map_err(|_| FleetError::StatsLayout)?;
             next.push(state);
         }
         self.shards = next;
@@ -175,11 +173,8 @@ impl Fleet {
             }
         }
 
-        let slots: Vec<Mutex<Option<ShardState>>> = self
-            .shards
-            .drain(..)
-            .map(|s| Mutex::new(Some(s)))
-            .collect();
+        let slots: Vec<Mutex<Option<ShardState>>> =
+            self.shards.drain(..).map(|s| Mutex::new(Some(s))).collect();
         let queue = Mutex::new(PipelineQueue {
             ready: (0..nshards).collect(),
             remaining: nshards * (total_epochs - start_epoch),
@@ -255,7 +250,10 @@ impl Fleet {
         // before returning, on both the success and error paths).
         let mut shards = Vec::with_capacity(slots.len());
         for slot in slots {
-            match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            match slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+            {
                 Some(state) => shards.push(state),
                 None => return Err(internal_error("shard state lost in pipeline")),
             }
@@ -270,16 +268,16 @@ impl Fleet {
         // would: per epoch, merge shards in shard order into a fresh
         // accumulator, then fold that into the totals — the f64
         // energy sum sees the identical grouping.
-        let results = results.into_inner().unwrap_or_else(|e| e.into_inner());
+        let results = results
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for epoch in start_epoch..total_epochs {
             let mut merged = EpochStats::default();
             for shard in 0..nshards {
                 let Some(stats) = results.get(&(epoch, shard)) else {
                     return Err(internal_error("missing shard-epoch result"));
                 };
-                merged
-                    .merge(stats)
-                    .map_err(|_| FleetError::StatsLayout)?;
+                merged.merge(stats).map_err(|_| FleetError::StatsLayout)?;
             }
             self.report
                 .totals
@@ -327,13 +325,18 @@ impl Fleet {
     pub fn restore(config: FleetConfig, bytes: &[u8]) -> Result<Self, FleetError> {
         config.validate()?;
         let mut r = SnapshotReader::new(bytes)?;
-        let same = r.take_u64()? == config.devices
-            && r.take_u64()? == config.shards
-            && r.take_u64()? == config.epochs
-            && r.take_u64()? == config.epoch_ms
-            && r.take_u64()? == config.seed
-            && r.take_u64()? == config.demand_quantum_ms;
-        ensure(same)?;
+        // Per-field identity checks: an intact checkpoint taken under a
+        // different run configuration reports *which* field the operator
+        // changed (`ConfigMismatch`), not "corrupt".
+        ensure_config(r.take_u64()? == config.devices, "devices")?;
+        ensure_config(r.take_u64()? == config.shards, "shards")?;
+        ensure_config(r.take_u64()? == config.epochs, "epochs")?;
+        ensure_config(r.take_u64()? == config.epoch_ms, "epoch_ms")?;
+        ensure_config(r.take_u64()? == config.seed, "seed")?;
+        ensure_config(
+            r.take_u64()? == config.demand_quantum_ms,
+            "demand_quantum_ms",
+        )?;
         let epochs_run = r.take_u64()?;
         ensure(epochs_run <= config.epochs)?;
         let totals = decode_stats(&mut r)?;
@@ -378,12 +381,13 @@ struct PipelineQueue {
 /// Lock that ignores poisoning: a panicking worker (itself a bug the
 /// pool propagates) must not cascade into opaque poison panics here.
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Condvar wait with the same poison policy as [`lock`].
 fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// An invariant the pipeline itself maintains was violated — always a
@@ -473,12 +477,29 @@ mod tests {
         };
         let fleet = Fleet::new(cfg).expect("valid config");
         let bytes = fleet.checkpoint().expect("small frame");
-        let other = FleetConfig { seed: 99, ..cfg };
-        assert!(Fleet::restore(other, &bytes).is_err());
-        let other_quantum = FleetConfig {
-            demand_quantum_ms: 5,
-            ..cfg
+        // An intact frame restored under a changed parameter must name
+        // the mismatching field — not claim the checkpoint is damaged.
+        let field_of = |cfg: FleetConfig| match Fleet::restore(cfg, &bytes) {
+            Err(FleetError::Snapshot(SnapshotError::ConfigMismatch { field })) => field,
+            other => panic!("expected ConfigMismatch, got {other:?}"),
         };
-        assert!(Fleet::restore(other_quantum, &bytes).is_err());
+        assert_eq!(field_of(FleetConfig { seed: 99, ..cfg }), "seed");
+        assert_eq!(
+            field_of(FleetConfig {
+                demand_quantum_ms: 5,
+                ..cfg
+            }),
+            "demand_quantum_ms"
+        );
+        // Actual damage still reads as corruption, not a config drift.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(
+            Fleet::restore(cfg, &bad),
+            Err(FleetError::Snapshot(
+                SnapshotError::Corrupt | SnapshotError::Truncated
+            ))
+        ));
     }
 }

@@ -222,15 +222,19 @@ mod tests {
 
     #[test]
     fn merging_epoch_stats_sums_counters_and_savings() {
-        let mut a = EpochStats::default();
-        a.online = 3;
-        a.energy_j = 1.5;
+        let mut a = EpochStats {
+            online: 3,
+            energy_j: 1.5,
+            ..EpochStats::default()
+        };
         a.savings.record(app_stream(0), 10.0);
         a.savings.record(app_stream(0), 20.0);
-        let mut b = EpochStats::default();
-        b.online = 2;
-        b.offline = 1;
-        b.energy_j = 0.5;
+        let mut b = EpochStats {
+            online: 2,
+            offline: 1,
+            energy_j: 0.5,
+            ..EpochStats::default()
+        };
         b.savings.record(app_stream(0), 30.0);
         b.savings.record_excluded(fault_stream(FaultClass::Healthy));
         a.merge(&b).unwrap();
@@ -262,7 +266,14 @@ mod tests {
         let per_app = j.get("savings_per_app").expect("per_app");
         for name in roster_names() {
             let entry = per_app.get(name).expect(name);
-            for key in ["count", "degenerate", "mean_pct", "std_pct", "min_pct", "max_pct"] {
+            for key in [
+                "count",
+                "degenerate",
+                "mean_pct",
+                "std_pct",
+                "min_pct",
+                "max_pct",
+            ] {
                 assert!(entry.get(key).is_some(), "missing {name}.{key}");
             }
         }

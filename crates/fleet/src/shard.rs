@@ -70,13 +70,7 @@ impl ShardState {
         w.put_u64(self.next_epoch);
         w.put_u64(self.snapshots.len() as u64);
         for snap in &self.snapshots {
-            match snap {
-                Some(bytes) => {
-                    w.put_bool(true);
-                    w.put_bytes(bytes)?;
-                }
-                None => w.put_bool(false),
-            }
+            w.put_opt_bytes(snap.as_deref())?;
         }
         w.finish()
     }
@@ -100,11 +94,7 @@ impl ShardState {
         asgov_core::persist::ensure(count == expected)?;
         let mut snapshots = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            if r.take_bool()? {
-                snapshots.push(Some(r.take_bytes()?.to_vec()));
-            } else {
-                snapshots.push(None);
-            }
+            snapshots.push(r.take_opt_bytes()?.map(<[u8]>::to_vec));
         }
         r.finish()?;
         Ok(Self {
@@ -230,10 +220,14 @@ pub fn run_epoch_into(
         if base.is_finite() && base > 0.0 {
             let savings = (base - report.energy_j) / base * 100.0;
             stats.savings.record(app_stream(spec.app_idx), savings);
-            stats.savings.record(fault_stream(spec.fault_class), savings);
+            stats
+                .savings
+                .record(fault_stream(spec.fault_class), savings);
         } else {
             stats.savings.record_excluded(app_stream(spec.app_idx));
-            stats.savings.record_excluded(fault_stream(spec.fault_class));
+            stats
+                .savings
+                .record_excluded(fault_stream(spec.fault_class));
         }
     }
 

@@ -46,6 +46,7 @@ pub fn descend(
     // Bounded iterations: each accepted move strictly improves either
     // feasibility or power, so n² is a generous cap.
     for _ in 0..n * n {
+        // asgov-analyze: allow(hot-path-transitive): cur starts inside 0..n (validated at entry) and only moves via checked_sub / (cur + 1 < n) neighbors
         let feasible = speedups[cur] >= target_speedup;
         let mut best = cur;
         for cand in [cur.checked_sub(1), (cur + 1 < n).then_some(cur + 1)]

@@ -86,6 +86,7 @@ impl HullSolver {
         // duplicate speedups only the cheapest can be on the envelope.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_unstable_by(|&a, &b| {
+            // asgov-analyze: allow(hot-path-transitive): comparator indices come from (0..n).collect() where n == speedups.len() == powers.len(), checked at entry
             speedups[a]
                 .total_cmp(&speedups[b])
                 .then(powers[a].total_cmp(&powers[b]))

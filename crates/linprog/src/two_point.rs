@@ -34,6 +34,7 @@ impl Schedule {
         if total <= 0.0 {
             return 0.0;
         }
+        // asgov-analyze: allow(hot-path-transitive): lower/upper were produced by the solver as indices into this same speedup table; a schedule is only meaningful against the table that built it
         (self.tau_lower * speedups[self.lower] + self.tau_upper * speedups[self.upper]) / total
     }
 }
@@ -86,6 +87,7 @@ pub fn optimize(
     // time split and its energy; keep the cheapest.
     let mut best: Option<Schedule> = None;
     for l in 0..n {
+        // asgov-analyze: allow(hot-path-transitive): l and h range over 0..n with n == speedups.len() == powers.len(), checked at entry
         if speedups[l] > target_speedup {
             continue;
         }
@@ -134,6 +136,7 @@ pub(crate) fn single(i: usize, powers: &[f64], period_s: f64) -> Schedule {
         upper: i,
         tau_lower: period_s,
         tau_upper: 0.0,
+        // asgov-analyze: allow(hot-path-transitive): every caller passes an index it derived from 0..powers.len()
         energy_j: period_s * powers[i],
     }
 }
@@ -141,6 +144,7 @@ pub(crate) fn single(i: usize, powers: &[f64], period_s: f64) -> Schedule {
 /// The cheapest configuration inside the low-speedup plateau (speedups
 /// within `PLATEAU_TOL` of the minimum).
 pub(crate) fn cheapest_low_plateau(speedups: &[f64], powers: &[f64], min_i: usize) -> usize {
+    // asgov-analyze: allow(hot-path-transitive): min_i comes from extreme_speedup_indices over this table; filter indices range over 0..len of the same validated equal-length slices
     let cutoff = speedups[min_i] * (1.0 + PLATEAU_TOL);
     (0..speedups.len())
         .filter(|&i| speedups[i] <= cutoff)
@@ -151,6 +155,7 @@ pub(crate) fn cheapest_low_plateau(speedups: &[f64], powers: &[f64], min_i: usiz
 /// The cheapest configuration inside the high-speedup plateau (speedups
 /// within `PLATEAU_TOL` of the maximum).
 pub(crate) fn cheapest_high_plateau(speedups: &[f64], powers: &[f64], max_i: usize) -> usize {
+    // asgov-analyze: allow(hot-path-transitive): max_i comes from extreme_speedup_indices over this table; filter indices range over 0..len of the same validated equal-length slices
     let cutoff = speedups[max_i] * (1.0 - PLATEAU_TOL);
     (0..speedups.len())
         .filter(|&i| speedups[i] >= cutoff)
@@ -169,6 +174,7 @@ pub(crate) fn clamp_extremes(
     period_s: f64,
 ) -> Option<Schedule> {
     let (min_i, max_i) = extreme_speedup_indices(speedups, powers);
+    // asgov-analyze: allow(hot-path-transitive): min_i/max_i are 0 or loop indices over 0..len; both public entry points (optimize, HullSolver::new) reject empty or mismatched tables before calling
     if target_speedup <= speedups[min_i] * (1.0 + PLATEAU_TOL) {
         let cheapest = cheapest_low_plateau(speedups, powers, min_i);
         // Only clamp if the target really is at/below the bottom band —
@@ -190,6 +196,7 @@ pub(crate) fn extreme_speedup_indices(speedups: &[f64], powers: &[f64]) -> (usiz
     let mut min_i = 0;
     let mut max_i = 0;
     for i in 1..speedups.len() {
+        // asgov-analyze: allow(hot-path-transitive): i ranges over 1..len, min_i/max_i over previously visited indices; powers.len() == speedups.len() is checked by every entry point
         if speedups[i] < speedups[min_i]
             || (speedups[i] == speedups[min_i] && powers[i] < powers[min_i])
         {

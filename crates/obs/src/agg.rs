@@ -95,7 +95,9 @@ impl FleetStats {
     /// negative savings, so the negative side matters as much as the
     /// positive one).
     pub fn savings_pct(streams: usize) -> Self {
-        let magnitudes = [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0];
+        let magnitudes = [
+            0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0,
+        ];
         let mut bounds: Vec<f64> = magnitudes.iter().rev().map(|m| -m).collect();
         bounds.extend(magnitudes);
         Self::with_bounds(streams, bounds)
@@ -333,7 +335,8 @@ impl FleetStats {
     /// then every column. Exact — `deserialize_words` round-trips
     /// bit-identically.
     pub fn serialize_words(&self) -> Vec<u64> {
-        let mut w = Vec::with_capacity(2 + self.bounds.len() + self.streams() * 8 + self.hist.len());
+        let mut w =
+            Vec::with_capacity(2 + self.bounds.len() + self.streams() * 8 + self.hist.len());
         w.push(self.streams() as u64);
         w.push(self.bounds.len() as u64);
         w.extend(self.bounds.iter().map(|b| b.to_bits()));

@@ -125,6 +125,7 @@ impl LoadModel {
         if !k.is_finite() {
             return Err(LoadModelError::UnresolvableSignature { key: k });
         }
+        // asgov-analyze: allow(hot-path-transitive): new() rejects anchor sets with fewer than two entries, so [0], [len-1], and the bracketing pair around hi_idx >= 1 are always in bounds
         let first = &self.anchors[0];
         let last = &self.anchors[self.anchors.len() - 1];
         if k <= first.0.key() {

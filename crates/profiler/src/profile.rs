@@ -162,6 +162,7 @@ pub fn profile_app_threads(
     };
     let app_ref: &PhasedApp = app;
     let sweep = par::ordered_map(freqs.len(), threads, |i| {
+        // asgov-analyze: allow(hot-path-transitive): ordered_map hands the closure indices drawn from 0..freqs.len()
         let freq = FreqIndex(freqs[i]);
         let mut worker_app = app_ref.clone();
         let lo = Config {

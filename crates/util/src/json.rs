@@ -159,6 +159,7 @@ impl Json {
             Json::Num(v) => write_number(out, *v),
             Json::Str(s) => write_string(out, s),
             Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                // asgov-analyze: allow(hot-path-transitive): write_seq hands the closure indices drawn from 0..len it was given
                 items[i].write(out, ind);
             }),
             Json::Obj(map) => {
@@ -286,6 +287,7 @@ impl fmt::Display for JsonError {
 impl Error for JsonError {}
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    // asgov-analyze: allow(hot-path-transitive): the index is guarded by *pos < bytes.len() in the same && chain
     while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
     }
@@ -353,6 +355,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
 }
 
 fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    // asgov-analyze: allow(hot-path-transitive): parse_value dispatches here only after bytes.get(*pos) matched, so *pos < len and the open range cannot panic
     if bytes[*pos..].starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
@@ -372,6 +375,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
     ) {
         *pos += 1;
     }
+    // asgov-analyze: allow(hot-path-transitive): start <= *pos <= len — *pos only advances one byte at a time while bytes.get(*pos) is Some
     std::str::from_utf8(&bytes[start..*pos])
         .ok()
         .and_then(|s| s.parse().ok())
@@ -430,6 +434,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             }
             Some(_) => {
                 // Copy one UTF-8 scalar (multi-byte sequences intact).
+                // asgov-analyze: allow(hot-path-transitive): this arm runs only when bytes.get(*pos) is Some, so *pos < len; the unwrap below reads the first char of a non-empty str validated by from_utf8
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| JsonError::at(*pos, "invalid UTF-8"))?;
                 let c = rest.chars().next().unwrap();
@@ -446,6 +451,7 @@ fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
     if end > bytes.len() {
         return Err(JsonError::at(*pos, "truncated \\u escape"));
     }
+    // asgov-analyze: allow(hot-path-transitive): end > bytes.len() already returned an error above, and start < end by construction
     let s = std::str::from_utf8(&bytes[start..end]).map_err(|_| JsonError::at(start, "bad hex"))?;
     let v = u32::from_str_radix(s, 16).map_err(|_| JsonError::at(start, "bad hex"))?;
     *pos = end - 1;

@@ -307,10 +307,7 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-fn wait<'a, T>(
-    cv: &Condvar,
-    guard: std::sync::MutexGuard<'a, T>,
-) -> std::sync::MutexGuard<'a, T> {
+fn wait<'a, T>(cv: &Condvar, guard: std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T> {
     cv.wait(guard)
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
@@ -647,6 +644,10 @@ mod tests {
             })
         }));
         assert!(result.is_err());
-        assert_eq!(DROPS.load(Ordering::Relaxed), 2, "completed results dropped");
+        assert_eq!(
+            DROPS.load(Ordering::Relaxed),
+            2,
+            "completed results dropped"
+        );
     }
 }

@@ -26,9 +26,16 @@ use std::ops::Range;
 /// // Same seed, same stream.
 /// assert_eq!(Rng::seed_from_u64(7).next_u64(), Rng::seed_from_u64(7).next_u64());
 /// ```
+/// The four xoshiro256++ state words are named rather than held in a
+/// `[u64; 4]`: every access is a field, so the generator — which sits
+/// under every fault-injection and demand draw on the fleet's hot
+/// path — contains no indexing that could ever panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng {
-    s: [u64; 4],
+    s0: u64,
+    s1: u64,
+    s2: u64,
+    s3: u64,
 }
 
 impl Rng {
@@ -44,23 +51,27 @@ impl Rng {
             z ^ (z >> 31)
         };
         Self {
-            s: [next(), next(), next(), next()],
+            s0: next(),
+            s1: next(),
+            s2: next(),
+            s3: next(),
         }
     }
 
     /// The next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let out = self.s[0]
-            .wrapping_add(self.s[3])
+        let out = self
+            .s0
+            .wrapping_add(self.s3)
             .rotate_left(23)
-            .wrapping_add(self.s[0]);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
+            .wrapping_add(self.s0);
+        let t = self.s1 << 17;
+        self.s2 ^= self.s0;
+        self.s3 ^= self.s1;
+        self.s1 ^= self.s2;
+        self.s0 ^= self.s3;
+        self.s2 ^= t;
+        self.s3 = self.s3.rotate_left(45);
         out
     }
 
@@ -155,7 +166,12 @@ mod tests {
     fn matches_reference_xoshiro256pp() {
         // Reference vector: xoshiro256++ from state {1, 2, 3, 4}
         // (Blackman & Vigna's public-domain C source).
-        let mut r = Rng { s: [1, 2, 3, 4] };
+        let mut r = Rng {
+            s0: 1,
+            s1: 2,
+            s2: 3,
+            s3: 4,
+        };
         let expect: [u64; 5] = [
             41943041,
             58720359,

@@ -780,8 +780,7 @@ mod tests {
         dev.set_cpu_governor("userspace");
         dev.set_cpu_freq(asgov_soc::FreqIndex(17));
         dev.set_mem_bw(asgov_soc::BwIndex(12));
-        let mut app =
-            PhasedApp::new(steady_spec(0.3), BackgroundLoad::none(1), 1).with_quantum(16);
+        let mut app = PhasedApp::new(steady_spec(0.3), BackgroundLoad::none(1), 1).with_quantum(16);
         let report = asgov_soc::event::run(&mut dev, &mut app, &mut [], 5_000);
         assert!(
             (report.avg_gips - 0.3).abs() < 0.02,
@@ -831,7 +830,10 @@ mod tests {
         }
         // p(touch per window) = 2/s · 20 ms = 0.04 → ~120 windows.
         let rate = touch_windows as f64 / 60.0;
-        assert!((rate - 2.0).abs() < 0.6, "expected ~2 touch windows/s, got {rate}");
+        assert!(
+            (rate - 2.0).abs() < 0.6,
+            "expected ~2 touch windows/s, got {rate}"
+        );
     }
 
     #[test]

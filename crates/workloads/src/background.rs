@@ -264,11 +264,20 @@ mod tests {
         while now < horizon {
             let d = windowed.demand_window(now, q);
             let w = q as f64;
-            b = (b.0 + d.cpu_util * w, b.1 + d.traffic_mbps * w, b.2 + d.power_w * w);
+            b = (
+                b.0 + d.cpu_util * w,
+                b.1 + d.traffic_mbps * w,
+                b.2 + d.power_w * w,
+            );
             now += q;
         }
         let n = horizon as f64;
-        assert!((a.0 / n - b.0 / n).abs() < 0.01, "util {} vs {}", a.0 / n, b.0 / n);
+        assert!(
+            (a.0 / n - b.0 / n).abs() < 0.01,
+            "util {} vs {}",
+            a.0 / n,
+            b.0 / n
+        );
         assert!((a.1 / n - b.1 / n).abs() / (a.1 / n) < 0.1, "traffic");
         assert!((a.2 / n - b.2 / n).abs() < 0.05, "power");
     }

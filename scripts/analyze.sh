@@ -5,9 +5,22 @@
 # interleaving violation exits non-zero. Writes ANALYZE_report.json at
 # the workspace root.
 #
-# Usage: scripts/analyze.sh [--quick] [--skip-interleavings]
+# Usage: scripts/analyze.sh [--quick] [--skip-interleavings] [--baseline]
 #   --quick               smaller interleaving configurations (CI smoke)
 #   --skip-interleavings  lints only
+#   --baseline            additionally diff the finding list against the
+#                         committed ANALYZE_baseline.json; any finding
+#                         not in the baseline fails the run, and the
+#                         diff lands in ANALYZE_report.json.diff. (Line
+#                         numbers are excluded from the comparison, so
+#                         findings that merely moved do not trip it.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cargo run --release -p asgov-analyze -- --workspace "$@"
+args=()
+for a in "$@"; do
+  case "$a" in
+    --baseline) args+=(--baseline ANALYZE_baseline.json) ;;
+    *) args+=("$a") ;;
+  esac
+done
+cargo run --release -p asgov-analyze -- --workspace ${args[@]+"${args[@]}"}
